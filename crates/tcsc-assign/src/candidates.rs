@@ -1,0 +1,257 @@
+//! Candidate assignments ("worker cost retrieval") and worker occupancy
+//! bookkeeping.
+//!
+//! For every slot of a task the assignment algorithms need to know which
+//! worker would serve it and at what cost.  Under travel-distance costs the
+//! nearest available worker is the cheapest choice (Section II-A of the
+//! paper); in multi-task settings a worker already occupied at a time slot
+//! forces the task to fall back to its 2nd, 3rd, ... nearest worker
+//! (Section IV-A), which is what the [`WorkerLedger`] tracks.
+
+use std::collections::HashSet;
+
+use tcsc_core::{CandidateAssignment, CostModel, SlotIndex, Task, Worker, WorkerId};
+use tcsc_index::WorkerIndex;
+
+/// The per-slot candidate assignments of one task.
+#[derive(Debug, Clone, Default)]
+pub struct SlotCandidates {
+    /// `candidates[j]` is the currently cheapest feasible assignment for slot
+    /// `j`, or `None` when no (unoccupied) worker is available at that slot.
+    candidates: Vec<Option<CandidateAssignment>>,
+}
+
+impl SlotCandidates {
+    /// Computes the candidates of `task` against the worker index: the
+    /// nearest available worker of every slot.
+    pub fn compute(
+        task: &Task,
+        index: &WorkerIndex,
+        cost_model: &dyn CostModel,
+    ) -> Self {
+        Self::compute_excluding(task, index, cost_model, &WorkerLedger::new())
+    }
+
+    /// Computes the candidates of `task`, skipping workers that the ledger
+    /// marks as occupied at the corresponding slot.
+    pub fn compute_excluding(
+        task: &Task,
+        index: &WorkerIndex,
+        cost_model: &dyn CostModel,
+        ledger: &WorkerLedger,
+    ) -> Self {
+        let candidates = (0..task.num_slots)
+            .map(|slot| candidate_for_slot(task, slot, index, cost_model, ledger))
+            .collect();
+        Self { candidates }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The candidate of a slot.
+    pub fn get(&self, slot: SlotIndex) -> Option<&CandidateAssignment> {
+        self.candidates.get(slot).and_then(|c| c.as_ref())
+    }
+
+    /// The cost of a slot's candidate.
+    pub fn cost(&self, slot: SlotIndex) -> Option<f64> {
+        self.get(slot).map(|c| c.cost)
+    }
+
+    /// Costs of every slot, in slot order (the format consumed by the
+    /// `VTree`).
+    pub fn costs(&self) -> Vec<Option<f64>> {
+        self.candidates.iter().map(|c| c.as_ref().map(|c| c.cost)).collect()
+    }
+
+    /// Replaces the candidate for a slot (used after conflicts).
+    pub fn set(&mut self, slot: SlotIndex, candidate: Option<CandidateAssignment>) {
+        self.candidates[slot] = candidate;
+    }
+
+    /// Recomputes the candidate of a single slot against the ledger.
+    pub fn refresh_slot(
+        &mut self,
+        task: &Task,
+        slot: SlotIndex,
+        index: &WorkerIndex,
+        cost_model: &dyn CostModel,
+        ledger: &WorkerLedger,
+    ) {
+        self.candidates[slot] = candidate_for_slot(task, slot, index, cost_model, ledger);
+    }
+
+    /// Number of slots that currently have a feasible candidate.
+    pub fn available(&self) -> usize {
+        self.candidates.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+fn candidate_for_slot(
+    task: &Task,
+    slot: SlotIndex,
+    index: &WorkerIndex,
+    cost_model: &dyn CostModel,
+    ledger: &WorkerLedger,
+) -> Option<CandidateAssignment> {
+    let subtask = task.subtask(slot);
+    let excluded = ledger.occupied_at(slot);
+    let nearest = index.nearest_excluding(slot, &task.location, &excluded)?;
+    // The cost model may weight the distance; rebuild the cost through it so
+    // that alternative models keep working.
+    let pseudo_worker = Worker::new(nearest.worker, Vec::new());
+    let cost = cost_model.assignment_cost(&subtask, &pseudo_worker, nearest.location);
+    Some(CandidateAssignment {
+        slot,
+        worker: nearest.worker,
+        worker_location: nearest.location,
+        cost,
+        reliability: nearest.reliability,
+    })
+}
+
+/// Tracks which workers are already committed at which time slots across a
+/// multi-task assignment, so that two tasks never use the same worker during
+/// the same slot.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerLedger {
+    occupied: HashSet<(SlotIndex, WorkerId)>,
+}
+
+impl WorkerLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a worker as occupied during a slot.  Returns `false` when the
+    /// worker was already occupied at that slot (a conflict).
+    pub fn occupy(&mut self, slot: SlotIndex, worker: WorkerId) -> bool {
+        self.occupied.insert((slot, worker))
+    }
+
+    /// Whether a worker is occupied during a slot.
+    pub fn is_occupied(&self, slot: SlotIndex, worker: WorkerId) -> bool {
+        self.occupied.contains(&(slot, worker))
+    }
+
+    /// The workers occupied during a slot.
+    pub fn occupied_at(&self, slot: SlotIndex) -> Vec<WorkerId> {
+        let mut v: Vec<WorkerId> = self
+            .occupied
+            .iter()
+            .filter(|(s, _)| *s == slot)
+            .map(|(_, w)| *w)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total number of (slot, worker) commitments.
+    pub fn len(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// Whether nothing is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.occupied.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsc_core::{Domain, EuclideanCost, Location, TaskId, Worker, WorkerPool, WorkerSlot};
+
+    fn setup() -> (Task, WorkerIndex, EuclideanCost) {
+        let task = Task::new(TaskId(0), Location::new(0.0, 0.0), 4);
+        let workers: WorkerPool = vec![
+            Worker::new(
+                WorkerId(0),
+                vec![
+                    WorkerSlot { slot: 0, location: Location::new(1.0, 0.0) },
+                    WorkerSlot { slot: 1, location: Location::new(2.0, 0.0) },
+                ],
+            ),
+            Worker::new(
+                WorkerId(1),
+                vec![
+                    WorkerSlot { slot: 0, location: Location::new(3.0, 0.0) },
+                    WorkerSlot { slot: 2, location: Location::new(4.0, 0.0) },
+                ],
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let index = WorkerIndex::build(&workers, 4, &Domain::square(10.0));
+        (task, index, EuclideanCost::default())
+    }
+
+    #[test]
+    fn candidates_pick_the_nearest_worker_per_slot() {
+        let (task, index, cost) = setup();
+        let candidates = SlotCandidates::compute(&task, &index, &cost);
+        assert_eq!(candidates.len(), 4);
+        assert_eq!(candidates.get(0).unwrap().worker, WorkerId(0));
+        assert!((candidates.cost(0).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(candidates.get(1).unwrap().worker, WorkerId(0));
+        assert_eq!(candidates.get(2).unwrap().worker, WorkerId(1));
+        assert!(candidates.get(3).is_none(), "slot 3 has no available worker");
+        assert_eq!(candidates.available(), 3);
+    }
+
+    #[test]
+    fn ledger_forces_fallback_to_second_nearest() {
+        let (task, index, cost) = setup();
+        let mut ledger = WorkerLedger::new();
+        assert!(ledger.occupy(0, WorkerId(0)));
+        assert!(!ledger.occupy(0, WorkerId(0)), "double occupancy is a conflict");
+        let candidates = SlotCandidates::compute_excluding(&task, &index, &cost, &ledger);
+        assert_eq!(candidates.get(0).unwrap().worker, WorkerId(1));
+        assert!((candidates.cost(0).unwrap() - 3.0).abs() < 1e-12);
+        // Slot 1 is unaffected: worker 0 is only occupied at slot 0.
+        assert_eq!(candidates.get(1).unwrap().worker, WorkerId(0));
+    }
+
+    #[test]
+    fn refresh_slot_updates_a_single_entry() {
+        let (task, index, cost) = setup();
+        let mut candidates = SlotCandidates::compute(&task, &index, &cost);
+        let mut ledger = WorkerLedger::new();
+        ledger.occupy(0, WorkerId(0));
+        candidates.refresh_slot(&task, 0, &index, &cost, &ledger);
+        assert_eq!(candidates.get(0).unwrap().worker, WorkerId(1));
+        assert_eq!(candidates.get(1).unwrap().worker, WorkerId(0));
+    }
+
+    #[test]
+    fn costs_vector_matches_entries() {
+        let (task, index, cost) = setup();
+        let candidates = SlotCandidates::compute(&task, &index, &cost);
+        let costs = candidates.costs();
+        assert_eq!(costs.len(), 4);
+        assert!(costs[3].is_none());
+        assert!((costs[0].unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_accessors() {
+        let mut ledger = WorkerLedger::new();
+        assert!(ledger.is_empty());
+        ledger.occupy(2, WorkerId(5));
+        ledger.occupy(2, WorkerId(3));
+        ledger.occupy(1, WorkerId(5));
+        assert_eq!(ledger.len(), 3);
+        assert!(ledger.is_occupied(2, WorkerId(5)));
+        assert!(!ledger.is_occupied(0, WorkerId(5)));
+        assert_eq!(ledger.occupied_at(2), vec![WorkerId(3), WorkerId(5)]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Worker-conflict analysis and independence groups (Section IV-A.1).
+//!
+//! Two tasks *conflict* when they compete for the same worker with the lowest
+//! cost.  Taking each task as a node and adding an edge between conflicting
+//! tasks yields an independence graph; connected components ("independent
+//! groups") can be optimised in parallel without interacting.  The paper
+//! derives the graph by gradually expanding each task's j-NN bound: a task of
+//! degree `d` must reserve its `(d+1)` nearest workers, which may create new
+//! conflicts, until a fixpoint is reached.
+
+use std::collections::HashSet;
+
+use tcsc_core::{Task, WorkerId};
+use tcsc_index::WorkerIndex;
+
+/// The independence graph over a task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndependenceGraph {
+    /// Number of tasks (nodes).
+    pub num_tasks: usize,
+    /// Conflict edges as (task index, task index) pairs with `a < b`.
+    pub edges: Vec<(usize, usize)>,
+    /// Connected components: each entry is a sorted list of task indices.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl IndependenceGraph {
+    /// Number of conflict edges.
+    pub fn conflict_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Size of the largest independent group.
+    pub fn largest_group(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// The set of workers a task would reserve when it needs its `count` nearest
+/// workers, aggregated over all slots of the task (a worker is identified by
+/// id; the nearest workers are computed per slot and unioned, which mirrors
+/// the per-slot competition of the assignment algorithms).
+fn reserved_workers(task: &Task, index: &WorkerIndex, count: usize) -> HashSet<WorkerId> {
+    let mut set = HashSet::new();
+    for slot in 0..task.num_slots {
+        for candidate in index.k_nearest(slot, &task.location, count) {
+            set.insert(candidate.worker);
+        }
+    }
+    set
+}
+
+/// Builds the independence graph by gradually expanding each task's j-NN
+/// bound until no new conflicts appear (or `max_rounds` is reached, which
+/// bounds the work on extremely contended instances).
+pub fn independence_graph(
+    tasks: &[Task],
+    index: &WorkerIndex,
+    max_rounds: usize,
+) -> IndependenceGraph {
+    let n = tasks.len();
+    // Current NN rank each task reserves (1-NN initially).
+    let mut ranks = vec![1usize; n];
+    let mut reservations: Vec<HashSet<WorkerId>> = tasks
+        .iter()
+        .map(|t| reserved_workers(t, index, 1))
+        .collect();
+    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+
+    for _ in 0..max_rounds.max(1) {
+        // Detect conflicts with the current reservations.
+        let mut new_edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if edges.contains(&(a, b)) {
+                    continue;
+                }
+                if !reservations[a].is_disjoint(&reservations[b]) {
+                    new_edges.push((a, b));
+                }
+            }
+        }
+        if new_edges.is_empty() {
+            break;
+        }
+        edges.extend(new_edges.iter().copied());
+        // Expand the bound of every node to (degree + 1)-NN.
+        let mut degree = vec![0usize; n];
+        for &(a, b) in &edges {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        let mut changed = false;
+        for i in 0..n {
+            let needed = degree[i] + 1;
+            if needed > ranks[i] {
+                ranks[i] = needed;
+                reservations[i] = reserved_workers(&tasks[i], index, needed);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Connected components via union-find.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for &(a, b) in &edges {
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut groups_map: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups_map.entry(root).or_default().push(i);
+    }
+    let mut edges: Vec<(usize, usize)> = edges.into_iter().collect();
+    edges.sort_unstable();
+
+    IndependenceGraph {
+        num_tasks: n,
+        edges,
+        groups: groups_map.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::test_support::small_instance;
+    use tcsc_core::{Domain, Location, TaskId, Worker, WorkerPool, WorkerSlot};
+
+    #[test]
+    fn groups_partition_the_task_set() {
+        let (tasks, index, _) = small_instance(21, 8, 20, 60);
+        let graph = independence_graph(&tasks, &index, 8);
+        let mut seen: Vec<usize> = graph.groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        assert_eq!(graph.num_tasks, 8);
+    }
+
+    #[test]
+    fn far_apart_tasks_with_plenty_of_workers_are_independent() {
+        // Two tasks in opposite corners, each with its own nearby worker.
+        let tasks = vec![
+            Task::new(TaskId(0), Location::new(5.0, 5.0), 3),
+            Task::new(TaskId(1), Location::new(95.0, 95.0), 3),
+        ];
+        let workers: WorkerPool = vec![
+            Worker::new(
+                WorkerId(0),
+                (0..3)
+                    .map(|slot| WorkerSlot {
+                        slot,
+                        location: Location::new(6.0, 6.0),
+                    })
+                    .collect(),
+            ),
+            Worker::new(
+                WorkerId(1),
+                (0..3)
+                    .map(|slot| WorkerSlot {
+                        slot,
+                        location: Location::new(94.0, 94.0),
+                    })
+                    .collect(),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let index = WorkerIndex::build(&workers, 3, &Domain::square(100.0));
+        let graph = independence_graph(&tasks, &index, 4);
+        assert_eq!(graph.conflict_count(), 0);
+        assert_eq!(graph.groups.len(), 2);
+        assert_eq!(graph.largest_group(), 1);
+    }
+
+    #[test]
+    fn colocated_tasks_sharing_one_worker_conflict() {
+        let tasks = vec![
+            Task::new(TaskId(0), Location::new(10.0, 10.0), 2),
+            Task::new(TaskId(1), Location::new(12.0, 10.0), 2),
+        ];
+        let workers: WorkerPool = vec![Worker::new(
+            WorkerId(0),
+            vec![
+                WorkerSlot {
+                    slot: 0,
+                    location: Location::new(11.0, 10.0),
+                },
+                WorkerSlot {
+                    slot: 1,
+                    location: Location::new(11.0, 10.0),
+                },
+            ],
+        )]
+        .into_iter()
+        .collect();
+        let index = WorkerIndex::build(&workers, 2, &Domain::square(100.0));
+        let graph = independence_graph(&tasks, &index, 4);
+        assert_eq!(graph.conflict_count(), 1);
+        assert_eq!(graph.groups.len(), 1);
+        assert_eq!(graph.largest_group(), 2);
+    }
+
+    #[test]
+    fn scarcer_workers_create_more_conflicts() {
+        let (tasks, index_many, _) = small_instance(22, 10, 20, 400);
+        let (_, index_few, _) = small_instance(22, 10, 20, 30);
+        let many = independence_graph(&tasks, &index_many, 6).conflict_count();
+        let few = independence_graph(&tasks, &index_few, 6).conflict_count();
+        assert!(
+            few >= many,
+            "fewer workers ({few} conflicts) should not conflict less than many workers ({many})"
+        );
+    }
+
+    #[test]
+    fn empty_task_set_yields_empty_graph() {
+        let (_, index, _) = small_instance(23, 1, 10, 20);
+        let graph = independence_graph(&[], &index, 4);
+        assert_eq!(graph.num_tasks, 0);
+        assert_eq!(graph.conflict_count(), 0);
+        assert!(graph.groups.is_empty());
+        assert_eq!(graph.largest_group(), 0);
+    }
+}

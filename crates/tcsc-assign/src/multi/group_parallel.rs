@@ -1,0 +1,189 @@
+//! Group-level parallelization (Section IV-A.1).
+//!
+//! Tasks are partitioned into independent groups with the independence graph
+//! of [`super::conflict`]; groups never compete for the same workers, so each
+//! group can be optimised by its own serial MSQM greedy on a separate thread.
+//! The global budget is split across groups proportionally to their task
+//! counts (the paper leaves the split unspecified; a proportional split keeps
+//! the comparison with the other frameworks fair and is documented in
+//! DESIGN.md).  The drawback noted in the paper is visible here too: skewed
+//! workloads produce few, large groups, which limits the achievable speed-up.
+
+use std::thread;
+
+use tcsc_core::{AssignmentPlan, CostModel, MultiAssignment, Task};
+use tcsc_index::WorkerIndex;
+
+use crate::multi::conflict::independence_graph;
+use crate::multi::msqm::msqm_serial;
+use crate::multi::{MultiOutcome, MultiTaskConfig};
+
+/// Outcome of the group-level parallel run, with the grouping statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupParallelOutcome {
+    /// The combined multi-task outcome.
+    pub outcome: MultiOutcome,
+    /// Number of independent groups.
+    pub groups: usize,
+    /// Size of the largest group.
+    pub largest_group: usize,
+    /// Number of conflict edges in the independence graph.
+    pub conflict_edges: usize,
+}
+
+/// Runs MSQM with group-level parallelization over at most `threads`
+/// concurrent worker threads.
+pub fn msqm_group_parallel(
+    tasks: &[Task],
+    index: &WorkerIndex,
+    cost_model: &(dyn CostModel + Sync),
+    config: &MultiTaskConfig,
+    threads: usize,
+) -> GroupParallelOutcome {
+    let threads = threads.max(1);
+    let graph = independence_graph(tasks, index, 8);
+    let groups = graph.groups.clone();
+    let total_tasks = tasks.len().max(1);
+
+    // Each group receives a budget share proportional to its size.
+    let jobs: Vec<(Vec<usize>, f64)> = groups
+        .iter()
+        .map(|g| {
+            let share = config.budget * g.len() as f64 / total_tasks as f64;
+            (g.clone(), share)
+        })
+        .collect();
+
+    // Run the groups in waves of at most `threads` concurrent jobs.
+    let mut per_group: Vec<(Vec<usize>, MultiOutcome)> = Vec::with_capacity(jobs.len());
+    for wave in jobs.chunks(threads) {
+        let results: Vec<(Vec<usize>, MultiOutcome)> = thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .iter()
+                .map(|(group, share)| {
+                    let group_tasks: Vec<Task> =
+                        group.iter().map(|&i| tasks[i].clone()).collect();
+                    let group = group.clone();
+                    let share = *share;
+                    scope.spawn(move || {
+                        let cfg = MultiTaskConfig {
+                            budget: share,
+                            ..*config
+                        };
+                        let outcome = msqm_serial(&group_tasks, index, cost_model, &cfg);
+                        (group, outcome)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("group worker thread panicked"))
+                .collect()
+        });
+        per_group.extend(results);
+    }
+
+    // Stitch the per-group plans back into the original task order.
+    let mut plans: Vec<Option<AssignmentPlan>> = vec![None; tasks.len()];
+    let mut conflicts = 0usize;
+    let mut executions = 0usize;
+    for (group, outcome) in per_group {
+        conflicts += outcome.conflicts;
+        executions += outcome.executions;
+        for (local, &task_idx) in group.iter().enumerate() {
+            plans[task_idx] = Some(outcome.assignment.plans[local].clone());
+        }
+    }
+    let plans: Vec<AssignmentPlan> = plans
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| p.unwrap_or_else(|| AssignmentPlan::empty(tasks[i].id, tasks[i].num_slots)))
+        .collect();
+
+    GroupParallelOutcome {
+        outcome: MultiOutcome {
+            assignment: MultiAssignment::new(plans),
+            conflicts,
+            executions,
+        },
+        groups: groups.len(),
+        largest_group: graph.largest_group(),
+        conflict_edges: graph.conflict_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::test_support::small_instance;
+
+    #[test]
+    fn respects_the_global_budget() {
+        let (tasks, index, cost) = small_instance(31, 6, 20, 150);
+        for budget in [10.0, 40.0] {
+            let result =
+                msqm_group_parallel(&tasks, &index, &cost, &MultiTaskConfig::new(budget), 4);
+            assert!(result.outcome.assignment.total_cost() <= budget + 1e-6);
+        }
+    }
+
+    #[test]
+    fn produces_one_plan_per_task_in_order() {
+        let (tasks, index, cost) = small_instance(32, 7, 15, 150);
+        let result = msqm_group_parallel(&tasks, &index, &cost, &MultiTaskConfig::new(30.0), 4);
+        assert_eq!(result.outcome.assignment.plans.len(), 7);
+        for (task, plan) in tasks.iter().zip(&result.outcome.assignment.plans) {
+            assert_eq!(task.id, plan.task);
+        }
+        assert!(result.groups >= 1);
+        assert!(result.largest_group <= 7);
+    }
+
+    #[test]
+    fn no_worker_double_booking_within_a_group() {
+        // Each group runs its own serial greedy with a shared ledger, so a
+        // worker can never serve two tasks of the same group during one slot.
+        // (Cross-group isolation is what the independence graph approximates;
+        // it is exercised by the conflict-graph tests.)
+        let (tasks, index, cost) = small_instance(33, 8, 20, 60);
+        let graph = independence_graph(&tasks, &index, 8);
+        let result = msqm_group_parallel(&tasks, &index, &cost, &MultiTaskConfig::new(200.0), 4);
+        for group in &graph.groups {
+            let mut seen = std::collections::HashSet::new();
+            for &task_idx in group {
+                for exec in &result.outcome.assignment.plans[task_idx].executions {
+                    assert!(
+                        seen.insert((exec.slot, exec.worker)),
+                        "worker {:?} double-booked at slot {} within a group",
+                        exec.worker,
+                        exec.slot
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_and_many_threads_give_the_same_result() {
+        let (tasks, index, cost) = small_instance(34, 6, 20, 120);
+        let cfg = MultiTaskConfig::new(50.0);
+        let one = msqm_group_parallel(&tasks, &index, &cost, &cfg, 1);
+        let many = msqm_group_parallel(&tasks, &index, &cost, &cfg, 8);
+        assert!((one.outcome.sum_quality() - many.outcome.sum_quality()).abs() < 1e-9);
+        assert_eq!(one.groups, many.groups);
+    }
+
+    #[test]
+    fn quality_is_comparable_to_serial_msqm() {
+        // The proportional budget split may cost some quality relative to the
+        // globally greedy serial solver, but it must stay in the same
+        // ballpark (and never exceed it by construction of the greedy rule).
+        let (tasks, index, cost) = small_instance(35, 6, 25, 200);
+        let cfg = MultiTaskConfig::new(60.0);
+        let serial = crate::multi::msqm::msqm_serial(&tasks, &index, &cost, &cfg);
+        let grouped = msqm_group_parallel(&tasks, &index, &cost, &cfg, 4);
+        assert!(grouped.outcome.sum_quality() > 0.0);
+        assert!(grouped.outcome.sum_quality() <= serial.sum_quality() + 1e-6
+            || grouped.outcome.sum_quality() >= 0.5 * serial.sum_quality());
+    }
+}

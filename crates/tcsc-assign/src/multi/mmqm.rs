@@ -1,0 +1,178 @@
+//! MMQM: multi-task *minimum* quality maximisation (Problem 3).
+//!
+//! `q_min` is submodular and non-decreasing (Lemma 5), so the `(1 − 1/√e)`
+//! approximation is achieved by repeatedly reinforcing the currently weakest
+//! task: take the task with the minimum quality, execute its best affordable
+//! subtask (greedy rule of Algorithm 1), and repeat until the budget is
+//! exhausted.  The paper maintains a heap over the tasks for fast minimum
+//! retrieval; because every execution changes only one task's quality, a
+//! binary heap with lazy re-insertion is sufficient.  Subtasks are executed
+//! strictly in sequence, so no worker conflicts arise (Section IV-B), but the
+//! ledger still guarantees that one worker never serves two tasks in the same
+//! slot.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tcsc_core::{CostModel, MultiAssignment, Task};
+use tcsc_index::WorkerIndex;
+
+use crate::candidates::WorkerLedger;
+use crate::multi::{MultiOutcome, MultiTaskConfig, TaskState};
+
+/// Ordered heap entry: (quality, task index).  `f64` is wrapped through its
+/// total ordering to make the heap usable.
+#[derive(Debug, PartialEq)]
+struct Entry(f64, usize);
+
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Runs the MMQM greedy (maximise the minimum task quality).
+pub fn mmqm(
+    tasks: &[Task],
+    index: &WorkerIndex,
+    cost_model: &dyn CostModel,
+    config: &MultiTaskConfig,
+) -> MultiOutcome {
+    let mut states: Vec<TaskState> = tasks
+        .iter()
+        .map(|t| TaskState::new(t, index, cost_model, config))
+        .collect();
+    let mut ledger = WorkerLedger::new();
+    let mut remaining = config.budget;
+    let mut conflicts = 0usize;
+    let mut executions = 0usize;
+
+    // Min-heap over (quality, task index); entries are lazily refreshed.
+    let mut heap: BinaryHeap<Reverse<Entry>> = states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Reverse(Entry(s.quality(), i)))
+        .collect();
+    // Tasks that ran out of affordable candidates are retired.
+    let mut retired = vec![false; states.len()];
+
+    while let Some(Reverse(Entry(quality, task_idx))) = heap.pop() {
+        if retired[task_idx] {
+            continue;
+        }
+        // Lazy entry: skip if stale (the task's quality has changed since the
+        // entry was pushed).
+        if (states[task_idx].quality() - quality).abs() > 1e-12 {
+            heap.push(Reverse(Entry(states[task_idx].quality(), task_idx)));
+            continue;
+        }
+
+        let Some(candidate) = states[task_idx].best_candidate(remaining) else {
+            retired[task_idx] = true;
+            continue;
+        };
+        if candidate.cost > remaining {
+            retired[task_idx] = true;
+            continue;
+        }
+        // Conflict check against the shared ledger.
+        let worker = states[task_idx]
+            .planned_worker(candidate.slot)
+            .expect("candidate slot has a planned worker");
+        if ledger.is_occupied(candidate.slot, worker) {
+            conflicts += 1;
+            states[task_idx].refresh_slot(candidate.slot, index, cost_model, &ledger);
+            heap.push(Reverse(Entry(states[task_idx].quality(), task_idx)));
+            continue;
+        }
+
+        remaining -= candidate.cost;
+        ledger.occupy(candidate.slot, worker);
+        states[task_idx].execute(candidate.slot);
+        executions += 1;
+        heap.push(Reverse(Entry(states[task_idx].quality(), task_idx)));
+    }
+
+    let assignment = MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
+    MultiOutcome {
+        assignment,
+        conflicts,
+        executions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::msqm::msqm_serial;
+    use crate::multi::test_support::small_instance;
+
+    #[test]
+    fn respects_the_global_budget() {
+        let (tasks, index, cost) = small_instance(11, 4, 25, 200);
+        for budget in [5.0, 20.0, 50.0] {
+            let outcome = mmqm(&tasks, &index, &cost, &MultiTaskConfig::new(budget));
+            assert!(outcome.assignment.total_cost() <= budget + 1e-6);
+        }
+    }
+
+    #[test]
+    fn min_quality_grows_with_budget() {
+        let (tasks, index, cost) = small_instance(12, 4, 25, 300);
+        let mut last = -1.0;
+        for budget in [10.0, 30.0, 80.0] {
+            let outcome = mmqm(&tasks, &index, &cost, &MultiTaskConfig::new(budget));
+            assert!(outcome.min_quality() >= last - 1e-9);
+            last = outcome.min_quality();
+        }
+    }
+
+    #[test]
+    fn mmqm_balances_better_than_msqm() {
+        // MMQM's objective is the weakest task, so its minimum quality must be
+        // at least that of the sum-oriented greedy under the same budget.
+        let (tasks, index, cost) = small_instance(13, 5, 30, 300);
+        let cfg = MultiTaskConfig::new(40.0);
+        let min_focused = mmqm(&tasks, &index, &cost, &cfg);
+        let sum_focused = msqm_serial(&tasks, &index, &cost, &cfg);
+        assert!(
+            min_focused.min_quality() + 1e-9 >= sum_focused.min_quality(),
+            "MMQM min {} should not be below MSQM min {}",
+            min_focused.min_quality(),
+            sum_focused.min_quality()
+        );
+    }
+
+    #[test]
+    fn no_double_booked_workers() {
+        let (tasks, index, cost) = small_instance(14, 6, 20, 50);
+        let outcome = mmqm(&tasks, &index, &cost, &MultiTaskConfig::new(300.0));
+        let mut seen = std::collections::HashSet::new();
+        for plan in &outcome.assignment.plans {
+            for exec in &plan.executions {
+                assert!(seen.insert((exec.slot, exec.worker)));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_executes_nothing() {
+        let (tasks, index, cost) = small_instance(15, 3, 20, 100);
+        let outcome = mmqm(&tasks, &index, &cost, &MultiTaskConfig::new(0.0));
+        assert_eq!(outcome.executions, 0);
+    }
+
+    #[test]
+    fn indexed_and_plain_variants_agree_on_min_quality() {
+        let (tasks, index, cost) = small_instance(16, 3, 25, 200);
+        let a = mmqm(&tasks, &index, &cost, &MultiTaskConfig::new(30.0));
+        let b = mmqm(&tasks, &index, &cost, &MultiTaskConfig::new(30.0).with_index(false));
+        assert!((a.min_quality() - b.min_quality()).abs() < 1e-6);
+    }
+}

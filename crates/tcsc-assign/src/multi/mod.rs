@@ -1,0 +1,374 @@
+//! Multi-task assignment (Section IV of the paper): MSQM (maximise the
+//! summation quality), MMQM (maximise the minimum quality), the worker
+//! conflict machinery, and the group-level / task-level parallel frameworks.
+
+pub mod conflict;
+pub mod group_parallel;
+pub mod mmqm;
+pub mod msqm;
+pub mod sapprox;
+pub mod task_parallel;
+
+use tcsc_core::{
+    AssignmentPlan, CostModel, ExecutedSubtask, MultiAssignment, QualityEvaluator, QualityParams,
+    SlotIndex, Task,
+};
+use tcsc_index::{SearchStats, VTree, VTreeConfig, WorkerIndex};
+
+use crate::candidates::{SlotCandidates, WorkerLedger};
+
+/// Parameters shared by the multi-task solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiTaskConfig {
+    /// Global budget `b` shared by all tasks.
+    pub budget: f64,
+    /// Interpolation parameter `k` (paper default 3).
+    pub k: usize,
+    /// Tree split threshold `ts` (paper default 4).
+    pub ts: usize,
+    /// Whether to weight the metric by worker reliability.
+    pub use_reliability: bool,
+    /// Whether per-task candidate search uses the aggregated tree index
+    /// (`Approx*`) or the plain enumeration (`Approx`).
+    pub use_index: bool,
+}
+
+impl MultiTaskConfig {
+    /// Default configuration (`k = 3`, `ts = 4`, indexed search).
+    pub fn new(budget: f64) -> Self {
+        Self {
+            budget,
+            k: 3,
+            ts: 4,
+            use_reliability: false,
+            use_index: true,
+        }
+    }
+
+    /// Overrides `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Overrides `ts`.
+    pub fn with_ts(mut self, ts: usize) -> Self {
+        self.ts = ts;
+        self
+    }
+
+    /// Switches between the indexed (`Approx*`) and plain (`Approx`) per-task
+    /// candidate search.
+    pub fn with_index(mut self, use_index: bool) -> Self {
+        self.use_index = use_index;
+        self
+    }
+
+    /// Enables reliability weighting.
+    pub fn with_reliability(mut self) -> Self {
+        self.use_reliability = true;
+        self
+    }
+}
+
+/// A task's best currently-known candidate execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCandidate {
+    /// Slot to execute.
+    pub slot: SlotIndex,
+    /// Quality gain of executing it.
+    pub gain: f64,
+    /// Assignment cost.
+    pub cost: f64,
+    /// Heuristic value `gain / cost`.
+    pub heuristic: f64,
+}
+
+/// Mutable per-task state shared by the serial and parallel multi-task
+/// algorithms: the quality evaluator, the optional tree index, the per-slot
+/// worker candidates and the executions performed so far.
+#[derive(Debug)]
+pub struct TaskState {
+    /// The task being assigned.
+    pub task: Task,
+    /// The entropy-quality evaluator of the task.
+    pub evaluator: QualityEvaluator,
+    /// The aggregated tree index (present when `use_index` is on).
+    pub tree: Option<VTree>,
+    /// The per-slot candidate assignments (kept consistent with the ledger).
+    pub candidates: SlotCandidates,
+    /// Executions performed so far, in selection order.
+    pub executions: Vec<ExecutedSubtask>,
+    /// Accumulated best-first search statistics.
+    pub search_stats: SearchStats,
+    use_reliability: bool,
+}
+
+impl TaskState {
+    /// Initialises the state of one task against the worker index.
+    pub fn new(
+        task: &Task,
+        index: &WorkerIndex,
+        cost_model: &dyn CostModel,
+        config: &MultiTaskConfig,
+    ) -> Self {
+        let candidates = SlotCandidates::compute(task, index, cost_model);
+        let evaluator = QualityEvaluator::new(QualityParams::new(task.num_slots, config.k));
+        let tree = config.use_index.then(|| {
+            VTree::build(&evaluator, candidates.costs(), VTreeConfig::new(config.ts))
+        });
+        Self {
+            task: task.clone(),
+            evaluator,
+            tree,
+            candidates,
+            executions: Vec::new(),
+            search_stats: SearchStats::default(),
+            use_reliability: config.use_reliability,
+        }
+    }
+
+    /// The best affordable candidate execution of this task, or `None` when no
+    /// remaining slot has an available worker within `max_cost`.
+    pub fn best_candidate(&mut self, max_cost: f64) -> Option<TaskCandidate> {
+        if let Some(tree) = &self.tree {
+            let best = tree.best_slot(&self.evaluator, max_cost, &mut self.search_stats)?;
+            Some(TaskCandidate {
+                slot: best.slot,
+                gain: best.gain,
+                cost: best.cost,
+                heuristic: best.heuristic,
+            })
+        } else {
+            let mut best: Option<TaskCandidate> = None;
+            for slot in 0..self.task.num_slots {
+                if self.evaluator.is_executed(slot) {
+                    continue;
+                }
+                let Some(cost) = self.candidates.cost(slot) else { continue };
+                if cost > max_cost {
+                    continue;
+                }
+                let gain = self.evaluator.gain_if_executed(slot);
+                let heuristic = if cost > 0.0 { gain / cost } else { f64::INFINITY };
+                let better = best.map_or(true, |b| {
+                    heuristic > b.heuristic || (heuristic == b.heuristic && slot < b.slot)
+                });
+                if better {
+                    best = Some(TaskCandidate {
+                        slot,
+                        gain,
+                        cost,
+                        heuristic,
+                    });
+                }
+            }
+            best
+        }
+    }
+
+    /// Executes a slot with the currently recorded candidate worker, updating
+    /// the evaluator, the tree and the execution log.  The caller is
+    /// responsible for budget accounting and ledger occupancy.
+    pub fn execute(&mut self, slot: SlotIndex) {
+        let candidate = *self
+            .candidates
+            .get(slot)
+            .expect("cannot execute a slot without a candidate");
+        if self.use_reliability {
+            self.evaluator
+                .execute_with_reliability(slot, candidate.reliability);
+        } else {
+            self.evaluator.execute(slot);
+        }
+        if let Some(tree) = &mut self.tree {
+            tree.notify_executed(&self.evaluator, slot);
+        }
+        self.executions.push(ExecutedSubtask {
+            slot,
+            worker: candidate.worker,
+            cost: candidate.cost,
+            reliability: candidate.reliability,
+        });
+    }
+
+    /// Refreshes the candidate of one slot against the ledger (after a worker
+    /// conflict) and keeps the tree's cost aggregates in sync.
+    pub fn refresh_slot(
+        &mut self,
+        slot: SlotIndex,
+        index: &WorkerIndex,
+        cost_model: &dyn CostModel,
+        ledger: &WorkerLedger,
+    ) {
+        self.candidates
+            .refresh_slot(&self.task, slot, index, cost_model, ledger);
+        if let Some(tree) = &mut self.tree {
+            tree.update_cost(&self.evaluator, slot, self.candidates.cost(slot));
+        }
+    }
+
+    /// The worker currently planned for a slot.
+    pub fn planned_worker(&self, slot: SlotIndex) -> Option<tcsc_core::WorkerId> {
+        self.candidates.get(slot).map(|c| c.worker)
+    }
+
+    /// Finalises the task's assignment plan.
+    pub fn into_plan(self) -> AssignmentPlan {
+        AssignmentPlan {
+            task: self.task.id,
+            num_slots: self.task.num_slots,
+            quality: self.evaluator.quality(),
+            executions: self.executions,
+        }
+    }
+
+    /// The task's current quality.
+    pub fn quality(&self) -> f64 {
+        self.evaluator.quality()
+    }
+}
+
+/// Outcome of a multi-task assignment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiOutcome {
+    /// The per-task assignment plans.
+    pub assignment: MultiAssignment,
+    /// Number of worker conflicts encountered (two tasks competing for the
+    /// same worker at the same slot).
+    pub conflicts: usize,
+    /// Number of executed subtasks across all tasks.
+    pub executions: usize,
+}
+
+impl MultiOutcome {
+    /// Summation quality of the outcome.
+    pub fn sum_quality(&self) -> f64 {
+        self.assignment.sum_quality()
+    }
+
+    /// Minimum quality of the outcome.
+    pub fn min_quality(&self) -> f64 {
+        self.assignment.min_quality()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures for the multi-task solver tests.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tcsc_core::{
+        Domain, EuclideanCost, Location, Task, TaskId, Worker, WorkerId, WorkerPool, WorkerSlot,
+    };
+    use tcsc_index::WorkerIndex;
+
+    /// Minimal inline workload generation so that the assign crate's tests do
+    /// not depend on `tcsc-workload`; mirrors the generators' behaviour on a
+    /// small scale.
+    pub fn small_world(
+        seed: u64,
+        num_tasks: usize,
+        num_slots: usize,
+        num_workers: usize,
+    ) -> (Vec<Task>, WorkerPool, Domain) {
+        let domain = Domain::square(100.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks: Vec<Task> = (0..num_tasks)
+            .map(|i| {
+                Task::new(
+                    TaskId(i as u32),
+                    Location::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+                    num_slots,
+                )
+            })
+            .collect();
+        let workers: WorkerPool = (0..num_workers)
+            .map(|i| {
+                let start = rng.gen_range(0..num_slots);
+                let len = rng.gen_range(1..=5.min(num_slots));
+                let loc = Location::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+                let availability = (start..(start + len).min(num_slots))
+                    .map(|slot| WorkerSlot {
+                        slot,
+                        location: loc,
+                    })
+                    .collect();
+                Worker::new(WorkerId(i as u32), availability)
+            })
+            .collect();
+        (tasks, workers, domain)
+    }
+
+    /// Builds a small instance: tasks, a worker index and the cost model.
+    pub fn small_instance(
+        seed: u64,
+        num_tasks: usize,
+        num_slots: usize,
+        num_workers: usize,
+    ) -> (Vec<Task>, WorkerIndex, EuclideanCost) {
+        let (tasks, workers, domain) = small_world(seed, num_tasks, num_slots, num_workers);
+        let index = WorkerIndex::build(&workers, num_slots, &domain);
+        (tasks, index, EuclideanCost::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use test_support::small_instance;
+
+    #[test]
+    fn config_builders() {
+        let cfg = MultiTaskConfig::new(50.0)
+            .with_k(4)
+            .with_ts(6)
+            .with_index(false)
+            .with_reliability();
+        assert_eq!(cfg.budget, 50.0);
+        assert_eq!(cfg.k, 4);
+        assert_eq!(cfg.ts, 6);
+        assert!(!cfg.use_index);
+        assert!(cfg.use_reliability);
+    }
+
+    #[test]
+    fn task_state_candidate_and_execute_roundtrip() {
+        let (tasks, index, cost) = small_instance(1, 3, 40, 200);
+        let cfg = MultiTaskConfig::new(100.0);
+        let mut state = TaskState::new(&tasks[0], &index, &cost, &cfg);
+        let before = state.quality();
+        let candidate = state
+            .best_candidate(f64::INFINITY)
+            .expect("a 200-worker pool must offer at least one candidate");
+        state.execute(candidate.slot);
+        assert!(state.quality() > before);
+        assert_eq!(state.executions.len(), 1);
+        let plan = state.into_plan();
+        assert_eq!(plan.executed_count(), 1);
+        assert!(plan.quality > 0.0);
+    }
+
+    #[test]
+    fn indexed_and_plain_candidate_search_agree() {
+        let (tasks, index, cost) = small_instance(2, 1, 50, 300);
+        let indexed_cfg = MultiTaskConfig::new(100.0);
+        let plain_cfg = MultiTaskConfig::new(100.0).with_index(false);
+        let mut indexed = TaskState::new(&tasks[0], &index, &cost, &indexed_cfg);
+        let mut plain = TaskState::new(&tasks[0], &index, &cost, &plain_cfg);
+        for _ in 0..5 {
+            let a = indexed.best_candidate(f64::INFINITY);
+            let b = plain.best_candidate(f64::INFINITY);
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert!((a.heuristic - b.heuristic).abs() < 1e-9);
+                    indexed.execute(a.slot);
+                    plain.execute(a.slot);
+                }
+                (None, None) => break,
+                _ => panic!("indexed and plain search disagree on feasibility"),
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! MSQM: multi-task *summation* quality maximisation (Problem 2), serial
+//! greedy solver.
+//!
+//! The summation quality `q_sum` is submodular and non-decreasing (Lemma 4),
+//! so the single-task greedy framework extends directly: at every iteration
+//! the algorithm retrieves, from *all* tasks, the subtask with the maximum
+//! quality increment per unit cost, and executes it if the shared budget
+//! allows.  Because subtasks of different tasks can compete for the same
+//! worker at the same time slot, a [`WorkerLedger`] arbitrates conflicts: the
+//! loser falls back to its next-nearest worker (Section IV-A), and every such
+//! event is counted as a *worker conflict* (Fig. 9(b)(c)).
+//!
+//! This serial solver is the "Without Parallelization" baseline of Fig. 9(a)
+//! and the reference plan that both parallel frameworks must reproduce.
+
+use tcsc_core::{CostModel, MultiAssignment, Task};
+use tcsc_index::WorkerIndex;
+
+use crate::candidates::WorkerLedger;
+use crate::multi::{MultiOutcome, MultiTaskConfig, TaskState};
+
+/// Runs the serial MSQM greedy.
+pub fn msqm_serial(
+    tasks: &[Task],
+    index: &WorkerIndex,
+    cost_model: &dyn CostModel,
+    config: &MultiTaskConfig,
+) -> MultiOutcome {
+    let mut states: Vec<TaskState> = tasks
+        .iter()
+        .map(|t| TaskState::new(t, index, cost_model, config))
+        .collect();
+    let mut ledger = WorkerLedger::new();
+    let mut remaining = config.budget;
+    let mut conflicts = 0usize;
+    let mut executions = 0usize;
+
+    // Cached best candidate per task; recomputed lazily when invalidated.
+    let mut cached: Vec<Option<Option<crate::multi::TaskCandidate>>> = vec![None; states.len()];
+
+    loop {
+        // Refresh stale candidate caches.  A cached candidate computed under a
+        // larger remaining budget may have become unaffordable; recompute it
+        // with the current budget so that cheaper slots of the same task are
+        // still considered.
+        for (i, state) in states.iter_mut().enumerate() {
+            if let Some(Some(c)) = &cached[i] {
+                if c.cost > remaining {
+                    cached[i] = None;
+                }
+            }
+            if cached[i].is_none() {
+                cached[i] = Some(state.best_candidate(remaining));
+            }
+        }
+        // Pick the task with the globally maximal heuristic value among the
+        // affordable candidates.
+        let mut best: Option<(usize, crate::multi::TaskCandidate)> = None;
+        for (i, entry) in cached.iter().enumerate() {
+            let Some(Some(candidate)) = entry else { continue };
+            if candidate.cost > remaining {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bi, b)) => {
+                    candidate.heuristic > b.heuristic
+                        || (candidate.heuristic == b.heuristic && i < *bi)
+                }
+            };
+            if better {
+                best = Some((i, *candidate));
+            }
+        }
+        let Some((task_idx, candidate)) = best else { break };
+
+        // Worker-conflict check: the planned worker may have been taken by
+        // another task since this candidate was computed.
+        let worker = states[task_idx]
+            .planned_worker(candidate.slot)
+            .expect("candidate slot has a planned worker");
+        if ledger.is_occupied(candidate.slot, worker) {
+            // Conflict: fall back to the next nearest worker and retry.
+            conflicts += 1;
+            states[task_idx].refresh_slot(candidate.slot, index, cost_model, &ledger);
+            cached[task_idx] = None;
+            continue;
+        }
+
+        // Execute.
+        remaining -= candidate.cost;
+        ledger.occupy(candidate.slot, worker);
+        states[task_idx].execute(candidate.slot);
+        executions += 1;
+        cached[task_idx] = None;
+        // Invalidate cached candidates of tasks that planned to use the same
+        // worker at the same slot (they must fall back on their next try).
+        for (i, entry) in cached.iter_mut().enumerate() {
+            if i == task_idx {
+                continue;
+            }
+            if let Some(Some(c)) = entry {
+                if c.slot == candidate.slot && states[i].planned_worker(c.slot) == Some(worker) {
+                    conflicts += 1;
+                    states[i].refresh_slot(c.slot, index, cost_model, &ledger);
+                    *entry = None;
+                }
+            }
+        }
+    }
+
+    let assignment = MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
+    MultiOutcome {
+        assignment,
+        conflicts,
+        executions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::test_support::small_instance;
+
+    #[test]
+    fn respects_the_global_budget() {
+        let (tasks, index, cost) = small_instance(1, 4, 30, 200);
+        for budget in [5.0, 20.0, 60.0] {
+            let outcome = msqm_serial(&tasks, &index, &cost, &MultiTaskConfig::new(budget));
+            assert!(outcome.assignment.total_cost() <= budget + 1e-6);
+        }
+    }
+
+    #[test]
+    fn sum_quality_grows_with_budget() {
+        let (tasks, index, cost) = small_instance(2, 4, 30, 200);
+        let mut last = -1.0;
+        for budget in [5.0, 15.0, 40.0, 100.0] {
+            let outcome = msqm_serial(&tasks, &index, &cost, &MultiTaskConfig::new(budget));
+            assert!(outcome.sum_quality() >= last - 1e-9);
+            last = outcome.sum_quality();
+        }
+    }
+
+    #[test]
+    fn every_plan_belongs_to_its_task() {
+        let (tasks, index, cost) = small_instance(3, 5, 20, 150);
+        let outcome = msqm_serial(&tasks, &index, &cost, &MultiTaskConfig::new(30.0));
+        assert_eq!(outcome.assignment.plans.len(), 5);
+        for (task, plan) in tasks.iter().zip(&outcome.assignment.plans) {
+            assert_eq!(task.id, plan.task);
+            assert_eq!(task.num_slots, plan.num_slots);
+        }
+    }
+
+    #[test]
+    fn no_worker_serves_two_tasks_in_the_same_slot() {
+        let (tasks, index, cost) = small_instance(4, 6, 25, 60);
+        let outcome = msqm_serial(&tasks, &index, &cost, &MultiTaskConfig::new(200.0));
+        let mut seen = std::collections::HashSet::new();
+        for plan in &outcome.assignment.plans {
+            for exec in &plan.executions {
+                assert!(
+                    seen.insert((exec.slot, exec.worker)),
+                    "worker {:?} double-booked at slot {}",
+                    exec.worker,
+                    exec.slot
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_arise_when_workers_are_scarce() {
+        // Few workers, many co-located tasks: tasks must compete.
+        let (tasks, index, cost) = small_instance(5, 8, 20, 25);
+        let outcome = msqm_serial(&tasks, &index, &cost, &MultiTaskConfig::new(500.0));
+        assert!(outcome.executions > 0);
+        assert!(
+            outcome.conflicts > 0,
+            "expected at least one worker conflict with 8 tasks over 25 workers"
+        );
+    }
+
+    #[test]
+    fn indexed_and_plain_variants_reach_the_same_quality() {
+        let (tasks, index, cost) = small_instance(6, 3, 30, 150);
+        let with_index = msqm_serial(&tasks, &index, &cost, &MultiTaskConfig::new(40.0));
+        let without = msqm_serial(
+            &tasks,
+            &index,
+            &cost,
+            &MultiTaskConfig::new(40.0).with_index(false),
+        );
+        assert!((with_index.sum_quality() - without.sum_quality()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_budget_executes_nothing() {
+        let (tasks, index, cost) = small_instance(7, 3, 20, 100);
+        let outcome = msqm_serial(&tasks, &index, &cost, &MultiTaskConfig::new(0.0));
+        assert_eq!(outcome.executions, 0);
+        assert_eq!(outcome.sum_quality(), 0.0);
+    }
+}

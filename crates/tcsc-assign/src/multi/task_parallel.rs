@@ -1,0 +1,601 @@
+//! Task-level parallelization (Section IV-A.2).
+//!
+//! A master thread coordinates a pool of worker threads.  Each worker thread
+//! owns a subset of the tasks and, on request, computes the best candidate
+//! subtask of a task (the expensive part: heuristic-value search over the
+//! aggregated tree).  The master maintains the control structures of the
+//! paper:
+//!
+//! * **Heartbeat table** — the latest heuristic value reported per task;
+//! * **Conflicting table** — records `⟨conflicting tasks, slot, j-th NN⟩`
+//!   describing which tasks competed for a worker and which fallback rank the
+//!   losers must use next;
+//! * **Logging table** — the history of heartbeats and executions;
+//! * **dynamic priorities** — tasks are re-evaluated in descending order of
+//!   their last reported heuristic value, so threads working on promising
+//!   tasks are served first (Fig. 9(f) ablates this).
+//!
+//! The framework is *deterministic*: the master waits for every outstanding
+//! heartbeat before granting an execution, so the sequence of executed
+//! subtasks — and therefore the final assignment plan — is identical to the
+//! serial greedy of [`super::msqm::msqm_serial`].  Parallelism only reduces
+//! the wall-clock time of the per-task candidate searches.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use tcsc_core::{AssignmentPlan, CostModel, MultiAssignment, SlotIndex, Task, WorkerId};
+use tcsc_index::WorkerIndex;
+
+use crate::candidates::WorkerLedger;
+use crate::multi::{MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};
+
+/// One record of the conflicting table: the tasks that competed for a worker
+/// at a slot and the NN rank the losers must fall back to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictRecord {
+    /// Indices of the conflicting tasks.
+    pub tasks: Vec<usize>,
+    /// The contested time slot.
+    pub slot: SlotIndex,
+    /// The worker that was contested.
+    pub worker: WorkerId,
+    /// The NN rank the losing tasks have to use next (1-based; 1 = nearest).
+    pub next_rank: usize,
+}
+
+/// One entry of the logging table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogEntry {
+    /// A task reported a heartbeat (its best heuristic value), or `None` when
+    /// it has no affordable candidate left.
+    Heartbeat {
+        /// Task index.
+        task: usize,
+        /// Reported heuristic value.
+        heuristic: Option<f64>,
+    },
+    /// A task was granted an execution.
+    Execution {
+        /// Task index.
+        task: usize,
+        /// Executed slot.
+        slot: SlotIndex,
+        /// Assigned worker.
+        worker: WorkerId,
+        /// Charged cost.
+        cost: f64,
+    },
+}
+
+/// Outcome of the task-level parallel run, including the master's tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskParallelOutcome {
+    /// The combined multi-task outcome.
+    pub outcome: MultiOutcome,
+    /// The conflicting table accumulated by the master thread.
+    pub conflict_table: Vec<ConflictRecord>,
+    /// The logging table (heartbeats and executions, in order).
+    pub log: Vec<LogEntry>,
+    /// Number of worker threads used.
+    pub threads: usize,
+}
+
+/// Commands sent from the master to a worker thread.
+enum Command {
+    /// Compute the best candidate of a task under the given budget.
+    Compute { task: usize, max_cost: f64 },
+    /// Execute a slot of a task (the candidate previously reported).
+    Execute { task: usize, slot: SlotIndex },
+    /// A conflict occurred: recompute the slot's candidate excluding the
+    /// occupied workers, then recompute the task's best candidate.
+    Refresh {
+        task: usize,
+        slot: SlotIndex,
+        occupied: Vec<WorkerId>,
+        max_cost: f64,
+    },
+    /// Finish: send the task plans back to the master.
+    Finish,
+}
+
+/// Events sent from worker threads to the master.
+enum Event {
+    Heartbeat {
+        task: usize,
+        candidate: Option<TaskCandidate>,
+        planned_worker: Option<WorkerId>,
+    },
+    Executed {
+        task: usize,
+        slot: SlotIndex,
+        worker: WorkerId,
+        cost: f64,
+    },
+    Plans(Vec<(usize, AssignmentPlan)>),
+}
+
+/// Runs MSQM with the task-level parallel framework on `threads` worker
+/// threads.  `use_priorities` toggles the dynamic priority ordering of
+/// recomputation requests (Fig. 9(f)).
+pub fn msqm_task_parallel(
+    tasks: &[Task],
+    index: &WorkerIndex,
+    cost_model: &(dyn CostModel + Sync),
+    config: &MultiTaskConfig,
+    threads: usize,
+    use_priorities: bool,
+) -> TaskParallelOutcome {
+    let threads = threads.clamp(1, tasks.len().max(1));
+    if tasks.is_empty() {
+        return TaskParallelOutcome {
+            outcome: MultiOutcome {
+                assignment: MultiAssignment::default(),
+                conflicts: 0,
+                executions: 0,
+            },
+            conflict_table: Vec::new(),
+            log: Vec::new(),
+            threads,
+        };
+    }
+
+    // Task -> owning thread (round-robin).
+    let owner: Vec<usize> = (0..tasks.len()).map(|i| i % threads).collect();
+
+    let (event_tx, event_rx): (Sender<Event>, Receiver<Event>) = unbounded();
+    let mut command_txs: Vec<Sender<Command>> = Vec::with_capacity(threads);
+    let mut command_rxs: Vec<Receiver<Command>> = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = unbounded();
+        command_txs.push(tx);
+        command_rxs.push(rx);
+    }
+
+    std::thread::scope(|scope| {
+        // ------------------------------------------------------------------
+        // Worker threads.
+        // ------------------------------------------------------------------
+        for (thread_id, command_rx) in command_rxs.into_iter().enumerate() {
+            let event_tx = event_tx.clone();
+            let owner = &owner;
+            scope.spawn(move || {
+                let mut states: HashMap<usize, TaskState> = owner
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &o)| o == thread_id)
+                    .map(|(task_idx, _)| {
+                        (
+                            task_idx,
+                            TaskState::new(&tasks[task_idx], index, cost_model, config),
+                        )
+                    })
+                    .collect();
+                while let Ok(command) = command_rx.recv() {
+                    match command {
+                        Command::Compute { task, max_cost } => {
+                            let state = states.get_mut(&task).expect("task owned by this thread");
+                            let candidate = state.best_candidate(max_cost);
+                            let planned_worker =
+                                candidate.and_then(|c| state.planned_worker(c.slot));
+                            event_tx
+                                .send(Event::Heartbeat {
+                                    task,
+                                    candidate,
+                                    planned_worker,
+                                })
+                                .ok();
+                        }
+                        Command::Execute { task, slot } => {
+                            let state = states.get_mut(&task).expect("task owned by this thread");
+                            let candidate = *state
+                                .candidates
+                                .get(slot)
+                                .expect("granted slot has a candidate");
+                            state.execute(slot);
+                            event_tx
+                                .send(Event::Executed {
+                                    task,
+                                    slot,
+                                    worker: candidate.worker,
+                                    cost: candidate.cost,
+                                })
+                                .ok();
+                        }
+                        Command::Refresh {
+                            task,
+                            slot,
+                            occupied,
+                            max_cost,
+                        } => {
+                            let state = states.get_mut(&task).expect("task owned by this thread");
+                            let mut ledger = WorkerLedger::new();
+                            for w in occupied {
+                                ledger.occupy(slot, w);
+                            }
+                            state.refresh_slot(slot, index, cost_model, &ledger);
+                            let candidate = state.best_candidate(max_cost);
+                            let planned_worker =
+                                candidate.and_then(|c| state.planned_worker(c.slot));
+                            event_tx
+                                .send(Event::Heartbeat {
+                                    task,
+                                    candidate,
+                                    planned_worker,
+                                })
+                                .ok();
+                        }
+                        Command::Finish => {
+                            let plans = states
+                                .drain()
+                                .map(|(task_idx, state)| (task_idx, state.into_plan()))
+                                .collect();
+                            event_tx.send(Event::Plans(plans)).ok();
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        drop(event_tx);
+
+        // ------------------------------------------------------------------
+        // Master thread (this thread).
+        // ------------------------------------------------------------------
+        let mut remaining = config.budget;
+        let mut ledger = WorkerLedger::new();
+        let mut conflicts = 0usize;
+        let mut executions = 0usize;
+        let mut conflict_table: Vec<ConflictRecord> = Vec::new();
+        let mut conflict_ranks: HashMap<(SlotIndex, WorkerId), usize> = HashMap::new();
+        let mut log: Vec<LogEntry> = Vec::new();
+
+        // Heartbeat table: the latest candidate per task.
+        let mut heartbeat: Vec<Option<(Option<TaskCandidate>, Option<WorkerId>)>> =
+            vec![None; tasks.len()];
+        let mut pending = 0usize;
+
+        // Initial heartbeats, requested in priority order (all priorities are
+        // initialised to infinity, so the initial order is the task order).
+        let request_order: Vec<usize> = (0..tasks.len()).collect();
+        for &task in &request_order {
+            command_txs[owner[task]]
+                .send(Command::Compute {
+                    task,
+                    max_cost: remaining,
+                })
+                .ok();
+            pending += 1;
+        }
+
+        loop {
+            // Wait for every outstanding heartbeat so that the greedy choice
+            // is deterministic.
+            while pending > 0 {
+                match event_rx.recv().expect("worker threads stay alive until Finish") {
+                    Event::Heartbeat {
+                        task,
+                        candidate,
+                        planned_worker,
+                    } => {
+                        log.push(LogEntry::Heartbeat {
+                            task,
+                            heuristic: candidate.map(|c| c.heuristic),
+                        });
+                        heartbeat[task] = Some((candidate, planned_worker));
+                        pending -= 1;
+                    }
+                    Event::Executed {
+                        task,
+                        slot,
+                        worker,
+                        cost,
+                    } => {
+                        log.push(LogEntry::Execution {
+                            task,
+                            slot,
+                            worker,
+                            cost,
+                        });
+                        executions += 1;
+                        pending -= 1;
+                    }
+                    Event::Plans(_) => unreachable!("no Finish command sent yet"),
+                }
+            }
+
+            // Invalidate candidates that became unaffordable and request their
+            // recomputation (in priority order when enabled).
+            let mut stale: Vec<usize> = Vec::new();
+            for (task, entry) in heartbeat.iter_mut().enumerate() {
+                if let Some((Some(c), _)) = entry {
+                    if c.cost > remaining {
+                        stale.push(task);
+                        *entry = None;
+                    }
+                }
+            }
+            if use_priorities {
+                stale.sort_by(|&a, &b| {
+                    let ha = last_heuristic(&log, a).unwrap_or(f64::INFINITY);
+                    let hb = last_heuristic(&log, b).unwrap_or(f64::INFINITY);
+                    hb.total_cmp(&ha)
+                });
+            }
+            if !stale.is_empty() {
+                for task in stale {
+                    command_txs[owner[task]]
+                        .send(Command::Compute {
+                            task,
+                            max_cost: remaining,
+                        })
+                        .ok();
+                    pending += 1;
+                }
+                continue;
+            }
+
+            // Select the affordable candidate with the maximum heuristic.
+            let mut best: Option<(usize, TaskCandidate, WorkerId)> = None;
+            for (task, entry) in heartbeat.iter().enumerate() {
+                let Some((Some(c), Some(worker))) = entry else { continue };
+                if c.cost > remaining {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((bt, b, _)) => {
+                        c.heuristic > b.heuristic || (c.heuristic == b.heuristic && task < *bt)
+                    }
+                };
+                if better {
+                    best = Some((task, *c, *worker));
+                }
+            }
+            let Some((task, candidate, worker)) = best else { break };
+
+            if ledger.is_occupied(candidate.slot, worker) {
+                // Conflict: look up / update the conflicting table and tell the
+                // losing task to fall back to its next-nearest worker.
+                conflicts += 1;
+                let rank = conflict_ranks
+                    .entry((candidate.slot, worker))
+                    .and_modify(|r| *r += 1)
+                    .or_insert(2);
+                conflict_table.push(ConflictRecord {
+                    tasks: vec![task],
+                    slot: candidate.slot,
+                    worker,
+                    next_rank: *rank,
+                });
+                heartbeat[task] = None;
+                command_txs[owner[task]]
+                    .send(Command::Refresh {
+                        task,
+                        slot: candidate.slot,
+                        occupied: ledger.occupied_at(candidate.slot),
+                        max_cost: remaining,
+                    })
+                    .ok();
+                pending += 1;
+                continue;
+            }
+
+            // Grant the execution.
+            remaining -= candidate.cost;
+            ledger.occupy(candidate.slot, worker);
+            command_txs[owner[task]]
+                .send(Command::Execute {
+                    task,
+                    slot: candidate.slot,
+                })
+                .ok();
+            pending += 1;
+            heartbeat[task] = None;
+            command_txs[owner[task]]
+                .send(Command::Compute {
+                    task,
+                    max_cost: remaining,
+                })
+                .ok();
+            pending += 1;
+
+            // Any other task that planned to use the now-occupied worker at
+            // the same slot must fall back (this is the conflicting-table
+            // lookup of the paper's step 3).
+            let mut losers: Vec<usize> = Vec::new();
+            for (other, entry) in heartbeat.iter_mut().enumerate() {
+                if other == task {
+                    continue;
+                }
+                if let Some((Some(c), Some(w))) = entry {
+                    if c.slot == candidate.slot && *w == worker {
+                        losers.push(other);
+                        *entry = None;
+                    }
+                }
+            }
+            if !losers.is_empty() {
+                conflicts += losers.len();
+                let rank = conflict_ranks
+                    .entry((candidate.slot, worker))
+                    .and_modify(|r| *r += 1)
+                    .or_insert(2);
+                conflict_table.push(ConflictRecord {
+                    tasks: losers.clone(),
+                    slot: candidate.slot,
+                    worker,
+                    next_rank: *rank,
+                });
+                if use_priorities {
+                    losers.sort_by(|&a, &b| {
+                        let ha = last_heuristic(&log, a).unwrap_or(f64::INFINITY);
+                        let hb = last_heuristic(&log, b).unwrap_or(f64::INFINITY);
+                        hb.total_cmp(&ha)
+                    });
+                }
+                for loser in losers {
+                    command_txs[owner[loser]]
+                        .send(Command::Refresh {
+                            task: loser,
+                            slot: candidate.slot,
+                            occupied: ledger.occupied_at(candidate.slot),
+                            max_cost: remaining,
+                        })
+                        .ok();
+                    pending += 1;
+                }
+            }
+        }
+        // Collect the plans.
+        for tx in &command_txs {
+            tx.send(Command::Finish).ok();
+        }
+        let mut plans: Vec<Option<AssignmentPlan>> = vec![None; tasks.len()];
+        let mut finished = 0usize;
+        while finished < threads {
+            match event_rx.recv().expect("threads reply with their plans") {
+                Event::Plans(batch) => {
+                    for (task_idx, plan) in batch {
+                        plans[task_idx] = Some(plan);
+                    }
+                    finished += 1;
+                }
+                Event::Heartbeat { .. } | Event::Executed { .. } => {
+                    // Late events from already-granted work; ignore.
+                }
+            }
+        }
+        let plans: Vec<AssignmentPlan> = plans
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.unwrap_or_else(|| AssignmentPlan::empty(tasks[i].id, tasks[i].num_slots))
+            })
+            .collect();
+
+        TaskParallelOutcome {
+            outcome: MultiOutcome {
+                assignment: MultiAssignment::new(plans),
+                conflicts,
+                executions,
+            },
+            conflict_table,
+            log,
+            threads,
+        }
+    })
+}
+
+/// The last heuristic value a task reported, from the logging table.
+fn last_heuristic(log: &[LogEntry], task: usize) -> Option<f64> {
+    log.iter().rev().find_map(|entry| match entry {
+        LogEntry::Heartbeat {
+            task: t,
+            heuristic: Some(h),
+        } if *t == task => Some(*h),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::msqm::msqm_serial;
+    use crate::multi::test_support::small_instance;
+
+    #[test]
+    fn matches_the_serial_plan() {
+        // The framework is deterministic and must reproduce the serial greedy
+        // plan (the paper's consistency claim).
+        let (tasks, index, cost) = small_instance(41, 6, 25, 120);
+        let cfg = MultiTaskConfig::new(60.0);
+        let serial = msqm_serial(&tasks, &index, &cost, &cfg);
+        for threads in [1, 2, 4] {
+            let parallel = msqm_task_parallel(&tasks, &index, &cost, &cfg, threads, true);
+            assert!(
+                (parallel.outcome.sum_quality() - serial.sum_quality()).abs() < 1e-9,
+                "{threads} threads: {} vs serial {}",
+                parallel.outcome.sum_quality(),
+                serial.sum_quality()
+            );
+            assert_eq!(parallel.outcome.executions, serial.executions);
+        }
+    }
+
+    #[test]
+    fn respects_the_global_budget() {
+        let (tasks, index, cost) = small_instance(42, 5, 20, 100);
+        for budget in [10.0, 35.0] {
+            let outcome =
+                msqm_task_parallel(&tasks, &index, &cost, &MultiTaskConfig::new(budget), 3, true);
+            assert!(outcome.outcome.assignment.total_cost() <= budget + 1e-6);
+        }
+    }
+
+    #[test]
+    fn no_worker_double_booking() {
+        let (tasks, index, cost) = small_instance(43, 8, 20, 40);
+        let outcome =
+            msqm_task_parallel(&tasks, &index, &cost, &MultiTaskConfig::new(300.0), 4, true);
+        let mut seen = std::collections::HashSet::new();
+        for plan in &outcome.outcome.assignment.plans {
+            for exec in &plan.executions {
+                assert!(seen.insert((exec.slot, exec.worker)));
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_are_recorded_in_the_conflict_table() {
+        // Scarce workers and clustered tasks force conflicts.
+        let (tasks, index, cost) = small_instance(44, 8, 15, 20);
+        let outcome =
+            msqm_task_parallel(&tasks, &index, &cost, &MultiTaskConfig::new(400.0), 4, true);
+        assert_eq!(
+            outcome.outcome.conflicts > 0,
+            !outcome.conflict_table.is_empty(),
+            "conflict count and table must agree on whether conflicts happened"
+        );
+        for record in &outcome.conflict_table {
+            assert!(record.next_rank >= 2, "fallback rank starts at the 2nd NN");
+            assert!(!record.tasks.is_empty());
+        }
+    }
+
+    #[test]
+    fn log_contains_heartbeats_and_executions() {
+        let (tasks, index, cost) = small_instance(45, 4, 15, 80);
+        let outcome =
+            msqm_task_parallel(&tasks, &index, &cost, &MultiTaskConfig::new(40.0), 2, true);
+        let heartbeats = outcome
+            .log
+            .iter()
+            .filter(|e| matches!(e, LogEntry::Heartbeat { .. }))
+            .count();
+        let execs = outcome
+            .log
+            .iter()
+            .filter(|e| matches!(e, LogEntry::Execution { .. }))
+            .count();
+        assert!(heartbeats >= tasks.len(), "every task reports at least once");
+        assert_eq!(execs, outcome.outcome.executions);
+    }
+
+    #[test]
+    fn priority_toggle_does_not_change_the_result() {
+        let (tasks, index, cost) = small_instance(46, 5, 20, 60);
+        let cfg = MultiTaskConfig::new(50.0);
+        let with = msqm_task_parallel(&tasks, &index, &cost, &cfg, 3, true);
+        let without = msqm_task_parallel(&tasks, &index, &cost, &cfg, 3, false);
+        assert!((with.outcome.sum_quality() - without.outcome.sum_quality()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_task_set_is_handled() {
+        let (_, index, cost) = small_instance(47, 1, 10, 20);
+        let outcome = msqm_task_parallel(&[], &index, &cost, &MultiTaskConfig::new(10.0), 2, true);
+        assert_eq!(outcome.outcome.executions, 0);
+        assert!(outcome.outcome.assignment.plans.is_empty());
+    }
+}

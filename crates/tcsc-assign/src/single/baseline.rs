@@ -1,0 +1,161 @@
+//! `Rand`: the randomized baseline of the paper's quality experiments.
+//!
+//! The baseline repeatedly picks a random remaining subtask (that has an
+//! available worker and still fits the budget), assigns it to its nearest
+//! worker and continues until the budget is exhausted.  Because the output is
+//! not deterministic, the paper reports `RandMin`, `RandMax` and `RandAvg`
+//! over repeated runs; [`RandSummary`] aggregates those statistics.
+
+use rand::Rng;
+
+use tcsc_core::{AssignmentPlan, Budget, ExecutedSubtask, QualityEvaluator, QualityParams, Task};
+
+use crate::candidates::SlotCandidates;
+use crate::single::{execute_slot, plan_from_executions, SingleTaskConfig};
+
+/// Runs one randomized assignment.
+pub fn random_assignment<R: Rng + ?Sized>(
+    rng: &mut R,
+    task: &Task,
+    candidates: &SlotCandidates,
+    config: &SingleTaskConfig,
+) -> AssignmentPlan {
+    let params = QualityParams::new(task.num_slots, config.k);
+    let mut evaluator = QualityEvaluator::new(params);
+    let mut budget = Budget::new(config.budget);
+    let mut executions: Vec<ExecutedSubtask> = Vec::new();
+
+    // Pool of candidate slots, consumed in random order.
+    let mut remaining: Vec<usize> = (0..task.num_slots)
+        .filter(|&j| candidates.get(j).is_some())
+        .collect();
+
+    while !remaining.is_empty() {
+        let pick = rng.gen_range(0..remaining.len());
+        let slot = remaining.swap_remove(pick);
+        let candidate = candidates.get(slot).expect("filtered to available slots");
+        if !budget.can_afford(candidate.cost) {
+            continue;
+        }
+        budget.charge(candidate.cost);
+        execute_slot(&mut evaluator, slot, candidate.reliability, config.use_reliability);
+        executions.push(ExecutedSubtask {
+            slot,
+            worker: candidate.worker,
+            cost: candidate.cost,
+            reliability: candidate.reliability,
+        });
+    }
+
+    plan_from_executions(task, &evaluator, executions)
+}
+
+/// Aggregated quality statistics over repeated randomized runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandSummary {
+    /// Lowest quality observed (`RandMin`).
+    pub min: f64,
+    /// Highest quality observed (`RandMax`).
+    pub max: f64,
+    /// Average quality (`RandAvg`).
+    pub avg: f64,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+/// Runs the randomized baseline `runs` times and summarises the qualities.
+pub fn random_summary<R: Rng + ?Sized>(
+    rng: &mut R,
+    task: &Task,
+    candidates: &SlotCandidates,
+    config: &SingleTaskConfig,
+    runs: usize,
+) -> RandSummary {
+    assert!(runs > 0, "at least one randomized run is required");
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for _ in 0..runs {
+        let q = random_assignment(rng, task, candidates, config).quality;
+        min = min.min(q);
+        max = max.max(q);
+        sum += q;
+    }
+    RandSummary {
+        min,
+        max,
+        avg: sum / runs as f64,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single::greedy::approx;
+    use crate::single::test_support::line_instance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_assignment_respects_budget() {
+        let (task, candidates) = line_instance(30);
+        let mut rng = StdRng::seed_from_u64(1);
+        for budget in [2.0, 8.0, 20.0] {
+            let plan = random_assignment(&mut rng, &task, &candidates, &SingleTaskConfig::new(budget));
+            assert!(plan.total_cost() <= budget + 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_orders_min_avg_max() {
+        let (task, candidates) = line_instance(40);
+        let mut rng = StdRng::seed_from_u64(2);
+        let summary = random_summary(&mut rng, &task, &candidates, &SingleTaskConfig::new(10.0), 20);
+        assert!(summary.min <= summary.avg + 1e-12);
+        assert!(summary.avg <= summary.max + 1e-12);
+        assert_eq!(summary.runs, 20);
+    }
+
+    #[test]
+    fn greedy_beats_the_random_average() {
+        // The core quality claim of Fig. 6: Approx clearly outperforms Rand,
+        // especially under tight budgets.
+        let (task, candidates) = line_instance(50);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SingleTaskConfig::new(6.0);
+        let summary = random_summary(&mut rng, &task, &candidates, &cfg, 20);
+        let greedy = approx(&task, &candidates, &cfg);
+        assert!(
+            greedy.plan.quality > summary.avg,
+            "Approx {} should beat RandAvg {}",
+            greedy.plan.quality,
+            summary.avg
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_executes_everything_even_randomly() {
+        let (task, candidates) = line_instance(16);
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = random_assignment(&mut rng, &task, &candidates, &SingleTaskConfig::new(1e9));
+        assert_eq!(plan.executed_count(), 16);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let (task, candidates) = line_instance(25);
+        let cfg = SingleTaskConfig::new(7.0);
+        let a = random_assignment(&mut StdRng::seed_from_u64(9), &task, &candidates, &cfg);
+        let b = random_assignment(&mut StdRng::seed_from_u64(9), &task, &candidates, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn summary_requires_runs() {
+        let (task, candidates) = line_instance(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = random_summary(&mut rng, &task, &candidates, &SingleTaskConfig::new(1.0), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! `Approx`: the greedy single-task assignment of Algorithm 1.
+//!
+//! At every iteration the algorithm tentatively executes every remaining
+//! subtask, computes the quality increment per unit cost (the *heuristic
+//! value*), and executes the subtask with the largest value that still fits
+//! the budget.  The quality metric is submodular and non-decreasing
+//! (Lemma 2), so the greedy plan — combined with the best single subtask
+//! (`T′_cur`) — achieves the `(1 − 1/√e)` approximation of budgeted
+//! submodular maximisation.
+//!
+//! This is the *unaccelerated* reference implementation: every iteration
+//! enumerates all remaining slots and recomputes the quality gain from the
+//! plain [`QualityEvaluator`], which is what the paper's efficiency plots call
+//! `Approx`.  The index-accelerated variant lives in [`super::indexed`].
+
+use std::time::Instant;
+
+use tcsc_core::{AssignmentPlan, Budget, ExecutedSubtask, QualityEvaluator, QualityParams, Task};
+
+use crate::candidates::SlotCandidates;
+use crate::single::{best_single_slot, execute_slot, plan_from_executions, SingleTaskConfig};
+
+/// Instrumentation counters of one `Approx` run (feeds the Fig. 8(c) time
+/// breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GreedyStats {
+    /// Number of exact heuristic-value evaluations (tentative executions).
+    pub gain_evaluations: usize,
+    /// Number of greedy iterations (executed subtasks).
+    pub iterations: usize,
+    /// Wall time spent computing heuristic values, in seconds.
+    pub heuristic_seconds: f64,
+}
+
+/// Result of an `Approx` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyOutcome {
+    /// The assignment plan.
+    pub plan: AssignmentPlan,
+    /// Instrumentation counters.
+    pub stats: GreedyStats,
+}
+
+/// Runs Algorithm 1 on one task.
+///
+/// `candidates` must hold the per-slot candidate assignments (nearest
+/// available worker per slot); slots without candidates are never executed.
+pub fn approx(task: &Task, candidates: &SlotCandidates, config: &SingleTaskConfig) -> GreedyOutcome {
+    assert_eq!(
+        candidates.len(),
+        task.num_slots,
+        "candidates must cover every slot of the task"
+    );
+    let params = QualityParams::new(task.num_slots, config.k);
+    let mut evaluator = QualityEvaluator::new(params);
+    let mut budget = Budget::new(config.budget);
+    let mut executions: Vec<ExecutedSubtask> = Vec::new();
+    let mut stats = GreedyStats::default();
+
+    // Line 3 of Algorithm 1: remember the best single affordable subtask.
+    let single_seed = best_single_slot(candidates, task.num_slots, config.budget);
+
+    loop {
+        // Find the affordable subtask with the maximum heuristic value.
+        let heuristic_start = Instant::now();
+        let mut best: Option<(usize, f64, f64)> = None; // (slot, gain, cost)
+        for slot in 0..task.num_slots {
+            if evaluator.is_executed(slot) {
+                continue;
+            }
+            let Some(candidate) = candidates.get(slot) else { continue };
+            if !budget.can_afford(candidate.cost) {
+                continue;
+            }
+            stats.gain_evaluations += 1;
+            let gain = if config.use_reliability {
+                evaluator.gain_if_executed_with_reliability(slot, candidate.reliability)
+            } else {
+                evaluator.gain_if_executed(slot)
+            };
+            let heuristic = if candidate.cost > 0.0 {
+                gain / candidate.cost
+            } else {
+                f64::INFINITY
+            };
+            let better = match best {
+                None => true,
+                Some((best_slot, best_gain, best_cost)) => {
+                    let best_h = if best_cost > 0.0 {
+                        best_gain / best_cost
+                    } else {
+                        f64::INFINITY
+                    };
+                    heuristic > best_h || (heuristic == best_h && slot < best_slot)
+                }
+            };
+            if better {
+                best = Some((slot, gain, candidate.cost));
+            }
+        }
+        stats.heuristic_seconds += heuristic_start.elapsed().as_secs_f64();
+
+        let Some((slot, _gain, cost)) = best else { break };
+        let candidate = candidates.get(slot).expect("candidate exists for chosen slot");
+        if !budget.charge(cost) {
+            break;
+        }
+        execute_slot(&mut evaluator, slot, candidate.reliability, config.use_reliability);
+        executions.push(ExecutedSubtask {
+            slot,
+            worker: candidate.worker,
+            cost,
+            reliability: candidate.reliability,
+        });
+        stats.iterations += 1;
+    }
+
+    let greedy_plan = plan_from_executions(task, &evaluator, executions);
+
+    // Compare against the single-subtask seed plan and keep the better one.
+    let plan = match single_seed {
+        Some(slot) if greedy_plan.executions.is_empty() || {
+            // Evaluate the single-slot plan's quality.
+            let mut single_eval = QualityEvaluator::new(params);
+            let candidate = candidates.get(slot).expect("seed slot has a candidate");
+            execute_slot(&mut single_eval, slot, candidate.reliability, config.use_reliability);
+            single_eval.quality() > greedy_plan.quality
+        } =>
+        {
+            let mut single_eval = QualityEvaluator::new(params);
+            let candidate = *candidates.get(slot).expect("seed slot has a candidate");
+            execute_slot(&mut single_eval, slot, candidate.reliability, config.use_reliability);
+            plan_from_executions(
+                task,
+                &single_eval,
+                vec![ExecutedSubtask {
+                    slot,
+                    worker: candidate.worker,
+                    cost: candidate.cost,
+                    reliability: candidate.reliability,
+                }],
+            )
+        }
+        _ => greedy_plan,
+    };
+
+    GreedyOutcome { plan, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single::test_support::{gappy_instance, line_instance};
+
+    #[test]
+    fn empty_budget_executes_nothing() {
+        let (task, candidates) = line_instance(20);
+        let outcome = approx(&task, &candidates, &SingleTaskConfig::new(0.0));
+        assert_eq!(outcome.plan.executed_count(), 0);
+        assert_eq!(outcome.plan.quality, 0.0);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let (task, candidates) = line_instance(30);
+        for budget in [1.0, 3.0, 7.5, 20.0] {
+            let outcome = approx(&task, &candidates, &SingleTaskConfig::new(budget));
+            assert!(
+                outcome.plan.total_cost() <= budget + 1e-9,
+                "budget {budget} exceeded: {}",
+                outcome.plan.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_executes_every_available_slot() {
+        let (task, candidates) = line_instance(16);
+        let outcome = approx(&task, &candidates, &SingleTaskConfig::new(1e9));
+        assert_eq!(outcome.plan.executed_count(), 16);
+        assert!((outcome.plan.quality - 4.0).abs() < 1e-9, "full quality is log2(16)");
+    }
+
+    #[test]
+    fn quality_grows_with_budget() {
+        let (task, candidates) = line_instance(40);
+        let mut last = -1.0;
+        for budget in [2.0, 5.0, 10.0, 25.0, 60.0] {
+            let outcome = approx(&task, &candidates, &SingleTaskConfig::new(budget));
+            assert!(
+                outcome.plan.quality >= last - 1e-9,
+                "quality decreased when the budget grew"
+            );
+            last = outcome.plan.quality;
+        }
+    }
+
+    #[test]
+    fn slots_without_workers_are_never_selected() {
+        let (task, candidates) = gappy_instance(30);
+        let outcome = approx(&task, &candidates, &SingleTaskConfig::new(1e6));
+        for exec in &outcome.plan.executions {
+            assert_ne!(exec.slot % 3, 2, "slot {} has no worker", exec.slot);
+        }
+        assert_eq!(outcome.plan.executed_count(), 20);
+    }
+
+    #[test]
+    fn executions_record_worker_and_cost() {
+        let (task, candidates) = line_instance(10);
+        let outcome = approx(&task, &candidates, &SingleTaskConfig::new(5.0));
+        for exec in &outcome.plan.executions {
+            let cand = candidates.get(exec.slot).unwrap();
+            assert_eq!(exec.worker, cand.worker);
+            assert!((exec.cost - cand.cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_count_iterations_and_evaluations() {
+        let (task, candidates) = line_instance(12);
+        let outcome = approx(&task, &candidates, &SingleTaskConfig::new(6.0));
+        assert_eq!(outcome.stats.iterations, outcome.plan.executed_count());
+        assert!(outcome.stats.gain_evaluations >= outcome.stats.iterations);
+    }
+
+    #[test]
+    fn greedy_beats_worst_single_slot_choice() {
+        // With a tight budget the plan must at least match the single best
+        // affordable subtask (the T'_cur seed of Algorithm 1).
+        let (task, candidates) = line_instance(25);
+        let outcome = approx(&task, &candidates, &SingleTaskConfig::new(1.0));
+        assert!(outcome.plan.executed_count() >= 1);
+        assert!(outcome.plan.quality > 0.0);
+    }
+
+    #[test]
+    fn reliability_mode_runs_and_reduces_quality_for_unreliable_workers() {
+        use tcsc_core::{Domain, EuclideanCost, Location, Task, TaskId, Worker, WorkerId, WorkerPool, WorkerSlot};
+        use tcsc_index::WorkerIndex;
+
+        let task = Task::new(TaskId(0), Location::new(0.0, 0.0), 10);
+        let workers: WorkerPool = (0..10)
+            .map(|j| {
+                Worker::with_reliability(
+                    WorkerId(j as u32),
+                    vec![WorkerSlot {
+                        slot: j,
+                        location: Location::new(1.0, 0.0),
+                    }],
+                    0.5,
+                )
+            })
+            .collect();
+        let index = WorkerIndex::build(&workers, 10, &Domain::square(10.0));
+        let candidates = crate::candidates::SlotCandidates::compute(&task, &index, &EuclideanCost::default());
+
+        let with = approx(&task, &candidates, &SingleTaskConfig::new(1e6).with_reliability());
+        let without = approx(&task, &candidates, &SingleTaskConfig::new(1e6));
+        assert!(with.plan.quality < without.plan.quality);
+    }
+}

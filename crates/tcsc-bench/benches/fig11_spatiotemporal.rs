@@ -1,0 +1,59 @@
+//! Figure 11 bench: the spatiotemporal interpolation extension (SApprox vs
+//! Approx) and the sensitivity to the temporal weight `w_t`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use tcsc_assign::{sapprox, MultiTaskConfig, SpatioTemporalObjective};
+use tcsc_bench::figures::{fig11a, fig11b, fig11c};
+use tcsc_bench::{prepare_multi, Scale};
+use tcsc_core::{EuclideanCost, InterpolationWeights};
+use tcsc_workload::ScenarioConfig;
+
+fn bench_fig11(c: &mut Criterion) {
+    println!("{}", fig11a(Scale::Quick).render());
+    println!("{}", fig11b(Scale::Quick).render());
+    println!("{}", fig11c(Scale::Quick).render());
+
+    let prepared = prepare_multi(
+        &ScenarioConfig::small()
+            .with_num_tasks(5)
+            .with_num_slots(20)
+            .with_num_workers(400),
+    );
+    let cfg = MultiTaskConfig::new(25.0);
+    let cost = EuclideanCost::default();
+
+    let mut group = c.benchmark_group("fig11_spatiotemporal");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("sapprox_temporal_only", |b| {
+        b.iter(|| {
+            sapprox(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &cost,
+                &prepared.scenario.domain,
+                InterpolationWeights::temporal_only(),
+                SpatioTemporalObjective::Sum,
+                &cfg,
+            )
+        })
+    });
+    group.bench_function("sapprox_weighted", |b| {
+        b.iter(|| {
+            sapprox(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &cost,
+                &prepared.scenario.domain,
+                InterpolationWeights::paper_default(),
+                SpatioTemporalObjective::Sum,
+                &cfg,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

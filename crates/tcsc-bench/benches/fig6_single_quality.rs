@@ -1,0 +1,44 @@
+//! Figure 6 bench: single-task quality (Opt / Approx / Rand) and the latency
+//! of the competing solvers on an OPT-feasible instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use tcsc_assign::{approx, approx_star, optimal, SingleTaskConfig};
+use tcsc_bench::figures::{fig6a, fig6b};
+use tcsc_bench::{prepare_single, Scale};
+use tcsc_workload::ScenarioConfig;
+
+fn bench_fig6(c: &mut Criterion) {
+    // Print the reproduced figure rows once so `cargo bench` output contains
+    // the paper-style tables.
+    println!("{}", fig6a(Scale::Quick).render());
+    println!("{}", fig6b(Scale::Quick).render());
+
+    let prepared = prepare_single(
+        &ScenarioConfig::small()
+            .with_num_slots(14)
+            .with_num_workers(800),
+    );
+    let budget: f64 = (0..14)
+        .filter_map(|j| prepared.candidates.cost(j))
+        .sum::<f64>()
+        * 0.25;
+    let cfg = SingleTaskConfig::new(budget);
+
+    let mut group = c.benchmark_group("fig6_single_quality");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("approx_m14", |b| {
+        b.iter(|| approx(&prepared.task, &prepared.candidates, &cfg))
+    });
+    group.bench_function("approx_star_m14", |b| {
+        b.iter(|| approx_star(&prepared.task, &prepared.candidates, &cfg))
+    });
+    group.bench_function("opt_m14", |b| {
+        b.iter(|| optimal(&prepared.task, &prepared.candidates, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 8 bench: single-task efficiency — Approx vs Approx* scaling with
+//! `m`, `|W|`, `k`, `ts`, budgets and distributions, plus the time breakdown
+//! and pruning-ratio analyses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use tcsc_assign::{approx, approx_star, SingleTaskConfig};
+use tcsc_bench::figures::{fig8a, fig8b, fig8c, fig8d, fig8e, fig8f, fig8g, fig8h};
+use tcsc_bench::{prepare_single, Scale};
+use tcsc_workload::ScenarioConfig;
+
+fn bench_fig8(c: &mut Criterion) {
+    for experiment in [
+        fig8a(Scale::Quick),
+        fig8b(Scale::Quick),
+        fig8c(Scale::Quick),
+        fig8d(Scale::Quick),
+        fig8e(Scale::Quick),
+        fig8f(Scale::Quick),
+        fig8g(Scale::Quick),
+        fig8h(Scale::Quick),
+    ] {
+        println!("{}", experiment.render());
+    }
+
+    let mut group = c.benchmark_group("fig8_single_efficiency");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for m in [100usize, 200] {
+        let prepared = prepare_single(
+            &ScenarioConfig::small()
+                .with_num_slots(m)
+                .with_num_workers(1000),
+        );
+        let budget: f64 = (0..m)
+            .filter_map(|j| prepared.candidates.cost(j))
+            .sum::<f64>()
+            * 0.25;
+        let cfg = SingleTaskConfig::new(budget);
+        group.bench_with_input(BenchmarkId::new("approx", m), &m, |b, _| {
+            b.iter(|| approx(&prepared.task, &prepared.candidates, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("approx_star", m), &m, |b, _| {
+            b.iter(|| approx_star(&prepared.task, &prepared.candidates, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 9 bench: multi-task efficiency — serial vs group-level vs
+//! task-level parallelization, conflict counts and MMQM scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use tcsc_assign::{msqm_group_parallel, msqm_serial, msqm_task_parallel, MultiTaskConfig};
+use tcsc_bench::figures::{fig9a, fig9b, fig9c, fig9d, fig9e, fig9f, fig9g, fig9h};
+use tcsc_bench::{prepare_multi, Scale};
+use tcsc_core::EuclideanCost;
+use tcsc_workload::ScenarioConfig;
+
+fn bench_fig9(c: &mut Criterion) {
+    for experiment in [
+        fig9a(Scale::Quick),
+        fig9b(Scale::Quick),
+        fig9c(Scale::Quick),
+        fig9d(Scale::Quick),
+        fig9e(Scale::Quick),
+        fig9f(Scale::Quick),
+        fig9g(Scale::Quick),
+        fig9h(Scale::Quick),
+    ] {
+        println!("{}", experiment.render());
+    }
+
+    let prepared = prepare_multi(
+        &ScenarioConfig::small()
+            .with_num_tasks(6)
+            .with_num_slots(40)
+            .with_num_workers(600),
+    );
+    let cfg = MultiTaskConfig::new(40.0);
+    let cost = EuclideanCost::default();
+
+    let mut group = c.benchmark_group("fig9_multi_efficiency");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("serial", |b| {
+        b.iter(|| msqm_serial(&prepared.scenario.tasks, &prepared.index, &cost, &cfg))
+    });
+    group.bench_function("group_parallel_4", |b| {
+        b.iter(|| msqm_group_parallel(&prepared.scenario.tasks, &prepared.index, &cost, &cfg, 4))
+    });
+    group.bench_function("task_parallel_4", |b| {
+        b.iter(|| {
+            msqm_task_parallel(&prepared.scenario.tasks, &prepared.index, &cost, &cfg, 4, true)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Experiment runner: regenerates the rows of every figure in the paper's
+//! evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick|--full] [all | fig6a fig6b ... fig11c]
+//! ```
+//!
+//! With no figure ids, every figure is run.  `--quick` (default) uses
+//! CI-sized workloads; `--full` approaches the paper's parameters and can
+//! take much longer.
+
+use tcsc_bench::figures;
+use tcsc_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in &args {
+        if let Some(s) = Scale::from_flag(arg) {
+            scale = s;
+        } else if arg == "all" {
+            ids.clear();
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!("usage: experiments [--quick|--full] [all | fig6a fig6b ... fig11c]");
+            return;
+        } else {
+            ids.push(arg.clone());
+        }
+    }
+
+    if ids.is_empty() {
+        for experiment in figures::all(scale) {
+            println!("{}", experiment.render());
+        }
+    } else {
+        for id in ids {
+            match figures::by_id(&id, scale) {
+                Some(experiment) => println!("{}", experiment.render()),
+                None => eprintln!("unknown figure id: {id}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! # tcsc-bench
+//!
+//! Benchmark harness reproducing every figure of the paper's evaluation
+//! (Section V and the appendix).  Each figure has a driver in [`figures`]
+//! that generates the corresponding workload, runs the competing algorithms
+//! and returns the table rows the paper plots; the `experiments` binary prints
+//! them, and the Criterion benches time the underlying algorithm calls.
+//!
+//! Absolute running times differ from the paper (different language, machine
+//! and data substitutes); the drivers are designed so the *shape* of every
+//! series — which method wins, how curves scale with `m`, `|W|`, `|T|`,
+//! budgets, cores — can be compared directly.  See `EXPERIMENTS.md` at the
+//! repository root for the recorded comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use std::time::Instant;
+
+use tcsc_assign::candidates::SlotCandidates;
+use tcsc_core::{EuclideanCost, Task};
+use tcsc_index::WorkerIndex;
+use tcsc_workload::{Scenario, ScenarioConfig};
+
+/// How large the generated workloads are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop/CI-sized workloads (seconds per figure).
+    Quick,
+    /// Larger workloads closer to the paper's parameters (minutes per
+    /// figure).
+    Full,
+}
+
+impl Scale {
+    /// Parses a scale flag.
+    pub fn from_flag(flag: &str) -> Option<Self> {
+        match flag {
+            "--quick" | "quick" => Some(Self::Quick),
+            "--full" | "full" | "--paper" | "paper" => Some(Self::Full),
+            _ => None,
+        }
+    }
+}
+
+/// A single output row of an experiment: a label and one or more named
+/// numeric series values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// X-axis label (distribution name, budget, `m`, number of cores, ...).
+    pub label: String,
+    /// (series name, value) pairs.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, values: Vec<(String, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            values,
+        }
+    }
+
+    /// Formats the row as a fixed-width table line.
+    pub fn render(&self) -> String {
+        let mut s = format!("{:<18}", self.label);
+        for (name, value) in &self.values {
+            s.push_str(&format!(" {name}={value:<12.4}"));
+        }
+        s
+    }
+}
+
+/// A complete experiment result: the figure id, a caption and the rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// Figure identifier, e.g. `"fig6a"`.
+    pub id: &'static str,
+    /// Human-readable caption.
+    pub caption: &'static str,
+    /// The result rows.
+    pub rows: Vec<Row>,
+}
+
+impl Experiment {
+    /// Renders the experiment as a printable block.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n", self.id, self.caption);
+        for row in &self.rows {
+            out.push_str(&row.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Times a closure, returning (result, elapsed milliseconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+/// A prepared single-task instance: the scenario, its worker index and the
+/// per-slot candidates of the first task.
+pub struct PreparedSingle {
+    /// The generated scenario.
+    pub scenario: Scenario,
+    /// The per-slot worker index.
+    pub index: WorkerIndex,
+    /// The task under assignment.
+    pub task: Task,
+    /// Its per-slot candidates.
+    pub candidates: SlotCandidates,
+    /// Milliseconds spent on worker cost retrieval (index build + candidate
+    /// computation), for the Fig. 8(c) breakdown.
+    pub retrieval_ms: f64,
+}
+
+/// Builds a single-task instance from a scenario configuration.
+pub fn prepare_single(config: &ScenarioConfig) -> PreparedSingle {
+    let scenario = config.build();
+    let (index, index_ms) = timed(|| {
+        WorkerIndex::build(&scenario.workers, config.num_slots, &scenario.domain)
+    });
+    let task = scenario.first_task().clone();
+    let (candidates, cand_ms) =
+        timed(|| SlotCandidates::compute(&task, &index, &EuclideanCost::default()));
+    PreparedSingle {
+        scenario,
+        index,
+        task,
+        candidates,
+        retrieval_ms: index_ms + cand_ms,
+    }
+}
+
+/// A prepared multi-task instance.
+pub struct PreparedMulti {
+    /// The generated scenario.
+    pub scenario: Scenario,
+    /// The per-slot worker index.
+    pub index: WorkerIndex,
+}
+
+/// Builds a multi-task instance from a scenario configuration.
+pub fn prepare_multi(config: &ScenarioConfig) -> PreparedMulti {
+    let scenario = config.build();
+    let index = WorkerIndex::build(&scenario.workers, config.num_slots, &scenario.domain);
+    PreparedMulti { scenario, index }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_flag("--quick"), Some(Scale::Quick));
+        assert_eq!(Scale::from_flag("paper"), Some(Scale::Full));
+        assert_eq!(Scale::from_flag("bogus"), None);
+    }
+
+    #[test]
+    fn row_and_experiment_render() {
+        let row = Row::new("Uniform", vec![("Approx".into(), 3.2), ("Opt".into(), 3.4)]);
+        assert!(row.render().contains("Approx=3.2"));
+        let exp = Experiment {
+            id: "fig6a",
+            caption: "test",
+            rows: vec![row],
+        };
+        let rendered = exp.render();
+        assert!(rendered.starts_with("== fig6a"));
+        assert!(rendered.contains("Uniform"));
+    }
+
+    #[test]
+    fn prepare_single_produces_candidates() {
+        let cfg = ScenarioConfig::small().with_num_slots(30).with_num_workers(200);
+        let prepared = prepare_single(&cfg);
+        assert_eq!(prepared.candidates.len(), 30);
+        assert!(prepared.retrieval_ms >= 0.0);
+        assert!(prepared.candidates.available() > 0);
+        assert_eq!(prepared.task.num_slots, 30);
+    }
+
+    #[test]
+    fn prepare_multi_produces_index() {
+        let cfg = ScenarioConfig::small().with_num_tasks(4);
+        let prepared = prepare_multi(&cfg);
+        assert_eq!(prepared.scenario.tasks.len(), 4);
+        assert_eq!(prepared.index.num_slots(), cfg.num_slots);
+    }
+}

@@ -1,0 +1,274 @@
+//! Cost model and budget accounting (Section II-A of the paper).
+//!
+//! Following the common setting of spatial crowdsourcing, the cost of a
+//! subtask is the travel distance between the subtask location and the
+//! assigned worker's location, with a uniform unit cost for all workers.
+//! The module is generic over the cost definition via [`CostModel`] so that
+//! alternative cost functions (e.g. Manhattan distance, flat per-assignment
+//! fees) can be plugged in without touching the assignment algorithms.
+
+use crate::model::{Location, SlotIndex, Subtask, Worker};
+
+/// Strategy for pricing a single worker-to-subtask assignment.
+pub trait CostModel: Send + Sync {
+    /// Cost `c(τ(j))` of assigning `worker` (located at `worker_loc` during
+    /// the subtask's slot) to `subtask`.
+    fn assignment_cost(&self, subtask: &Subtask, worker: &Worker, worker_loc: Location) -> f64;
+}
+
+/// Euclidean travel-distance cost with a configurable unit price.
+///
+/// This is the paper's default: `c(τ(j)) = unit_cost × dist(τ.loc, w.loc)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EuclideanCost {
+    /// Price per unit of travelled distance (the paper assumes the same unit
+    /// cost for all workers; default `1.0`).
+    pub unit_cost: f64,
+}
+
+impl EuclideanCost {
+    /// Cost model with the given unit price.
+    pub fn new(unit_cost: f64) -> Self {
+        assert!(unit_cost >= 0.0, "unit cost must be non-negative");
+        Self { unit_cost }
+    }
+}
+
+impl Default for EuclideanCost {
+    fn default() -> Self {
+        Self { unit_cost: 1.0 }
+    }
+}
+
+impl CostModel for EuclideanCost {
+    fn assignment_cost(&self, subtask: &Subtask, _worker: &Worker, worker_loc: Location) -> f64 {
+        self.unit_cost * subtask.location.distance(&worker_loc)
+    }
+}
+
+/// Manhattan (L1) travel-distance cost, useful for grid-like road networks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManhattanCost {
+    /// Price per unit of travelled distance.
+    pub unit_cost: f64,
+}
+
+impl Default for ManhattanCost {
+    fn default() -> Self {
+        Self { unit_cost: 1.0 }
+    }
+}
+
+impl CostModel for ManhattanCost {
+    fn assignment_cost(&self, subtask: &Subtask, _worker: &Worker, worker_loc: Location) -> f64 {
+        self.unit_cost
+            * ((subtask.location.x - worker_loc.x).abs()
+                + (subtask.location.y - worker_loc.y).abs())
+    }
+}
+
+/// Flat per-assignment cost, independent of distance.  Setting the fee to `1`
+/// turns the budget constraint into a cardinality constraint, which is the
+/// special case used in the paper's NP-hardness reduction (Lemma 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitCost {
+    /// Fee charged for every executed subtask.
+    pub fee: f64,
+}
+
+impl Default for UnitCost {
+    fn default() -> Self {
+        Self { fee: 1.0 }
+    }
+}
+
+impl CostModel for UnitCost {
+    fn assignment_cost(&self, _subtask: &Subtask, _worker: &Worker, _worker_loc: Location) -> f64 {
+        self.fee
+    }
+}
+
+/// Tracks spending against a fixed budget `b`.
+///
+/// All assignment algorithms share this accounting so that budget-feasibility
+/// checks are consistent (including the floating-point tolerance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budget {
+    limit: f64,
+    spent: f64,
+}
+
+/// Relative tolerance used when comparing accumulated floating-point costs to
+/// the budget limit.
+const BUDGET_EPS: f64 = 1e-9;
+
+impl Budget {
+    /// A budget with the given limit.
+    ///
+    /// # Panics
+    /// Panics if the limit is negative or not finite.
+    pub fn new(limit: f64) -> Self {
+        assert!(
+            limit.is_finite() && limit >= 0.0,
+            "budget limit must be finite and non-negative, got {limit}"
+        );
+        Self { limit, spent: 0.0 }
+    }
+
+    /// An effectively unlimited budget (useful for tests and for computing the
+    /// full-completion cost of a task).
+    pub fn unlimited() -> Self {
+        Self {
+            limit: f64::MAX,
+            spent: 0.0,
+        }
+    }
+
+    /// The budget limit `b`.
+    pub fn limit(&self) -> f64 {
+        self.limit
+    }
+
+    /// Total amount spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Remaining budget (never negative).
+    pub fn remaining(&self) -> f64 {
+        (self.limit - self.spent).max(0.0)
+    }
+
+    /// Whether a further expense of `cost` still fits within the budget.
+    pub fn can_afford(&self, cost: f64) -> bool {
+        self.spent + cost <= self.limit * (1.0 + BUDGET_EPS) + BUDGET_EPS
+    }
+
+    /// Charges `cost` against the budget.  Returns `true` when the charge fits
+    /// (and was applied), `false` otherwise (nothing is charged then).
+    pub fn charge(&mut self, cost: f64) -> bool {
+        if self.can_afford(cost) {
+            self.spent += cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Refunds a previously charged amount (used when a tentative execution is
+    /// rolled back, e.g. by the group-level parallel framework on a conflict).
+    pub fn refund(&mut self, cost: f64) {
+        self.spent = (self.spent - cost).max(0.0);
+    }
+}
+
+/// A priced candidate assignment: which worker would take a subtask at which
+/// cost.  The nearest available worker yields the cheapest candidate under
+/// travel-distance costs; multi-task algorithms may fall back to the 2nd, 3rd,
+/// ... nearest worker on conflicts (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateAssignment {
+    /// The slot being served.
+    pub slot: SlotIndex,
+    /// The worker that would serve it.
+    pub worker: crate::model::WorkerId,
+    /// The worker's location during the slot.
+    pub worker_location: Location,
+    /// The cost charged against the budget.
+    pub cost: f64,
+    /// The worker's reliability score.
+    pub reliability: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Task, TaskId, WorkerId, WorkerSlot};
+
+    fn subtask() -> Subtask {
+        Task::new(TaskId(0), Location::new(0.0, 0.0), 10).subtask(3)
+    }
+
+    fn worker() -> Worker {
+        Worker::new(
+            WorkerId(0),
+            vec![WorkerSlot {
+                slot: 3,
+                location: Location::new(3.0, 4.0),
+            }],
+        )
+    }
+
+    #[test]
+    fn euclidean_cost_is_distance_times_unit() {
+        let model = EuclideanCost::new(2.0);
+        let c = model.assignment_cost(&subtask(), &worker(), Location::new(3.0, 4.0));
+        assert!((c - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_euclidean_unit_cost_is_one() {
+        let model = EuclideanCost::default();
+        let c = model.assignment_cost(&subtask(), &worker(), Location::new(3.0, 4.0));
+        assert!((c - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_cost() {
+        let model = ManhattanCost::default();
+        let c = model.assignment_cost(&subtask(), &worker(), Location::new(3.0, 4.0));
+        assert!((c - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_cost_ignores_distance() {
+        let model = UnitCost { fee: 1.0 };
+        let c = model.assignment_cost(&subtask(), &worker(), Location::new(100.0, 100.0));
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn euclidean_rejects_negative_unit_cost() {
+        let _ = EuclideanCost::new(-1.0);
+    }
+
+    #[test]
+    fn budget_charging_and_refunding() {
+        let mut b = Budget::new(10.0);
+        assert_eq!(b.limit(), 10.0);
+        assert!(b.can_afford(10.0));
+        assert!(!b.can_afford(10.1));
+        assert!(b.charge(4.0));
+        assert!((b.spent() - 4.0).abs() < 1e-12);
+        assert!((b.remaining() - 6.0).abs() < 1e-12);
+        assert!(!b.charge(7.0));
+        assert!((b.spent() - 4.0).abs() < 1e-12, "failed charge must not spend");
+        assert!(b.charge(6.0));
+        assert!(b.remaining() < 1e-9);
+        b.refund(6.0);
+        assert!((b.remaining() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_tolerates_floating_point_accumulation() {
+        let mut b = Budget::new(1.0);
+        for _ in 0..10 {
+            assert!(b.charge(0.1), "ten charges of 0.1 must fit a budget of 1.0");
+        }
+        assert!(!b.charge(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn budget_rejects_negative_limit() {
+        let _ = Budget::new(-1.0);
+    }
+
+    #[test]
+    fn unlimited_budget_accepts_everything() {
+        let mut b = Budget::unlimited();
+        assert!(b.charge(1e12));
+        assert!(b.can_afford(1e12));
+    }
+}

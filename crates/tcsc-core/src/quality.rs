@@ -1,0 +1,608 @@
+//! Entropy-based quality metric for TCSC tasks (Section II-B of the paper).
+//!
+//! The metric captures the joint effect of *incompletion* (not every subtask
+//! can be executed under a limited budget) and *imprecision* (unexecuted
+//! subtasks are inferred by temporal k-NN inverse-distance interpolation).
+//!
+//! For a task with `m` subtasks and executed-slot set `E`:
+//!
+//! * interpolation error ratio (Eq. 3):
+//!   `ρ_err(τ(j)) = Σ_{e ∈ SkNN(j)} |j, e| / (k·m)`, where `SkNN(j)` are the
+//!   `k` executed slots nearest in time to `j`; missing neighbours (when
+//!   `|E| < k`) count with the largest possible distance `m`;
+//! * subtask finishing probability (Eq. 2):
+//!   `p(j) = (1/m)(1 − ρ_err(τ(j)))`, which is `1/m` for executed subtasks
+//!   and `0` when nothing has been executed;
+//! * task quality (Eq. 1): `q(τ) = −Σ_j p(j)·log2 p(j)`, ranging from `0`
+//!   (no information) to `log2 m` (every subtask executed).
+//!
+//! The reliability extension (Eq. 4–5) weights every executed slot with the
+//! reliability `λ ∈ [0, 1]` of the worker that executed it; setting every
+//! `λ = 1` recovers the basic metric exactly.
+//!
+//! [`QualityEvaluator`] is the single shared implementation of this metric:
+//! the greedy algorithms, the Voronoi-tree index and the baselines all consult
+//! it, so Eq. 1–5 are defined in exactly one place.
+
+use crate::model::SlotIndex;
+
+/// Parameters of the quality metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QualityParams {
+    /// Number of time slots `m` of the task.
+    pub num_slots: usize,
+    /// Number of neighbours `k` used by the inverse-distance interpolation
+    /// (the paper's default is `k = 3`).
+    pub k: usize,
+}
+
+impl QualityParams {
+    /// Creates metric parameters.
+    ///
+    /// # Panics
+    /// Panics if `num_slots == 0` or `k == 0`.
+    pub fn new(num_slots: usize, k: usize) -> Self {
+        assert!(num_slots > 0, "a task needs at least one slot");
+        assert!(k > 0, "k-NN interpolation needs k >= 1");
+        Self { num_slots, k }
+    }
+
+    /// The maximum achievable quality, `log2 m`, reached when every subtask is
+    /// executed by fully reliable workers.
+    pub fn max_quality(&self) -> f64 {
+        (self.num_slots as f64).log2()
+    }
+}
+
+/// An executed slot together with the reliability of the worker that probed
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutedSlot {
+    /// The slot index.
+    pub slot: SlotIndex,
+    /// Reliability `λ` of the executing worker (`1.0` for the basic metric).
+    pub reliability: f64,
+}
+
+/// One temporal nearest neighbour of a slot: an executed slot, its temporal
+/// distance and the executing worker's reliability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The executed slot serving as interpolation source, or `None` for a
+    /// "padding" neighbour standing in for a missing executed slot (counted
+    /// with the largest possible distance `m` and reliability `1`).
+    pub slot: Option<SlotIndex>,
+    /// Temporal distance `|j, e|` (in slots) from the query slot.
+    pub distance: usize,
+    /// Reliability of the executing worker.
+    pub reliability: f64,
+}
+
+/// `x · log2(x)` with the convention `0 · log2(0) = 0`.
+#[inline]
+fn xlog2x(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x * x.log2()
+    }
+}
+
+/// Incremental evaluator of the entropy-based task quality.
+///
+/// The evaluator stores the sorted list of executed slots (with worker
+/// reliabilities) and answers:
+///
+/// * exact temporal k-NN queries over the executed slots ([`Self::knn`]);
+/// * per-slot error ratios, finishing probabilities and partial qualities;
+/// * the total task quality ([`Self::quality`]);
+/// * the *quality gain* of tentatively executing one more slot
+///   ([`Self::gain_if_executed`]), the quantity the greedy Algorithm 1
+///   maximises per unit cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityEvaluator {
+    params: QualityParams,
+    /// Executed slots sorted by slot index.
+    executed: Vec<ExecutedSlot>,
+}
+
+impl QualityEvaluator {
+    /// Creates an evaluator with no executed subtasks (all states "null").
+    pub fn new(params: QualityParams) -> Self {
+        Self {
+            params,
+            executed: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor: `m` slots, interpolation parameter `k`.
+    pub fn with_slots(num_slots: usize, k: usize) -> Self {
+        Self::new(QualityParams::new(num_slots, k))
+    }
+
+    /// The metric parameters.
+    pub fn params(&self) -> QualityParams {
+        self.params
+    }
+
+    /// Number of slots `m`.
+    pub fn num_slots(&self) -> usize {
+        self.params.num_slots
+    }
+
+    /// Interpolation parameter `k`.
+    pub fn k(&self) -> usize {
+        self.params.k
+    }
+
+    /// The executed slots, sorted by slot index.
+    pub fn executed(&self) -> &[ExecutedSlot] {
+        &self.executed
+    }
+
+    /// Number of executed slots.
+    pub fn executed_len(&self) -> usize {
+        self.executed.len()
+    }
+
+    /// Whether `slot` has been executed.
+    pub fn is_executed(&self, slot: SlotIndex) -> bool {
+        self.executed
+            .binary_search_by_key(&slot, |e| e.slot)
+            .is_ok()
+    }
+
+    /// Reliability recorded for an executed slot, if any.
+    pub fn reliability_of(&self, slot: SlotIndex) -> Option<f64> {
+        self.executed
+            .binary_search_by_key(&slot, |e| e.slot)
+            .ok()
+            .map(|i| self.executed[i].reliability)
+    }
+
+    /// Marks `slot` as executed by a fully reliable worker.
+    ///
+    /// Returns `false` (and changes nothing) if the slot was already executed.
+    pub fn execute(&mut self, slot: SlotIndex) -> bool {
+        self.execute_with_reliability(slot, 1.0)
+    }
+
+    /// Marks `slot` as executed by a worker with reliability `λ`.
+    ///
+    /// # Panics
+    /// Panics if the slot is out of range or the reliability is outside
+    /// `[0, 1]`.
+    pub fn execute_with_reliability(&mut self, slot: SlotIndex, reliability: f64) -> bool {
+        assert!(
+            slot < self.params.num_slots,
+            "slot {slot} out of range (m = {})",
+            self.params.num_slots
+        );
+        assert!(
+            (0.0..=1.0).contains(&reliability),
+            "reliability must lie in [0, 1]"
+        );
+        match self.executed.binary_search_by_key(&slot, |e| e.slot) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.executed.insert(pos, ExecutedSlot { slot, reliability });
+                true
+            }
+        }
+    }
+
+    /// Reverts an executed slot back to the unexecuted state (used by
+    /// algorithms that roll back tentative executions).  Returns `true` when
+    /// the slot was executed.
+    pub fn unexecute(&mut self, slot: SlotIndex) -> bool {
+        match self.executed.binary_search_by_key(&slot, |e| e.slot) {
+            Ok(pos) => {
+                self.executed.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The `k` executed slots nearest in time to `slot` (the set
+    /// `SkNN(τ(j))`), padded with sentinel neighbours of distance `m` when
+    /// fewer than `k` slots have been executed (footnote 2 of the paper).
+    ///
+    /// Neighbours are returned in ascending order of distance; ties are broken
+    /// towards the earlier slot so the result is deterministic.
+    pub fn knn(&self, slot: SlotIndex) -> Vec<Neighbor> {
+        self.knn_with_extra(slot, None)
+    }
+
+    /// Like [`Self::knn`] but treating `extra` as an additionally executed
+    /// slot (a *tentative execution*).  The query slot itself is never its own
+    /// neighbour.
+    pub fn knn_with_extra(&self, slot: SlotIndex, extra: Option<ExecutedSlot>) -> Vec<Neighbor> {
+        let k = self.params.k;
+        let m = self.params.num_slots;
+        let mut result: Vec<Neighbor> = Vec::with_capacity(k);
+
+        // Two-pointer walk outwards from the insertion point of `slot` in the
+        // sorted executed list, merged with the optional extra slot.
+        let pos = self
+            .executed
+            .binary_search_by_key(&slot, |e| e.slot)
+            .unwrap_or_else(|p| p);
+        // Left cursor points at the next candidate to the left (inclusive of
+        // an executed slot equal to `slot`, which we skip below).
+        let mut left: isize = pos as isize - 1;
+        let mut right: usize = pos;
+        // Skip the query slot itself if it is executed.
+        if right < self.executed.len() && self.executed[right].slot == slot {
+            right += 1;
+        }
+        let mut extra = extra.filter(|e| e.slot != slot);
+
+        while result.len() < k {
+            let left_cand = (left >= 0).then(|| self.executed[left as usize]);
+            let right_cand = (right < self.executed.len()).then(|| self.executed[right]);
+            let extra_cand = extra;
+
+            // Pick the closest among the three cursors; ties go to the
+            // smallest slot index.
+            let mut best: Option<(usize, ExecutedSlot, u8)> = None;
+            for (cand, tag) in [(left_cand, 0u8), (right_cand, 1u8), (extra_cand, 2u8)] {
+                if let Some(e) = cand {
+                    let d = e.slot.abs_diff(slot);
+                    let better = match best {
+                        None => true,
+                        Some((bd, be, _)) => d < bd || (d == bd && e.slot < be.slot),
+                    };
+                    if better {
+                        best = Some((d, e, tag));
+                    }
+                }
+            }
+
+            match best {
+                Some((d, e, tag)) => {
+                    result.push(Neighbor {
+                        slot: Some(e.slot),
+                        distance: d,
+                        reliability: e.reliability,
+                    });
+                    match tag {
+                        0 => left -= 1,
+                        1 => {
+                            right += 1;
+                            if right < self.executed.len() && self.executed[right].slot == slot {
+                                right += 1;
+                            }
+                        }
+                        _ => extra = None,
+                    }
+                }
+                None => {
+                    // Fewer than k executed slots: pad with the largest
+                    // possible interpolation distance m and reliability 1.
+                    result.push(Neighbor {
+                        slot: None,
+                        distance: m,
+                        reliability: 1.0,
+                    });
+                }
+            }
+        }
+        result
+    }
+
+    /// Interpolation error ratio `ρ_err(τ(j))` (Eq. 3, or Eq. 5 with worker
+    /// reliabilities).  Zero for executed slots, one when nothing has been
+    /// executed.
+    pub fn error_ratio(&self, slot: SlotIndex) -> f64 {
+        self.error_ratio_with_extra(slot, None)
+    }
+
+    /// Error ratio assuming `extra` were additionally executed.
+    pub fn error_ratio_with_extra(&self, slot: SlotIndex, extra: Option<ExecutedSlot>) -> f64 {
+        if self.is_executed(slot) || extra.map(|e| e.slot) == Some(slot) {
+            return 0.0;
+        }
+        if self.executed.is_empty() && extra.is_none() {
+            return 1.0;
+        }
+        let k = self.params.k as f64;
+        let m = self.params.num_slots as f64;
+        let neighbors = self.knn_with_extra(slot, extra);
+        neighbors
+            .iter()
+            .map(|n| n.reliability * n.distance as f64)
+            .sum::<f64>()
+            / (k * m)
+    }
+
+    /// Subtask finishing probability `p(j)` (Eq. 2, or Eq. 4 with worker
+    /// reliabilities).
+    pub fn finishing_probability(&self, slot: SlotIndex) -> f64 {
+        self.finishing_probability_with_extra(slot, None)
+    }
+
+    /// Finishing probability assuming `extra` were additionally executed.
+    pub fn finishing_probability_with_extra(
+        &self,
+        slot: SlotIndex,
+        extra: Option<ExecutedSlot>,
+    ) -> f64 {
+        let m = self.params.num_slots as f64;
+        // Executed slot: p = λ / m.
+        if let Some(lambda) = self.reliability_of(slot) {
+            return lambda / m;
+        }
+        if let Some(e) = extra {
+            if e.slot == slot {
+                return e.reliability / m;
+            }
+        }
+        // Nothing executed at all: zero knowledge about the subtask.
+        if self.executed.is_empty() && extra.is_none() {
+            return 0.0;
+        }
+        let k = self.params.k as f64;
+        let neighbors = self.knn_with_extra(slot, extra);
+        let avg_reliability =
+            neighbors.iter().map(|n| n.reliability).sum::<f64>() / k;
+        let rho = neighbors
+            .iter()
+            .map(|n| n.reliability * n.distance as f64)
+            .sum::<f64>()
+            / (k * m);
+        ((avg_reliability - rho) / m).max(0.0)
+    }
+
+    /// Partial quality of a single slot: `−p(j)·log2 p(j)`.
+    pub fn partial_quality(&self, slot: SlotIndex) -> f64 {
+        -xlog2x(self.finishing_probability(slot))
+    }
+
+    /// Partial quality of a slot assuming `extra` were additionally executed.
+    pub fn partial_quality_with_extra(&self, slot: SlotIndex, extra: Option<ExecutedSlot>) -> f64 {
+        -xlog2x(self.finishing_probability_with_extra(slot, extra))
+    }
+
+    /// Total task quality `q(τ)` (Eq. 1).
+    pub fn quality(&self) -> f64 {
+        (0..self.params.num_slots)
+            .map(|j| self.partial_quality(j))
+            .sum()
+    }
+
+    /// Quality of the task assuming `extra` were additionally executed.
+    pub fn quality_with_extra(&self, extra: ExecutedSlot) -> f64 {
+        (0..self.params.num_slots)
+            .map(|j| self.partial_quality_with_extra(j, Some(extra)))
+            .sum()
+    }
+
+    /// Quality gain `Δq = q(E ∪ {slot}) − q(E)` of tentatively executing
+    /// `slot` with a fully reliable worker.
+    pub fn gain_if_executed(&self, slot: SlotIndex) -> f64 {
+        self.gain_if_executed_with_reliability(slot, 1.0)
+    }
+
+    /// Quality gain of tentatively executing `slot` with reliability `λ`.
+    ///
+    /// Already-executed slots yield a gain of zero.
+    pub fn gain_if_executed_with_reliability(&self, slot: SlotIndex, reliability: f64) -> f64 {
+        if self.is_executed(slot) {
+            return 0.0;
+        }
+        let extra = ExecutedSlot { slot, reliability };
+        self.quality_with_extra(extra) - self.quality()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn executed(ev: &mut QualityEvaluator, slots: &[SlotIndex]) {
+        for &s in slots {
+            ev.execute(s);
+        }
+    }
+
+    #[test]
+    fn empty_task_has_zero_quality() {
+        let ev = QualityEvaluator::with_slots(10, 3);
+        assert_eq!(ev.quality(), 0.0);
+        assert_eq!(ev.finishing_probability(4), 0.0);
+        assert_eq!(ev.error_ratio(4), 1.0);
+    }
+
+    #[test]
+    fn fully_executed_task_reaches_log2_m() {
+        let m = 16;
+        let mut ev = QualityEvaluator::with_slots(m, 3);
+        executed(&mut ev, &(0..m).collect::<Vec<_>>());
+        assert!((ev.quality() - (m as f64).log2()).abs() < 1e-12);
+        assert!((ev.params().max_quality() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn executed_slot_has_probability_one_over_m() {
+        let mut ev = QualityEvaluator::with_slots(10, 2);
+        ev.execute(3);
+        assert!((ev.finishing_probability(3) - 0.1).abs() < 1e-12);
+        assert_eq!(ev.error_ratio(3), 0.0);
+    }
+
+    #[test]
+    fn paper_running_example_error_ratio() {
+        // Fig. 2 of the paper: m = 5... but the worked number uses m = 100,
+        // k = 2 with executed slots {2, 4} (1-based) and query slot 1:
+        // ρ_err(τ(1)) = (1 + 3) / (2 · 100) = 0.02.
+        let mut ev = QualityEvaluator::with_slots(100, 2);
+        // 1-based slots 2 and 4 are 0-based 1 and 3.
+        executed(&mut ev, &[1, 3]);
+        let rho = ev.error_ratio(0);
+        assert!((rho - 0.02).abs() < 1e-12, "got {rho}");
+    }
+
+    #[test]
+    fn fig3_example_knn_locality() {
+        // Fig. 3 of the paper: k = 2, m = 100 executed (1-based) {2, 4, 7, 9}.
+        let mut ev = QualityEvaluator::with_slots(100, 2);
+        executed(&mut ev, &[1, 3, 6, 8]);
+        // The unexecuted slots of the first Voronoi cell (1-based 1 and 3)
+        // share the 2-NN result {2, 4}.
+        for slot in [0, 2] {
+            let nn: Vec<_> = ev.knn(slot).iter().map(|n| n.slot.unwrap()).collect();
+            let mut sorted = nn.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![1, 3], "slot {slot} should see {{2,4}} (1-based)");
+        }
+    }
+
+    #[test]
+    fn knn_pads_missing_neighbors_with_distance_m() {
+        let mut ev = QualityEvaluator::with_slots(50, 3);
+        ev.execute(10);
+        let nn = ev.knn(12);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0].slot, Some(10));
+        assert_eq!(nn[0].distance, 2);
+        assert_eq!(nn[1].slot, None);
+        assert_eq!(nn[1].distance, 50);
+        assert_eq!(nn[2].slot, None);
+    }
+
+    #[test]
+    fn knn_never_returns_query_slot() {
+        let mut ev = QualityEvaluator::with_slots(20, 3);
+        executed(&mut ev, &[4, 5, 6, 7]);
+        let nn = ev.knn(5);
+        assert!(nn.iter().all(|n| n.slot != Some(5)));
+    }
+
+    #[test]
+    fn knn_tie_breaks_towards_earlier_slot() {
+        let mut ev = QualityEvaluator::with_slots(20, 1);
+        executed(&mut ev, &[3, 7]);
+        // Slot 5 is equidistant from 3 and 7; the earlier slot wins.
+        let nn = ev.knn(5);
+        assert_eq!(nn[0].slot, Some(3));
+    }
+
+    #[test]
+    fn knn_with_extra_sees_tentative_slot() {
+        let mut ev = QualityEvaluator::with_slots(20, 2);
+        executed(&mut ev, &[10]);
+        let extra = ExecutedSlot {
+            slot: 4,
+            reliability: 1.0,
+        };
+        let nn = ev.knn_with_extra(5, Some(extra));
+        assert_eq!(nn[0].slot, Some(4));
+        assert_eq!(nn[1].slot, Some(10));
+    }
+
+    #[test]
+    fn quality_is_monotone_in_executions() {
+        let mut ev = QualityEvaluator::with_slots(30, 3);
+        let mut last = ev.quality();
+        for slot in [5, 17, 2, 29, 11, 23, 8] {
+            ev.execute(slot);
+            let q = ev.quality();
+            assert!(
+                q >= last - 1e-12,
+                "quality decreased after executing {slot}: {last} -> {q}"
+            );
+            last = q;
+        }
+    }
+
+    #[test]
+    fn gain_matches_execute_then_recompute() {
+        let mut ev = QualityEvaluator::with_slots(40, 3);
+        executed(&mut ev, &[3, 19, 33]);
+        let before = ev.quality();
+        let gain = ev.gain_if_executed(10);
+        ev.execute(10);
+        let after = ev.quality();
+        assert!((after - before - gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_of_executed_slot_is_zero() {
+        let mut ev = QualityEvaluator::with_slots(10, 2);
+        ev.execute(4);
+        assert_eq!(ev.gain_if_executed(4), 0.0);
+    }
+
+    #[test]
+    fn unexecute_rolls_back() {
+        let mut ev = QualityEvaluator::with_slots(10, 2);
+        let q0 = ev.quality();
+        ev.execute(5);
+        assert!(ev.is_executed(5));
+        assert!(ev.unexecute(5));
+        assert!(!ev.is_executed(5));
+        assert!(!ev.unexecute(5));
+        assert!((ev.quality() - q0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_scales_executed_probability() {
+        let mut ev = QualityEvaluator::with_slots(10, 2);
+        ev.execute_with_reliability(3, 0.5);
+        assert!((ev.finishing_probability(3) - 0.05).abs() < 1e-12);
+        assert_eq!(ev.reliability_of(3), Some(0.5));
+    }
+
+    #[test]
+    fn full_reliability_degenerates_to_basic_metric() {
+        let mut basic = QualityEvaluator::with_slots(25, 3);
+        let mut reliable = QualityEvaluator::with_slots(25, 3);
+        for slot in [2, 9, 14, 20] {
+            basic.execute(slot);
+            reliable.execute_with_reliability(slot, 1.0);
+        }
+        for j in 0..25 {
+            assert!(
+                (basic.finishing_probability(j) - reliable.finishing_probability(j)).abs() < 1e-12
+            );
+        }
+        assert!((basic.quality() - reliable.quality()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_reliability_never_increases_quality() {
+        let mut high = QualityEvaluator::with_slots(20, 3);
+        let mut low = QualityEvaluator::with_slots(20, 3);
+        for slot in [1, 7, 13] {
+            high.execute_with_reliability(slot, 0.9);
+            low.execute_with_reliability(slot, 0.4);
+        }
+        assert!(low.quality() <= high.quality() + 1e-12);
+    }
+
+    #[test]
+    fn double_execute_is_rejected() {
+        let mut ev = QualityEvaluator::with_slots(10, 2);
+        assert!(ev.execute(5));
+        assert!(!ev.execute(5));
+        assert_eq!(ev.executed_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn execute_out_of_range_panics() {
+        let mut ev = QualityEvaluator::with_slots(10, 2);
+        ev.execute(10);
+    }
+
+    #[test]
+    fn error_ratio_bounded_by_one() {
+        let mut ev = QualityEvaluator::with_slots(8, 4);
+        ev.execute(0);
+        for j in 0..8 {
+            let rho = ev.error_ratio(j);
+            assert!((0.0..=1.0).contains(&rho), "rho({j}) = {rho}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # tcsc-index
+//!
+//! Indexing structures for Time-Continuous Spatial Crowdsourcing (TCSC):
+//!
+//! * [`voronoi`] — the exact one-dimensional order-k Voronoi diagram over a
+//!   task's executed slots, capturing the locality of temporal k-NN search
+//!   (Section III-C of the paper);
+//! * [`vtree`] — the approximated Voronoi diagram indexed by an aggregated
+//!   binary tree, with exact quality-gain computation that reuses unaffected
+//!   subtree aggregates, and the best-first search with upper-bound pruning
+//!   used by the `Approx*` algorithm;
+//! * [`spatial`] — a per-time-slot uniform grid over worker locations for
+//!   nearest-available-worker queries (worker cost retrieval).
+//!
+//! These indexes are consumed by the assignment algorithms in `tcsc-assign`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod spatial;
+pub mod voronoi;
+pub mod vtree;
+
+pub use spatial::{IndexedWorker, NearestWorker, WorkerIndex};
+pub use voronoi::{site_knn_set, OrderKVoronoi, VoronoiCell};
+pub use vtree::{BestSlot, SearchStats, VTree, VTreeConfig};

@@ -1,0 +1,406 @@
+//! Spatial index over worker locations, per time slot.
+//!
+//! The assignment algorithms repeatedly ask: *"who is the nearest available
+//! worker to this task at time slot `t`?"* (and, for the multi-task conflict
+//! resolution of Section IV-A, *"who is the j-th nearest?"*).  This module
+//! answers those queries with a per-slot uniform grid over worker locations,
+//! which is the classic light-weight index for low-dimensional nearest
+//! neighbour search.  A brute-force path is kept both as a correctness oracle
+//! for the tests and for very small pools.
+
+use tcsc_core::{Domain, Location, SlotIndex, WorkerId, WorkerPool};
+
+/// One indexed worker position: a worker available at the slot of the
+/// enclosing [`SlotGrid`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexedWorker {
+    /// The worker id.
+    pub worker: WorkerId,
+    /// The worker's position during the slot.
+    pub location: Location,
+    /// The worker's reliability score.
+    pub reliability: f64,
+}
+
+/// Result of a nearest-worker query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NearestWorker {
+    /// The worker found.
+    pub worker: WorkerId,
+    /// The worker's position during the queried slot.
+    pub location: Location,
+    /// The worker's reliability score.
+    pub reliability: f64,
+    /// Euclidean distance from the query point.
+    pub distance: f64,
+}
+
+/// Uniform grid over the workers available during a single time slot.
+#[derive(Debug, Clone)]
+struct SlotGrid {
+    /// All workers available in this slot.
+    workers: Vec<IndexedWorker>,
+    /// Grid buckets holding indices into `workers`.
+    cells: Vec<Vec<u32>>,
+    cols: usize,
+    rows: usize,
+    cell_size: f64,
+    origin: Location,
+}
+
+impl SlotGrid {
+    fn build(workers: Vec<IndexedWorker>, domain: &Domain) -> Self {
+        // Aim for a handful of workers per cell on average.
+        let n = workers.len().max(1);
+        let target_cells = (n as f64 / 2.0).ceil().max(1.0);
+        let cols = (target_cells.sqrt().ceil() as usize).max(1);
+        let rows = cols;
+        let cell_size = (domain.width().max(domain.height()) / cols as f64).max(f64::MIN_POSITIVE);
+        let mut cells = vec![Vec::new(); cols * rows];
+        let origin = domain.min;
+        for (i, w) in workers.iter().enumerate() {
+            let (cx, cy) = Self::cell_coords(origin, cell_size, cols, rows, &w.location);
+            cells[cy * cols + cx].push(i as u32);
+        }
+        Self {
+            workers,
+            cells,
+            cols,
+            rows,
+            cell_size,
+            origin,
+        }
+    }
+
+    fn cell_coords(
+        origin: Location,
+        cell_size: f64,
+        cols: usize,
+        rows: usize,
+        loc: &Location,
+    ) -> (usize, usize) {
+        let cx = ((loc.x - origin.x) / cell_size).floor().max(0.0) as usize;
+        let cy = ((loc.y - origin.y) / cell_size).floor().max(0.0) as usize;
+        (cx.min(cols - 1), cy.min(rows - 1))
+    }
+
+    /// The `count` nearest workers to `query`, sorted by distance.
+    /// Ring-expansion search over the grid; falls back to scanning everything
+    /// when the rings are exhausted.
+    fn nearest(&self, query: &Location, count: usize) -> Vec<NearestWorker> {
+        if self.workers.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let (qx, qy) =
+            Self::cell_coords(self.origin, self.cell_size, self.cols, self.rows, query);
+        let mut found: Vec<(f64, u32)> = Vec::new();
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            // Visit the cells of this ring.
+            let x_lo = qx.saturating_sub(ring);
+            let x_hi = (qx + ring).min(self.cols - 1);
+            let y_lo = qy.saturating_sub(ring);
+            let y_hi = (qy + ring).min(self.rows - 1);
+            for cy in y_lo..=y_hi {
+                for cx in x_lo..=x_hi {
+                    let on_ring = cx == x_lo || cx == x_hi || cy == y_lo || cy == y_hi;
+                    if ring > 0 && !on_ring {
+                        continue;
+                    }
+                    for &idx in &self.cells[cy * self.cols + cx] {
+                        let d = query.distance(&self.workers[idx as usize].location);
+                        found.push((d, idx));
+                    }
+                }
+            }
+            // Stop once we have enough candidates and the next ring cannot
+            // contain anything closer than the current count-th candidate.
+            if found.len() >= count {
+                found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let kth = found[count - 1].0;
+                let ring_guarantee = ring as f64 * self.cell_size;
+                if kth <= ring_guarantee {
+                    break;
+                }
+            }
+        }
+        found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        found.dedup_by_key(|(_, idx)| *idx);
+        found
+            .into_iter()
+            .take(count)
+            .map(|(d, idx)| {
+                let w = &self.workers[idx as usize];
+                NearestWorker {
+                    worker: w.worker,
+                    location: w.location,
+                    reliability: w.reliability,
+                    distance: d,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-slot spatial index over a worker pool.
+///
+/// Building the index costs `O(Σ availability)`; each nearest-worker query is
+/// answered from the grid of the queried slot only.
+#[derive(Debug, Clone)]
+pub struct WorkerIndex {
+    slots: Vec<SlotGrid>,
+    total_workers: usize,
+}
+
+impl WorkerIndex {
+    /// Builds the index for the given pool over `num_slots` time slots within
+    /// `domain`.
+    pub fn build(pool: &WorkerPool, num_slots: usize, domain: &Domain) -> Self {
+        let mut per_slot: Vec<Vec<IndexedWorker>> = vec![Vec::new(); num_slots];
+        for worker in pool.workers() {
+            for ws in worker.availability() {
+                if ws.slot < num_slots {
+                    per_slot[ws.slot].push(IndexedWorker {
+                        worker: worker.id,
+                        location: ws.location,
+                        reliability: worker.reliability,
+                    });
+                }
+            }
+        }
+        let slots = per_slot
+            .into_iter()
+            .map(|workers| SlotGrid::build(workers, domain))
+            .collect();
+        Self {
+            slots,
+            total_workers: pool.len(),
+        }
+    }
+
+    /// Number of time slots covered by the index.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of workers in the indexed pool.
+    pub fn total_workers(&self) -> usize {
+        self.total_workers
+    }
+
+    /// Number of workers available during `slot`.
+    pub fn available_count(&self, slot: SlotIndex) -> usize {
+        self.slots.get(slot).map_or(0, |g| g.workers.len())
+    }
+
+    /// The nearest available worker to `query` during `slot`.
+    pub fn nearest(&self, slot: SlotIndex, query: &Location) -> Option<NearestWorker> {
+        self.k_nearest(slot, query, 1).into_iter().next()
+    }
+
+    /// The `count` nearest available workers to `query` during `slot`, sorted
+    /// by distance (used for the `(d+1)`-NN bound expansion of the conflict
+    /// graph and for falling back to the 2nd, 3rd, ... nearest worker when
+    /// conflicts arise).
+    pub fn k_nearest(
+        &self,
+        slot: SlotIndex,
+        query: &Location,
+        count: usize,
+    ) -> Vec<NearestWorker> {
+        self.slots
+            .get(slot)
+            .map_or_else(Vec::new, |g| g.nearest(query, count))
+    }
+
+    /// The `rank`-th nearest worker (0-based rank) to `query` during `slot`,
+    /// excluding any worker whose id is in `excluded`.
+    pub fn nearest_excluding(
+        &self,
+        slot: SlotIndex,
+        query: &Location,
+        excluded: &[WorkerId],
+    ) -> Option<NearestWorker> {
+        let grid = self.slots.get(slot)?;
+        // Ask for enough candidates to skip the excluded ones.
+        let want = excluded.len() + 1;
+        let candidates = grid.nearest(query, want + excluded.len());
+        candidates
+            .into_iter()
+            .find(|c| !excluded.contains(&c.worker))
+    }
+
+    /// Brute-force nearest query, used as a correctness oracle in tests.
+    pub fn nearest_brute_force(
+        pool: &WorkerPool,
+        slot: SlotIndex,
+        query: &Location,
+    ) -> Option<NearestWorker> {
+        pool.available_at(slot)
+            .map(|(w, loc)| NearestWorker {
+                worker: w.id,
+                location: loc,
+                reliability: w.reliability,
+                distance: query.distance(&loc),
+            })
+            .min_by(|a, b| a.distance.total_cmp(&b.distance).then(a.worker.cmp(&b.worker)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsc_core::{Worker, WorkerSlot};
+
+    fn pool_of(points: &[(usize, f64, f64)]) -> WorkerPool {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &(slot, x, y))| {
+                Worker::new(
+                    WorkerId(i as u32),
+                    vec![WorkerSlot {
+                        slot,
+                        location: Location::new(x, y),
+                    }],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nearest_on_empty_slot_is_none() {
+        let pool = pool_of(&[(0, 1.0, 1.0)]);
+        let index = WorkerIndex::build(&pool, 3, &Domain::square(10.0));
+        assert!(index.nearest(1, &Location::new(0.0, 0.0)).is_none());
+        assert_eq!(index.available_count(1), 0);
+        assert_eq!(index.available_count(0), 1);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pool = pool_of(&[
+            (0, 1.0, 1.0),
+            (0, 5.0, 5.0),
+            (0, 9.0, 2.0),
+            (0, 2.0, 8.0),
+            (0, 4.9, 5.1),
+        ]);
+        let domain = Domain::square(10.0);
+        let index = WorkerIndex::build(&pool, 1, &domain);
+        for q in [
+            Location::new(0.0, 0.0),
+            Location::new(5.0, 5.0),
+            Location::new(10.0, 10.0),
+            Location::new(7.0, 3.0),
+        ] {
+            let fast = index.nearest(0, &q).unwrap();
+            let slow = WorkerIndex::nearest_brute_force(&pool, 0, &q).unwrap();
+            assert_eq!(fast.worker, slow.worker, "query {q}");
+            assert!((fast.distance - slow.distance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_nearest_is_sorted_by_distance() {
+        let pool = pool_of(&[(0, 1.0, 0.0), (0, 2.0, 0.0), (0, 5.0, 0.0), (0, 9.0, 0.0)]);
+        let index = WorkerIndex::build(&pool, 1, &Domain::square(10.0));
+        let res = index.k_nearest(0, &Location::new(0.0, 0.0), 3);
+        assert_eq!(res.len(), 3);
+        assert!(res[0].distance <= res[1].distance && res[1].distance <= res[2].distance);
+        assert_eq!(res[0].worker, WorkerId(0));
+        assert_eq!(res[2].worker, WorkerId(2));
+    }
+
+    #[test]
+    fn k_nearest_caps_at_available_workers() {
+        let pool = pool_of(&[(0, 1.0, 0.0), (0, 2.0, 0.0)]);
+        let index = WorkerIndex::build(&pool, 1, &Domain::square(10.0));
+        let res = index.k_nearest(0, &Location::new(0.0, 0.0), 10);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn nearest_excluding_skips_workers() {
+        let pool = pool_of(&[(0, 1.0, 0.0), (0, 2.0, 0.0), (0, 3.0, 0.0)]);
+        let index = WorkerIndex::build(&pool, 1, &Domain::square(10.0));
+        let q = Location::new(0.0, 0.0);
+        let first = index.nearest_excluding(0, &q, &[]).unwrap();
+        assert_eq!(first.worker, WorkerId(0));
+        let second = index.nearest_excluding(0, &q, &[WorkerId(0)]).unwrap();
+        assert_eq!(second.worker, WorkerId(1));
+        let third = index
+            .nearest_excluding(0, &q, &[WorkerId(0), WorkerId(1)])
+            .unwrap();
+        assert_eq!(third.worker, WorkerId(2));
+        assert!(index
+            .nearest_excluding(0, &q, &[WorkerId(0), WorkerId(1), WorkerId(2)])
+            .is_none());
+    }
+
+    #[test]
+    fn worker_available_in_multiple_slots_is_indexed_in_each() {
+        let worker = Worker::new(
+            WorkerId(0),
+            vec![
+                WorkerSlot {
+                    slot: 0,
+                    location: Location::new(1.0, 1.0),
+                },
+                WorkerSlot {
+                    slot: 2,
+                    location: Location::new(8.0, 8.0),
+                },
+            ],
+        );
+        let pool = WorkerPool::new(vec![worker]);
+        let index = WorkerIndex::build(&pool, 3, &Domain::square(10.0));
+        assert_eq!(index.available_count(0), 1);
+        assert_eq!(index.available_count(1), 0);
+        assert_eq!(index.available_count(2), 1);
+        let near = index.nearest(2, &Location::new(9.0, 9.0)).unwrap();
+        assert_eq!(near.location, Location::new(8.0, 8.0));
+    }
+
+    #[test]
+    fn availability_beyond_horizon_is_ignored() {
+        let worker = Worker::new(
+            WorkerId(0),
+            vec![WorkerSlot {
+                slot: 10,
+                location: Location::new(1.0, 1.0),
+            }],
+        );
+        let pool = WorkerPool::new(vec![worker]);
+        let index = WorkerIndex::build(&pool, 5, &Domain::square(10.0));
+        assert_eq!(index.num_slots(), 5);
+        assert_eq!(index.available_count(4), 0);
+    }
+
+    #[test]
+    fn grid_handles_many_random_workers() {
+        // Deterministic pseudo-random spread; compare against brute force.
+        let mut pts = Vec::new();
+        let mut state = 42u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = ((state >> 20) % 1000) as f64 / 10.0;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let y = ((state >> 20) % 1000) as f64 / 10.0;
+            pts.push((0usize, x, y));
+        }
+        let pool = pool_of(&pts);
+        let domain = Domain::square(100.0);
+        let index = WorkerIndex::build(&pool, 1, &domain);
+        for q in [
+            Location::new(0.0, 0.0),
+            Location::new(50.0, 50.0),
+            Location::new(99.0, 1.0),
+            Location::new(33.3, 66.6),
+        ] {
+            let fast = index.nearest(0, &q).unwrap();
+            let slow = WorkerIndex::nearest_brute_force(&pool, 0, &q).unwrap();
+            assert!((fast.distance - slow.distance).abs() < 1e-9, "query {q}");
+        }
+    }
+}

@@ -1,0 +1,874 @@
+//! Approximated order-k Voronoi diagram indexed by an aggregated binary tree
+//! ("V-tree", Section III-C of the paper), plus the best-first / upper-bound
+//! pruned search for the slot with the maximum heuristic value.
+//!
+//! The tree covers the task timeline `[0, m)`.  Each node represents a time
+//! segment `[l, r]` and stores the auxiliary quadruple of the paper —
+//! `⟨k-set, knn(l), knn(r), q′⟩` — materialised here as:
+//!
+//! * the k-NN results of the two end slots (and their k-th NN distances
+//!   `kmax(l)`, `kmax(r)`, from which the node's *influence range*
+//!   `[l − kmax(l), r + kmax(r)]` is derived);
+//! * the aggregated partial quality `q′` of all slots in the segment;
+//! * additional aggregates used by the pruned search: the summed *potential*
+//!   (the largest possible partial-quality improvement of each unexecuted
+//!   slot under a single additional execution, per Eq. 6 of the paper), the
+//!   minimum assignment cost and the minimum current partial quality among
+//!   unexecuted slots.
+//!
+//! Splitting stops when a segment is entirely contained in one Voronoi cell
+//! (`knn(l) = knn(r)`, Condition 1 / Lemma 8) or when the segment length
+//! drops below the threshold `ts` (Condition 2), which bounds the tree depth
+//! by `⌈log2(m/ts)⌉` and acts as the approximation knob.
+//!
+//! Two operations drive the `Approx*` algorithm:
+//!
+//! * [`VTree::gain`] — the exact quality increment of tentatively executing a
+//!   slot, computed by reusing the stored `q′` of every node whose influence
+//!   range excludes the tentative slot (the "locality of k-NN searching");
+//! * [`VTree::best_slot`] — best-first search over the tree with an
+//!   admissible upper bound on each node's heuristic value (quality increment
+//!   per unit cost), pruning nodes that cannot beat the best exact value
+//!   found so far.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use tcsc_core::quality::{ExecutedSlot, QualityEvaluator};
+use tcsc_core::SlotIndex;
+
+use crate::voronoi::site_knn_set;
+
+/// Configuration of the tree index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VTreeConfig {
+    /// Segment-length threshold `ts`: nodes whose segment is not longer than
+    /// this are never split (paper default: 4).
+    pub ts: usize,
+}
+
+impl VTreeConfig {
+    /// Creates a configuration; `ts` must be at least 1.
+    pub fn new(ts: usize) -> Self {
+        assert!(ts >= 1, "ts must be at least 1");
+        Self { ts }
+    }
+}
+
+impl Default for VTreeConfig {
+    fn default() -> Self {
+        Self { ts: 4 }
+    }
+}
+
+/// Statistics of one [`VTree::best_slot`] search, used for the pruning-ratio
+/// analysis of Fig. 8(d).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SearchStats {
+    /// Number of unexecuted slots whose exact heuristic value was computed.
+    pub evaluated_slots: usize,
+    /// Number of unexecuted candidate slots in total.
+    pub candidate_slots: usize,
+    /// Number of tree nodes popped from the search heap.
+    pub visited_nodes: usize,
+    /// Number of tree nodes pruned by the upper bound.
+    pub pruned_nodes: usize,
+}
+
+impl SearchStats {
+    /// Fraction of candidate slots that were *not* exactly evaluated.
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.candidate_slots == 0 {
+            0.0
+        } else {
+            1.0 - self.evaluated_slots as f64 / self.candidate_slots as f64
+        }
+    }
+
+    /// Accumulates another search's statistics into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.evaluated_slots += other.evaluated_slots;
+        self.candidate_slots += other.candidate_slots;
+        self.visited_nodes += other.visited_nodes;
+        self.pruned_nodes += other.pruned_nodes;
+    }
+}
+
+/// The best slot found by [`VTree::best_slot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestSlot {
+    /// The slot with the maximum heuristic value.
+    pub slot: SlotIndex,
+    /// Its exact quality increment.
+    pub gain: f64,
+    /// Its assignment cost.
+    pub cost: f64,
+    /// The heuristic value `gain / cost`.
+    pub heuristic: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    start: usize,
+    end: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+    /// Aggregated partial quality `q′` of the segment.
+    quality: f64,
+    /// Aggregated potential (max possible single-insertion improvement) of
+    /// unexecuted slots in the segment.
+    potential: f64,
+    /// Minimum partial quality among unexecuted, affordable slots.
+    min_unexec_pq: f64,
+    /// Minimum assignment cost among unexecuted, affordable slots.
+    min_cost: f64,
+    /// Maximum k-th NN distance among unexecuted slots of the segment.
+    max_kth_dist: usize,
+    /// Number of unexecuted slots with a finite cost in the segment.
+    candidates: usize,
+    /// k-NN site distances of the left end slot (distance to its k-th NN, or
+    /// `m` when fewer than k slots are executed).
+    kmax_l: usize,
+    /// Same for the right end slot.
+    kmax_r: usize,
+    /// k-NN site set of the left / right end slots (for the split condition).
+    knn_l: Vec<SlotIndex>,
+    knn_r: Vec<SlotIndex>,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.left.is_none()
+    }
+
+    /// Influence range: a tentative execution outside this range cannot
+    /// change the k-NN interpolation of any slot in the segment.
+    fn influence_contains(&self, slot: SlotIndex, m: usize) -> bool {
+        let lo = self.start.saturating_sub(self.kmax_l);
+        let hi = (self.end + self.kmax_r).min(m.saturating_sub(1));
+        (lo..=hi).contains(&slot)
+    }
+}
+
+/// Max-heap entry for the best-first search.
+struct HeapEntry {
+    bound: f64,
+    node: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// The aggregated tree index over a task's timeline.
+///
+/// The tree holds per-slot assignment costs (`None` for slots with no
+/// available worker) so that heuristic values `Δq / c` can be bounded and
+/// evaluated without consulting the worker index again.
+#[derive(Debug, Clone)]
+pub struct VTree {
+    config: VTreeConfig,
+    num_slots: usize,
+    k: usize,
+    costs: Vec<Option<f64>>,
+    nodes: Vec<Node>,
+    root: usize,
+    /// Milliseconds-free construction statistics: number of slots whose
+    /// aggregates were recomputed since construction (for the Fig. 8(c)
+    /// breakdown).
+    recomputed_slots: usize,
+}
+
+impl VTree {
+    /// Builds the tree for the current state of `evaluator`.
+    ///
+    /// `costs[j]` is the assignment cost of slot `j` (distance to its nearest
+    /// available worker), or `None` when the slot cannot be executed.
+    pub fn build(evaluator: &QualityEvaluator, costs: Vec<Option<f64>>, config: VTreeConfig) -> Self {
+        let m = evaluator.num_slots();
+        assert_eq!(costs.len(), m, "one cost entry per slot is required");
+        let mut tree = Self {
+            config,
+            num_slots: m,
+            k: evaluator.k(),
+            costs,
+            nodes: Vec::with_capacity(2 * m / config.ts.max(1) + 4),
+            root: 0,
+            recomputed_slots: 0,
+        };
+        tree.root = tree.build_node(evaluator, 0, m - 1);
+        tree
+    }
+
+    /// The configured split threshold `ts`.
+    pub fn config(&self) -> VTreeConfig {
+        self.config
+    }
+
+    /// Number of nodes currently in the tree (including rebuilt garbage-free
+    /// nodes only).
+    pub fn node_count(&self) -> usize {
+        self.count_nodes(self.root)
+    }
+
+    fn count_nodes(&self, idx: usize) -> usize {
+        let node = &self.nodes[idx];
+        1 + node.left.map_or(0, |l| self.count_nodes(l))
+            + node.right.map_or(0, |r| self.count_nodes(r))
+    }
+
+    /// Maximum depth of the tree.
+    pub fn depth(&self) -> usize {
+        self.depth_of(self.root)
+    }
+
+    fn depth_of(&self, idx: usize) -> usize {
+        let node = &self.nodes[idx];
+        1 + node
+            .left
+            .map_or(0, |l| self.depth_of(l))
+            .max(node.right.map_or(0, |r| self.depth_of(r)))
+    }
+
+    /// Total number of per-slot aggregate recomputations performed so far
+    /// (construction + updates); a proxy for the index maintenance cost.
+    pub fn recomputed_slots(&self) -> usize {
+        self.recomputed_slots
+    }
+
+    /// Aggregated quality `q(τ)` stored at the root.
+    pub fn total_quality(&self) -> f64 {
+        self.nodes[self.root].quality
+    }
+
+    /// The assignment cost currently recorded for a slot.
+    pub fn cost_of(&self, slot: SlotIndex) -> Option<f64> {
+        self.costs[slot]
+    }
+
+    /// Updates the assignment cost of a slot (used when multi-task conflicts
+    /// force a task to fall back to its 2nd, 3rd, ... nearest worker) and
+    /// refreshes the cost aggregates along the affected path.
+    pub fn update_cost(&mut self, evaluator: &QualityEvaluator, slot: SlotIndex, cost: Option<f64>) {
+        self.costs[slot] = cost;
+        self.refresh_for_slot(evaluator, self.root, slot);
+    }
+
+    fn refresh_for_slot(&mut self, evaluator: &QualityEvaluator, idx: usize, slot: SlotIndex) {
+        let (start, end, left, right, is_leaf) = {
+            let n = &self.nodes[idx];
+            (n.start, n.end, n.left, n.right, n.is_leaf())
+        };
+        if slot < start || slot > end {
+            return;
+        }
+        if is_leaf {
+            self.recompute_leaf(evaluator, idx);
+            return;
+        }
+        if let Some(l) = left {
+            self.refresh_for_slot(evaluator, l, slot);
+        }
+        if let Some(r) = right {
+            self.refresh_for_slot(evaluator, r, slot);
+        }
+        self.recompute_inner(idx);
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    fn build_node(&mut self, evaluator: &QualityEvaluator, start: usize, end: usize) -> usize {
+        let knn_l = site_knn_set(evaluator, start, self.k);
+        let knn_r = site_knn_set(evaluator, end, self.k);
+        let kmax_l = Self::kth_distance(&knn_l, start, self.k, self.num_slots);
+        let kmax_r = Self::kth_distance(&knn_r, end, self.k, self.num_slots);
+        let len = end - start + 1;
+        let stop = len <= self.config.ts || knn_l == knn_r;
+
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            start,
+            end,
+            left: None,
+            right: None,
+            quality: 0.0,
+            potential: 0.0,
+            min_unexec_pq: f64::INFINITY,
+            min_cost: f64::INFINITY,
+            max_kth_dist: 0,
+            candidates: 0,
+            kmax_l,
+            kmax_r,
+            knn_l,
+            knn_r,
+        });
+
+        if stop {
+            self.recompute_leaf(evaluator, idx);
+        } else {
+            let mid = start + (end - start) / 2;
+            let left = self.build_node(evaluator, start, mid);
+            let right = self.build_node(evaluator, mid + 1, end);
+            self.nodes[idx].left = Some(left);
+            self.nodes[idx].right = Some(right);
+            self.recompute_inner(idx);
+        }
+        idx
+    }
+
+    /// Distance from `slot` to its k-th nearest executed site, or `m` when
+    /// fewer than `k` sites exist.
+    fn kth_distance(knn: &[SlotIndex], slot: SlotIndex, k: usize, m: usize) -> usize {
+        if knn.len() < k {
+            m
+        } else {
+            knn.iter().map(|&e| e.abs_diff(slot)).max().unwrap_or(m)
+        }
+    }
+
+    fn recompute_leaf(&mut self, evaluator: &QualityEvaluator, idx: usize) {
+        let (start, end) = {
+            let n = &self.nodes[idx];
+            (n.start, n.end)
+        };
+        let m = self.num_slots as f64;
+        let max_pq_after_exec = Self::entropy_term(1.0 / m);
+        let mut quality = 0.0;
+        let mut potential = 0.0;
+        let mut min_unexec_pq = f64::INFINITY;
+        let mut min_cost = f64::INFINITY;
+        let mut max_kth_dist = 0usize;
+        let mut candidates = 0usize;
+
+        for slot in start..=end {
+            self.recomputed_slots += 1;
+            let pq = evaluator.partial_quality(slot);
+            quality += pq;
+            if evaluator.is_executed(slot) {
+                continue;
+            }
+            // Potential improvement of this slot under one more execution
+            // elsewhere (Eq. 6): its k-th NN distance can drop to 1 at best.
+            let neighbors = evaluator.knn(slot);
+            let kth_dist = neighbors.last().map_or(self.num_slots, |n| n.distance);
+            max_kth_dist = max_kth_dist.max(kth_dist);
+            let dist_sum: f64 = neighbors.iter().map(|n| n.distance as f64).sum();
+            let k = self.k as f64;
+            // Lower bound on the error ratio after one extra execution: the
+            // k-th neighbour is replaced by one at distance 1.
+            let rho_lb = ((dist_sum - kth_dist as f64 + 1.0) / (k * m)).max(0.0);
+            let p_ub = ((1.0 - rho_lb) / m).max(0.0);
+            let pq_ub = Self::entropy_term(p_ub);
+            potential += (pq_ub - pq).max(0.0);
+
+            if let Some(cost) = self.costs[slot] {
+                candidates += 1;
+                min_cost = min_cost.min(cost);
+                min_unexec_pq = min_unexec_pq.min(pq);
+            }
+        }
+        let _ = max_pq_after_exec;
+        let node = &mut self.nodes[idx];
+        node.quality = quality;
+        node.potential = potential;
+        node.min_unexec_pq = min_unexec_pq;
+        node.min_cost = min_cost;
+        node.max_kth_dist = max_kth_dist;
+        node.candidates = candidates;
+    }
+
+    fn recompute_inner(&mut self, idx: usize) {
+        let (l, r) = {
+            let n = &self.nodes[idx];
+            (n.left.unwrap(), n.right.unwrap())
+        };
+        let (lq, lp, lmin_pq, lmin_c, lkd, lc) = {
+            let n = &self.nodes[l];
+            (
+                n.quality,
+                n.potential,
+                n.min_unexec_pq,
+                n.min_cost,
+                n.max_kth_dist,
+                n.candidates,
+            )
+        };
+        let (rq, rp, rmin_pq, rmin_c, rkd, rc) = {
+            let n = &self.nodes[r];
+            (
+                n.quality,
+                n.potential,
+                n.min_unexec_pq,
+                n.min_cost,
+                n.max_kth_dist,
+                n.candidates,
+            )
+        };
+        let node = &mut self.nodes[idx];
+        node.quality = lq + rq;
+        node.potential = lp + rp;
+        node.min_unexec_pq = lmin_pq.min(rmin_pq);
+        node.min_cost = lmin_c.min(rmin_c);
+        node.max_kth_dist = lkd.max(rkd);
+        node.candidates = lc + rc;
+    }
+
+    #[inline]
+    fn entropy_term(p: f64) -> f64 {
+        if p <= 0.0 {
+            0.0
+        } else {
+            -p * p.log2()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Exact gain with locality
+    // ------------------------------------------------------------------
+
+    /// Exact quality increment of tentatively executing `slot` (with a fully
+    /// reliable worker), reusing stored aggregates of unaffected nodes.
+    pub fn gain(&self, evaluator: &QualityEvaluator, slot: SlotIndex) -> f64 {
+        if evaluator.is_executed(slot) {
+            return 0.0;
+        }
+        let extra = ExecutedSlot {
+            slot,
+            reliability: 1.0,
+        };
+        let new_total = self.quality_with_extra(evaluator, self.root, extra);
+        new_total - self.nodes[self.root].quality
+    }
+
+    fn quality_with_extra(
+        &self,
+        evaluator: &QualityEvaluator,
+        idx: usize,
+        extra: ExecutedSlot,
+    ) -> f64 {
+        let node = &self.nodes[idx];
+        if !node.influence_contains(extra.slot, self.num_slots) {
+            return node.quality;
+        }
+        if node.is_leaf() {
+            (node.start..=node.end)
+                .map(|j| evaluator.partial_quality_with_extra(j, Some(extra)))
+                .sum()
+        } else {
+            self.quality_with_extra(evaluator, node.left.unwrap(), extra)
+                + self.quality_with_extra(evaluator, node.right.unwrap(), extra)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Update after an execution
+    // ------------------------------------------------------------------
+
+    /// Refreshes the tree after `slot` was executed on `evaluator` (call
+    /// *after* `evaluator.execute(slot)`).  Affected subtrees are rebuilt;
+    /// untouched subtrees keep their aggregates.
+    pub fn notify_executed(&mut self, evaluator: &QualityEvaluator, slot: SlotIndex) {
+        self.root = self.update_node(evaluator, self.root, slot);
+    }
+
+    fn update_node(&mut self, evaluator: &QualityEvaluator, idx: usize, slot: SlotIndex) -> usize {
+        let (affected, start, end) = {
+            let n = &self.nodes[idx];
+            (
+                n.influence_contains(slot, self.num_slots),
+                n.start,
+                n.end,
+            )
+        };
+        if !affected {
+            return idx;
+        }
+        // The endpoint k-NN sets (and hence the split structure) may have
+        // changed: rebuild the affected subtree from scratch.  Rebuilding is
+        // local because unaffected sibling subtrees are returned unchanged.
+        if self.nodes[idx].is_leaf() {
+            self.build_node(evaluator, start, end)
+        } else {
+            let left = self.nodes[idx].left.unwrap();
+            let right = self.nodes[idx].right.unwrap();
+            let new_left = self.update_node(evaluator, left, slot);
+            let new_right = self.update_node(evaluator, right, slot);
+            // Refresh the endpoint information of this node.
+            let knn_l = site_knn_set(evaluator, start, self.k);
+            let knn_r = site_knn_set(evaluator, end, self.k);
+            let kmax_l = Self::kth_distance(&knn_l, start, self.k, self.num_slots);
+            let kmax_r = Self::kth_distance(&knn_r, end, self.k, self.num_slots);
+            {
+                let node = &mut self.nodes[idx];
+                node.left = Some(new_left);
+                node.right = Some(new_right);
+                node.knn_l = knn_l;
+                node.knn_r = knn_r;
+                node.kmax_l = kmax_l;
+                node.kmax_r = kmax_r;
+            }
+            self.recompute_inner(idx);
+            idx
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Best-first search with upper-bound pruning
+    // ------------------------------------------------------------------
+
+    /// Finds the unexecuted, affordable slot maximising the heuristic value
+    /// `Δq / cost`, using best-first search with an admissible upper bound.
+    ///
+    /// Returns `None` when no slot has an available worker.  `max_cost`
+    /// restricts candidates to those whose assignment cost does not exceed
+    /// the remaining budget.
+    pub fn best_slot(
+        &self,
+        evaluator: &QualityEvaluator,
+        max_cost: f64,
+        stats: &mut SearchStats,
+    ) -> Option<BestSlot> {
+        let root = &self.nodes[self.root];
+        if root.candidates == 0 {
+            return None;
+        }
+        stats.candidate_slots += root.candidates;
+        // Global bound on how far an execution can reach: any affected slot j
+        // satisfies |j - e| < kth-NN-distance(j) <= max_kth_dist.
+        let reach = root.max_kth_dist;
+
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        heap.push(HeapEntry {
+            bound: self.node_bound(self.root, reach, max_cost),
+            node: self.root,
+        });
+
+        let mut best: Option<BestSlot> = None;
+        while let Some(entry) = heap.pop() {
+            if entry.bound <= 0.0 {
+                stats.pruned_nodes += 1;
+                continue;
+            }
+            if let Some(b) = &best {
+                if entry.bound <= b.heuristic {
+                    stats.pruned_nodes += 1;
+                    continue;
+                }
+            }
+            stats.visited_nodes += 1;
+            let node = &self.nodes[entry.node];
+            if node.is_leaf() {
+                for slot in node.start..=node.end {
+                    if evaluator.is_executed(slot) {
+                        continue;
+                    }
+                    let Some(cost) = self.costs[slot] else { continue };
+                    if cost > max_cost {
+                        continue;
+                    }
+                    stats.evaluated_slots += 1;
+                    let gain = self.gain(evaluator, slot);
+                    let heuristic = if cost > 0.0 { gain / cost } else { f64::INFINITY };
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            heuristic > b.heuristic
+                                || (heuristic == b.heuristic && slot < b.slot)
+                        }
+                    };
+                    if better {
+                        best = Some(BestSlot {
+                            slot,
+                            gain,
+                            cost,
+                            heuristic,
+                        });
+                    }
+                }
+            } else {
+                for child in [node.left.unwrap(), node.right.unwrap()] {
+                    if self.nodes[child].candidates == 0 {
+                        continue;
+                    }
+                    heap.push(HeapEntry {
+                        bound: self.node_bound(child, reach, max_cost),
+                        node: child,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Admissible upper bound on the heuristic value of any slot within the
+    /// node:
+    ///
+    /// * the slot's own partial quality can rise at most to the executed
+    ///   value `−(1/m)·log2(1/m)`;
+    /// * every other slot it can influence lies within `reach` slots of the
+    ///   node's segment, and each such slot can improve at most by its stored
+    ///   potential (Eq. 6);
+    /// * the cost is at least the node's minimum candidate cost.
+    fn node_bound(&self, idx: usize, reach: usize, max_cost: f64) -> f64 {
+        let node = &self.nodes[idx];
+        if node.candidates == 0 || node.min_cost > max_cost {
+            return 0.0;
+        }
+        let m = self.num_slots as f64;
+        let own_ub = (Self::entropy_term(1.0 / m)
+            - if node.min_unexec_pq.is_finite() {
+                node.min_unexec_pq
+            } else {
+                0.0
+            })
+        .max(0.0);
+        let lo = node.start.saturating_sub(reach);
+        let hi = (node.end + reach).min(self.num_slots - 1);
+        let neighbor_ub = self.potential_in_range(self.root, lo, hi);
+        let cost = node.min_cost.max(f64::MIN_POSITIVE);
+        (own_ub + neighbor_ub) / cost
+    }
+
+    /// Sum of stored potentials of slots within `[lo, hi]`, accumulated from
+    /// node aggregates.
+    fn potential_in_range(&self, idx: usize, lo: usize, hi: usize) -> f64 {
+        let node = &self.nodes[idx];
+        if node.end < lo || node.start > hi {
+            return 0.0;
+        }
+        if lo <= node.start && node.end <= hi {
+            return node.potential;
+        }
+        if node.is_leaf() {
+            // Partial overlap with a leaf: the leaf potential is an upper
+            // bound for the covered part.
+            return node.potential;
+        }
+        self.potential_in_range(node.left.unwrap(), lo, hi)
+            + self.potential_in_range(node.right.unwrap(), lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evaluator(m: usize, k: usize, executed: &[usize]) -> QualityEvaluator {
+        let mut ev = QualityEvaluator::with_slots(m, k);
+        for &s in executed {
+            ev.execute(s);
+        }
+        ev
+    }
+
+    fn uniform_costs(m: usize, cost: f64) -> Vec<Option<f64>> {
+        vec![Some(cost); m]
+    }
+
+    #[test]
+    fn tree_quality_matches_evaluator() {
+        let ev = evaluator(64, 3, &[3, 17, 40, 41, 60]);
+        let tree = VTree::build(&ev, uniform_costs(64, 1.0), VTreeConfig::default());
+        assert!((tree.total_quality() - ev.quality()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_depth_respects_ts() {
+        let ev = evaluator(128, 3, &[1, 60, 100]);
+        for ts in [2, 4, 8, 16] {
+            let tree = VTree::build(&ev, uniform_costs(128, 1.0), VTreeConfig::new(ts));
+            let max_depth = (128usize / ts).next_power_of_two().trailing_zeros() as usize + 2;
+            assert!(
+                tree.depth() <= max_depth,
+                "ts={ts}: depth {} > {}",
+                tree.depth(),
+                max_depth
+            );
+        }
+    }
+
+    #[test]
+    fn larger_ts_builds_smaller_trees() {
+        let ev = evaluator(256, 3, &(0..32).map(|i| i * 8).collect::<Vec<_>>());
+        let small = VTree::build(&ev, uniform_costs(256, 1.0), VTreeConfig::new(2));
+        let large = VTree::build(&ev, uniform_costs(256, 1.0), VTreeConfig::new(10));
+        assert!(large.node_count() <= small.node_count());
+    }
+
+    #[test]
+    fn gain_matches_plain_evaluator() {
+        let ev = evaluator(80, 3, &[5, 22, 23, 50, 77]);
+        let tree = VTree::build(&ev, uniform_costs(80, 1.0), VTreeConfig::default());
+        for slot in [0, 10, 24, 49, 51, 79] {
+            let expected = ev.gain_if_executed(slot);
+            let got = tree.gain(&ev, slot);
+            assert!(
+                (expected - got).abs() < 1e-9,
+                "slot {slot}: tree gain {got} vs evaluator {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gain_of_executed_slot_is_zero() {
+        let ev = evaluator(40, 2, &[10]);
+        let tree = VTree::build(&ev, uniform_costs(40, 1.0), VTreeConfig::default());
+        assert_eq!(tree.gain(&ev, 10), 0.0);
+    }
+
+    #[test]
+    fn notify_executed_keeps_tree_consistent() {
+        let mut ev = evaluator(96, 3, &[]);
+        let mut tree = VTree::build(&ev, uniform_costs(96, 1.0), VTreeConfig::default());
+        for slot in [48, 10, 70, 11, 90, 0, 30] {
+            ev.execute(slot);
+            tree.notify_executed(&ev, slot);
+            assert!(
+                (tree.total_quality() - ev.quality()).abs() < 1e-9,
+                "after executing {slot}"
+            );
+            // Gains must stay exact after updates.
+            for probe in [5, 33, 60, 95] {
+                let expected = ev.gain_if_executed(probe);
+                let got = tree.gain(&ev, probe);
+                assert!(
+                    (expected - got).abs() < 1e-9,
+                    "probe {probe} after executing {slot}: {got} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_slot_matches_brute_force() {
+        let mut ev = evaluator(60, 3, &[]);
+        // Varying costs to exercise the heuristic denominator.
+        let costs: Vec<Option<f64>> = (0..60)
+            .map(|i| Some(1.0 + (i % 7) as f64 * 0.5))
+            .collect();
+        let mut tree = VTree::build(&ev, costs.clone(), VTreeConfig::default());
+        let mut stats = SearchStats::default();
+        for _ in 0..8 {
+            let best = tree.best_slot(&ev, f64::INFINITY, &mut stats).unwrap();
+            // Brute force: maximum gain/cost over all unexecuted slots.
+            let mut best_ratio = f64::NEG_INFINITY;
+            for slot in 0..60 {
+                if ev.is_executed(slot) {
+                    continue;
+                }
+                let ratio = ev.gain_if_executed(slot) / costs[slot].unwrap();
+                if ratio > best_ratio {
+                    best_ratio = ratio;
+                }
+            }
+            assert!(
+                (best.heuristic - best_ratio).abs() < 1e-9,
+                "best-first {} vs brute force {}",
+                best.heuristic,
+                best_ratio
+            );
+            ev.execute(best.slot);
+            tree.notify_executed(&ev, best.slot);
+        }
+    }
+
+    #[test]
+    fn best_slot_respects_max_cost() {
+        let ev = evaluator(20, 2, &[]);
+        let costs: Vec<Option<f64>> = (0..20).map(|i| Some(if i < 10 { 5.0 } else { 1.0 })).collect();
+        let tree = VTree::build(&ev, costs, VTreeConfig::default());
+        let mut stats = SearchStats::default();
+        let best = tree.best_slot(&ev, 2.0, &mut stats).unwrap();
+        assert!(best.slot >= 10, "must pick an affordable slot");
+        assert!(best.cost <= 2.0);
+    }
+
+    #[test]
+    fn best_slot_none_when_no_candidates() {
+        let ev = evaluator(10, 2, &[]);
+        let tree = VTree::build(&ev, vec![None; 10], VTreeConfig::default());
+        let mut stats = SearchStats::default();
+        assert!(tree.best_slot(&ev, f64::INFINITY, &mut stats).is_none());
+    }
+
+    #[test]
+    fn pruning_kicks_in_once_executions_accumulate() {
+        let mut ev = evaluator(400, 3, &[]);
+        // Slots in the second half of the timeline are far from any worker
+        // (high assignment cost): their heuristic values cannot compete, so
+        // the upper bound prunes them without exact evaluation.
+        let costs: Vec<Option<f64>> = (0..400)
+            .map(|i| Some(if i < 200 { 1.0 } else { 50.0 }))
+            .collect();
+        let mut tree = VTree::build(&ev, costs, VTreeConfig::default());
+        // Execute a spread of slots so that k-NN reach shrinks.
+        for slot in (0..400).step_by(25) {
+            ev.execute(slot);
+            tree.notify_executed(&ev, slot);
+        }
+        let mut stats = SearchStats::default();
+        let _ = tree.best_slot(&ev, f64::INFINITY, &mut stats);
+        assert!(
+            stats.pruning_ratio() > 0.3,
+            "expected meaningful pruning, got ratio {} ({} / {})",
+            stats.pruning_ratio(),
+            stats.evaluated_slots,
+            stats.candidate_slots
+        );
+    }
+
+    #[test]
+    fn update_cost_changes_candidate_selection() {
+        let ev = evaluator(30, 2, &[15]);
+        let mut tree = VTree::build(&ev, uniform_costs(30, 1.0), VTreeConfig::default());
+        let mut stats = SearchStats::default();
+        let before = tree.best_slot(&ev, f64::INFINITY, &mut stats).unwrap();
+        // Make the previously best slot prohibitively expensive.
+        tree.update_cost(&ev, before.slot, Some(1000.0));
+        let after = tree.best_slot(&ev, f64::INFINITY, &mut stats).unwrap();
+        assert_ne!(before.slot, after.slot);
+        // Removing the cost entirely excludes the slot.
+        tree.update_cost(&ev, after.slot, None);
+        let third = tree.best_slot(&ev, f64::INFINITY, &mut stats).unwrap();
+        assert_ne!(third.slot, after.slot);
+    }
+
+    #[test]
+    fn search_stats_merge_accumulates() {
+        let mut a = SearchStats {
+            evaluated_slots: 2,
+            candidate_slots: 10,
+            visited_nodes: 3,
+            pruned_nodes: 1,
+        };
+        let b = SearchStats {
+            evaluated_slots: 3,
+            candidate_slots: 5,
+            visited_nodes: 2,
+            pruned_nodes: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.evaluated_slots, 5);
+        assert_eq!(a.candidate_slots, 15);
+        assert_eq!(a.visited_nodes, 5);
+        assert_eq!(a.pruned_nodes, 5);
+        assert!((a.pruning_ratio() - (1.0 - 5.0 / 15.0)).abs() < 1e-12);
+    }
+}

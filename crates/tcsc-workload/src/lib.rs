@@ -1,0 +1,28 @@
+//! # tcsc-workload
+//!
+//! Workload generators and synthetic datasets for the TCSC experiments:
+//!
+//! * [`distribution`] — uniform / Gaussian / Zipfian / clustered spatial
+//!   distributions of task locations (Section V-A of the paper);
+//! * [`tasks`] — TCSC task generation;
+//! * [`trajectory`] — synthetic worker trajectories and availability windows
+//!   (the substitute for the T-Drive taxi dataset);
+//! * [`poi`] — a synthetic clustered POI dataset (the substitute for the
+//!   Beijing POI dataset);
+//! * [`scenario`] — the paper's default parameter sets bundled into
+//!   reproducible, seeded scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod poi;
+pub mod scenario;
+pub mod tasks;
+pub mod trajectory;
+
+pub use distribution::SpatialDistribution;
+pub use poi::{PoiConfig, PoiDataset};
+pub use scenario::{Scenario, ScenarioConfig, TaskPlacement};
+pub use tasks::{generate_tasks, tasks_from_locations};
+pub use trajectory::{generate_workers, TrajectoryConfig};

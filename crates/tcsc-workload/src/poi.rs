@@ -1,0 +1,141 @@
+//! Synthetic POI dataset — the substitute for the Beijing POI dataset.
+//!
+//! The paper uses a Beijing POI dataset only as a source of task locations
+//! (the "Real dataset" series in the plots).  We synthesise an equivalent:
+//! a fixed number of points-of-interest arranged as dense urban clusters with
+//! a sparse uniform background, which reproduces the skew that distinguishes
+//! the real-data series from the purely synthetic distributions.
+
+use rand::Rng;
+use tcsc_core::{Domain, Location};
+
+use crate::distribution::SpatialDistribution;
+
+/// Configuration of the synthetic POI dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoiConfig {
+    /// Total number of POIs.
+    pub count: usize,
+    /// Number of dense clusters ("districts").
+    pub clusters: usize,
+    /// Fraction of POIs that belong to clusters (the rest are uniform
+    /// background noise).
+    pub clustered_fraction: f64,
+    /// Relative spread of each cluster.
+    pub spread: f64,
+}
+
+impl Default for PoiConfig {
+    fn default() -> Self {
+        Self {
+            count: 2000,
+            clusters: 10,
+            clustered_fraction: 0.85,
+            spread: 0.03,
+        }
+    }
+}
+
+/// A generated POI dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoiDataset {
+    /// The POI locations.
+    pub locations: Vec<Location>,
+}
+
+impl PoiDataset {
+    /// Generates the dataset within `domain`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, domain: &Domain, config: PoiConfig) -> Self {
+        let clustered = SpatialDistribution::Clustered {
+            clusters: config.clusters,
+            spread: config.spread,
+        };
+        let uniform = SpatialDistribution::Uniform;
+        let locations = (0..config.count)
+            .map(|_| {
+                if rng.gen_bool(config.clustered_fraction.clamp(0.0, 1.0)) {
+                    clustered.sample(rng, domain)
+                } else {
+                    uniform.sample(rng, domain)
+                }
+            })
+            .collect();
+        Self { locations }
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Samples `count` task locations from the dataset (with replacement).
+    pub fn sample_locations<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Location> {
+        assert!(!self.locations.is_empty(), "cannot sample from an empty POI set");
+        (0..count)
+            .map(|_| self.locations[rng.gen_range(0..self.locations.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_count_inside_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let domain = Domain::square(100.0);
+        let poi = PoiDataset::generate(&mut rng, &domain, PoiConfig::default());
+        assert_eq!(poi.len(), 2000);
+        assert!(!poi.is_empty());
+        assert!(poi.locations.iter().all(|l| domain.contains(l)));
+    }
+
+    #[test]
+    fn sampling_draws_from_the_dataset() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let domain = Domain::square(100.0);
+        let poi = PoiDataset::generate(&mut rng, &domain, PoiConfig::default());
+        let sample = poi.sample_locations(&mut rng, 50);
+        assert_eq!(sample.len(), 50);
+        for loc in &sample {
+            assert!(poi.locations.contains(loc));
+        }
+    }
+
+    #[test]
+    fn poi_dataset_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let domain = Domain::square(100.0);
+        let poi = PoiDataset::generate(&mut rng, &domain, PoiConfig::default());
+        // Count occupancy of a 5x5 lattice: a clustered dataset has a much
+        // larger maximum bucket than a uniform one would (~4% per bucket).
+        let mut buckets = [0usize; 25];
+        for l in &poi.locations {
+            let cx = (l.x / 20.0).floor().min(4.0) as usize;
+            let cy = (l.y / 20.0).floor().min(4.0) as usize;
+            buckets[cy * 5 + cx] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let uniform_expectation = poi.len() / 25;
+        assert!(
+            max > uniform_expectation * 2,
+            "max bucket {max} not clearly above the uniform expectation {uniform_expectation}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty POI set")]
+    fn sampling_from_empty_dataset_panics() {
+        let poi = PoiDataset { locations: vec![] };
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = poi.sample_locations(&mut rng, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! TCSC task generation.
+//!
+//! Tasks are placed according to a [`SpatialDistribution`] (uniform /
+//! Gaussian / Zipfian / POI-like) and all share the same number of time
+//! slots `m`, mirroring the paper's experimental setup.
+
+use rand::Rng;
+use tcsc_core::{Domain, Location, Task, TaskId};
+
+use crate::distribution::SpatialDistribution;
+
+/// Generates `count` tasks of `num_slots` slots each, with locations drawn
+/// from `distribution` over `domain`.
+pub fn generate_tasks<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    num_slots: usize,
+    distribution: &SpatialDistribution,
+    domain: &Domain,
+) -> Vec<Task> {
+    distribution
+        .sample_many(rng, domain, count)
+        .into_iter()
+        .enumerate()
+        .map(|(i, loc)| Task::new(TaskId(i as u32), loc, num_slots))
+        .collect()
+}
+
+/// Builds tasks from an explicit list of locations (e.g. a POI dataset).
+pub fn tasks_from_locations(locations: &[Location], num_slots: usize) -> Vec<Task> {
+    locations
+        .iter()
+        .enumerate()
+        .map(|(i, &loc)| Task::new(TaskId(i as u32), loc, num_slots))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_count_tasks_with_m_slots() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let domain = Domain::square(100.0);
+        let tasks = generate_tasks(&mut rng, 25, 300, &SpatialDistribution::Uniform, &domain);
+        assert_eq!(tasks.len(), 25);
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.id, TaskId(i as u32));
+            assert_eq!(t.num_slots, 300);
+            assert!(domain.contains(&t.location));
+        }
+    }
+
+    #[test]
+    fn tasks_from_locations_preserves_order() {
+        let locs = vec![Location::new(1.0, 2.0), Location::new(3.0, 4.0)];
+        let tasks = tasks_from_locations(&locs, 10);
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].location, locs[0]);
+        assert_eq!(tasks[1].location, locs[1]);
+        assert_eq!(tasks[1].id, TaskId(1));
+    }
+}

@@ -1,0 +1,237 @@
+//! Synthetic worker trajectories — the substitute for the T-Drive dataset.
+//!
+//! The paper represents worker movements with 10,357 real taxi trajectories
+//! and cuts each trajectory into pieces of 1–5 time slots that become the
+//! worker's active (available) slots.  We reproduce the statistical shape of
+//! that input with a random-waypoint model over the spatial domain: a worker
+//! starts at a point drawn from a (possibly clustered) spatial distribution,
+//! repeatedly picks a waypoint and moves towards it with bounded per-slot
+//! speed, and registers availability windows of 1–5 consecutive slots cut out
+//! of the trajectory, exactly as the paper does.  The algorithms only consume
+//! `(slot, location)` availability pairs, so this substitution preserves the
+//! properties that matter: spatially clustered workers, bounded movement
+//! between consecutive slots, and scarce availability.
+
+use rand::Rng;
+
+use tcsc_core::{Domain, Location, Worker, WorkerId, WorkerSlot};
+
+use crate::distribution::SpatialDistribution;
+
+/// Configuration of the trajectory generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryConfig {
+    /// Number of time slots covered by the trajectories (the task horizon).
+    pub horizon: usize,
+    /// Maximum distance a worker travels between two consecutive slots, as a
+    /// fraction of the domain side length.
+    pub speed: f64,
+    /// Minimum length (in slots) of an availability window.
+    pub min_window: usize,
+    /// Maximum length (in slots) of an availability window (the paper uses
+    /// windows of 1–5 slots).
+    pub max_window: usize,
+    /// Expected number of availability windows per worker.
+    pub windows_per_worker: usize,
+    /// Spatial distribution of worker start locations.
+    pub start_distribution: SpatialDistribution,
+    /// Range of worker reliability scores `[low, high]` (both 1.0 by default,
+    /// i.e. fully reliable workers; the reliability extension samples within
+    /// this range).
+    pub reliability: (f64, f64),
+}
+
+impl TrajectoryConfig {
+    /// A configuration mirroring the paper's setup for a given horizon.
+    pub fn paper_default(horizon: usize) -> Self {
+        Self {
+            horizon,
+            speed: 0.02,
+            min_window: 1,
+            max_window: 5,
+            windows_per_worker: 3,
+            start_distribution: SpatialDistribution::Clustered {
+                clusters: 12,
+                spread: 0.08,
+            },
+            reliability: (1.0, 1.0),
+        }
+    }
+
+    /// Same as [`Self::paper_default`] but with worker reliabilities drawn
+    /// uniformly from `[low, high]` (for the reliability extension of the
+    /// metric).
+    pub fn with_reliability(mut self, low: f64, high: f64) -> Self {
+        assert!((0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high) && low <= high);
+        self.reliability = (low, high);
+        self
+    }
+}
+
+/// Generates a single worker trajectory and cuts availability windows out of
+/// it.
+fn generate_worker<R: Rng + ?Sized>(
+    rng: &mut R,
+    id: WorkerId,
+    domain: &Domain,
+    config: &TrajectoryConfig,
+) -> Worker {
+    let step = config.speed * domain.width().max(domain.height());
+    let mut position = config.start_distribution.sample(rng, domain);
+    let mut waypoint = config.start_distribution.sample(rng, domain);
+
+    // Walk the full horizon, recording the position at every slot.
+    let mut track: Vec<Location> = Vec::with_capacity(config.horizon);
+    for _ in 0..config.horizon {
+        track.push(position);
+        let d = position.distance(&waypoint);
+        if d < step {
+            position = waypoint;
+            waypoint = config.start_distribution.sample(rng, domain);
+        } else {
+            let f = step / d;
+            position = Location::new(
+                position.x + (waypoint.x - position.x) * f,
+                position.y + (waypoint.y - position.y) * f,
+            );
+        }
+    }
+
+    // Cut availability windows of min..=max slots out of the track.
+    let mut availability: Vec<WorkerSlot> = Vec::new();
+    for _ in 0..config.windows_per_worker {
+        if config.horizon == 0 {
+            break;
+        }
+        let len = rng.gen_range(config.min_window..=config.max_window.max(config.min_window));
+        let len = len.min(config.horizon);
+        let start = rng.gen_range(0..=config.horizon - len);
+        for slot in start..start + len {
+            availability.push(WorkerSlot {
+                slot,
+                location: track[slot],
+            });
+        }
+    }
+
+    let reliability = if config.reliability.0 >= config.reliability.1 {
+        config.reliability.0
+    } else {
+        rng.gen_range(config.reliability.0..=config.reliability.1)
+    };
+    Worker::with_reliability(id, availability, reliability)
+}
+
+/// Generates a pool of `count` workers with synthetic trajectories.
+pub fn generate_workers<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    domain: &Domain,
+    config: &TrajectoryConfig,
+) -> tcsc_core::WorkerPool {
+    (0..count)
+        .map(|i| generate_worker(rng, WorkerId(i as u32), domain, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(horizon: usize) -> TrajectoryConfig {
+        TrajectoryConfig::paper_default(horizon)
+    }
+
+    #[test]
+    fn generates_the_requested_number_of_workers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = generate_workers(&mut rng, 50, &Domain::square(100.0), &config(100));
+        assert_eq!(pool.len(), 50);
+    }
+
+    #[test]
+    fn availability_windows_have_bounded_length_and_are_in_horizon() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = config(60);
+        let pool = generate_workers(&mut rng, 200, &Domain::square(100.0), &cfg);
+        for w in pool.workers() {
+            assert!(
+                w.availability_len() <= cfg.windows_per_worker * cfg.max_window,
+                "worker {:?} has {} availability slots",
+                w.id,
+                w.availability_len()
+            );
+            for ws in w.availability() {
+                assert!(ws.slot < 60);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_locations_stay_inside_the_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let domain = Domain::square(100.0);
+        let pool = generate_workers(&mut rng, 100, &domain, &config(80));
+        for w in pool.workers() {
+            for ws in w.availability() {
+                assert!(domain.contains(&ws.location));
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_slots_respect_the_speed_bound() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let domain = Domain::square(100.0);
+        let cfg = config(120);
+        let pool = generate_workers(&mut rng, 100, &domain, &cfg);
+        let max_step = cfg.speed * 100.0 + 1e-9;
+        for w in pool.workers() {
+            let avail = w.availability();
+            for pair in avail.windows(2) {
+                if pair[1].slot == pair[0].slot + 1 {
+                    let d = pair[0].location.distance(&pair[1].location);
+                    assert!(d <= max_step, "step of {d} exceeds the speed bound");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reliability_sampling_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = config(50).with_reliability(0.6, 0.9);
+        let pool = generate_workers(&mut rng, 100, &Domain::square(100.0), &cfg);
+        for w in pool.workers() {
+            assert!((0.6..=0.9).contains(&w.reliability));
+        }
+    }
+
+    #[test]
+    fn default_workers_are_fully_reliable() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pool = generate_workers(&mut rng, 20, &Domain::square(100.0), &config(30));
+        assert!(pool.workers().iter().all(|w| w.reliability == 1.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let domain = Domain::square(100.0);
+        let a = generate_workers(&mut StdRng::seed_from_u64(9), 10, &domain, &config(40));
+        let b = generate_workers(&mut StdRng::seed_from_u64(9), 10, &domain, &config(40));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn most_slots_have_some_available_worker_for_large_pools() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = config(100);
+        let pool = generate_workers(&mut rng, 2000, &Domain::square(100.0), &cfg);
+        let covered = (0..100)
+            .filter(|&slot| pool.available_at(slot).next().is_some())
+            .count();
+        assert!(covered > 90, "only {covered} of 100 slots have workers");
+    }
+}

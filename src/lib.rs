@@ -1,0 +1,57 @@
+//! # tcsc — Time-Continuous Spatial Crowdsourcing
+//!
+//! Facade crate re-exporting the full public API of the TCSC reproduction:
+//!
+//! * [`core`](tcsc_core) — data model (tasks, subtasks, workers, domains),
+//!   cost model and the entropy-based quality metric with its reliability and
+//!   spatiotemporal extensions;
+//! * [`index`](tcsc_index) — order-k 1-D Voronoi diagrams, the aggregated
+//!   tree index with best-first pruned search, and the spatial worker grid;
+//! * [`assign`](tcsc_assign) — single-task (`Approx`, `Approx*`, `OPT`,
+//!   `Rand`) and multi-task (MSQM, MMQM, `SApprox`) assignment, plus the
+//!   group-level and task-level parallel frameworks;
+//! * [`workload`](tcsc_workload) — synthetic workload generators (task
+//!   distributions, worker trajectories, POIs) and reproducible scenarios.
+//!
+//! See the `examples/` directory for end-to-end usage and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the mapping to the paper.
+//!
+//! ```
+//! use tcsc::prelude::*;
+//!
+//! // Generate a small reproducible scenario and assign its first task.
+//! let scenario = ScenarioConfig::small().build();
+//! let index = WorkerIndex::build(&scenario.workers, scenario.config.num_slots, &scenario.domain);
+//! let task = scenario.first_task();
+//! let candidates = SlotCandidates::compute(task, &index, &EuclideanCost::default());
+//! let outcome = approx_star(task, &candidates, &SingleTaskConfig::new(20.0));
+//! assert!(outcome.plan.total_cost() <= 20.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tcsc_assign as assign;
+pub use tcsc_core as core;
+pub use tcsc_index as index;
+pub use tcsc_workload as workload;
+
+/// Convenient glob import of the most frequently used items.
+pub mod prelude {
+    pub use tcsc_assign::{
+        approx, approx_star, independence_graph, min_budget_for_quality, mmqm,
+        msqm_group_parallel, msqm_serial, msqm_task_parallel, optimal, random_assignment,
+        random_summary, sapprox, MultiTaskConfig, SingleTaskConfig, SlotCandidates,
+        SpatioTemporalObjective, WorkerLedger,
+    };
+    pub use tcsc_core::{
+        AssignmentPlan, Budget, CostModel, Domain, EuclideanCost, InterpolationWeights, Location,
+        MultiAssignment, QualityEvaluator, QualityParams, SpatioTemporalEvaluator, Task, TaskId,
+        Worker, WorkerId, WorkerPool, WorkerSlot,
+    };
+    pub use tcsc_index::{OrderKVoronoi, VTree, VTreeConfig, WorkerIndex};
+    pub use tcsc_workload::{
+        PoiConfig, PoiDataset, Scenario, ScenarioConfig, SpatialDistribution, TaskPlacement,
+        TrajectoryConfig,
+    };
+}
