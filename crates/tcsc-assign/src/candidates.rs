@@ -24,11 +24,7 @@ pub struct SlotCandidates {
 impl SlotCandidates {
     /// Computes the candidates of `task` against the worker index: the
     /// nearest available worker of every slot.
-    pub fn compute(
-        task: &Task,
-        index: &WorkerIndex,
-        cost_model: &dyn CostModel,
-    ) -> Self {
+    pub fn compute(task: &Task, index: &WorkerIndex, cost_model: &dyn CostModel) -> Self {
         Self::compute_excluding(task, index, cost_model, &WorkerLedger::new())
     }
 
@@ -69,7 +65,10 @@ impl SlotCandidates {
     /// Costs of every slot, in slot order (the format consumed by the
     /// `VTree`).
     pub fn costs(&self) -> Vec<Option<f64>> {
-        self.candidates.iter().map(|c| c.as_ref().map(|c| c.cost)).collect()
+        self.candidates
+            .iter()
+            .map(|c| c.as_ref().map(|c| c.cost))
+            .collect()
     }
 
     /// Replaces the candidate for a slot (used after conflicts).
@@ -177,15 +176,27 @@ mod tests {
             Worker::new(
                 WorkerId(0),
                 vec![
-                    WorkerSlot { slot: 0, location: Location::new(1.0, 0.0) },
-                    WorkerSlot { slot: 1, location: Location::new(2.0, 0.0) },
+                    WorkerSlot {
+                        slot: 0,
+                        location: Location::new(1.0, 0.0),
+                    },
+                    WorkerSlot {
+                        slot: 1,
+                        location: Location::new(2.0, 0.0),
+                    },
                 ],
             ),
             Worker::new(
                 WorkerId(1),
                 vec![
-                    WorkerSlot { slot: 0, location: Location::new(3.0, 0.0) },
-                    WorkerSlot { slot: 2, location: Location::new(4.0, 0.0) },
+                    WorkerSlot {
+                        slot: 0,
+                        location: Location::new(3.0, 0.0),
+                    },
+                    WorkerSlot {
+                        slot: 2,
+                        location: Location::new(4.0, 0.0),
+                    },
                 ],
             ),
         ]
@@ -204,7 +215,10 @@ mod tests {
         assert!((candidates.cost(0).unwrap() - 1.0).abs() < 1e-12);
         assert_eq!(candidates.get(1).unwrap().worker, WorkerId(0));
         assert_eq!(candidates.get(2).unwrap().worker, WorkerId(1));
-        assert!(candidates.get(3).is_none(), "slot 3 has no available worker");
+        assert!(
+            candidates.get(3).is_none(),
+            "slot 3 has no available worker"
+        );
         assert_eq!(candidates.available(), 3);
     }
 
@@ -213,7 +227,10 @@ mod tests {
         let (task, index, cost) = setup();
         let mut ledger = WorkerLedger::new();
         assert!(ledger.occupy(0, WorkerId(0)));
-        assert!(!ledger.occupy(0, WorkerId(0)), "double occupancy is a conflict");
+        assert!(
+            !ledger.occupy(0, WorkerId(0)),
+            "double occupancy is a conflict"
+        );
         let candidates = SlotCandidates::compute_excluding(&task, &index, &cost, &ledger);
         assert_eq!(candidates.get(0).unwrap().worker, WorkerId(1));
         assert!((candidates.cost(0).unwrap() - 3.0).abs() < 1e-12);

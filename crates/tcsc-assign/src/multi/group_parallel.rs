@@ -61,8 +61,7 @@ pub fn msqm_group_parallel(
             let handles: Vec<_> = wave
                 .iter()
                 .map(|(group, share)| {
-                    let group_tasks: Vec<Task> =
-                        group.iter().map(|&i| tasks[i].clone()).collect();
+                    let group_tasks: Vec<Task> = group.iter().map(|&i| tasks[i].clone()).collect();
                     let group = group.clone();
                     let share = *share;
                     scope.spawn(move || {
@@ -183,7 +182,9 @@ mod tests {
         let serial = crate::multi::msqm::msqm_serial(&tasks, &index, &cost, &cfg);
         let grouped = msqm_group_parallel(&tasks, &index, &cost, &cfg, 4);
         assert!(grouped.outcome.sum_quality() > 0.0);
-        assert!(grouped.outcome.sum_quality() <= serial.sum_quality() + 1e-6
-            || grouped.outcome.sum_quality() >= 0.5 * serial.sum_quality());
+        assert!(
+            grouped.outcome.sum_quality() <= serial.sum_quality() + 1e-6
+                || grouped.outcome.sum_quality() >= 0.5 * serial.sum_quality()
+        );
     }
 }

@@ -172,7 +172,12 @@ mod tests {
     fn indexed_and_plain_variants_agree_on_min_quality() {
         let (tasks, index, cost) = small_instance(16, 3, 25, 200);
         let a = mmqm(&tasks, &index, &cost, &MultiTaskConfig::new(30.0));
-        let b = mmqm(&tasks, &index, &cost, &MultiTaskConfig::new(30.0).with_index(false));
+        let b = mmqm(
+            &tasks,
+            &index,
+            &cost,
+            &MultiTaskConfig::new(30.0).with_index(false),
+        );
         assert!((a.min_quality() - b.min_quality()).abs() < 1e-6);
     }
 }

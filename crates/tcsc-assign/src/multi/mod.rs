@@ -114,9 +114,9 @@ impl TaskState {
     ) -> Self {
         let candidates = SlotCandidates::compute(task, index, cost_model);
         let evaluator = QualityEvaluator::new(QualityParams::new(task.num_slots, config.k));
-        let tree = config.use_index.then(|| {
-            VTree::build(&evaluator, candidates.costs(), VTreeConfig::new(config.ts))
-        });
+        let tree = config
+            .use_index
+            .then(|| VTree::build(&evaluator, candidates.costs(), VTreeConfig::new(config.ts)));
         Self {
             task: task.clone(),
             evaluator,
@@ -145,12 +145,18 @@ impl TaskState {
                 if self.evaluator.is_executed(slot) {
                     continue;
                 }
-                let Some(cost) = self.candidates.cost(slot) else { continue };
+                let Some(cost) = self.candidates.cost(slot) else {
+                    continue;
+                };
                 if cost > max_cost {
                     continue;
                 }
                 let gain = self.evaluator.gain_if_executed(slot);
-                let heuristic = if cost > 0.0 { gain / cost } else { f64::INFINITY };
+                let heuristic = if cost > 0.0 {
+                    gain / cost
+                } else {
+                    f64::INFINITY
+                };
                 let better = best.map_or(true, |b| {
                     heuristic > b.heuristic || (heuristic == b.heuristic && slot < b.slot)
                 });

@@ -57,7 +57,9 @@ pub fn msqm_serial(
         // affordable candidates.
         let mut best: Option<(usize, crate::multi::TaskCandidate)> = None;
         for (i, entry) in cached.iter().enumerate() {
-            let Some(Some(candidate)) = entry else { continue };
+            let Some(Some(candidate)) = entry else {
+                continue;
+            };
             if candidate.cost > remaining {
                 continue;
             }
@@ -72,7 +74,9 @@ pub fn msqm_serial(
                 best = Some((i, *candidate));
             }
         }
-        let Some((task_idx, candidate)) = best else { break };
+        let Some((task_idx, candidate)) = best else {
+            break;
+        };
 
         // Worker-conflict check: the planned worker may have been taken by
         // another task since this candidate was computed.

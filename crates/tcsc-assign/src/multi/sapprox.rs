@@ -91,7 +91,9 @@ pub fn sapprox(
                 if evaluator.is_executed(task_idx, slot) {
                     continue;
                 }
-                let Some(candidate) = candidates[task_idx].get(slot) else { continue };
+                let Some(candidate) = candidates[task_idx].get(slot) else {
+                    continue;
+                };
                 if candidate.cost > remaining {
                     continue;
                 }
@@ -131,8 +133,12 @@ pub fn sapprox(
             }
         }
 
-        let Some((task_idx, slot, _gain, cost)) = best else { break };
-        let candidate = *candidates[task_idx].get(slot).expect("selected candidate exists");
+        let Some((task_idx, slot, _gain, cost)) = best else {
+            break;
+        };
+        let candidate = *candidates[task_idx]
+            .get(slot)
+            .expect("selected candidate exists");
         // Worker conflict: fall back to the next nearest worker.
         if ledger.is_occupied(slot, candidate.worker) {
             conflicts += 1;

@@ -22,8 +22,8 @@
 //! the wall-clock time of the per-task candidate searches.
 
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use tcsc_core::{AssignmentPlan, CostModel, MultiAssignment, SlotIndex, Task, WorkerId};
 use tcsc_index::WorkerIndex;
 
@@ -143,11 +143,11 @@ pub fn msqm_task_parallel(
     // Task -> owning thread (round-robin).
     let owner: Vec<usize> = (0..tasks.len()).map(|i| i % threads).collect();
 
-    let (event_tx, event_rx): (Sender<Event>, Receiver<Event>) = unbounded();
+    let (event_tx, event_rx): (Sender<Event>, Receiver<Event>) = channel();
     let mut command_txs: Vec<Sender<Command>> = Vec::with_capacity(threads);
     let mut command_rxs: Vec<Receiver<Command>> = Vec::with_capacity(threads);
     for _ in 0..threads {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         command_txs.push(tx);
         command_rxs.push(rx);
     }
@@ -272,7 +272,10 @@ pub fn msqm_task_parallel(
             // Wait for every outstanding heartbeat so that the greedy choice
             // is deterministic.
             while pending > 0 {
-                match event_rx.recv().expect("worker threads stay alive until Finish") {
+                match event_rx
+                    .recv()
+                    .expect("worker threads stay alive until Finish")
+                {
                     Event::Heartbeat {
                         task,
                         candidate,
@@ -338,7 +341,9 @@ pub fn msqm_task_parallel(
             // Select the affordable candidate with the maximum heuristic.
             let mut best: Option<(usize, TaskCandidate, WorkerId)> = None;
             for (task, entry) in heartbeat.iter().enumerate() {
-                let Some((Some(c), Some(worker))) = entry else { continue };
+                let Some((Some(c), Some(worker))) = entry else {
+                    continue;
+                };
                 if c.cost > remaining {
                     continue;
                 }
@@ -352,7 +357,9 @@ pub fn msqm_task_parallel(
                     best = Some((task, *c, *worker));
                 }
             }
-            let Some((task, candidate, worker)) = best else { break };
+            let Some((task, candidate, worker)) = best else {
+                break;
+            };
 
             if ledger.is_occupied(candidate.slot, worker) {
                 // Conflict: look up / update the conflicting table and tell the
@@ -527,8 +534,14 @@ mod tests {
     fn respects_the_global_budget() {
         let (tasks, index, cost) = small_instance(42, 5, 20, 100);
         for budget in [10.0, 35.0] {
-            let outcome =
-                msqm_task_parallel(&tasks, &index, &cost, &MultiTaskConfig::new(budget), 3, true);
+            let outcome = msqm_task_parallel(
+                &tasks,
+                &index,
+                &cost,
+                &MultiTaskConfig::new(budget),
+                3,
+                true,
+            );
             assert!(outcome.outcome.assignment.total_cost() <= budget + 1e-6);
         }
     }
@@ -578,7 +591,10 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, LogEntry::Execution { .. }))
             .count();
-        assert!(heartbeats >= tasks.len(), "every task reports at least once");
+        assert!(
+            heartbeats >= tasks.len(),
+            "every task reports at least once"
+        );
         assert_eq!(execs, outcome.outcome.executions);
     }
 

@@ -38,7 +38,12 @@ pub fn random_assignment<R: Rng + ?Sized>(
             continue;
         }
         budget.charge(candidate.cost);
-        execute_slot(&mut evaluator, slot, candidate.reliability, config.use_reliability);
+        execute_slot(
+            &mut evaluator,
+            slot,
+            candidate.reliability,
+            config.use_reliability,
+        );
         executions.push(ExecutedSubtask {
             slot,
             worker: candidate.worker,
@@ -102,7 +107,8 @@ mod tests {
         let (task, candidates) = line_instance(30);
         let mut rng = StdRng::seed_from_u64(1);
         for budget in [2.0, 8.0, 20.0] {
-            let plan = random_assignment(&mut rng, &task, &candidates, &SingleTaskConfig::new(budget));
+            let plan =
+                random_assignment(&mut rng, &task, &candidates, &SingleTaskConfig::new(budget));
             assert!(plan.total_cost() <= budget + 1e-9);
         }
     }
@@ -111,7 +117,13 @@ mod tests {
     fn summary_orders_min_avg_max() {
         let (task, candidates) = line_instance(40);
         let mut rng = StdRng::seed_from_u64(2);
-        let summary = random_summary(&mut rng, &task, &candidates, &SingleTaskConfig::new(10.0), 20);
+        let summary = random_summary(
+            &mut rng,
+            &task,
+            &candidates,
+            &SingleTaskConfig::new(10.0),
+            20,
+        );
         assert!(summary.min <= summary.avg + 1e-12);
         assert!(summary.avg <= summary.max + 1e-12);
         assert_eq!(summary.runs, 20);

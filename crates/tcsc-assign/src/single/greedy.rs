@@ -45,7 +45,11 @@ pub struct GreedyOutcome {
 ///
 /// `candidates` must hold the per-slot candidate assignments (nearest
 /// available worker per slot); slots without candidates are never executed.
-pub fn approx(task: &Task, candidates: &SlotCandidates, config: &SingleTaskConfig) -> GreedyOutcome {
+pub fn approx(
+    task: &Task,
+    candidates: &SlotCandidates,
+    config: &SingleTaskConfig,
+) -> GreedyOutcome {
     assert_eq!(
         candidates.len(),
         task.num_slots,
@@ -68,7 +72,9 @@ pub fn approx(task: &Task, candidates: &SlotCandidates, config: &SingleTaskConfi
             if evaluator.is_executed(slot) {
                 continue;
             }
-            let Some(candidate) = candidates.get(slot) else { continue };
+            let Some(candidate) = candidates.get(slot) else {
+                continue;
+            };
             if !budget.can_afford(candidate.cost) {
                 continue;
             }
@@ -100,12 +106,21 @@ pub fn approx(task: &Task, candidates: &SlotCandidates, config: &SingleTaskConfi
         }
         stats.heuristic_seconds += heuristic_start.elapsed().as_secs_f64();
 
-        let Some((slot, _gain, cost)) = best else { break };
-        let candidate = candidates.get(slot).expect("candidate exists for chosen slot");
+        let Some((slot, _gain, cost)) = best else {
+            break;
+        };
+        let candidate = candidates
+            .get(slot)
+            .expect("candidate exists for chosen slot");
         if !budget.charge(cost) {
             break;
         }
-        execute_slot(&mut evaluator, slot, candidate.reliability, config.use_reliability);
+        execute_slot(
+            &mut evaluator,
+            slot,
+            candidate.reliability,
+            config.use_reliability,
+        );
         executions.push(ExecutedSubtask {
             slot,
             worker: candidate.worker,
@@ -119,17 +134,28 @@ pub fn approx(task: &Task, candidates: &SlotCandidates, config: &SingleTaskConfi
 
     // Compare against the single-subtask seed plan and keep the better one.
     let plan = match single_seed {
-        Some(slot) if greedy_plan.executions.is_empty() || {
-            // Evaluate the single-slot plan's quality.
-            let mut single_eval = QualityEvaluator::new(params);
-            let candidate = candidates.get(slot).expect("seed slot has a candidate");
-            execute_slot(&mut single_eval, slot, candidate.reliability, config.use_reliability);
-            single_eval.quality() > greedy_plan.quality
-        } =>
+        Some(slot)
+            if greedy_plan.executions.is_empty() || {
+                // Evaluate the single-slot plan's quality.
+                let mut single_eval = QualityEvaluator::new(params);
+                let candidate = candidates.get(slot).expect("seed slot has a candidate");
+                execute_slot(
+                    &mut single_eval,
+                    slot,
+                    candidate.reliability,
+                    config.use_reliability,
+                );
+                single_eval.quality() > greedy_plan.quality
+            } =>
         {
             let mut single_eval = QualityEvaluator::new(params);
             let candidate = *candidates.get(slot).expect("seed slot has a candidate");
-            execute_slot(&mut single_eval, slot, candidate.reliability, config.use_reliability);
+            execute_slot(
+                &mut single_eval,
+                slot,
+                candidate.reliability,
+                config.use_reliability,
+            );
             plan_from_executions(
                 task,
                 &single_eval,
@@ -178,7 +204,10 @@ mod tests {
         let (task, candidates) = line_instance(16);
         let outcome = approx(&task, &candidates, &SingleTaskConfig::new(1e9));
         assert_eq!(outcome.plan.executed_count(), 16);
-        assert!((outcome.plan.quality - 4.0).abs() < 1e-9, "full quality is log2(16)");
+        assert!(
+            (outcome.plan.quality - 4.0).abs() < 1e-9,
+            "full quality is log2(16)"
+        );
     }
 
     #[test]
@@ -236,7 +265,9 @@ mod tests {
 
     #[test]
     fn reliability_mode_runs_and_reduces_quality_for_unreliable_workers() {
-        use tcsc_core::{Domain, EuclideanCost, Location, Task, TaskId, Worker, WorkerId, WorkerPool, WorkerSlot};
+        use tcsc_core::{
+            Domain, EuclideanCost, Location, Task, TaskId, Worker, WorkerId, WorkerPool, WorkerSlot,
+        };
         use tcsc_index::WorkerIndex;
 
         let task = Task::new(TaskId(0), Location::new(0.0, 0.0), 10);
@@ -253,9 +284,14 @@ mod tests {
             })
             .collect();
         let index = WorkerIndex::build(&workers, 10, &Domain::square(10.0));
-        let candidates = crate::candidates::SlotCandidates::compute(&task, &index, &EuclideanCost::default());
+        let candidates =
+            crate::candidates::SlotCandidates::compute(&task, &index, &EuclideanCost::default());
 
-        let with = approx(&task, &candidates, &SingleTaskConfig::new(1e6).with_reliability());
+        let with = approx(
+            &task,
+            &candidates,
+            &SingleTaskConfig::new(1e6).with_reliability(),
+        );
         let without = approx(&task, &candidates, &SingleTaskConfig::new(1e6));
         assert!(with.plan.quality < without.plan.quality);
     }

@@ -93,7 +93,12 @@ pub fn approx_star(
         if !budget.charge(best.cost) {
             break;
         }
-        execute_slot(&mut evaluator, best.slot, candidate.reliability, config.use_reliability);
+        execute_slot(
+            &mut evaluator,
+            best.slot,
+            candidate.reliability,
+            config.use_reliability,
+        );
         let maintain_start = Instant::now();
         tree.notify_executed(&evaluator, best.slot);
         timings.tree_maintenance += maintain_start.elapsed().as_secs_f64();
@@ -113,7 +118,12 @@ pub fn approx_star(
         Some(slot) => {
             let mut single_eval = QualityEvaluator::new(params);
             let candidate = *candidates.get(slot).expect("seed slot has a candidate");
-            execute_slot(&mut single_eval, slot, candidate.reliability, config.use_reliability);
+            execute_slot(
+                &mut single_eval,
+                slot,
+                candidate.reliability,
+                config.use_reliability,
+            );
             if single_eval.quality() > greedy_plan.quality {
                 plan_from_executions(
                     task,
@@ -214,7 +224,9 @@ mod tests {
     #[test]
     fn ts_variations_keep_the_result_quality() {
         let (task, candidates) = line_instance(60);
-        let reference = approx_star(&task, &candidates, &SingleTaskConfig::new(15.0)).plan.quality;
+        let reference = approx_star(&task, &candidates, &SingleTaskConfig::new(15.0))
+            .plan
+            .quality;
         for ts in [2, 6, 10] {
             let q = approx_star(&task, &candidates, &SingleTaskConfig::new(15.0).with_ts(ts))
                 .plan

@@ -116,7 +116,7 @@ pub(crate) fn best_single_slot(
 ) -> Option<SlotIndex> {
     let center = (num_slots.saturating_sub(1)) as f64 / 2.0;
     (0..num_slots)
-        .filter(|&j| candidates.cost(j).map_or(false, |c| c <= budget))
+        .filter(|&j| candidates.cost(j).is_some_and(|c| c <= budget))
         .min_by(|&a, &b| {
             (a as f64 - center)
                 .abs()
@@ -129,7 +129,9 @@ pub(crate) fn best_single_slot(
 pub(crate) mod test_support {
     //! Shared fixtures for the single-task solver tests.
 
-    use tcsc_core::{Domain, EuclideanCost, Location, Task, TaskId, Worker, WorkerId, WorkerPool, WorkerSlot};
+    use tcsc_core::{
+        Domain, EuclideanCost, Location, Task, TaskId, Worker, WorkerId, WorkerPool, WorkerSlot,
+    };
     use tcsc_index::WorkerIndex;
 
     use crate::candidates::SlotCandidates;
@@ -185,7 +187,10 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let cfg = SingleTaskConfig::new(10.0).with_k(5).with_ts(8).with_reliability();
+        let cfg = SingleTaskConfig::new(10.0)
+            .with_k(5)
+            .with_ts(8)
+            .with_reliability();
         assert_eq!(cfg.budget, 10.0);
         assert_eq!(cfg.k, 5);
         assert_eq!(cfg.ts, 8);

@@ -19,7 +19,11 @@ pub const MAX_OPT_SLOTS: usize = 24;
 /// # Panics
 /// Panics if the task has more than [`MAX_OPT_SLOTS`] executable slots, since
 /// the exhaustive search would not terminate in reasonable time.
-pub fn optimal(task: &Task, candidates: &SlotCandidates, config: &SingleTaskConfig) -> AssignmentPlan {
+pub fn optimal(
+    task: &Task,
+    candidates: &SlotCandidates,
+    config: &SingleTaskConfig,
+) -> AssignmentPlan {
     let executable: Vec<usize> = (0..task.num_slots)
         .filter(|&j| candidates.get(j).is_some())
         .collect();
@@ -33,7 +37,10 @@ pub fn optimal(task: &Task, candidates: &SlotCandidates, config: &SingleTaskConf
     let mut best_plan = AssignmentPlan::empty(task.id, task.num_slots);
     let mut chosen: Vec<usize> = Vec::new();
 
-    // Depth-first enumeration with budget pruning.
+    // Depth-first enumeration with budget pruning.  The parameter list mirrors
+    // the paper's recurrence state; bundling it into a struct would only
+    // obscure the correspondence.
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         idx: usize,
         executable: &[usize],

@@ -25,7 +25,9 @@ fn bench_fig11(c: &mut Criterion) {
     let cost = EuclideanCost::default();
 
     let mut group = c.benchmark_group("fig11_spatiotemporal");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("sapprox_temporal_only", |b| {
         b.iter(|| {
             sapprox(

@@ -27,7 +27,9 @@ fn bench_fig6(c: &mut Criterion) {
     let cfg = SingleTaskConfig::new(budget);
 
     let mut group = c.benchmark_group("fig6_single_quality");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("approx_m14", |b| {
         b.iter(|| approx(&prepared.task, &prepared.candidates, &cfg))
     });

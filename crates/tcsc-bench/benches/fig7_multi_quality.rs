@@ -26,7 +26,9 @@ fn bench_fig7(c: &mut Criterion) {
     let cost = EuclideanCost::default();
 
     let mut group = c.benchmark_group("fig7_multi_quality");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("msqm_serial_6x40", |b| {
         b.iter(|| msqm_serial(&prepared.scenario.tasks, &prepared.index, &cost, &cfg))
     });

@@ -25,7 +25,9 @@ fn bench_fig8(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("fig8_single_efficiency");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for m in [100usize, 200] {
         let prepared = prepare_single(
             &ScenarioConfig::small()

@@ -34,7 +34,9 @@ fn bench_fig9(c: &mut Criterion) {
     let cost = EuclideanCost::default();
 
     let mut group = c.benchmark_group("fig9_multi_efficiency");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("serial", |b| {
         b.iter(|| msqm_serial(&prepared.scenario.tasks, &prepared.index, &cost, &cfg))
     });
@@ -43,7 +45,14 @@ fn bench_fig9(c: &mut Criterion) {
     });
     group.bench_function("task_parallel_4", |b| {
         b.iter(|| {
-            msqm_task_parallel(&prepared.scenario.tasks, &prepared.index, &cost, &cfg, 4, true)
+            msqm_task_parallel(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &cost,
+                &cfg,
+                4,
+                true,
+            )
         })
     });
     group.finish();

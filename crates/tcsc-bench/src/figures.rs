@@ -86,7 +86,9 @@ fn synthetic_placements() -> Vec<TaskPlacement> {
 /// are expressed as fractions of it, mirroring the paper's "12.5% / 25% /
 /// 50% of the average task cost" calibration.
 fn full_cost(candidates: &SlotCandidates) -> f64 {
-    (0..candidates.len()).filter_map(|j| candidates.cost(j)).sum()
+    (0..candidates.len())
+        .filter_map(|j| candidates.cost(j))
+        .sum()
 }
 
 // ---------------------------------------------------------------------------
@@ -107,7 +109,13 @@ pub fn fig6a(scale: Scale) -> Experiment {
         let budget = 0.25 * full_cost(&prepared.candidates);
         let single = SingleTaskConfig::new(budget);
         let mut rng = StdRng::seed_from_u64(7);
-        let rand = random_summary(&mut rng, &prepared.task, &prepared.candidates, &single, p.rand_runs);
+        let rand = random_summary(
+            &mut rng,
+            &prepared.task,
+            &prepared.candidates,
+            &single,
+            p.rand_runs,
+        );
         let opt = optimal(&prepared.task, &prepared.candidates, &single);
         let greedy = approx(&prepared.task, &prepared.candidates, &single);
         rows.push(Row::new(
@@ -139,7 +147,13 @@ pub fn fig6b(scale: Scale) -> Experiment {
     for fraction in [0.15, 0.25, 0.35] {
         let single = SingleTaskConfig::new(fraction * full);
         let mut rng = StdRng::seed_from_u64(11);
-        let rand = random_summary(&mut rng, &prepared.task, &prepared.candidates, &single, p.rand_runs);
+        let rand = random_summary(
+            &mut rng,
+            &prepared.task,
+            &prepared.candidates,
+            &single,
+            p.rand_runs,
+        );
         let opt = optimal(&prepared.task, &prepared.candidates, &single);
         let greedy = approx(&prepared.task, &prepared.candidates, &single);
         rows.push(Row::new(
@@ -348,7 +362,11 @@ pub fn fig7d(scale: Scale) -> Experiment {
 // Figure 8: efficiency of the single-task case
 // ---------------------------------------------------------------------------
 
-fn single_efficiency_scenario(m: usize, workers: usize, placement: TaskPlacement) -> ScenarioConfig {
+fn single_efficiency_scenario(
+    m: usize,
+    workers: usize,
+    placement: TaskPlacement,
+) -> ScenarioConfig {
     ScenarioConfig::small()
         .with_num_slots(m)
         .with_num_workers(workers)
@@ -430,7 +448,10 @@ pub fn fig8c(scale: Scale) -> Experiment {
                 "Approx",
                 vec![
                     ("WorkerCostRetrieval".into(), prepared.retrieval_ms),
-                    ("HeuristicCalc".into(), plain.stats.heuristic_seconds * 1000.0),
+                    (
+                        "HeuristicCalc".into(),
+                        plain.stats.heuristic_seconds * 1000.0,
+                    ),
                     ("Total".into(), plain_ms + prepared.retrieval_ms),
                 ],
             ),
@@ -439,8 +460,14 @@ pub fn fig8c(scale: Scale) -> Experiment {
                 vec![
                     ("WorkerCostRetrieval".into(), prepared.retrieval_ms),
                     ("HeuristicCalc".into(), fast.timings.search * 1000.0),
-                    ("TreeConstruction".into(), fast.timings.tree_construction * 1000.0),
-                    ("TreeMaintenance".into(), fast.timings.tree_maintenance * 1000.0),
+                    (
+                        "TreeConstruction".into(),
+                        fast.timings.tree_construction * 1000.0,
+                    ),
+                    (
+                        "TreeMaintenance".into(),
+                        fast.timings.tree_maintenance * 1000.0,
+                    ),
                     ("Total".into(), fast_ms + prepared.retrieval_ms),
                 ],
             ),
@@ -458,7 +485,11 @@ pub fn fig8d(scale: Scale) -> Experiment {
             let prepared =
                 prepare_single(&single_efficiency_scenario(m, p.workers, placement.clone()));
             let budget = 0.25 * full_cost(&prepared.candidates);
-            let outcome = approx_star(&prepared.task, &prepared.candidates, &SingleTaskConfig::new(budget));
+            let outcome = approx_star(
+                &prepared.task,
+                &prepared.candidates,
+                &SingleTaskConfig::new(budget),
+            );
             values.push((
                 placement.label().to_string(),
                 outcome.search_stats.pruning_ratio() * 100.0,
@@ -493,7 +524,10 @@ pub fn fig8e(scale: Scale) -> Experiment {
         rows.push(Row::new(
             format!("ts={ts}"),
             vec![
-                ("TreeConstructionMs".into(), outcome.timings.tree_construction * 1000.0),
+                (
+                    "TreeConstructionMs".into(),
+                    outcome.timings.tree_construction * 1000.0,
+                ),
                 ("TreeNodes".into(), outcome.tree_nodes as f64),
             ],
         ));
@@ -567,7 +601,11 @@ pub fn fig8h(scale: Scale) -> Experiment {
                 prepare_single(&single_efficiency_scenario(m, p.workers, placement.clone()));
             let budget = fraction * full_cost(&prepared.candidates);
             let (_, fast_ms) = timed(|| {
-                approx_star(&prepared.task, &prepared.candidates, &SingleTaskConfig::new(budget))
+                approx_star(
+                    &prepared.task,
+                    &prepared.candidates,
+                    &SingleTaskConfig::new(budget),
+                )
             });
             values.push((placement.label().to_string(), fast_ms));
         }
@@ -595,16 +633,28 @@ pub fn fig9a(scale: Scale) -> Experiment {
     let budget = budget_for_multi(&prepared, 0.25);
     let cfg = MultiTaskConfig::new(budget);
     let cost_model = EuclideanCost::default();
-    let (_, serial_ms) = timed(|| {
-        msqm_serial(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg)
-    });
+    let (_, serial_ms) =
+        timed(|| msqm_serial(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg));
     let mut rows = Vec::new();
     for &cores in &p.cores {
         let (_, task_ms) = timed(|| {
-            msqm_task_parallel(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg, cores, true)
+            msqm_task_parallel(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &cost_model,
+                &cfg,
+                cores,
+                true,
+            )
         });
         let (_, group_ms) = timed(|| {
-            msqm_group_parallel(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg, cores)
+            msqm_group_parallel(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &cost_model,
+                &cfg,
+                cores,
+            )
         });
         rows.push(Row::new(
             format!("cores={cores}"),
@@ -633,17 +683,33 @@ pub fn fig9b(scale: Scale) -> Experiment {
         let budget = budget_for_multi(&prepared, 0.25);
         let cfg = MultiTaskConfig::new(budget);
         let (task_outcome, task_ms) = timed(|| {
-            msqm_task_parallel(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg, cores, true)
+            msqm_task_parallel(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &cost_model,
+                &cfg,
+                cores,
+                true,
+            )
         });
         let (_, group_ms) = timed(|| {
-            msqm_group_parallel(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg, cores)
+            msqm_group_parallel(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &cost_model,
+                &cfg,
+                cores,
+            )
         });
         rows.push(Row::new(
             placement.label(),
             vec![
                 ("TaskLevel".into(), task_ms),
                 ("GroupLevel".into(), group_ms),
-                ("WorkerConflicts".into(), task_outcome.outcome.conflicts as f64),
+                (
+                    "WorkerConflicts".into(),
+                    task_outcome.outcome.conflicts as f64,
+                ),
             ],
         ));
     }
@@ -695,14 +761,30 @@ pub fn fig9d(scale: Scale) -> Experiment {
         let budget = budget_for_multi(&prepared, 0.25);
         let cfg = MultiTaskConfig::new(budget);
         let (_, task_ms) = timed(|| {
-            msqm_task_parallel(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg, cores, true)
+            msqm_task_parallel(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &cost_model,
+                &cfg,
+                cores,
+                true,
+            )
         });
         let (_, group_ms) = timed(|| {
-            msqm_group_parallel(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg, cores)
+            msqm_group_parallel(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &cost_model,
+                &cfg,
+                cores,
+            )
         });
         rows.push(Row::new(
             format!("|T|={t}"),
-            vec![("TaskLevel".into(), task_ms), ("GroupLevel".into(), group_ms)],
+            vec![
+                ("TaskLevel".into(), task_ms),
+                ("GroupLevel".into(), group_ms),
+            ],
         ));
     }
     Experiment {
@@ -717,18 +799,27 @@ pub fn fig9e(scale: Scale) -> Experiment {
     let p = params(scale);
     let cores = *p.cores.last().unwrap();
     let cost_model = EuclideanCost::default();
-    let m_values: Vec<usize> = p.m_sweep.iter().map(|&m| m.min(p.multi_slots * 4)).collect();
+    let m_values: Vec<usize> = p
+        .m_sweep
+        .iter()
+        .map(|&m| m.min(p.multi_slots * 4))
+        .collect();
     let mut rows = Vec::new();
     for &m in &m_values {
         let mut values = Vec::new();
         for placement in placements() {
-            let prepared = prepare_multi(
-                &multi_scenario(&p, placement.clone()).with_num_slots(m),
-            );
+            let prepared = prepare_multi(&multi_scenario(&p, placement.clone()).with_num_slots(m));
             let budget = budget_for_multi(&prepared, 0.25);
             let cfg = MultiTaskConfig::new(budget);
             let (_, ms) = timed(|| {
-                msqm_task_parallel(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg, cores, true)
+                msqm_task_parallel(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &cost_model,
+                    &cfg,
+                    cores,
+                    true,
+                )
             });
             values.push((placement.label().to_string(), ms));
         }
@@ -754,10 +845,24 @@ pub fn fig9f(scale: Scale) -> Experiment {
     let mut rows = Vec::new();
     for &cores in &p.cores {
         let (_, with_ms) = timed(|| {
-            msqm_task_parallel(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg, cores, true)
+            msqm_task_parallel(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &cost_model,
+                &cfg,
+                cores,
+                true,
+            )
         });
         let (_, without_ms) = timed(|| {
-            msqm_task_parallel(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg, cores, false)
+            msqm_task_parallel(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &cost_model,
+                &cfg,
+                cores,
+                false,
+            )
         });
         rows.push(Row::new(
             format!("cores={cores}"),
@@ -1087,9 +1192,15 @@ mod tests {
                     .map(|(_, v)| *v)
                     .unwrap()
             };
-            assert!(get("Opt") + 1e-9 >= get("Approx"), "OPT must dominate Approx");
+            assert!(
+                get("Opt") + 1e-9 >= get("Approx"),
+                "OPT must dominate Approx"
+            );
             assert!(get("RandMax") + 1e-9 >= get("RandMin"));
-            assert!(get("Approx") + 1e-9 >= get("RandMin"), "Approx must beat RandMin");
+            assert!(
+                get("Approx") + 1e-9 >= get("RandMin"),
+                "Approx must beat RandMin"
+            );
         }
     }
 
@@ -1101,15 +1212,12 @@ mod tests {
             "fig9e", "fig9f", "fig9g", "fig9h", "fig11a", "fig11b", "fig11c",
         ] {
             // Only check the dispatcher's id table, not the (expensive) runs.
-            assert!(
-                [
-                    "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b",
-                    "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "fig9a", "fig9b",
-                    "fig9c", "fig9d", "fig9e", "fig9f", "fig9g", "fig9h", "fig11a", "fig11b",
-                    "fig11c",
-                ]
-                .contains(&id)
-            );
+            assert!([
+                "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c",
+                "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "fig9a", "fig9b", "fig9c", "fig9d",
+                "fig9e", "fig9f", "fig9g", "fig9h", "fig11a", "fig11b", "fig11c",
+            ]
+            .contains(&id));
         }
         assert!(by_id("nonexistent", Scale::Quick).is_none());
     }

@@ -123,9 +123,8 @@ pub struct PreparedSingle {
 /// Builds a single-task instance from a scenario configuration.
 pub fn prepare_single(config: &ScenarioConfig) -> PreparedSingle {
     let scenario = config.build();
-    let (index, index_ms) = timed(|| {
-        WorkerIndex::build(&scenario.workers, config.num_slots, &scenario.domain)
-    });
+    let (index, index_ms) =
+        timed(|| WorkerIndex::build(&scenario.workers, config.num_slots, &scenario.domain));
     let task = scenario.first_task().clone();
     let (candidates, cand_ms) =
         timed(|| SlotCandidates::compute(&task, &index, &EuclideanCost::default()));
@@ -180,7 +179,9 @@ mod tests {
 
     #[test]
     fn prepare_single_produces_candidates() {
-        let cfg = ScenarioConfig::small().with_num_slots(30).with_num_workers(200);
+        let cfg = ScenarioConfig::small()
+            .with_num_slots(30)
+            .with_num_workers(200);
         let prepared = prepare_single(&cfg);
         assert_eq!(prepared.candidates.len(), 30);
         assert!(prepared.retrieval_ms >= 0.0);

@@ -243,7 +243,10 @@ mod tests {
         assert!((b.spent() - 4.0).abs() < 1e-12);
         assert!((b.remaining() - 6.0).abs() < 1e-12);
         assert!(!b.charge(7.0));
-        assert!((b.spent() - 4.0).abs() < 1e-12, "failed charge must not spend");
+        assert!(
+            (b.spent() - 4.0).abs() < 1e-12,
+            "failed charge must not spend"
+        );
         assert!(b.charge(6.0));
         assert!(b.remaining() < 1e-9);
         b.refund(6.0);

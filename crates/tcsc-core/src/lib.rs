@@ -56,8 +56,8 @@ pub mod spatiotemporal;
 pub use assignment::{AssignmentPlan, ExecutedSubtask, MultiAssignment};
 pub use cost::{Budget, CandidateAssignment, CostModel, EuclideanCost, ManhattanCost, UnitCost};
 pub use model::{
-    Domain, Location, SlotIndex, Subtask, SubtaskState, Task, TaskId, Worker, WorkerId,
-    WorkerPool, WorkerSlot,
+    Domain, Location, SlotIndex, Subtask, SubtaskState, Task, TaskId, Worker, WorkerId, WorkerPool,
+    WorkerSlot,
 };
 pub use quality::{ExecutedSlot, Neighbor, QualityEvaluator, QualityParams};
 pub use spatiotemporal::{InterpolationWeights, SpatioTemporalEvaluator};

@@ -337,10 +337,7 @@ impl WorkerPool {
 
     /// Iterator over workers available at a given slot together with their
     /// location during that slot.
-    pub fn available_at(
-        &self,
-        slot: SlotIndex,
-    ) -> impl Iterator<Item = (&Worker, Location)> + '_ {
+    pub fn available_at(&self, slot: SlotIndex) -> impl Iterator<Item = (&Worker, Location)> + '_ {
         self.workers
             .iter()
             .filter_map(move |w| w.location_at(slot).map(|loc| (w, loc)))

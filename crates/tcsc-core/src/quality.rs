@@ -185,7 +185,8 @@ impl QualityEvaluator {
         match self.executed.binary_search_by_key(&slot, |e| e.slot) {
             Ok(_) => false,
             Err(pos) => {
-                self.executed.insert(pos, ExecutedSlot { slot, reliability });
+                self.executed
+                    .insert(pos, ExecutedSlot { slot, reliability });
                 true
             }
         }
@@ -344,8 +345,7 @@ impl QualityEvaluator {
         }
         let k = self.params.k as f64;
         let neighbors = self.knn_with_extra(slot, extra);
-        let avg_reliability =
-            neighbors.iter().map(|n| n.reliability).sum::<f64>() / k;
+        let avg_reliability = neighbors.iter().map(|n| n.reliability).sum::<f64>() / k;
         let rho = neighbors
             .iter()
             .map(|n| n.reliability * n.distance as f64)
@@ -454,7 +454,11 @@ mod tests {
             let nn: Vec<_> = ev.knn(slot).iter().map(|n| n.slot.unwrap()).collect();
             let mut sorted = nn.clone();
             sorted.sort_unstable();
-            assert_eq!(sorted, vec![1, 3], "slot {slot} should see {{2,4}} (1-based)");
+            assert_eq!(
+                sorted,
+                vec![1, 3],
+                "slot {slot} should see {{2,4}} (1-based)"
+            );
         }
     }
 

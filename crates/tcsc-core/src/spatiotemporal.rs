@@ -378,7 +378,11 @@ impl ToFiniteOrZero for f64 {
 mod tests {
     use super::*;
 
-    fn evaluator(num_tasks: usize, m: usize, weights: InterpolationWeights) -> SpatioTemporalEvaluator {
+    fn evaluator(
+        num_tasks: usize,
+        m: usize,
+        weights: InterpolationWeights,
+    ) -> SpatioTemporalEvaluator {
         let domain = Domain::square(100.0);
         let locations: Vec<_> = (0..num_tasks)
             .map(|i| Location::new(10.0 * i as f64, 10.0 * i as f64))
@@ -445,12 +449,8 @@ mod tests {
             Location::new(5.0, 0.0),
             Location::new(90.0, 90.0),
         ];
-        let mut near = SpatioTemporalEvaluator::new(
-            locations.clone(),
-            QualityParams::new(10, 1),
-            domain,
-            w,
-        );
+        let mut near =
+            SpatioTemporalEvaluator::new(locations.clone(), QualityParams::new(10, 1), domain, w);
         let mut far = SpatioTemporalEvaluator::new(locations, QualityParams::new(10, 1), domain, w);
         near.execute(1, 2, 1.0); // 5 units away from task 0
         far.execute(2, 2, 1.0); // ~127 units away (clamped to |D|)

@@ -8,10 +8,19 @@
 //!
 //! The entropy-composition argument requires `p ≤ 1/e`, which holds whenever
 //! `m ≥ 3`; the generators below therefore use `m ≥ 4`.
+//!
+//! Each property is checked over a seeded stream of random instances (the
+//! workspace vendors a deterministic `rand`, so failures are reproducible
+//! from the case index alone).
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tcsc_core::quality::QualityEvaluator;
+
+/// Number of random cases checked per property.
+const CASES: usize = 400;
 
 /// Builds an evaluator with the given executed slots.
 fn evaluator(m: usize, k: usize, executed: &BTreeSet<usize>) -> QualityEvaluator {
@@ -22,122 +31,175 @@ fn evaluator(m: usize, k: usize, executed: &BTreeSet<usize>) -> QualityEvaluator
     ev
 }
 
-/// Strategy generating (m, k, executed-set, candidate slot).
-fn instances() -> impl Strategy<Value = (usize, usize, BTreeSet<usize>, usize)> {
-    (4usize..60, 1usize..6).prop_flat_map(|(m, k)| {
-        (
-            Just(m),
-            Just(k),
-            proptest::collection::btree_set(0..m, 0..m.min(12)),
-            0..m,
-        )
-    })
+/// Generates one random instance: (m, k, executed-set, candidate slot).
+fn instance(rng: &mut StdRng) -> (usize, usize, BTreeSet<usize>, usize) {
+    let m = rng.gen_range(4usize..60);
+    let k = rng.gen_range(1usize..6);
+    let set_size = rng.gen_range(0..m.min(12));
+    // Partial Fisher-Yates: draw exactly `set_size` *distinct* slots so the
+    // set-size distribution matches the drawn size (duplicates would skew
+    // small-m instances away from near-maximal executed sets).
+    let mut slots: Vec<usize> = (0..m).collect();
+    for i in 0..set_size {
+        let j = rng.gen_range(i..m);
+        slots.swap(i, j);
+    }
+    let executed: BTreeSet<usize> = slots[..set_size].iter().copied().collect();
+    let extra = rng.gen_range(0..m);
+    (m, k, executed, extra)
 }
 
-proptest! {
-    /// Executing one more subtask never decreases any finishing probability
-    /// (Lemma 7), and never decreases the task quality (Lemma 2).
-    #[test]
-    fn quality_and_probability_are_monotone((m, k, executed, extra) in instances()) {
+/// Executing one more subtask never decreases any finishing probability
+/// (Lemma 7), and never decreases the task quality (Lemma 2).
+#[test]
+fn quality_and_probability_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..CASES {
+        let (m, k, executed, extra) = instance(&mut rng);
         let base = evaluator(m, k, &executed);
         let mut more = base.clone();
         more.execute(extra);
 
         for j in 0..m {
-            prop_assert!(
+            assert!(
                 more.finishing_probability(j) + 1e-12 >= base.finishing_probability(j),
-                "p({j}) decreased after executing {extra}"
+                "case {case}: p({j}) decreased after executing {extra}"
             );
         }
-        prop_assert!(more.quality() + 1e-9 >= base.quality());
+        assert!(
+            more.quality() + 1e-9 >= base.quality(),
+            "case {case}: quality decreased"
+        );
     }
+}
 
-    /// Submodularity / diminishing returns of the quality function (Lemma 2):
-    /// for executed sets A ⊆ B and a slot e ∉ B,
-    /// q(A ∪ {e}) − q(A) ≥ q(B ∪ {e}) − q(B).
-    #[test]
-    fn quality_has_diminishing_returns(
-        (m, k, set_b, extra) in instances(),
-        subset_selector in proptest::collection::vec(any::<bool>(), 60)
-    ) {
-        prop_assume!(!set_b.contains(&extra));
-        // A is a subset of B chosen by the boolean mask.
+/// Submodularity / diminishing returns of the quality function (Lemma 2):
+/// for executed sets A ⊆ B and a slot e ∉ B,
+/// q(A ∪ {e}) − q(A) ≥ q(B ∪ {e}) − q(B).
+#[test]
+fn quality_has_diminishing_returns() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    let mut checked = 0usize;
+    while checked < CASES {
+        let (m, k, set_b, extra) = instance(&mut rng);
+        if set_b.contains(&extra) {
+            continue;
+        }
+        checked += 1;
+        // A is a random subset of B.
         let set_a: BTreeSet<usize> = set_b
             .iter()
-            .enumerate()
-            .filter(|(i, _)| subset_selector[*i % subset_selector.len()])
-            .map(|(_, &s)| s)
+            .filter(|_| rng.gen_bool(0.5))
+            .copied()
             .collect();
 
         let a = evaluator(m, k, &set_a);
         let b = evaluator(m, k, &set_b);
         let gain_a = a.gain_if_executed(extra);
         let gain_b = b.gain_if_executed(extra);
-        prop_assert!(
+        assert!(
             gain_a + 1e-9 >= gain_b,
-            "marginal gain grew on the superset: A-gain {gain_a} < B-gain {gain_b}"
+            "case {checked}: marginal gain grew on the superset: \
+             A-gain {gain_a} < B-gain {gain_b}"
         );
     }
+}
 
-    /// The error ratio stays within [0, 1] and the finishing probability
-    /// within [0, 1/m] for every slot, regardless of the executed set.
-    #[test]
-    fn metric_values_stay_in_range((m, k, executed, _extra) in instances()) {
+/// The error ratio stays within [0, 1] and the finishing probability within
+/// [0, 1/m] for every slot, regardless of the executed set.
+#[test]
+fn metric_values_stay_in_range() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for case in 0..CASES {
+        let (m, k, executed, _extra) = instance(&mut rng);
         let ev = evaluator(m, k, &executed);
         for j in 0..m {
             let rho = ev.error_ratio(j);
             let p = ev.finishing_probability(j);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&rho), "rho({j}) = {rho}");
-            prop_assert!(p >= 0.0 && p <= 1.0 / m as f64 + 1e-12, "p({j}) = {p}");
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&rho),
+                "case {case}: rho({j}) = {rho}"
+            );
+            assert!(
+                p >= 0.0 && p <= 1.0 / m as f64 + 1e-12,
+                "case {case}: p({j}) = {p}"
+            );
         }
         let q = ev.quality();
-        prop_assert!(q >= 0.0 && q <= (m as f64).log2() + 1e-9, "q = {q}");
+        assert!(
+            q >= 0.0 && q <= (m as f64).log2() + 1e-9,
+            "case {case}: q = {q}"
+        );
     }
+}
 
-    /// The incremental gain computation agrees with executing the slot and
-    /// recomputing the quality from scratch.
-    #[test]
-    fn gain_is_consistent_with_recomputation((m, k, executed, extra) in instances()) {
-        prop_assume!(!executed.contains(&extra));
+/// The incremental gain computation agrees with executing the slot and
+/// recomputing the quality from scratch.
+#[test]
+fn gain_is_consistent_with_recomputation() {
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    let mut checked = 0usize;
+    while checked < CASES {
+        let (m, k, executed, extra) = instance(&mut rng);
+        if executed.contains(&extra) {
+            continue;
+        }
+        checked += 1;
         let mut ev = evaluator(m, k, &executed);
         let before = ev.quality();
         let gain = ev.gain_if_executed(extra);
         ev.execute(extra);
         let after = ev.quality();
-        prop_assert!((after - before - gain).abs() < 1e-9);
+        assert!(
+            (after - before - gain).abs() < 1e-9,
+            "case {checked}: incremental gain {gain} disagrees with \
+             recomputed {}",
+            after - before
+        );
     }
+}
 
-    /// Executing every slot always yields exactly log2(m), independent of the
-    /// execution order.
-    #[test]
-    fn full_execution_reaches_maximum(m in 4usize..40, k in 1usize..6, seed in any::<u64>()) {
+/// Executing every slot always yields exactly log2(m), independent of the
+/// execution order.
+#[test]
+fn full_execution_reaches_maximum() {
+    let mut rng = StdRng::seed_from_u64(0xF00);
+    for case in 0..CASES {
+        let m = rng.gen_range(4usize..40);
+        let k = rng.gen_range(1usize..6);
+        // Fisher-Yates shuffle of the execution order.
         let mut order: Vec<usize> = (0..m).collect();
-        // Deterministic pseudo-shuffle driven by the seed.
-        let mut state = seed | 1;
         for i in (1..order.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (state >> 33) as usize % (i + 1);
+            let j = rng.gen_range(0..=i);
             order.swap(i, j);
         }
         let mut ev = QualityEvaluator::with_slots(m, k);
         for s in order {
             ev.execute(s);
         }
-        prop_assert!((ev.quality() - (m as f64).log2()).abs() < 1e-9);
+        assert!(
+            (ev.quality() - (m as f64).log2()).abs() < 1e-9,
+            "case {case}: full execution missed the maximum"
+        );
     }
+}
 
-    /// Worker reliability weighting: lowering the reliability of the executing
-    /// workers never increases the quality.
-    #[test]
-    fn reliability_weighting_is_monotone(
-        (m, k, executed, _extra) in instances(),
-        lambda in 0.05f64..1.0
-    ) {
+/// Worker reliability weighting: lowering the reliability of the executing
+/// workers never increases the quality.
+#[test]
+fn reliability_weighting_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xFADE);
+    for case in 0..CASES {
+        let (m, k, executed, _extra) = instance(&mut rng);
+        let lambda = rng.gen_range(0.05f64..1.0);
         let full = evaluator(m, k, &executed);
         let mut weighted = QualityEvaluator::with_slots(m, k);
         for &s in &executed {
             weighted.execute_with_reliability(s, lambda);
         }
-        prop_assert!(weighted.quality() <= full.quality() + 1e-9);
+        assert!(
+            weighted.quality() <= full.quality() + 1e-9,
+            "case {case}: reliability {lambda} increased quality"
+        );
     }
 }

@@ -91,8 +91,7 @@ impl SlotGrid {
         if self.workers.is_empty() || count == 0 {
             return Vec::new();
         }
-        let (qx, qy) =
-            Self::cell_coords(self.origin, self.cell_size, self.cols, self.rows, query);
+        let (qx, qy) = Self::cell_coords(self.origin, self.cell_size, self.cols, self.rows, query);
         let mut found: Vec<(f64, u32)> = Vec::new();
         let max_ring = self.cols.max(self.rows);
         for ring in 0..=max_ring {
@@ -202,12 +201,7 @@ impl WorkerIndex {
     /// by distance (used for the `(d+1)`-NN bound expansion of the conflict
     /// graph and for falling back to the 2nd, 3rd, ... nearest worker when
     /// conflicts arise).
-    pub fn k_nearest(
-        &self,
-        slot: SlotIndex,
-        query: &Location,
-        count: usize,
-    ) -> Vec<NearestWorker> {
+    pub fn k_nearest(&self, slot: SlotIndex, query: &Location, count: usize) -> Vec<NearestWorker> {
         self.slots
             .get(slot)
             .map_or_else(Vec::new, |g| g.nearest(query, count))
@@ -243,7 +237,11 @@ impl WorkerIndex {
                 reliability: w.reliability,
                 distance: query.distance(&loc),
             })
-            .min_by(|a, b| a.distance.total_cmp(&b.distance).then(a.worker.cmp(&b.worker)))
+            .min_by(|a, b| {
+                a.distance
+                    .total_cmp(&b.distance)
+                    .then(a.worker.cmp(&b.worker))
+            })
     }
 }
 

@@ -199,7 +199,11 @@ impl VTree {
     ///
     /// `costs[j]` is the assignment cost of slot `j` (distance to its nearest
     /// available worker), or `None` when the slot cannot be executed.
-    pub fn build(evaluator: &QualityEvaluator, costs: Vec<Option<f64>>, config: VTreeConfig) -> Self {
+    pub fn build(
+        evaluator: &QualityEvaluator,
+        costs: Vec<Option<f64>>,
+        config: VTreeConfig,
+    ) -> Self {
         let m = evaluator.num_slots();
         assert_eq!(costs.len(), m, "one cost entry per slot is required");
         let mut tree = Self {
@@ -264,7 +268,12 @@ impl VTree {
     /// Updates the assignment cost of a slot (used when multi-task conflicts
     /// force a task to fall back to its 2nd, 3rd, ... nearest worker) and
     /// refreshes the cost aggregates along the affected path.
-    pub fn update_cost(&mut self, evaluator: &QualityEvaluator, slot: SlotIndex, cost: Option<f64>) {
+    pub fn update_cost(
+        &mut self,
+        evaluator: &QualityEvaluator,
+        slot: SlotIndex,
+        cost: Option<f64>,
+    ) {
         self.costs[slot] = cost;
         self.refresh_for_slot(evaluator, self.root, slot);
     }
@@ -491,11 +500,7 @@ impl VTree {
     fn update_node(&mut self, evaluator: &QualityEvaluator, idx: usize, slot: SlotIndex) -> usize {
         let (affected, start, end) = {
             let n = &self.nodes[idx];
-            (
-                n.influence_contains(slot, self.num_slots),
-                n.start,
-                n.end,
-            )
+            (n.influence_contains(slot, self.num_slots), n.start, n.end)
         };
         if !affected {
             return idx;
@@ -579,18 +584,23 @@ impl VTree {
                     if evaluator.is_executed(slot) {
                         continue;
                     }
-                    let Some(cost) = self.costs[slot] else { continue };
+                    let Some(cost) = self.costs[slot] else {
+                        continue;
+                    };
                     if cost > max_cost {
                         continue;
                     }
                     stats.evaluated_slots += 1;
                     let gain = self.gain(evaluator, slot);
-                    let heuristic = if cost > 0.0 { gain / cost } else { f64::INFINITY };
+                    let heuristic = if cost > 0.0 {
+                        gain / cost
+                    } else {
+                        f64::INFINITY
+                    };
                     let better = match &best {
                         None => true,
                         Some(b) => {
-                            heuristic > b.heuristic
-                                || (heuristic == b.heuristic && slot < b.slot)
+                            heuristic > b.heuristic || (heuristic == b.heuristic && slot < b.slot)
                         }
                     };
                     if better {
@@ -760,20 +770,18 @@ mod tests {
     fn best_slot_matches_brute_force() {
         let mut ev = evaluator(60, 3, &[]);
         // Varying costs to exercise the heuristic denominator.
-        let costs: Vec<Option<f64>> = (0..60)
-            .map(|i| Some(1.0 + (i % 7) as f64 * 0.5))
-            .collect();
+        let costs: Vec<Option<f64>> = (0..60).map(|i| Some(1.0 + (i % 7) as f64 * 0.5)).collect();
         let mut tree = VTree::build(&ev, costs.clone(), VTreeConfig::default());
         let mut stats = SearchStats::default();
         for _ in 0..8 {
             let best = tree.best_slot(&ev, f64::INFINITY, &mut stats).unwrap();
             // Brute force: maximum gain/cost over all unexecuted slots.
             let mut best_ratio = f64::NEG_INFINITY;
-            for slot in 0..60 {
+            for (slot, cost) in costs.iter().enumerate() {
                 if ev.is_executed(slot) {
                     continue;
                 }
-                let ratio = ev.gain_if_executed(slot) / costs[slot].unwrap();
+                let ratio = ev.gain_if_executed(slot) / cost.unwrap();
                 if ratio > best_ratio {
                     best_ratio = ratio;
                 }
@@ -792,7 +800,9 @@ mod tests {
     #[test]
     fn best_slot_respects_max_cost() {
         let ev = evaluator(20, 2, &[]);
-        let costs: Vec<Option<f64>> = (0..20).map(|i| Some(if i < 10 { 5.0 } else { 1.0 })).collect();
+        let costs: Vec<Option<f64>> = (0..20)
+            .map(|i| Some(if i < 10 { 5.0 } else { 1.0 }))
+            .collect();
         let tree = VTree::build(&ev, costs, VTreeConfig::default());
         let mut stats = SearchStats::default();
         let best = tree.best_slot(&ev, 2.0, &mut stats).unwrap();

@@ -75,7 +75,10 @@ impl PoiDataset {
 
     /// Samples `count` task locations from the dataset (with replacement).
     pub fn sample_locations<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Location> {
-        assert!(!self.locations.is_empty(), "cannot sample from an empty POI set");
+        assert!(
+            !self.locations.is_empty(),
+            "cannot sample from an empty POI set"
+        );
         (0..count)
             .map(|_| self.locations[rng.gen_range(0..self.locations.len())])
             .collect()

@@ -241,8 +241,7 @@ mod tests {
 
     #[test]
     fn poi_placement_builds() {
-        let cfg = ScenarioConfig::small()
-            .with_placement(TaskPlacement::Poi(PoiConfig::default()));
+        let cfg = ScenarioConfig::small().with_placement(TaskPlacement::Poi(PoiConfig::default()));
         assert_eq!(cfg.placement.label(), "Real(POI)");
         let scenario = cfg.build();
         assert_eq!(scenario.tasks.len(), 10);

@@ -106,11 +106,8 @@ fn generate_worker<R: Rng + ?Sized>(
         let len = rng.gen_range(config.min_window..=config.max_window.max(config.min_window));
         let len = len.min(config.horizon);
         let start = rng.gen_range(0..=config.horizon - len);
-        for slot in start..start + len {
-            availability.push(WorkerSlot {
-                slot,
-                location: track[slot],
-            });
+        for (slot, &location) in track.iter().enumerate().skip(start).take(len) {
+            availability.push(WorkerSlot { slot, location });
         }
     }
 

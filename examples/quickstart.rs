@@ -51,7 +51,13 @@ fn main() {
     // 5. Compare against the unindexed greedy and the randomized baseline.
     let plain = approx(&task, &candidates, &SingleTaskConfig::new(budget));
     let mut rng = rand::thread_rng();
-    let rand = random_summary(&mut rng, &task, &candidates, &SingleTaskConfig::new(budget), 10);
+    let rand = random_summary(
+        &mut rng,
+        &task,
+        &candidates,
+        &SingleTaskConfig::new(budget),
+        10,
+    );
     println!("Approx quality    : {:.3}", plain.plan.quality);
     println!(
         "Rand quality      : min {:.3} / avg {:.3} / max {:.3}",

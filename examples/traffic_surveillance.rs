@@ -10,6 +10,7 @@ use tcsc::prelude::*;
 
 fn main() {
     let num_slots = 36; // three days of 2-hour slots
+
     // Road segments across a city grid.
     let tasks: Vec<Task> = (0..8)
         .map(|i| {

@@ -49,7 +49,10 @@ fn main() {
     println!("worker conflicts          : {}", outcome.conflicts);
     println!("total executed probes     : {}", outcome.executions);
     println!();
-    println!("{:<8} {:>10} {:>10} {:>12}", "site", "probes", "cost", "quality");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12}",
+        "site", "probes", "cost", "quality"
+    );
     for plan in &outcome.assignment.plans {
         println!(
             "{:<8} {:>10} {:>10.2} {:>12.3}",

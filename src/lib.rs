@@ -39,10 +39,9 @@ pub use tcsc_workload as workload;
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use tcsc_assign::{
-        approx, approx_star, independence_graph, min_budget_for_quality, mmqm,
-        msqm_group_parallel, msqm_serial, msqm_task_parallel, optimal, random_assignment,
-        random_summary, sapprox, MultiTaskConfig, SingleTaskConfig, SlotCandidates,
-        SpatioTemporalObjective, WorkerLedger,
+        approx, approx_star, independence_graph, min_budget_for_quality, mmqm, msqm_group_parallel,
+        msqm_serial, msqm_task_parallel, optimal, random_assignment, random_summary, sapprox,
+        MultiTaskConfig, SingleTaskConfig, SlotCandidates, SpatioTemporalObjective, WorkerLedger,
     };
     pub use tcsc_core::{
         AssignmentPlan, Budget, CostModel, Domain, EuclideanCost, InterpolationWeights, Location,

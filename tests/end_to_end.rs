@@ -154,12 +154,12 @@ fn voronoi_diagram_is_consistent_with_the_quality_evaluator() {
         if evaluator.is_executed(slot) {
             continue;
         }
-        let mut from_eval: Vec<usize> = evaluator
-            .knn(slot)
-            .iter()
-            .filter_map(|n| n.slot)
-            .collect();
+        let mut from_eval: Vec<usize> = evaluator.knn(slot).iter().filter_map(|n| n.slot).collect();
         from_eval.sort_unstable();
-        assert_eq!(diagram.knn_of(slot).unwrap(), from_eval.as_slice(), "slot {slot}");
+        assert_eq!(
+            diagram.knn_of(slot).unwrap(),
+            from_eval.as_slice(),
+            "slot {slot}"
+        );
     }
 }
