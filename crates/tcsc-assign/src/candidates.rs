@@ -8,9 +8,9 @@
 //! forces the task to fall back to its 2nd, 3rd, ... nearest worker
 //! (Section IV-A), which is what the [`WorkerLedger`] tracks.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashMap};
 
-use tcsc_core::{CandidateAssignment, CostModel, SlotIndex, Task, Worker, WorkerId};
+use tcsc_core::{CandidateAssignment, CostModel, SlotIndex, Task, WorkerId};
 use tcsc_index::WorkerIndex;
 
 /// The per-slot candidate assignments of one task.
@@ -94,7 +94,7 @@ impl SlotCandidates {
     }
 }
 
-fn candidate_for_slot(
+pub(crate) fn candidate_for_slot(
     task: &Task,
     slot: SlotIndex,
     index: &WorkerIndex,
@@ -102,12 +102,15 @@ fn candidate_for_slot(
     ledger: &WorkerLedger,
 ) -> Option<CandidateAssignment> {
     let subtask = task.subtask(slot);
-    let excluded = ledger.occupied_at(slot);
-    let nearest = index.nearest_excluding(slot, &task.location, &excluded)?;
-    // The cost model may weight the distance; rebuild the cost through it so
-    // that alternative models keep working.
-    let pseudo_worker = Worker::new(nearest.worker, Vec::new());
-    let cost = cost_model.assignment_cost(&subtask, &pseudo_worker, nearest.location);
+    // The ledger hands its per-slot occupancy set to the index directly; no
+    // per-query exclusion vector is built and no pseudo-worker is constructed.
+    let nearest = match ledger.occupied_set_at(slot) {
+        Some(excluded) => index.nearest_excluding_set(slot, &task.location, excluded)?,
+        None => index.nearest(slot, &task.location)?,
+    };
+    // The cost model may weight the distance (or price the worker); rebuild
+    // the cost through it so that alternative models keep working.
+    let cost = cost_model.assignment_cost_at(&subtask, nearest.worker, nearest.location);
     Some(CandidateAssignment {
         slot,
         worker: nearest.worker,
@@ -120,9 +123,15 @@ fn candidate_for_slot(
 /// Tracks which workers are already committed at which time slots across a
 /// multi-task assignment, so that two tasks never use the same worker during
 /// the same slot.
+///
+/// The occupancy is stored per slot (`slot -> sorted worker set`) so that a
+/// slot's exclusion set is answered in `O(1)` instead of scanning every
+/// commitment of the whole run, and membership checks are `O(log n)` in the
+/// slot's own occupancy.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerLedger {
-    occupied: HashSet<(SlotIndex, WorkerId)>,
+    occupied: HashMap<SlotIndex, BTreeSet<WorkerId>>,
+    commitments: usize,
 }
 
 impl WorkerLedger {
@@ -134,34 +143,50 @@ impl WorkerLedger {
     /// Marks a worker as occupied during a slot.  Returns `false` when the
     /// worker was already occupied at that slot (a conflict).
     pub fn occupy(&mut self, slot: SlotIndex, worker: WorkerId) -> bool {
-        self.occupied.insert((slot, worker))
+        let inserted = self.occupied.entry(slot).or_default().insert(worker);
+        if inserted {
+            self.commitments += 1;
+        }
+        inserted
     }
 
     /// Whether a worker is occupied during a slot.
     pub fn is_occupied(&self, slot: SlotIndex, worker: WorkerId) -> bool {
-        self.occupied.contains(&(slot, worker))
+        self.occupied
+            .get(&slot)
+            .is_some_and(|set| set.contains(&worker))
     }
 
-    /// The workers occupied during a slot.
+    /// The workers occupied during a slot, in ascending id order.
     pub fn occupied_at(&self, slot: SlotIndex) -> Vec<WorkerId> {
-        let mut v: Vec<WorkerId> = self
-            .occupied
-            .iter()
-            .filter(|(s, _)| *s == slot)
-            .map(|(_, w)| *w)
-            .collect();
-        v.sort_unstable();
-        v
+        self.occupied
+            .get(&slot)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The slot's occupancy set, or `None` when nothing is occupied at the
+    /// slot.  This is the allocation-free fast path consumed by
+    /// [`WorkerIndex::nearest_excluding_set`].
+    pub fn occupied_set_at(&self, slot: SlotIndex) -> Option<&BTreeSet<WorkerId>> {
+        self.occupied.get(&slot).filter(|set| !set.is_empty())
     }
 
     /// Total number of (slot, worker) commitments.
     pub fn len(&self) -> usize {
-        self.occupied.len()
+        self.commitments
     }
 
     /// Whether nothing is occupied.
     pub fn is_empty(&self) -> bool {
-        self.occupied.is_empty()
+        self.commitments == 0
+    }
+
+    /// Releases every commitment, returning the ledger to its empty state
+    /// (used by the engine between re-planning rounds).
+    pub fn clear(&mut self) {
+        self.occupied.clear();
+        self.commitments = 0;
     }
 }
 
@@ -270,5 +295,32 @@ mod tests {
         assert!(ledger.is_occupied(2, WorkerId(5)));
         assert!(!ledger.is_occupied(0, WorkerId(5)));
         assert_eq!(ledger.occupied_at(2), vec![WorkerId(3), WorkerId(5)]);
+    }
+
+    #[test]
+    fn occupied_set_is_none_for_untouched_slots() {
+        let mut ledger = WorkerLedger::new();
+        assert!(ledger.occupied_set_at(0).is_none());
+        ledger.occupy(0, WorkerId(1));
+        ledger.occupy(0, WorkerId(4));
+        let set = ledger.occupied_set_at(0).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&WorkerId(4)));
+        assert!(ledger.occupied_set_at(1).is_none());
+    }
+
+    #[test]
+    fn clear_releases_every_commitment() {
+        let mut ledger = WorkerLedger::new();
+        ledger.occupy(0, WorkerId(1));
+        ledger.occupy(3, WorkerId(2));
+        assert_eq!(ledger.len(), 2);
+        ledger.clear();
+        assert!(ledger.is_empty());
+        assert!(!ledger.is_occupied(0, WorkerId(1)));
+        assert!(
+            ledger.occupy(0, WorkerId(1)),
+            "cleared slots can be re-used"
+        );
     }
 }

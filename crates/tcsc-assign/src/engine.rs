@@ -1,0 +1,898 @@
+//! The batched / streaming multi-task assignment engine.
+//!
+//! The per-call solvers of [`crate::multi`] rebuild every piece of per-task
+//! candidate state from scratch on each invocation: `TaskState::new` runs one
+//! index query per slot, and nothing survives between calls even when the
+//! same tasks are solved again (budget sweeps, objective comparisons,
+//! re-planning).  [`AssignmentEngine`] is the long-lived alternative: it owns
+//! (or borrows) the [`WorkerIndex`], a persistent occupancy
+//! [`WorkerLedger`], and an incremental [`CandidateCache`] keyed by task, so
+//! that repeated and streaming solves amortise the worker-cost-retrieval work
+//! across calls.
+//!
+//! # Cache invalidation protocol
+//!
+//! * The cache stores, per task, the *base* per-slot candidates — the nearest
+//!   worker per slot under an **empty** ledger.  The base depends only on the
+//!   (immutable) index, so it never goes stale and can be reused by every
+//!   later call.
+//! * At checkout the base is cloned and reconciled with the engine's current
+//!   ledger: only slots whose base candidate is occupied are recomputed
+//!   (invalidation-driven refresh); every other slot is served without
+//!   touching the index.
+//! * During a solve, a **reverse holder map** `(slot, worker) -> tasks whose
+//!   best pending candidate targets that worker` is maintained.  Occupying a
+//!   worker then refreshes exactly the affected tasks' slots instead of
+//!   re-scanning (or worse, recomputing) every task.
+//!
+//! # Determinism
+//!
+//! The engine's greedy loops are ports of the serial solvers with the holder
+//! map replacing the serial `O(|T|)` invalidation scan.  A task is in the
+//! holder set of `(slot, worker)` if and only if its cached best candidate
+//! targets `(slot, worker)` — exactly the predicate of the serial scan — so
+//! the engine performs the *same* candidate refreshes, counts the *same*
+//! conflicts and executes the *same* subtasks in the same order.  On a fresh
+//! engine, [`AssignmentEngine::assign_batch`] is bit-identical to
+//! [`crate::multi::rebuild::msqm_rebuild`] / [`crate::multi::rebuild::mmqm_rebuild`]
+//! (the pre-engine solvers, kept as the rebuild-per-call baseline); the
+//! equivalence is locked in by `tests/engine_equivalence.rs`.
+
+use std::borrow::Cow;
+use std::collections::{BTreeSet, HashMap};
+
+use tcsc_core::{
+    CostModel, Domain, ExecutedSubtask, InterpolationWeights, MultiAssignment, QualityParams,
+    SlotIndex, SpatioTemporalEvaluator, Task, TaskId, WorkerId,
+};
+use tcsc_index::WorkerIndex;
+
+use crate::candidates::{SlotCandidates, WorkerLedger};
+use crate::multi::sapprox::SpatioTemporalObjective;
+use crate::multi::{MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};
+
+/// Which aggregate objective a batch solve maximises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Maximise the summation quality `q_sum` (MSQM, Problem 2).
+    SumQuality,
+    /// Maximise the minimum quality `q_min` (MMQM, Problem 3).
+    MinQuality,
+}
+
+/// Candidate-computation counters of one solve (and, accumulated, of an
+/// engine's lifetime).
+///
+/// `slot_computations` counts actual index-backed candidate computations
+/// (initial builds plus refreshes); `rebuild_slot_computations` counts what a
+/// rebuild-per-call strategy — recomputing every task's candidates from
+/// scratch, as the pre-engine solvers do — would have performed for the same
+/// work.  The difference is the engine's saving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Tasks whose candidates were computed from scratch (cache misses).
+    pub tasks_computed: usize,
+    /// Tasks whose candidates were served from the cache (cache hits).
+    pub tasks_reused: usize,
+    /// Per-slot candidate computations actually performed against the index.
+    pub slot_computations: usize,
+    /// Subset of `slot_computations` that were occupancy-driven refreshes
+    /// (checkout reconciliation and in-run worker conflicts).
+    pub slot_refreshes: usize,
+    /// Per-slot computations a rebuild-per-call strategy would have performed
+    /// for the same solves.
+    pub rebuild_slot_computations: usize,
+}
+
+impl CacheStats {
+    /// Accumulates another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.tasks_computed += other.tasks_computed;
+        self.tasks_reused += other.tasks_reused;
+        self.slot_computations += other.slot_computations;
+        self.slot_refreshes += other.slot_refreshes;
+        self.rebuild_slot_computations += other.rebuild_slot_computations;
+    }
+
+    /// Slot computations saved relative to the rebuild-per-call baseline.
+    pub fn saved_slot_computations(&self) -> usize {
+        self.rebuild_slot_computations
+            .saturating_sub(self.slot_computations)
+    }
+}
+
+/// Incremental per-task candidate cache.
+///
+/// Maps a task to its *base* [`SlotCandidates`] — the per-slot nearest
+/// workers under an empty ledger.  Because the worker index is immutable, the
+/// base never goes stale; occupancy is reconciled at checkout by refreshing
+/// only the slots whose base candidate is currently occupied.
+#[derive(Debug, Default)]
+pub struct CandidateCache {
+    base: HashMap<TaskId, (Task, SlotCandidates)>,
+}
+
+impl CandidateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached tasks.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Drops every cached entry (e.g. after swapping the worker index).
+    pub fn clear(&mut self) {
+        self.base.clear();
+    }
+
+    /// Evicts one task's entry, returning whether it was present.
+    pub fn evict(&mut self, task: TaskId) -> bool {
+        self.base.remove(&task).is_some()
+    }
+
+    /// Checks a task's working candidates out of the cache: a clone of the
+    /// base candidates, reconciled against `ledger` by refreshing exactly the
+    /// slots whose base candidate is occupied.  Computes (and retains) the
+    /// base on a miss.  A cached entry is only reused when the stored task is
+    /// identical to the queried one, so id reuse across different tasks falls
+    /// back to a recompute instead of serving wrong candidates.
+    pub fn checkout(
+        &mut self,
+        task: &Task,
+        index: &WorkerIndex,
+        cost_model: &dyn CostModel,
+        ledger: &WorkerLedger,
+        stats: &mut CacheStats,
+    ) -> SlotCandidates {
+        // What a rebuild-per-call strategy would pay for this task.
+        stats.rebuild_slot_computations += task.num_slots;
+        let hit = matches!(self.base.get(&task.id), Some((cached, _)) if cached == task);
+        if !hit {
+            stats.tasks_computed += 1;
+            stats.slot_computations += task.num_slots;
+            let base = SlotCandidates::compute(task, index, cost_model);
+            self.base.insert(task.id, (task.clone(), base));
+        } else {
+            stats.tasks_reused += 1;
+        }
+        let (_, base) = &self.base[&task.id];
+        let mut working = base.clone();
+        if !ledger.is_empty() {
+            for slot in 0..working.len() {
+                // A `None` base candidate means the slot has no worker at all;
+                // occupancy can only shrink availability, so it stays `None`.
+                let occupied = working
+                    .get(slot)
+                    .is_some_and(|c| ledger.is_occupied(slot, c.worker));
+                if occupied {
+                    working.refresh_slot(task, slot, index, cost_model, ledger);
+                    stats.slot_computations += 1;
+                    stats.slot_refreshes += 1;
+                }
+            }
+        }
+        working
+    }
+}
+
+/// Reverse holder map of one solve: `(slot, worker)` to the tasks whose
+/// cached best candidate currently targets that worker.  `registered`
+/// remembers each task's key so deregistration never has to search.
+#[derive(Debug, Default)]
+struct HolderMap {
+    holders: HashMap<(SlotIndex, WorkerId), BTreeSet<usize>>,
+    registered: Vec<Option<(SlotIndex, WorkerId)>>,
+}
+
+impl HolderMap {
+    fn with_tasks(n: usize) -> Self {
+        Self {
+            holders: HashMap::new(),
+            registered: vec![None; n],
+        }
+    }
+
+    fn register(&mut self, task_idx: usize, slot: SlotIndex, worker: WorkerId) {
+        self.holders
+            .entry((slot, worker))
+            .or_default()
+            .insert(task_idx);
+        self.registered[task_idx] = Some((slot, worker));
+    }
+
+    fn deregister(&mut self, task_idx: usize) {
+        if let Some(key) = self.registered[task_idx].take() {
+            if let Some(set) = self.holders.get_mut(&key) {
+                set.remove(&task_idx);
+                if set.is_empty() {
+                    self.holders.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns every task holding `(slot, worker)` as its best
+    /// candidate.
+    fn take_holders(&mut self, slot: SlotIndex, worker: WorkerId) -> BTreeSet<usize> {
+        let set = self.holders.remove(&(slot, worker)).unwrap_or_default();
+        for &task_idx in &set {
+            self.registered[task_idx] = None;
+        }
+        set
+    }
+}
+
+/// Long-lived batched / streaming multi-task assignment engine.
+///
+/// Owns (or borrows) the worker index, a persistent occupancy ledger and the
+/// incremental [`CandidateCache`]; see the [module docs](self) for the
+/// invalidation protocol and the determinism argument.
+///
+/// * [`AssignmentEngine::assign_batch`] solves one task batch against the
+///   current ledger and commits the resulting occupancy.
+/// * [`AssignmentEngine::submit`] / [`AssignmentEngine::drain`] accept task
+///   arrivals across rounds and solve them batch-wise; occupancy persists
+///   between rounds so a worker granted in round `r` is unavailable in round
+///   `r + 1`.
+/// * [`AssignmentEngine::release_all`] frees every commitment (re-planning),
+///   while the candidate cache keeps amortising index lookups.
+pub struct AssignmentEngine<'a> {
+    index: Cow<'a, WorkerIndex>,
+    cost_model: &'a dyn CostModel,
+    config: MultiTaskConfig,
+    ledger: WorkerLedger,
+    cache: CandidateCache,
+    pending: Vec<Task>,
+    lifetime_stats: CacheStats,
+}
+
+impl<'a> AssignmentEngine<'a> {
+    /// An engine owning its worker index (the long-lived serving setup).
+    pub fn new(index: WorkerIndex, cost_model: &'a dyn CostModel, config: MultiTaskConfig) -> Self {
+        Self::from_cow(Cow::Owned(index), cost_model, config)
+    }
+
+    /// An engine borrowing a caller-owned worker index (the cheap,
+    /// per-call construction used by the [`crate::multi`] solver wrappers).
+    pub fn borrowed(
+        index: &'a WorkerIndex,
+        cost_model: &'a dyn CostModel,
+        config: MultiTaskConfig,
+    ) -> Self {
+        Self::from_cow(Cow::Borrowed(index), cost_model, config)
+    }
+
+    fn from_cow(
+        index: Cow<'a, WorkerIndex>,
+        cost_model: &'a dyn CostModel,
+        config: MultiTaskConfig,
+    ) -> Self {
+        Self {
+            index,
+            cost_model,
+            config,
+            ledger: WorkerLedger::new(),
+            cache: CandidateCache::new(),
+            pending: Vec::new(),
+            lifetime_stats: CacheStats::default(),
+        }
+    }
+
+    /// The engine's worker index.
+    pub fn index(&self) -> &WorkerIndex {
+        &self.index
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &MultiTaskConfig {
+        &self.config
+    }
+
+    /// Overrides the budget used by subsequent solves.
+    pub fn set_budget(&mut self, budget: f64) {
+        self.config.budget = budget;
+    }
+
+    /// The persistent occupancy ledger.
+    pub fn ledger(&self) -> &WorkerLedger {
+        &self.ledger
+    }
+
+    /// The candidate cache (size inspection / manual eviction).
+    pub fn cache(&mut self) -> &mut CandidateCache {
+        &mut self.cache
+    }
+
+    /// Accumulated candidate-computation counters over the engine's lifetime.
+    pub fn stats(&self) -> CacheStats {
+        self.lifetime_stats
+    }
+
+    /// Releases every occupancy commitment while keeping the candidate cache
+    /// warm (re-planning the same scenario under a different budget or
+    /// objective).
+    pub fn release_all(&mut self) {
+        self.ledger.clear();
+    }
+
+    /// Queues task arrivals for the next [`AssignmentEngine::drain`].
+    pub fn submit(&mut self, tasks: impl IntoIterator<Item = Task>) {
+        self.pending.extend(tasks);
+    }
+
+    /// Number of submitted-but-not-yet-drained tasks.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Solves every pending task as one batch (in submission order) against
+    /// the current ledger and commits the resulting occupancy.  Draining k
+    /// submission rounds at once is equivalent to one
+    /// [`AssignmentEngine::assign_batch`] call on the concatenated tasks.
+    ///
+    /// Streamed arrivals are one-shot: their plans are final, they never
+    /// re-arrive, so their cache entries are evicted after the solve and a
+    /// long-running stream holds memory proportional to one round, not to
+    /// every task ever served.  (Re-planning workloads that *do* re-solve the
+    /// same tasks should use [`AssignmentEngine::assign_batch`], which keeps
+    /// the cache warm.)
+    pub fn drain(&mut self, objective: Objective) -> MultiOutcome {
+        let tasks = std::mem::take(&mut self.pending);
+        let outcome = self.assign_batch(&tasks, objective);
+        for task in &tasks {
+            self.cache.evict(task.id);
+        }
+        outcome
+    }
+
+    /// Solves one task batch under the configured budget and objective
+    /// against the current ledger, committing the resulting occupancy.
+    ///
+    /// On a fresh engine this is bit-identical (plans, conflicts, executions)
+    /// to the rebuild-per-call solvers
+    /// [`crate::multi::rebuild::msqm_rebuild`] /
+    /// [`crate::multi::rebuild::mmqm_rebuild`]; the candidate cache only
+    /// changes *how* candidates are obtained, never *which* candidates the
+    /// greedy sees.
+    pub fn assign_batch(&mut self, tasks: &[Task], objective: Objective) -> MultiOutcome {
+        let outcome = match objective {
+            Objective::SumQuality => self.run_msqm(tasks),
+            Objective::MinQuality => self.run_mmqm(tasks),
+        };
+        self.lifetime_stats.merge(&outcome.stats);
+        outcome
+    }
+
+    /// Checks the working states of a batch out of the candidate cache.
+    fn checkout_states(&mut self, tasks: &[Task], stats: &mut CacheStats) -> Vec<TaskState> {
+        tasks
+            .iter()
+            .map(|task| {
+                let candidates =
+                    self.cache
+                        .checkout(task, &self.index, self.cost_model, &self.ledger, stats);
+                TaskState::from_candidates(task, candidates, &self.config)
+            })
+            .collect()
+    }
+
+    /// MSQM greedy (port of the serial rebuild solver; the holder map
+    /// replaces its `O(|T|)` invalidation scan).
+    fn run_msqm(&mut self, tasks: &[Task]) -> MultiOutcome {
+        let mut stats = CacheStats::default();
+        let mut states = self.checkout_states(tasks, &mut stats);
+        let mut remaining = self.config.budget;
+        let mut conflicts = 0usize;
+        let mut executions = 0usize;
+
+        // Cached best candidate per task; recomputed lazily when invalidated.
+        let mut cached: Vec<Option<Option<TaskCandidate>>> = vec![None; states.len()];
+        let mut holders = HolderMap::with_tasks(states.len());
+
+        loop {
+            // Refresh stale candidate caches.  A cached candidate computed
+            // under a larger remaining budget may have become unaffordable;
+            // recompute it with the current budget so that cheaper slots of
+            // the same task are still considered.
+            for (i, state) in states.iter_mut().enumerate() {
+                if let Some(Some(c)) = &cached[i] {
+                    if c.cost > remaining {
+                        holders.deregister(i);
+                        cached[i] = None;
+                    }
+                }
+                if cached[i].is_none() {
+                    let candidate = state.best_candidate(remaining);
+                    if let Some(c) = &candidate {
+                        let worker = state
+                            .planned_worker(c.slot)
+                            .expect("candidate slot has a planned worker");
+                        holders.register(i, c.slot, worker);
+                    }
+                    cached[i] = Some(candidate);
+                }
+            }
+            // Pick the task with the globally maximal heuristic value among
+            // the affordable candidates.
+            let mut best: Option<(usize, TaskCandidate)> = None;
+            for (i, entry) in cached.iter().enumerate() {
+                let Some(Some(candidate)) = entry else {
+                    continue;
+                };
+                if candidate.cost > remaining {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((bi, b)) => {
+                        candidate.heuristic > b.heuristic
+                            || (candidate.heuristic == b.heuristic && i < *bi)
+                    }
+                };
+                if better {
+                    best = Some((i, *candidate));
+                }
+            }
+            let Some((task_idx, candidate)) = best else {
+                break;
+            };
+
+            // Worker-conflict check: the planned worker may have been taken
+            // by another task since this candidate was computed.
+            let worker = states[task_idx]
+                .planned_worker(candidate.slot)
+                .expect("candidate slot has a planned worker");
+            if self.ledger.is_occupied(candidate.slot, worker) {
+                // Conflict: fall back to the next nearest worker and retry.
+                conflicts += 1;
+                holders.deregister(task_idx);
+                cached[task_idx] = None;
+                states[task_idx].refresh_slot(
+                    candidate.slot,
+                    &self.index,
+                    self.cost_model,
+                    &self.ledger,
+                );
+                stats.slot_computations += 1;
+                stats.slot_refreshes += 1;
+                stats.rebuild_slot_computations += 1;
+                continue;
+            }
+
+            // Execute.
+            remaining -= candidate.cost;
+            self.ledger.occupy(candidate.slot, worker);
+            states[task_idx].execute(candidate.slot);
+            executions += 1;
+            holders.deregister(task_idx);
+            cached[task_idx] = None;
+            // Invalidate cached candidates of tasks that planned to use the
+            // same worker at the same slot (they must fall back on their next
+            // try).  The holder map yields exactly those tasks without
+            // scanning the whole batch.
+            let losers = holders.take_holders(candidate.slot, worker);
+            debug_assert!(
+                !losers.contains(&task_idx),
+                "the executing task was deregistered before its worker was occupied"
+            );
+            for i in losers {
+                conflicts += 1;
+                cached[i] = None;
+                states[i].refresh_slot(candidate.slot, &self.index, self.cost_model, &self.ledger);
+                stats.slot_computations += 1;
+                stats.slot_refreshes += 1;
+                stats.rebuild_slot_computations += 1;
+            }
+        }
+
+        let assignment =
+            MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
+        MultiOutcome {
+            assignment,
+            conflicts,
+            executions,
+            stats,
+        }
+    }
+
+    /// MMQM greedy (port of the rebuild solver: reinforce the weakest task,
+    /// with candidates served through the cache).
+    fn run_mmqm(&mut self, tasks: &[Task]) -> MultiOutcome {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        use crate::multi::rebuild::HeapEntry;
+
+        let mut stats = CacheStats::default();
+        let mut states = self.checkout_states(tasks, &mut stats);
+        let mut remaining = self.config.budget;
+        let mut conflicts = 0usize;
+        let mut executions = 0usize;
+
+        // Min-heap over (quality, task index); entries are lazily refreshed.
+        let mut heap: BinaryHeap<Reverse<HeapEntry>> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Reverse(HeapEntry(s.quality(), i)))
+            .collect();
+        // Tasks that ran out of affordable candidates are retired.
+        let mut retired = vec![false; states.len()];
+
+        while let Some(Reverse(HeapEntry(quality, task_idx))) = heap.pop() {
+            if retired[task_idx] {
+                continue;
+            }
+            // Lazy entry: skip if stale (the task's quality has changed since
+            // the entry was pushed).
+            if (states[task_idx].quality() - quality).abs() > 1e-12 {
+                heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
+                continue;
+            }
+
+            let Some(candidate) = states[task_idx].best_candidate(remaining) else {
+                retired[task_idx] = true;
+                continue;
+            };
+            if candidate.cost > remaining {
+                retired[task_idx] = true;
+                continue;
+            }
+            // Conflict check against the shared ledger.
+            let worker = states[task_idx]
+                .planned_worker(candidate.slot)
+                .expect("candidate slot has a planned worker");
+            if self.ledger.is_occupied(candidate.slot, worker) {
+                conflicts += 1;
+                states[task_idx].refresh_slot(
+                    candidate.slot,
+                    &self.index,
+                    self.cost_model,
+                    &self.ledger,
+                );
+                stats.slot_computations += 1;
+                stats.slot_refreshes += 1;
+                stats.rebuild_slot_computations += 1;
+                heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
+                continue;
+            }
+
+            remaining -= candidate.cost;
+            self.ledger.occupy(candidate.slot, worker);
+            states[task_idx].execute(candidate.slot);
+            executions += 1;
+            heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
+        }
+
+        let assignment =
+            MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
+        MultiOutcome {
+            assignment,
+            conflicts,
+            executions,
+            stats,
+        }
+    }
+
+    /// `SApprox` under the engine: the spatiotemporal greedy of
+    /// [`crate::multi::sapprox`] with candidates served through the cache and
+    /// occupancy committed to the persistent ledger.
+    ///
+    /// All tasks must share the same number of slots (as in the paper's
+    /// setup).
+    pub fn assign_spatiotemporal(
+        &mut self,
+        tasks: &[Task],
+        domain: &Domain,
+        weights: InterpolationWeights,
+        objective: SpatioTemporalObjective,
+    ) -> MultiOutcome {
+        let outcome = self.run_spatiotemporal(tasks, domain, weights, objective);
+        self.lifetime_stats.merge(&outcome.stats);
+        outcome
+    }
+
+    fn run_spatiotemporal(
+        &mut self,
+        tasks: &[Task],
+        domain: &Domain,
+        weights: InterpolationWeights,
+        objective: SpatioTemporalObjective,
+    ) -> MultiOutcome {
+        let mut stats = CacheStats::default();
+        if tasks.is_empty() {
+            return MultiOutcome {
+                assignment: MultiAssignment::default(),
+                conflicts: 0,
+                executions: 0,
+                stats,
+            };
+        }
+        let num_slots = tasks[0].num_slots;
+        assert!(
+            tasks.iter().all(|t| t.num_slots == num_slots),
+            "SApprox requires tasks with a uniform number of slots"
+        );
+
+        let config = self.config;
+        let mut evaluator = SpatioTemporalEvaluator::new(
+            tasks.iter().map(|t| t.location).collect(),
+            QualityParams::new(num_slots, config.k),
+            *domain,
+            weights,
+        );
+        let mut candidates: Vec<SlotCandidates> = tasks
+            .iter()
+            .map(|t| {
+                self.cache
+                    .checkout(t, &self.index, self.cost_model, &self.ledger, &mut stats)
+            })
+            .collect();
+        let mut executions_log: Vec<Vec<ExecutedSubtask>> = vec![Vec::new(); tasks.len()];
+        let mut remaining = config.budget;
+        let mut conflicts = 0usize;
+        let mut executions = 0usize;
+
+        loop {
+            // Candidate search: the (task, slot) pair maximising the
+            // objective increase per unit cost among affordable pairs.
+            let mut best: Option<(usize, usize, f64, f64)> = None; // (task, slot, gain, cost)
+            let task_range: Vec<usize> = match objective {
+                SpatioTemporalObjective::Sum => (0..tasks.len()).collect(),
+                SpatioTemporalObjective::Min => {
+                    // Reinforce the currently weakest task that still has
+                    // affordable candidates.
+                    let mut order: Vec<usize> = (0..tasks.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        evaluator
+                            .task_quality(a)
+                            .total_cmp(&evaluator.task_quality(b))
+                    });
+                    order
+                }
+            };
+            'outer: for &task_idx in &task_range {
+                for slot in 0..num_slots {
+                    if evaluator.is_executed(task_idx, slot) {
+                        continue;
+                    }
+                    let Some(candidate) = candidates[task_idx].get(slot) else {
+                        continue;
+                    };
+                    if candidate.cost > remaining {
+                        continue;
+                    }
+                    let reliability = if config.use_reliability {
+                        candidate.reliability
+                    } else {
+                        1.0
+                    };
+                    let gain = match objective {
+                        SpatioTemporalObjective::Sum => {
+                            evaluator.sum_gain_if_executed(task_idx, slot, reliability)
+                        }
+                        SpatioTemporalObjective::Min => {
+                            evaluator.task_gain_if_executed(task_idx, slot, reliability)
+                        }
+                    };
+                    let heuristic = if candidate.cost > 0.0 {
+                        gain / candidate.cost
+                    } else {
+                        f64::INFINITY
+                    };
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, bg, bc)) => {
+                            let bh = if *bc > 0.0 { bg / bc } else { f64::INFINITY };
+                            heuristic > bh
+                        }
+                    };
+                    if better {
+                        best = Some((task_idx, slot, gain, candidate.cost));
+                    }
+                }
+                // For the min objective only the weakest task with any
+                // affordable candidate is reinforced, mirroring the MMQM
+                // loop.
+                if matches!(objective, SpatioTemporalObjective::Min) && best.is_some() {
+                    break 'outer;
+                }
+            }
+
+            let Some((task_idx, slot, _gain, cost)) = best else {
+                break;
+            };
+            let candidate = *candidates[task_idx]
+                .get(slot)
+                .expect("selected candidate exists");
+            // Worker conflict: fall back to the next nearest worker.
+            if self.ledger.is_occupied(slot, candidate.worker) {
+                conflicts += 1;
+                candidates[task_idx].refresh_slot(
+                    &tasks[task_idx],
+                    slot,
+                    &self.index,
+                    self.cost_model,
+                    &self.ledger,
+                );
+                stats.slot_computations += 1;
+                stats.slot_refreshes += 1;
+                stats.rebuild_slot_computations += 1;
+                continue;
+            }
+            remaining -= cost;
+            self.ledger.occupy(slot, candidate.worker);
+            let reliability = if config.use_reliability {
+                candidate.reliability
+            } else {
+                1.0
+            };
+            evaluator.execute(task_idx, slot, reliability);
+            executions_log[task_idx].push(ExecutedSubtask {
+                slot,
+                worker: candidate.worker,
+                cost,
+                reliability: candidate.reliability,
+            });
+            executions += 1;
+        }
+
+        let plans = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, task)| tcsc_core::AssignmentPlan {
+                task: task.id,
+                num_slots,
+                quality: evaluator.task_quality(i),
+                executions: std::mem::take(&mut executions_log[i]),
+            })
+            .collect();
+
+        MultiOutcome {
+            assignment: MultiAssignment::new(plans),
+            conflicts,
+            executions,
+            stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for AssignmentEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AssignmentEngine")
+            .field("config", &self.config)
+            .field("ledger_commitments", &self.ledger.len())
+            .field("cached_tasks", &self.cache.len())
+            .field("pending", &self.pending.len())
+            .field("lifetime_stats", &self.lifetime_stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::test_support::small_instance;
+    use tcsc_core::EuclideanCost;
+
+    #[test]
+    fn batch_respects_the_budget_and_commits_occupancy() {
+        let (tasks, index, cost) = small_instance(70, 5, 25, 150);
+        let mut engine = AssignmentEngine::borrowed(&index, &cost, MultiTaskConfig::new(40.0));
+        let outcome = engine.assign_batch(&tasks, Objective::SumQuality);
+        assert!(outcome.assignment.total_cost() <= 40.0 + 1e-6);
+        assert_eq!(engine.ledger().len(), outcome.executions);
+    }
+
+    #[test]
+    fn second_solve_reuses_the_cache() {
+        let (tasks, index, cost) = small_instance(71, 4, 20, 120);
+        let mut engine = AssignmentEngine::borrowed(&index, &cost, MultiTaskConfig::new(30.0));
+        let first = engine.assign_batch(&tasks, Objective::SumQuality);
+        assert_eq!(first.stats.tasks_computed, tasks.len());
+        assert_eq!(first.stats.tasks_reused, 0);
+        engine.release_all();
+        let second = engine.assign_batch(&tasks, Objective::SumQuality);
+        assert_eq!(second.stats.tasks_computed, 0);
+        assert_eq!(second.stats.tasks_reused, tasks.len());
+        // After releasing the occupancy the cached base candidates are valid
+        // again, so the second run performs no initial slot computations.
+        assert!(second.stats.slot_computations < first.stats.slot_computations);
+        assert_eq!(
+            first.assignment, second.assignment,
+            "re-planning the same batch must reproduce the same plans"
+        );
+    }
+
+    #[test]
+    fn cache_detects_task_identity_changes() {
+        let (tasks, index, cost) = small_instance(72, 2, 15, 80);
+        let mut engine = AssignmentEngine::borrowed(&index, &cost, MultiTaskConfig::new(20.0));
+        engine.assign_batch(&tasks, Objective::SumQuality);
+        engine.release_all();
+        // Same ids, different locations: the cache must recompute.
+        let mut moved = tasks.clone();
+        for t in &mut moved {
+            t.location = tcsc_core::Location::new(t.location.x + 1.0, t.location.y);
+        }
+        let outcome = engine.assign_batch(&moved, Objective::SumQuality);
+        assert_eq!(outcome.stats.tasks_computed, moved.len());
+        assert_eq!(outcome.stats.tasks_reused, 0);
+    }
+
+    #[test]
+    fn drains_share_occupancy_across_rounds() {
+        let (tasks, index, cost) = small_instance(73, 8, 20, 40);
+        let mut engine = AssignmentEngine::borrowed(&index, &cost, MultiTaskConfig::new(100.0));
+        let (first_half, second_half) = tasks.split_at(4);
+        engine.submit(first_half.to_vec());
+        let round1 = engine.drain(Objective::SumQuality);
+        engine.submit(second_half.to_vec());
+        let round2 = engine.drain(Objective::SumQuality);
+        assert_eq!(engine.pending(), 0);
+        // A worker granted in round 1 must not be re-granted in round 2.
+        let mut seen = std::collections::HashSet::new();
+        for plan in round1
+            .assignment
+            .plans
+            .iter()
+            .chain(&round2.assignment.plans)
+        {
+            for exec in &plan.executions {
+                assert!(
+                    seen.insert((exec.slot, exec.worker)),
+                    "worker {:?} double-booked at slot {} across rounds",
+                    exec.worker,
+                    exec.slot
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drained_tasks_are_evicted_from_the_cache() {
+        // Streamed arrivals are one-shot; a long-running stream must not
+        // accumulate cache entries for every task ever served.
+        let (tasks, index, cost) = small_instance(76, 9, 15, 120);
+        let mut engine = AssignmentEngine::borrowed(&index, &cost, MultiTaskConfig::new(50.0));
+        for round in tasks.chunks(3) {
+            engine.submit(round.to_vec());
+            engine.drain(Objective::SumQuality);
+            assert!(engine.cache().is_empty(), "drain must evict its arrivals");
+        }
+        // assign_batch keeps entries (the re-planning path).
+        engine.assign_batch(&tasks[..3], Objective::SumQuality);
+        assert_eq!(engine.cache().len(), 3);
+    }
+
+    #[test]
+    fn owned_engine_works_without_an_external_index() {
+        let (tasks, index, _) = small_instance(74, 3, 15, 90);
+        let cost = EuclideanCost::default();
+        let mut engine = AssignmentEngine::new(index, &cost, MultiTaskConfig::new(25.0));
+        let outcome = engine.assign_batch(&tasks, Objective::MinQuality);
+        assert!(outcome.assignment.total_cost() <= 25.0 + 1e-6);
+    }
+
+    #[test]
+    fn stats_accumulate_over_the_engine_lifetime() {
+        let (tasks, index, cost) = small_instance(75, 4, 20, 100);
+        let mut engine = AssignmentEngine::borrowed(&index, &cost, MultiTaskConfig::new(30.0));
+        let a = engine.assign_batch(&tasks, Objective::SumQuality);
+        engine.release_all();
+        let b = engine.assign_batch(&tasks, Objective::MinQuality);
+        let total = engine.stats();
+        assert_eq!(
+            total.slot_computations,
+            a.stats.slot_computations + b.stats.slot_computations
+        );
+        assert!(total.saved_slot_computations() > 0);
+    }
+}

@@ -10,7 +10,11 @@
 //!   and the dual (min-budget) search;
 //! * [`multi`] — the MSQM / MMQM problems, worker-conflict analysis, the
 //!   group-level and task-level parallel frameworks, and the spatiotemporal
-//!   `SApprox` extension.
+//!   `SApprox` extension;
+//! * [`engine`] — the long-lived batched / streaming assignment engine: a
+//!   shared incremental candidate cache with invalidation-driven refresh that
+//!   all multi-task solvers route through, plus the `assign_batch` and
+//!   `submit`/`drain` APIs that amortise index lookups across calls.
 //!
 //! ## Quick example
 //!
@@ -37,14 +41,17 @@
 #![warn(missing_docs)]
 
 pub mod candidates;
+pub mod engine;
 pub mod multi;
 pub mod single;
 
 pub use candidates::{SlotCandidates, WorkerLedger};
+pub use engine::{AssignmentEngine, CacheStats, CandidateCache, Objective};
 pub use multi::conflict::{independence_graph, IndependenceGraph};
 pub use multi::group_parallel::{msqm_group_parallel, GroupParallelOutcome};
 pub use multi::mmqm::mmqm;
 pub use multi::msqm::msqm_serial;
+pub use multi::rebuild::{mmqm_rebuild, msqm_rebuild};
 pub use multi::sapprox::{sapprox, SpatioTemporalObjective};
 pub use multi::task_parallel::{msqm_task_parallel, TaskParallelOutcome};
 pub use multi::{MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};

@@ -14,6 +14,7 @@ use std::thread;
 use tcsc_core::{AssignmentPlan, CostModel, MultiAssignment, Task};
 use tcsc_index::WorkerIndex;
 
+use crate::engine::CacheStats;
 use crate::multi::conflict::independence_graph;
 use crate::multi::msqm::msqm_serial;
 use crate::multi::{MultiOutcome, MultiTaskConfig};
@@ -86,9 +87,11 @@ pub fn msqm_group_parallel(
     let mut plans: Vec<Option<AssignmentPlan>> = vec![None; tasks.len()];
     let mut conflicts = 0usize;
     let mut executions = 0usize;
+    let mut stats = CacheStats::default();
     for (group, outcome) in per_group {
         conflicts += outcome.conflicts;
         executions += outcome.executions;
+        stats.merge(&outcome.stats);
         for (local, &task_idx) in group.iter().enumerate() {
             plans[task_idx] = Some(outcome.assignment.plans[local].clone());
         }
@@ -104,6 +107,7 @@ pub fn msqm_group_parallel(
             assignment: MultiAssignment::new(plans),
             conflicts,
             executions,
+            stats,
         },
         groups: groups.len(),
         largest_group: graph.largest_group(),

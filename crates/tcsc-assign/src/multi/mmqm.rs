@@ -10,32 +10,18 @@
 //! strictly in sequence, so no worker conflicts arise (Section IV-B), but the
 //! ledger still guarantees that one worker never serves two tasks in the same
 //! slot.
+//!
+//! The greedy itself lives in [`crate::engine::AssignmentEngine`]; this entry
+//! point wraps a per-call engine around the caller's index so existing users
+//! keep their signature while routing through the shared candidate cache.
+//! The pre-engine implementation survives as
+//! [`crate::multi::rebuild::mmqm_rebuild`], the rebuild-per-call baseline.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use tcsc_core::{CostModel, MultiAssignment, Task};
+use tcsc_core::{CostModel, Task};
 use tcsc_index::WorkerIndex;
 
-use crate::candidates::WorkerLedger;
-use crate::multi::{MultiOutcome, MultiTaskConfig, TaskState};
-
-/// Ordered heap entry: (quality, task index).  `f64` is wrapped through its
-/// total ordering to make the heap usable.
-#[derive(Debug, PartialEq)]
-struct Entry(f64, usize);
-
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
-    }
-}
+use crate::engine::{AssignmentEngine, Objective};
+use crate::multi::{MultiOutcome, MultiTaskConfig};
 
 /// Runs the MMQM greedy (maximise the minimum task quality).
 pub fn mmqm(
@@ -44,67 +30,8 @@ pub fn mmqm(
     cost_model: &dyn CostModel,
     config: &MultiTaskConfig,
 ) -> MultiOutcome {
-    let mut states: Vec<TaskState> = tasks
-        .iter()
-        .map(|t| TaskState::new(t, index, cost_model, config))
-        .collect();
-    let mut ledger = WorkerLedger::new();
-    let mut remaining = config.budget;
-    let mut conflicts = 0usize;
-    let mut executions = 0usize;
-
-    // Min-heap over (quality, task index); entries are lazily refreshed.
-    let mut heap: BinaryHeap<Reverse<Entry>> = states
-        .iter()
-        .enumerate()
-        .map(|(i, s)| Reverse(Entry(s.quality(), i)))
-        .collect();
-    // Tasks that ran out of affordable candidates are retired.
-    let mut retired = vec![false; states.len()];
-
-    while let Some(Reverse(Entry(quality, task_idx))) = heap.pop() {
-        if retired[task_idx] {
-            continue;
-        }
-        // Lazy entry: skip if stale (the task's quality has changed since the
-        // entry was pushed).
-        if (states[task_idx].quality() - quality).abs() > 1e-12 {
-            heap.push(Reverse(Entry(states[task_idx].quality(), task_idx)));
-            continue;
-        }
-
-        let Some(candidate) = states[task_idx].best_candidate(remaining) else {
-            retired[task_idx] = true;
-            continue;
-        };
-        if candidate.cost > remaining {
-            retired[task_idx] = true;
-            continue;
-        }
-        // Conflict check against the shared ledger.
-        let worker = states[task_idx]
-            .planned_worker(candidate.slot)
-            .expect("candidate slot has a planned worker");
-        if ledger.is_occupied(candidate.slot, worker) {
-            conflicts += 1;
-            states[task_idx].refresh_slot(candidate.slot, index, cost_model, &ledger);
-            heap.push(Reverse(Entry(states[task_idx].quality(), task_idx)));
-            continue;
-        }
-
-        remaining -= candidate.cost;
-        ledger.occupy(candidate.slot, worker);
-        states[task_idx].execute(candidate.slot);
-        executions += 1;
-        heap.push(Reverse(Entry(states[task_idx].quality(), task_idx)));
-    }
-
-    let assignment = MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
-    MultiOutcome {
-        assignment,
-        conflicts,
-        executions,
-    }
+    AssignmentEngine::borrowed(index, cost_model, *config)
+        .assign_batch(tasks, Objective::MinQuality)
 }
 
 #[cfg(test)]

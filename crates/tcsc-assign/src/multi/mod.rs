@@ -6,6 +6,7 @@ pub mod conflict;
 pub mod group_parallel;
 pub mod mmqm;
 pub mod msqm;
+pub mod rebuild;
 pub mod sapprox;
 pub mod task_parallel;
 
@@ -16,6 +17,7 @@ use tcsc_core::{
 use tcsc_index::{SearchStats, VTree, VTreeConfig, WorkerIndex};
 
 use crate::candidates::{SlotCandidates, WorkerLedger};
+use crate::engine::CacheStats;
 
 /// Parameters shared by the multi-task solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,6 +115,17 @@ impl TaskState {
         config: &MultiTaskConfig,
     ) -> Self {
         let candidates = SlotCandidates::compute(task, index, cost_model);
+        Self::from_candidates(task, candidates, config)
+    }
+
+    /// Initialises the state of one task from already-computed per-slot
+    /// candidates (the entry point used by the engine's candidate cache, so
+    /// that reused candidates skip the index queries of [`TaskState::new`]).
+    pub fn from_candidates(
+        task: &Task,
+        candidates: SlotCandidates,
+        config: &MultiTaskConfig,
+    ) -> Self {
         let evaluator = QualityEvaluator::new(QualityParams::new(task.num_slots, config.k));
         let tree = config
             .use_index
@@ -245,6 +258,10 @@ pub struct MultiOutcome {
     pub conflicts: usize,
     /// Number of executed subtasks across all tasks.
     pub executions: usize,
+    /// Candidate-cache counters of the run: how many per-slot candidates were
+    /// computed, refreshed after occupancy changes, or served from the
+    /// engine's cache — and what a rebuild-per-call strategy would have cost.
+    pub stats: CacheStats,
 }
 
 impl MultiOutcome {

@@ -6,18 +6,25 @@
 //! the algorithm retrieves, from *all* tasks, the subtask with the maximum
 //! quality increment per unit cost, and executes it if the shared budget
 //! allows.  Because subtasks of different tasks can compete for the same
-//! worker at the same time slot, a [`WorkerLedger`] arbitrates conflicts: the
+//! worker at the same time slot, a [`crate::candidates::WorkerLedger`]
+//! arbitrates conflicts: the
 //! loser falls back to its next-nearest worker (Section IV-A), and every such
 //! event is counted as a *worker conflict* (Fig. 9(b)(c)).
 //!
 //! This serial solver is the "Without Parallelization" baseline of Fig. 9(a)
 //! and the reference plan that both parallel frameworks must reproduce.
+//!
+//! The greedy itself lives in [`crate::engine::AssignmentEngine`]; this entry
+//! point wraps a per-call engine around the caller's index so existing users
+//! keep their signature while routing through the shared candidate cache.
+//! The pre-engine implementation survives as
+//! [`crate::multi::rebuild::msqm_rebuild`], the rebuild-per-call baseline.
 
-use tcsc_core::{CostModel, MultiAssignment, Task};
+use tcsc_core::{CostModel, Task};
 use tcsc_index::WorkerIndex;
 
-use crate::candidates::WorkerLedger;
-use crate::multi::{MultiOutcome, MultiTaskConfig, TaskState};
+use crate::engine::{AssignmentEngine, Objective};
+use crate::multi::{MultiOutcome, MultiTaskConfig};
 
 /// Runs the serial MSQM greedy.
 pub fn msqm_serial(
@@ -26,99 +33,8 @@ pub fn msqm_serial(
     cost_model: &dyn CostModel,
     config: &MultiTaskConfig,
 ) -> MultiOutcome {
-    let mut states: Vec<TaskState> = tasks
-        .iter()
-        .map(|t| TaskState::new(t, index, cost_model, config))
-        .collect();
-    let mut ledger = WorkerLedger::new();
-    let mut remaining = config.budget;
-    let mut conflicts = 0usize;
-    let mut executions = 0usize;
-
-    // Cached best candidate per task; recomputed lazily when invalidated.
-    let mut cached: Vec<Option<Option<crate::multi::TaskCandidate>>> = vec![None; states.len()];
-
-    loop {
-        // Refresh stale candidate caches.  A cached candidate computed under a
-        // larger remaining budget may have become unaffordable; recompute it
-        // with the current budget so that cheaper slots of the same task are
-        // still considered.
-        for (i, state) in states.iter_mut().enumerate() {
-            if let Some(Some(c)) = &cached[i] {
-                if c.cost > remaining {
-                    cached[i] = None;
-                }
-            }
-            if cached[i].is_none() {
-                cached[i] = Some(state.best_candidate(remaining));
-            }
-        }
-        // Pick the task with the globally maximal heuristic value among the
-        // affordable candidates.
-        let mut best: Option<(usize, crate::multi::TaskCandidate)> = None;
-        for (i, entry) in cached.iter().enumerate() {
-            let Some(Some(candidate)) = entry else {
-                continue;
-            };
-            if candidate.cost > remaining {
-                continue;
-            }
-            let better = match &best {
-                None => true,
-                Some((bi, b)) => {
-                    candidate.heuristic > b.heuristic
-                        || (candidate.heuristic == b.heuristic && i < *bi)
-                }
-            };
-            if better {
-                best = Some((i, *candidate));
-            }
-        }
-        let Some((task_idx, candidate)) = best else {
-            break;
-        };
-
-        // Worker-conflict check: the planned worker may have been taken by
-        // another task since this candidate was computed.
-        let worker = states[task_idx]
-            .planned_worker(candidate.slot)
-            .expect("candidate slot has a planned worker");
-        if ledger.is_occupied(candidate.slot, worker) {
-            // Conflict: fall back to the next nearest worker and retry.
-            conflicts += 1;
-            states[task_idx].refresh_slot(candidate.slot, index, cost_model, &ledger);
-            cached[task_idx] = None;
-            continue;
-        }
-
-        // Execute.
-        remaining -= candidate.cost;
-        ledger.occupy(candidate.slot, worker);
-        states[task_idx].execute(candidate.slot);
-        executions += 1;
-        cached[task_idx] = None;
-        // Invalidate cached candidates of tasks that planned to use the same
-        // worker at the same slot (they must fall back on their next try).
-        for (i, entry) in cached.iter_mut().enumerate() {
-            if i == task_idx {
-                continue;
-            }
-            if let Some(Some(c)) = entry {
-                if c.slot == candidate.slot && states[i].planned_worker(c.slot) == Some(worker) {
-                    conflicts += 1;
-                    states[i].refresh_slot(c.slot, index, cost_model, &ledger);
-                    *entry = None;
-                }
-            }
-        }
-    }
-
-    let assignment = MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
-    MultiOutcome {
-        assignment,
-        conflicts,
-        executions,
-    }
+    AssignmentEngine::borrowed(index, cost_model, *config)
+        .assign_batch(tasks, Objective::SumQuality)
 }
 
 #[cfg(test)]

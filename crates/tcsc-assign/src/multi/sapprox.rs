@@ -9,13 +9,10 @@
 //! applies: at each step execute the (task, slot) pair with the largest
 //! increase of the objective per unit cost.
 
-use tcsc_core::{
-    CostModel, Domain, ExecutedSubtask, InterpolationWeights, MultiAssignment, QualityParams,
-    SpatioTemporalEvaluator, Task,
-};
+use tcsc_core::{CostModel, Domain, InterpolationWeights, Task};
 use tcsc_index::WorkerIndex;
 
-use crate::candidates::{SlotCandidates, WorkerLedger};
+use crate::engine::AssignmentEngine;
 use crate::multi::{MultiOutcome, MultiTaskConfig};
 
 /// Which aggregate objective `SApprox` maximises.
@@ -30,6 +27,10 @@ pub enum SpatioTemporalObjective {
 /// Runs `SApprox` over a task set.
 ///
 /// All tasks must share the same number of slots (as in the paper's setup).
+/// The greedy itself lives in
+/// [`AssignmentEngine::assign_spatiotemporal`]; this entry point wraps a
+/// per-call engine around the caller's index so candidates route through the
+/// shared cache.
 pub fn sapprox(
     tasks: &[Task],
     index: &WorkerIndex,
@@ -39,145 +40,8 @@ pub fn sapprox(
     objective: SpatioTemporalObjective,
     config: &MultiTaskConfig,
 ) -> MultiOutcome {
-    if tasks.is_empty() {
-        return MultiOutcome {
-            assignment: MultiAssignment::default(),
-            conflicts: 0,
-            executions: 0,
-        };
-    }
-    let num_slots = tasks[0].num_slots;
-    assert!(
-        tasks.iter().all(|t| t.num_slots == num_slots),
-        "SApprox requires tasks with a uniform number of slots"
-    );
-
-    let mut evaluator = SpatioTemporalEvaluator::new(
-        tasks.iter().map(|t| t.location).collect(),
-        QualityParams::new(num_slots, config.k),
-        *domain,
-        weights,
-    );
-    let mut candidates: Vec<SlotCandidates> = tasks
-        .iter()
-        .map(|t| SlotCandidates::compute(t, index, cost_model))
-        .collect();
-    let mut executions_log: Vec<Vec<ExecutedSubtask>> = vec![Vec::new(); tasks.len()];
-    let mut ledger = WorkerLedger::new();
-    let mut remaining = config.budget;
-    let mut conflicts = 0usize;
-    let mut executions = 0usize;
-
-    loop {
-        // Candidate search: the (task, slot) pair maximising the objective
-        // increase per unit cost among affordable pairs.
-        let mut best: Option<(usize, usize, f64, f64)> = None; // (task, slot, gain, cost)
-        let task_range: Vec<usize> = match objective {
-            SpatioTemporalObjective::Sum => (0..tasks.len()).collect(),
-            SpatioTemporalObjective::Min => {
-                // Reinforce the currently weakest task that still has
-                // affordable candidates.
-                let mut order: Vec<usize> = (0..tasks.len()).collect();
-                order.sort_by(|&a, &b| {
-                    evaluator
-                        .task_quality(a)
-                        .total_cmp(&evaluator.task_quality(b))
-                });
-                order
-            }
-        };
-        'outer: for &task_idx in &task_range {
-            for slot in 0..num_slots {
-                if evaluator.is_executed(task_idx, slot) {
-                    continue;
-                }
-                let Some(candidate) = candidates[task_idx].get(slot) else {
-                    continue;
-                };
-                if candidate.cost > remaining {
-                    continue;
-                }
-                let reliability = if config.use_reliability {
-                    candidate.reliability
-                } else {
-                    1.0
-                };
-                let gain = match objective {
-                    SpatioTemporalObjective::Sum => {
-                        evaluator.sum_gain_if_executed(task_idx, slot, reliability)
-                    }
-                    SpatioTemporalObjective::Min => {
-                        evaluator.task_gain_if_executed(task_idx, slot, reliability)
-                    }
-                };
-                let heuristic = if candidate.cost > 0.0 {
-                    gain / candidate.cost
-                } else {
-                    f64::INFINITY
-                };
-                let better = match &best {
-                    None => true,
-                    Some((_, _, bg, bc)) => {
-                        let bh = if *bc > 0.0 { bg / bc } else { f64::INFINITY };
-                        heuristic > bh
-                    }
-                };
-                if better {
-                    best = Some((task_idx, slot, gain, candidate.cost));
-                }
-            }
-            // For the min objective only the weakest task with any affordable
-            // candidate is reinforced, mirroring the MMQM loop.
-            if matches!(objective, SpatioTemporalObjective::Min) && best.is_some() {
-                break 'outer;
-            }
-        }
-
-        let Some((task_idx, slot, _gain, cost)) = best else {
-            break;
-        };
-        let candidate = *candidates[task_idx]
-            .get(slot)
-            .expect("selected candidate exists");
-        // Worker conflict: fall back to the next nearest worker.
-        if ledger.is_occupied(slot, candidate.worker) {
-            conflicts += 1;
-            candidates[task_idx].refresh_slot(&tasks[task_idx], slot, index, cost_model, &ledger);
-            continue;
-        }
-        remaining -= cost;
-        ledger.occupy(slot, candidate.worker);
-        let reliability = if config.use_reliability {
-            candidate.reliability
-        } else {
-            1.0
-        };
-        evaluator.execute(task_idx, slot, reliability);
-        executions_log[task_idx].push(ExecutedSubtask {
-            slot,
-            worker: candidate.worker,
-            cost,
-            reliability: candidate.reliability,
-        });
-        executions += 1;
-    }
-
-    let plans = tasks
-        .iter()
-        .enumerate()
-        .map(|(i, task)| tcsc_core::AssignmentPlan {
-            task: task.id,
-            num_slots,
-            quality: evaluator.task_quality(i),
-            executions: std::mem::take(&mut executions_log[i]),
-        })
-        .collect();
-
-    MultiOutcome {
-        assignment: MultiAssignment::new(plans),
-        conflicts,
-        executions,
-    }
+    AssignmentEngine::borrowed(index, cost_model, *config)
+        .assign_spatiotemporal(tasks, domain, weights, objective)
 }
 
 #[cfg(test)]

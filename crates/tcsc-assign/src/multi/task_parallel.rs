@@ -28,6 +28,7 @@ use tcsc_core::{AssignmentPlan, CostModel, MultiAssignment, SlotIndex, Task, Wor
 use tcsc_index::WorkerIndex;
 
 use crate::candidates::WorkerLedger;
+use crate::engine::CacheStats;
 use crate::multi::{MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};
 
 /// One record of the conflicting table: the tasks that competed for a worker
@@ -133,6 +134,7 @@ pub fn msqm_task_parallel(
                 assignment: MultiAssignment::default(),
                 conflicts: 0,
                 executions: 0,
+                stats: CacheStats::default(),
             },
             conflict_table: Vec::new(),
             log: Vec::new(),
@@ -142,6 +144,21 @@ pub fn msqm_task_parallel(
 
     // Task -> owning thread (round-robin).
     let owner: Vec<usize> = (0..tasks.len()).map(|i| i % threads).collect();
+
+    // The master retrieves every task's initial per-slot candidates through a
+    // candidate cache (real, measured `CacheStats`) and hands them to the
+    // owning threads, which build their mutable states from them.  With the
+    // empty initial ledger the checkout equals a fresh computation, so the
+    // framework's determinism is untouched.
+    let mut stats = CacheStats::default();
+    let mut cache = crate::engine::CandidateCache::new();
+    let initial_ledger = WorkerLedger::new();
+    let mut per_thread_candidates: Vec<HashMap<usize, crate::candidates::SlotCandidates>> =
+        (0..threads).map(|_| HashMap::new()).collect();
+    for (task_idx, task) in tasks.iter().enumerate() {
+        let candidates = cache.checkout(task, index, &cost_model, &initial_ledger, &mut stats);
+        per_thread_candidates[owner[task_idx]].insert(task_idx, candidates);
+    }
 
     let (event_tx, event_rx): (Sender<Event>, Receiver<Event>) = channel();
     let mut command_txs: Vec<Sender<Command>> = Vec::with_capacity(threads);
@@ -156,18 +173,15 @@ pub fn msqm_task_parallel(
         // ------------------------------------------------------------------
         // Worker threads.
         // ------------------------------------------------------------------
-        for (thread_id, command_rx) in command_rxs.into_iter().enumerate() {
+        for (command_rx, thread_candidates) in command_rxs.into_iter().zip(per_thread_candidates) {
             let event_tx = event_tx.clone();
-            let owner = &owner;
             scope.spawn(move || {
-                let mut states: HashMap<usize, TaskState> = owner
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &o)| o == thread_id)
-                    .map(|(task_idx, _)| {
+                let mut states: HashMap<usize, TaskState> = thread_candidates
+                    .into_iter()
+                    .map(|(task_idx, candidates)| {
                         (
                             task_idx,
-                            TaskState::new(&tasks[task_idx], index, cost_model, config),
+                            TaskState::from_candidates(&tasks[task_idx], candidates, config),
                         )
                     })
                     .collect();
@@ -246,6 +260,9 @@ pub fn msqm_task_parallel(
         let mut ledger = WorkerLedger::new();
         let mut conflicts = 0usize;
         let mut executions = 0usize;
+        // `stats` already carries the initial checkout counters; each Refresh
+        // command below additionally recomputes exactly one slot on the
+        // owning worker thread.
         let mut conflict_table: Vec<ConflictRecord> = Vec::new();
         let mut conflict_ranks: HashMap<(SlotIndex, WorkerId), usize> = HashMap::new();
         let mut log: Vec<LogEntry> = Vec::new();
@@ -376,6 +393,9 @@ pub fn msqm_task_parallel(
                     next_rank: *rank,
                 });
                 heartbeat[task] = None;
+                stats.slot_computations += 1;
+                stats.slot_refreshes += 1;
+                stats.rebuild_slot_computations += 1;
                 command_txs[owner[task]]
                     .send(Command::Refresh {
                         task,
@@ -442,6 +462,9 @@ pub fn msqm_task_parallel(
                     });
                 }
                 for loser in losers {
+                    stats.slot_computations += 1;
+                    stats.slot_refreshes += 1;
+                    stats.rebuild_slot_computations += 1;
                     command_txs[owner[loser]]
                         .send(Command::Refresh {
                             task: loser,
@@ -486,6 +509,7 @@ pub fn msqm_task_parallel(
                 assignment: MultiAssignment::new(plans),
                 conflicts,
                 executions,
+                stats,
             },
             conflict_table,
             log,

@@ -1,0 +1,74 @@
+//! Figure 9(i) bench (repo extension): batched engine vs rebuild-per-call
+//! throughput — re-planning budget sweeps over one task batch, and streaming
+//! `submit`/`drain` rounds against per-round rebuilds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use tcsc_assign::{msqm_rebuild, AssignmentEngine, MultiTaskConfig, Objective};
+use tcsc_bench::figures::fig9i;
+use tcsc_bench::{prepare_multi, Scale};
+use tcsc_core::EuclideanCost;
+use tcsc_index::WorkerIndex;
+use tcsc_workload::{ScenarioConfig, StreamingConfig};
+
+fn bench_batched_engine(c: &mut Criterion) {
+    println!("{}", fig9i(Scale::Quick).render());
+
+    let prepared = prepare_multi(
+        &ScenarioConfig::small()
+            .with_num_tasks(8)
+            .with_num_slots(40)
+            .with_num_workers(600),
+    );
+    let tasks = &prepared.scenario.tasks;
+    let cost = EuclideanCost::default();
+    let budgets = [20.0, 40.0, 60.0];
+
+    let streaming = StreamingConfig::small(3, 4).build();
+    let stream_index = WorkerIndex::build(
+        &streaming.workers,
+        streaming.config.base.num_slots,
+        &streaming.domain,
+    );
+
+    let mut group = c.benchmark_group("fig9_batched_engine");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("rebuild_budget_sweep", |b| {
+        b.iter(|| {
+            for &budget in &budgets {
+                msqm_rebuild(tasks, &prepared.index, &cost, &MultiTaskConfig::new(budget));
+            }
+        })
+    });
+    group.bench_function("engine_budget_sweep", |b| {
+        b.iter(|| {
+            let mut engine = AssignmentEngine::borrowed(
+                &prepared.index,
+                &cost,
+                MultiTaskConfig::new(budgets[0]),
+            );
+            for &budget in &budgets {
+                engine.release_all();
+                engine.set_budget(budget);
+                engine.assign_batch(tasks, Objective::SumQuality);
+            }
+        })
+    });
+    group.bench_function("engine_streaming_drains", |b| {
+        b.iter(|| {
+            let mut engine =
+                AssignmentEngine::borrowed(&stream_index, &cost, MultiTaskConfig::new(25.0));
+            for round in &streaming.rounds {
+                engine.submit(round.clone());
+                engine.drain(Objective::SumQuality);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_engine);
+criterion_main!(benches);

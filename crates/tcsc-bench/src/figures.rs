@@ -10,9 +10,9 @@ use rand::SeedableRng;
 
 use tcsc_assign::candidates::SlotCandidates;
 use tcsc_assign::{
-    approx, approx_star, independence_graph, mmqm, msqm_group_parallel, msqm_serial,
-    msqm_task_parallel, optimal, random_summary, sapprox, MultiTaskConfig, SingleTaskConfig,
-    SpatioTemporalObjective,
+    approx, approx_star, independence_graph, mmqm, msqm_group_parallel, msqm_rebuild, msqm_serial,
+    msqm_task_parallel, optimal, random_summary, sapprox, AssignmentEngine, MultiTaskConfig,
+    Objective, SingleTaskConfig, SpatioTemporalObjective,
 };
 use tcsc_core::{EuclideanCost, InterpolationWeights};
 use tcsc_workload::{PoiConfig, ScenarioConfig, SpatialDistribution, TaskPlacement};
@@ -954,6 +954,71 @@ pub fn fig9h(scale: Scale) -> Experiment {
     }
 }
 
+/// Fig. 9(i) — repo extension beyond the paper: throughput of the batched
+/// engine vs the rebuild-per-call baseline on a re-planning sweep (the same
+/// task batch solved under several budgets, as in the paper's budget
+/// ablations).  The rebuild baseline recomputes every task's candidates per
+/// call; the engine serves repeated solves from its incremental candidate
+/// cache.  Slot-computation counters are reported alongside wall-clock time.
+pub fn fig9i(scale: Scale) -> Experiment {
+    let p = params(scale);
+    let cost_model = EuclideanCost::default();
+    let mut rows = Vec::new();
+    for &t in &p.task_sweep {
+        let prepared = prepare_multi(
+            &multi_scenario(&p, TaskPlacement::Synthetic(SpatialDistribution::Uniform))
+                .with_num_tasks(t),
+        );
+        let tasks = &prepared.scenario.tasks;
+        let budgets: Vec<f64> = [0.125, 0.25, 0.375, 0.5]
+            .iter()
+            .map(|&f| budget_for_multi(&prepared, f))
+            .collect();
+
+        let (rebuild_slots, rebuild_ms) = timed(|| {
+            let mut slots = 0usize;
+            for &budget in &budgets {
+                let outcome = msqm_rebuild(
+                    tasks,
+                    &prepared.index,
+                    &cost_model,
+                    &MultiTaskConfig::new(budget),
+                );
+                slots += outcome.stats.slot_computations;
+            }
+            slots
+        });
+        let (engine_slots, engine_ms) = timed(|| {
+            let mut engine = AssignmentEngine::borrowed(
+                &prepared.index,
+                &cost_model,
+                MultiTaskConfig::new(budgets[0]),
+            );
+            for &budget in &budgets {
+                engine.release_all();
+                engine.set_budget(budget);
+                engine.assign_batch(tasks, Objective::SumQuality);
+            }
+            engine.stats().slot_computations
+        });
+        rows.push(Row::new(
+            format!("|T|={t}"),
+            vec![
+                ("Rebuild".into(), rebuild_ms),
+                ("Engine".into(), engine_ms),
+                ("RebuildSlotComps".into(), rebuild_slots as f64),
+                ("EngineSlotComps".into(), engine_slots as f64),
+            ],
+        ));
+    }
+    Experiment {
+        id: "fig9i",
+        caption:
+            "Batched engine vs rebuild-per-call: re-planning sweep time (ms) and slot computations",
+        rows,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Figure 11: spatiotemporal interpolation (appendix)
 // ---------------------------------------------------------------------------
@@ -1133,6 +1198,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         fig9f(scale),
         fig9g(scale),
         fig9h(scale),
+        fig9i(scale),
         fig11a(scale),
         fig11b(scale),
         fig11c(scale),
@@ -1164,6 +1230,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "fig9f" => fig9f(scale),
         "fig9g" => fig9g(scale),
         "fig9h" => fig9h(scale),
+        "fig9i" => fig9i(scale),
         "fig11a" => fig11a(scale),
         "fig11b" => fig11b(scale),
         "fig11c" => fig11c(scale),
@@ -1209,16 +1276,36 @@ mod tests {
         for id in [
             "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c",
             "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "fig9a", "fig9b", "fig9c", "fig9d",
-            "fig9e", "fig9f", "fig9g", "fig9h", "fig11a", "fig11b", "fig11c",
+            "fig9e", "fig9f", "fig9g", "fig9h", "fig9i", "fig11a", "fig11b", "fig11c",
         ] {
             // Only check the dispatcher's id table, not the (expensive) runs.
             assert!([
                 "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c",
                 "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "fig9a", "fig9b", "fig9c", "fig9d",
-                "fig9e", "fig9f", "fig9g", "fig9h", "fig11a", "fig11b", "fig11c",
+                "fig9e", "fig9f", "fig9g", "fig9h", "fig9i", "fig11a", "fig11b", "fig11c",
             ]
             .contains(&id));
         }
         assert!(by_id("nonexistent", Scale::Quick).is_none());
+    }
+
+    #[test]
+    fn fig9i_engine_never_recomputes_more_than_the_rebuild_baseline() {
+        let exp = fig9i(Scale::Quick);
+        assert!(!exp.rows.is_empty());
+        for row in &exp.rows {
+            let get = |name: &str| {
+                row.values
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            };
+            assert!(
+                get("EngineSlotComps") < get("RebuildSlotComps"),
+                "engine must amortise candidate computations across the sweep ({})",
+                row.label
+            );
+        }
     }
 }

@@ -7,13 +7,38 @@
 //! alternative cost functions (e.g. Manhattan distance, flat per-assignment
 //! fees) can be plugged in without touching the assignment algorithms.
 
-use crate::model::{Location, SlotIndex, Subtask, Worker};
+use crate::model::{Location, SlotIndex, Subtask, Worker, WorkerId};
 
 /// Strategy for pricing a single worker-to-subtask assignment.
 pub trait CostModel: Send + Sync {
+    /// Cost `c(τ(j))` of assigning worker `worker` (located at `worker_loc`
+    /// during the subtask's slot) to `subtask`.
+    ///
+    /// This is the hot-path entry point used by the candidate retrieval of
+    /// the assignment algorithms: the worker is identified by id and
+    /// location alone, so callers never have to materialise a full `Worker`
+    /// value per query.  Models with per-worker pricing (e.g. id-keyed wage
+    /// levels) key off `worker`.
+    fn assignment_cost_at(&self, subtask: &Subtask, worker: WorkerId, worker_loc: Location) -> f64;
+
     /// Cost `c(τ(j))` of assigning `worker` (located at `worker_loc` during
     /// the subtask's slot) to `subtask`.
-    fn assignment_cost(&self, subtask: &Subtask, worker: &Worker, worker_loc: Location) -> f64;
+    ///
+    /// Convenience wrapper over [`CostModel::assignment_cost_at`] for callers
+    /// holding a full `Worker` value.
+    fn assignment_cost(&self, subtask: &Subtask, worker: &Worker, worker_loc: Location) -> f64 {
+        self.assignment_cost_at(subtask, worker.id, worker_loc)
+    }
+}
+
+impl<M: CostModel + ?Sized> CostModel for &M {
+    fn assignment_cost_at(&self, subtask: &Subtask, worker: WorkerId, worker_loc: Location) -> f64 {
+        (**self).assignment_cost_at(subtask, worker, worker_loc)
+    }
+
+    fn assignment_cost(&self, subtask: &Subtask, worker: &Worker, worker_loc: Location) -> f64 {
+        (**self).assignment_cost(subtask, worker, worker_loc)
+    }
 }
 
 /// Euclidean travel-distance cost with a configurable unit price.
@@ -41,7 +66,12 @@ impl Default for EuclideanCost {
 }
 
 impl CostModel for EuclideanCost {
-    fn assignment_cost(&self, subtask: &Subtask, _worker: &Worker, worker_loc: Location) -> f64 {
+    fn assignment_cost_at(
+        &self,
+        subtask: &Subtask,
+        _worker: WorkerId,
+        worker_loc: Location,
+    ) -> f64 {
         self.unit_cost * subtask.location.distance(&worker_loc)
     }
 }
@@ -60,7 +90,12 @@ impl Default for ManhattanCost {
 }
 
 impl CostModel for ManhattanCost {
-    fn assignment_cost(&self, subtask: &Subtask, _worker: &Worker, worker_loc: Location) -> f64 {
+    fn assignment_cost_at(
+        &self,
+        subtask: &Subtask,
+        _worker: WorkerId,
+        worker_loc: Location,
+    ) -> f64 {
         self.unit_cost
             * ((subtask.location.x - worker_loc.x).abs()
                 + (subtask.location.y - worker_loc.y).abs())
@@ -83,7 +118,12 @@ impl Default for UnitCost {
 }
 
 impl CostModel for UnitCost {
-    fn assignment_cost(&self, _subtask: &Subtask, _worker: &Worker, _worker_loc: Location) -> f64 {
+    fn assignment_cost_at(
+        &self,
+        _subtask: &Subtask,
+        _worker: WorkerId,
+        _worker_loc: Location,
+    ) -> f64 {
         self.fee
     }
 }
@@ -218,6 +258,56 @@ mod tests {
         let model = ManhattanCost::default();
         let c = model.assignment_cost(&subtask(), &worker(), Location::new(3.0, 4.0));
         assert!((c - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignment_cost_at_matches_the_worker_entry_point() {
+        // The allocation-free hot-path entry must price identically to the
+        // `Worker`-based convenience wrapper for every bundled model.
+        let loc = Location::new(3.0, 4.0);
+        let models: Vec<Box<dyn CostModel>> = vec![
+            Box::new(EuclideanCost::new(2.0)),
+            Box::new(ManhattanCost::default()),
+            Box::new(UnitCost { fee: 3.0 }),
+        ];
+        for model in &models {
+            let direct = model.assignment_cost_at(&subtask(), worker().id, loc);
+            let via_worker = model.assignment_cost(&subtask(), &worker(), loc);
+            assert!((direct - via_worker).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_worker_pricing_reaches_the_hot_path() {
+        // A model keyed on worker identity must affect costs through the
+        // id-carrying hot-path entry point (the one candidate retrieval
+        // uses), not only through the `Worker`-based wrapper.
+        struct Wage;
+        impl CostModel for Wage {
+            fn assignment_cost_at(
+                &self,
+                _subtask: &Subtask,
+                worker: WorkerId,
+                _worker_loc: Location,
+            ) -> f64 {
+                1.0 + worker.0 as f64
+            }
+        }
+        let model = Wage;
+        let loc = Location::new(0.0, 0.0);
+        assert!((model.assignment_cost_at(&subtask(), WorkerId(0), loc) - 1.0).abs() < 1e-12);
+        assert!((model.assignment_cost_at(&subtask(), WorkerId(4), loc) - 5.0).abs() < 1e-12);
+        assert!((model.assignment_cost(&subtask(), &worker(), loc) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_model_is_implemented_for_references() {
+        // `&dyn CostModel` must itself be usable as a cost model so borrowed
+        // engines can wrap caller-provided models without boxing.
+        let model = EuclideanCost::default();
+        let by_ref: &dyn CostModel = &model;
+        let c = by_ref.assignment_cost_at(&subtask(), WorkerId(0), Location::new(3.0, 4.0));
+        assert!((c - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! neighbour search.  A brute-force path is kept both as a correctness oracle
 //! for the tests and for very small pools.
 
+use std::collections::BTreeSet;
+
 use tcsc_core::{Domain, Location, SlotIndex, WorkerId, WorkerPool};
 
 /// One indexed worker position: a worker available at the slot of the
-/// enclosing [`SlotGrid`].
+/// enclosing per-slot grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IndexedWorker {
     /// The worker id.
@@ -224,6 +226,29 @@ impl WorkerIndex {
             .find(|c| !excluded.contains(&c.worker))
     }
 
+    /// Occupancy-aware fast path of [`WorkerIndex::nearest_excluding`]: the
+    /// nearest worker to `query` during `slot` whose id is not in `excluded`.
+    ///
+    /// Takes the per-slot occupancy set of a ledger directly, so callers avoid
+    /// materialising (and sorting) a `Vec<WorkerId>` per query and membership
+    /// tests are `O(log n)` instead of a linear scan.  At most `excluded.len()`
+    /// of any candidate list can be excluded, so fetching `excluded.len() + 1`
+    /// nearest workers always suffices.
+    pub fn nearest_excluding_set(
+        &self,
+        slot: SlotIndex,
+        query: &Location,
+        excluded: &BTreeSet<WorkerId>,
+    ) -> Option<NearestWorker> {
+        if excluded.is_empty() {
+            return self.nearest(slot, query);
+        }
+        let grid = self.slots.get(slot)?;
+        grid.nearest(query, excluded.len() + 1)
+            .into_iter()
+            .find(|c| !excluded.contains(&c.worker))
+    }
+
     /// Brute-force nearest query, used as a correctness oracle in tests.
     pub fn nearest_brute_force(
         pool: &WorkerPool,
@@ -334,6 +359,42 @@ mod tests {
         assert!(index
             .nearest_excluding(0, &q, &[WorkerId(0), WorkerId(1), WorkerId(2)])
             .is_none());
+    }
+
+    #[test]
+    fn nearest_excluding_set_agrees_with_the_slice_path() {
+        let pool = pool_of(&[(0, 1.0, 0.0), (0, 2.0, 0.0), (0, 3.0, 0.0), (0, 4.0, 0.0)]);
+        let index = WorkerIndex::build(&pool, 1, &Domain::square(10.0));
+        let q = Location::new(0.0, 0.0);
+        for excluded in [
+            vec![],
+            vec![WorkerId(0)],
+            vec![WorkerId(0), WorkerId(1)],
+            vec![WorkerId(1), WorkerId(3)],
+            vec![WorkerId(0), WorkerId(1), WorkerId(2), WorkerId(3)],
+        ] {
+            let set: BTreeSet<WorkerId> = excluded.iter().copied().collect();
+            let via_slice = index.nearest_excluding(0, &q, &excluded);
+            let via_set = index.nearest_excluding_set(0, &q, &set);
+            assert_eq!(
+                via_slice.map(|w| w.worker),
+                via_set.map(|w| w.worker),
+                "excluding {excluded:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_excluding_set_skips_ids_missing_from_the_slot() {
+        // Excluded ids that are not available during the slot must not affect
+        // the fetch bound.
+        let pool = pool_of(&[(0, 1.0, 0.0), (0, 2.0, 0.0)]);
+        let index = WorkerIndex::build(&pool, 1, &Domain::square(10.0));
+        let set: BTreeSet<WorkerId> = [WorkerId(0), WorkerId(7), WorkerId(9)].into();
+        let found = index
+            .nearest_excluding_set(0, &Location::new(0.0, 0.0), &set)
+            .unwrap();
+        assert_eq!(found.worker, WorkerId(1));
     }
 
     #[test]

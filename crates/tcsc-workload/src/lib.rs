@@ -10,7 +10,9 @@
 //! * [`poi`] — a synthetic clustered POI dataset (the substitute for the
 //!   Beijing POI dataset);
 //! * [`scenario`] — the paper's default parameter sets bundled into
-//!   reproducible, seeded scenarios.
+//!   reproducible, seeded scenarios;
+//! * [`streaming`] — task batches arriving over rounds, for the batched /
+//!   streaming assignment engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,11 +20,13 @@
 pub mod distribution;
 pub mod poi;
 pub mod scenario;
+pub mod streaming;
 pub mod tasks;
 pub mod trajectory;
 
 pub use distribution::SpatialDistribution;
 pub use poi::{PoiConfig, PoiDataset};
 pub use scenario::{Scenario, ScenarioConfig, TaskPlacement};
+pub use streaming::{StreamingConfig, StreamingScenario};
 pub use tasks::{generate_tasks, tasks_from_locations};
 pub use trajectory::{generate_workers, TrajectoryConfig};

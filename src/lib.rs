@@ -2,16 +2,18 @@
 //!
 //! Facade crate re-exporting the full public API of the TCSC reproduction:
 //!
-//! * [`core`](tcsc_core) — data model (tasks, subtasks, workers, domains),
-//!   cost model and the entropy-based quality metric with its reliability and
+//! * [`core`] — data model (tasks, subtasks, workers, domains), cost model
+//!   and the entropy-based quality metric with its reliability and
 //!   spatiotemporal extensions;
-//! * [`index`](tcsc_index) — order-k 1-D Voronoi diagrams, the aggregated
-//!   tree index with best-first pruned search, and the spatial worker grid;
-//! * [`assign`](tcsc_assign) — single-task (`Approx`, `Approx*`, `OPT`,
-//!   `Rand`) and multi-task (MSQM, MMQM, `SApprox`) assignment, plus the
-//!   group-level and task-level parallel frameworks;
-//! * [`workload`](tcsc_workload) — synthetic workload generators (task
-//!   distributions, worker trajectories, POIs) and reproducible scenarios.
+//! * [`index`] — order-k 1-D Voronoi diagrams, the aggregated tree index with
+//!   best-first pruned search, and the spatial worker grid;
+//! * [`assign`] — single-task (`Approx`, `Approx*`, `OPT`, `Rand`) and
+//!   multi-task (MSQM, MMQM, `SApprox`) assignment, the group-level and
+//!   task-level parallel frameworks, and the batched / streaming
+//!   `AssignmentEngine` with its shared incremental candidate cache;
+//! * [`workload`] — synthetic workload generators (task distributions,
+//!   worker trajectories, POIs) and reproducible scenarios, including
+//!   streaming task arrivals.
 //!
 //! See the `examples/` directory for end-to-end usage and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the mapping to the paper.
@@ -41,7 +43,8 @@ pub mod prelude {
     pub use tcsc_assign::{
         approx, approx_star, independence_graph, min_budget_for_quality, mmqm, msqm_group_parallel,
         msqm_serial, msqm_task_parallel, optimal, random_assignment, random_summary, sapprox,
-        MultiTaskConfig, SingleTaskConfig, SlotCandidates, SpatioTemporalObjective, WorkerLedger,
+        AssignmentEngine, CacheStats, MultiTaskConfig, Objective, SingleTaskConfig, SlotCandidates,
+        SpatioTemporalObjective, WorkerLedger,
     };
     pub use tcsc_core::{
         AssignmentPlan, Budget, CostModel, Domain, EuclideanCost, InterpolationWeights, Location,
@@ -50,7 +53,7 @@ pub mod prelude {
     };
     pub use tcsc_index::{OrderKVoronoi, VTree, VTreeConfig, WorkerIndex};
     pub use tcsc_workload::{
-        PoiConfig, PoiDataset, Scenario, ScenarioConfig, SpatialDistribution, TaskPlacement,
-        TrajectoryConfig,
+        PoiConfig, PoiDataset, Scenario, ScenarioConfig, SpatialDistribution, StreamingConfig,
+        StreamingScenario, TaskPlacement, TrajectoryConfig,
     };
 }
