@@ -11,7 +11,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use tcsc_core::{CandidateAssignment, CostModel, SlotIndex, Task, WorkerId};
-use tcsc_index::WorkerIndex;
+use tcsc_index::SpatialQuery;
 
 /// The per-slot candidate assignments of one task.
 #[derive(Debug, Clone, Default)]
@@ -23,8 +23,10 @@ pub struct SlotCandidates {
 
 impl SlotCandidates {
     /// Computes the candidates of `task` against the worker index: the
-    /// nearest available worker of every slot.
-    pub fn compute(task: &Task, index: &WorkerIndex, cost_model: &dyn CostModel) -> Self {
+    /// nearest available worker of every slot.  (Any [`SpatialQuery`]
+    /// implementation works — the dense and the sharded index answer
+    /// bit-identically.)
+    pub fn compute(task: &Task, index: &dyn SpatialQuery, cost_model: &dyn CostModel) -> Self {
         Self::compute_excluding(task, index, cost_model, &WorkerLedger::new())
     }
 
@@ -32,7 +34,7 @@ impl SlotCandidates {
     /// marks as occupied at the corresponding slot.
     pub fn compute_excluding(
         task: &Task,
-        index: &WorkerIndex,
+        index: &dyn SpatialQuery,
         cost_model: &dyn CostModel,
         ledger: &WorkerLedger,
     ) -> Self {
@@ -81,7 +83,7 @@ impl SlotCandidates {
         &mut self,
         task: &Task,
         slot: SlotIndex,
-        index: &WorkerIndex,
+        index: &dyn SpatialQuery,
         cost_model: &dyn CostModel,
         ledger: &WorkerLedger,
     ) {
@@ -97,7 +99,7 @@ impl SlotCandidates {
 pub(crate) fn candidate_for_slot(
     task: &Task,
     slot: SlotIndex,
-    index: &WorkerIndex,
+    index: &dyn SpatialQuery,
     cost_model: &dyn CostModel,
     ledger: &WorkerLedger,
 ) -> Option<CandidateAssignment> {
@@ -167,7 +169,7 @@ impl WorkerLedger {
 
     /// The slot's occupancy set, or `None` when nothing is occupied at the
     /// slot.  This is the allocation-free fast path consumed by
-    /// [`WorkerIndex::nearest_excluding_set`].
+    /// [`SpatialQuery::nearest_excluding_set`].
     pub fn occupied_set_at(&self, slot: SlotIndex) -> Option<&BTreeSet<WorkerId>> {
         self.occupied.get(&slot).filter(|set| !set.is_empty())
     }
@@ -194,6 +196,7 @@ impl WorkerLedger {
 mod tests {
     use super::*;
     use tcsc_core::{Domain, EuclideanCost, Location, TaskId, Worker, WorkerPool, WorkerSlot};
+    use tcsc_index::WorkerIndex;
 
     fn setup() -> (Task, WorkerIndex, EuclideanCost) {
         let task = Task::new(TaskId(0), Location::new(0.0, 0.0), 4);

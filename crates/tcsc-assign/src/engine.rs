@@ -38,6 +38,8 @@
 //! (the pre-engine solvers, kept as the rebuild-per-call baseline); the
 //! equivalence is locked in by `tests/engine_equivalence.rs`.
 
+pub mod concurrent;
+
 use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 
@@ -45,7 +47,7 @@ use tcsc_core::{
     CostModel, Domain, ExecutedSubtask, InterpolationWeights, MultiAssignment, QualityParams,
     SlotIndex, SpatioTemporalEvaluator, Task, TaskId, WorkerId,
 };
-use tcsc_index::WorkerIndex;
+use tcsc_index::{SpatialQuery, WorkerIndex};
 
 use crate::candidates::{SlotCandidates, WorkerLedger};
 use crate::multi::sapprox::SpatioTemporalObjective;
@@ -101,21 +103,88 @@ impl CacheStats {
     }
 }
 
+/// One cached task: the task identity (to detect id reuse), its base
+/// candidates and the LRU stamp of its last checkout.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    task: Task,
+    base: SlotCandidates,
+    /// `(arrival round, checkout tick)`: eviction is keyed on the round first
+    /// so entries from older streaming rounds always leave before entries the
+    /// current round touched, with the per-checkout tick breaking ties.
+    last_used: (u64, u64),
+}
+
 /// Incremental per-task candidate cache.
 ///
 /// Maps a task to its *base* [`SlotCandidates`] — the per-slot nearest
 /// workers under an empty ledger.  Because the worker index is immutable, the
 /// base never goes stale; occupancy is reconciled at checkout by refreshing
 /// only the slots whose base candidate is currently occupied.
+///
+/// # Eviction
+///
+/// By default the cache is unbounded (every distinct task seen is retained).
+/// [`CandidateCache::with_capacity`] bounds it: when an insert pushes the
+/// cache past its capacity, the least-recently-used entries are evicted,
+/// ordered by `(arrival round, checkout tick)`.  Rounds advance via
+/// [`CandidateCache::advance_round`] (the engine does this on every
+/// [`AssignmentEngine::drain`]), so a streaming deployment evicts the tasks
+/// of long-gone rounds first.  Eviction never affects correctness — an
+/// evicted task is simply recomputed on its next checkout.
 #[derive(Debug, Default)]
 pub struct CandidateCache {
-    base: HashMap<TaskId, (Task, SlotCandidates)>,
+    base: HashMap<TaskId, CacheEntry>,
+    capacity: Option<usize>,
+    round: u64,
+    tick: u64,
 }
 
 impl CandidateCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache retaining at most `capacity` tasks (LRU eviction).
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a bounded candidate cache needs capacity > 0");
+        Self {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Re-bounds the cache, evicting LRU entries if the new capacity is
+    /// already exceeded (`None` removes the bound).
+    ///
+    /// # Panics
+    /// Panics when `capacity` is `Some(0)`.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        assert!(
+            capacity != Some(0),
+            "a bounded candidate cache needs capacity > 0"
+        );
+        self.capacity = capacity;
+        self.enforce_capacity();
+    }
+
+    /// Advances the arrival-round clock used by the LRU eviction order.
+    pub fn advance_round(&mut self) {
+        self.round += 1;
+    }
+
+    /// The current arrival round.
+    pub fn round(&self) -> u64 {
+        self.round
     }
 
     /// Number of cached tasks.
@@ -138,33 +207,76 @@ impl CandidateCache {
         self.base.remove(&task).is_some()
     }
 
-    /// Checks a task's working candidates out of the cache: a clone of the
-    /// base candidates, reconciled against `ledger` by refreshing exactly the
-    /// slots whose base candidate is occupied.  Computes (and retains) the
-    /// base on a miss.  A cached entry is only reused when the stored task is
-    /// identical to the queried one, so id reuse across different tasks falls
-    /// back to a recompute instead of serving wrong candidates.
-    pub fn checkout(
+    /// Evicts least-recently-used entries until the capacity bound holds.
+    fn enforce_capacity(&mut self) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        while self.base.len() > capacity {
+            let lru = self
+                .base
+                .iter()
+                .min_by_key(|(id, e)| (e.last_used, id.0))
+                .map(|(id, _)| *id)
+                .expect("a non-empty cache has an LRU entry");
+            self.base.remove(&lru);
+        }
+    }
+
+    /// Checks a task's *base* candidates out of the cache: a clone of the
+    /// per-slot nearest workers under an empty ledger, computed (and
+    /// retained) on a miss.  A cached entry is only reused when the stored
+    /// task is identical to the queried one, so id reuse across different
+    /// tasks falls back to a recompute instead of serving wrong candidates.
+    pub fn checkout_base(
         &mut self,
         task: &Task,
-        index: &WorkerIndex,
+        index: &dyn SpatialQuery,
         cost_model: &dyn CostModel,
-        ledger: &WorkerLedger,
         stats: &mut CacheStats,
     ) -> SlotCandidates {
         // What a rebuild-per-call strategy would pay for this task.
         stats.rebuild_slot_computations += task.num_slots;
-        let hit = matches!(self.base.get(&task.id), Some((cached, _)) if cached == task);
+        let hit = matches!(self.base.get(&task.id), Some(e) if e.task == *task);
         if !hit {
             stats.tasks_computed += 1;
             stats.slot_computations += task.num_slots;
             let base = SlotCandidates::compute(task, index, cost_model);
-            self.base.insert(task.id, (task.clone(), base));
+            self.base.insert(
+                task.id,
+                CacheEntry {
+                    task: task.clone(),
+                    base,
+                    last_used: (self.round, self.tick),
+                },
+            );
+            self.enforce_capacity();
         } else {
             stats.tasks_reused += 1;
         }
-        let (_, base) = &self.base[&task.id];
-        let mut working = base.clone();
+        let stamp = (self.round, self.tick);
+        self.tick += 1;
+        let entry = self
+            .base
+            .get_mut(&task.id)
+            .expect("the entry was just inserted or verified present");
+        entry.last_used = stamp;
+        entry.base.clone()
+    }
+
+    /// Checks a task's working candidates out of the cache: the base
+    /// candidates of [`CandidateCache::checkout_base`], reconciled against
+    /// `ledger` by refreshing exactly the slots whose base candidate is
+    /// occupied.
+    pub fn checkout(
+        &mut self,
+        task: &Task,
+        index: &dyn SpatialQuery,
+        cost_model: &dyn CostModel,
+        ledger: &WorkerLedger,
+        stats: &mut CacheStats,
+    ) -> SlotCandidates {
+        let mut working = self.checkout_base(task, index, cost_model, stats);
         if !ledger.is_empty() {
             for slot in 0..working.len() {
                 // A `None` base candidate means the slot has no worker at all;
@@ -228,6 +340,128 @@ impl HolderMap {
         }
         set
     }
+}
+
+/// The serial MSQM greedy over already-checked-out task states: repeatedly
+/// execute the globally best affordable `(gain / cost)` candidate, arbitrate
+/// worker conflicts through `ledger` and refresh exactly the invalidated
+/// slots.  Returns `(conflicts, executions)`.
+///
+/// [`AssignmentEngine::assign_batch`] and the cache-sharing group-parallel
+/// variant both call this function, so their results can only differ through
+/// the candidates they feed in.  The concurrent engine's
+/// `run_msqm_parallel` is a deliberate line-for-line port over the sharded
+/// ledger (like `multi::rebuild` before it); any change to the selection or
+/// invalidation rules here must be mirrored there — the equivalence suites
+/// (`engine_equivalence.rs`, `concurrent_equivalence.rs`) are the tripwire.
+pub(crate) fn msqm_greedy_core(
+    states: &mut [TaskState],
+    budget: f64,
+    index: &dyn SpatialQuery,
+    cost_model: &dyn CostModel,
+    ledger: &mut WorkerLedger,
+    stats: &mut CacheStats,
+) -> (usize, usize) {
+    let mut remaining = budget;
+    let mut conflicts = 0usize;
+    let mut executions = 0usize;
+
+    // Cached best candidate per task; recomputed lazily when invalidated.
+    let mut cached: Vec<Option<Option<TaskCandidate>>> = vec![None; states.len()];
+    let mut holders = HolderMap::with_tasks(states.len());
+
+    loop {
+        // Refresh stale candidate caches.  A cached candidate computed
+        // under a larger remaining budget may have become unaffordable;
+        // recompute it with the current budget so that cheaper slots of
+        // the same task are still considered.
+        for (i, state) in states.iter_mut().enumerate() {
+            if let Some(Some(c)) = &cached[i] {
+                if c.cost > remaining {
+                    holders.deregister(i);
+                    cached[i] = None;
+                }
+            }
+            if cached[i].is_none() {
+                let candidate = state.best_candidate(remaining);
+                if let Some(c) = &candidate {
+                    let worker = state
+                        .planned_worker(c.slot)
+                        .expect("candidate slot has a planned worker");
+                    holders.register(i, c.slot, worker);
+                }
+                cached[i] = Some(candidate);
+            }
+        }
+        // Pick the task with the globally maximal heuristic value among
+        // the affordable candidates.
+        let mut best: Option<(usize, TaskCandidate)> = None;
+        for (i, entry) in cached.iter().enumerate() {
+            let Some(Some(candidate)) = entry else {
+                continue;
+            };
+            if candidate.cost > remaining {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bi, b)) => {
+                    candidate.heuristic > b.heuristic
+                        || (candidate.heuristic == b.heuristic && i < *bi)
+                }
+            };
+            if better {
+                best = Some((i, *candidate));
+            }
+        }
+        let Some((task_idx, candidate)) = best else {
+            break;
+        };
+
+        // Worker-conflict check: the planned worker may have been taken
+        // by another task since this candidate was computed.
+        let worker = states[task_idx]
+            .planned_worker(candidate.slot)
+            .expect("candidate slot has a planned worker");
+        if ledger.is_occupied(candidate.slot, worker) {
+            // Conflict: fall back to the next nearest worker and retry.
+            conflicts += 1;
+            holders.deregister(task_idx);
+            cached[task_idx] = None;
+            states[task_idx].refresh_slot(candidate.slot, index, cost_model, ledger);
+            stats.slot_computations += 1;
+            stats.slot_refreshes += 1;
+            stats.rebuild_slot_computations += 1;
+            continue;
+        }
+
+        // Execute.
+        remaining -= candidate.cost;
+        ledger.occupy(candidate.slot, worker);
+        states[task_idx].execute(candidate.slot);
+        executions += 1;
+        holders.deregister(task_idx);
+        cached[task_idx] = None;
+        // Invalidate cached candidates of tasks that planned to use the
+        // same worker at the same slot (they must fall back on their next
+        // try).  The holder map yields exactly those tasks without
+        // scanning the whole batch.
+        let losers = holders.take_holders(candidate.slot, worker);
+        debug_assert!(
+            !losers.contains(&task_idx),
+            "the executing task was deregistered before its worker was occupied"
+        );
+        for i in losers {
+            conflicts += 1;
+            cached[i] = None;
+            states[i].refresh_slot(candidate.slot, index, cost_model, ledger);
+            stats.slot_computations += 1;
+            stats.slot_refreshes += 1;
+            stats.rebuild_slot_computations += 1;
+        }
+    }
+
+    (conflicts, executions)
 }
 
 /// Long-lived batched / streaming multi-task assignment engine.
@@ -350,6 +584,7 @@ impl<'a> AssignmentEngine<'a> {
         for task in &tasks {
             self.cache.evict(task.id);
         }
+        self.cache.advance_round();
         outcome
     }
 
@@ -376,9 +611,13 @@ impl<'a> AssignmentEngine<'a> {
         tasks
             .iter()
             .map(|task| {
-                let candidates =
-                    self.cache
-                        .checkout(task, &self.index, self.cost_model, &self.ledger, stats);
+                let candidates = self.cache.checkout(
+                    task,
+                    self.index.as_ref(),
+                    self.cost_model,
+                    &self.ledger,
+                    stats,
+                );
                 TaskState::from_candidates(task, candidates, &self.config)
             })
             .collect()
@@ -389,109 +628,14 @@ impl<'a> AssignmentEngine<'a> {
     fn run_msqm(&mut self, tasks: &[Task]) -> MultiOutcome {
         let mut stats = CacheStats::default();
         let mut states = self.checkout_states(tasks, &mut stats);
-        let mut remaining = self.config.budget;
-        let mut conflicts = 0usize;
-        let mut executions = 0usize;
-
-        // Cached best candidate per task; recomputed lazily when invalidated.
-        let mut cached: Vec<Option<Option<TaskCandidate>>> = vec![None; states.len()];
-        let mut holders = HolderMap::with_tasks(states.len());
-
-        loop {
-            // Refresh stale candidate caches.  A cached candidate computed
-            // under a larger remaining budget may have become unaffordable;
-            // recompute it with the current budget so that cheaper slots of
-            // the same task are still considered.
-            for (i, state) in states.iter_mut().enumerate() {
-                if let Some(Some(c)) = &cached[i] {
-                    if c.cost > remaining {
-                        holders.deregister(i);
-                        cached[i] = None;
-                    }
-                }
-                if cached[i].is_none() {
-                    let candidate = state.best_candidate(remaining);
-                    if let Some(c) = &candidate {
-                        let worker = state
-                            .planned_worker(c.slot)
-                            .expect("candidate slot has a planned worker");
-                        holders.register(i, c.slot, worker);
-                    }
-                    cached[i] = Some(candidate);
-                }
-            }
-            // Pick the task with the globally maximal heuristic value among
-            // the affordable candidates.
-            let mut best: Option<(usize, TaskCandidate)> = None;
-            for (i, entry) in cached.iter().enumerate() {
-                let Some(Some(candidate)) = entry else {
-                    continue;
-                };
-                if candidate.cost > remaining {
-                    continue;
-                }
-                let better = match &best {
-                    None => true,
-                    Some((bi, b)) => {
-                        candidate.heuristic > b.heuristic
-                            || (candidate.heuristic == b.heuristic && i < *bi)
-                    }
-                };
-                if better {
-                    best = Some((i, *candidate));
-                }
-            }
-            let Some((task_idx, candidate)) = best else {
-                break;
-            };
-
-            // Worker-conflict check: the planned worker may have been taken
-            // by another task since this candidate was computed.
-            let worker = states[task_idx]
-                .planned_worker(candidate.slot)
-                .expect("candidate slot has a planned worker");
-            if self.ledger.is_occupied(candidate.slot, worker) {
-                // Conflict: fall back to the next nearest worker and retry.
-                conflicts += 1;
-                holders.deregister(task_idx);
-                cached[task_idx] = None;
-                states[task_idx].refresh_slot(
-                    candidate.slot,
-                    &self.index,
-                    self.cost_model,
-                    &self.ledger,
-                );
-                stats.slot_computations += 1;
-                stats.slot_refreshes += 1;
-                stats.rebuild_slot_computations += 1;
-                continue;
-            }
-
-            // Execute.
-            remaining -= candidate.cost;
-            self.ledger.occupy(candidate.slot, worker);
-            states[task_idx].execute(candidate.slot);
-            executions += 1;
-            holders.deregister(task_idx);
-            cached[task_idx] = None;
-            // Invalidate cached candidates of tasks that planned to use the
-            // same worker at the same slot (they must fall back on their next
-            // try).  The holder map yields exactly those tasks without
-            // scanning the whole batch.
-            let losers = holders.take_holders(candidate.slot, worker);
-            debug_assert!(
-                !losers.contains(&task_idx),
-                "the executing task was deregistered before its worker was occupied"
-            );
-            for i in losers {
-                conflicts += 1;
-                cached[i] = None;
-                states[i].refresh_slot(candidate.slot, &self.index, self.cost_model, &self.ledger);
-                stats.slot_computations += 1;
-                stats.slot_refreshes += 1;
-                stats.rebuild_slot_computations += 1;
-            }
-        }
+        let (conflicts, executions) = msqm_greedy_core(
+            &mut states,
+            self.config.budget,
+            self.index.as_ref(),
+            self.cost_model,
+            &mut self.ledger,
+            &mut stats,
+        );
 
         let assignment =
             MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
@@ -553,7 +697,7 @@ impl<'a> AssignmentEngine<'a> {
                 conflicts += 1;
                 states[task_idx].refresh_slot(
                     candidate.slot,
-                    &self.index,
+                    self.index.as_ref(),
                     self.cost_model,
                     &self.ledger,
                 );
@@ -631,8 +775,13 @@ impl<'a> AssignmentEngine<'a> {
         let mut candidates: Vec<SlotCandidates> = tasks
             .iter()
             .map(|t| {
-                self.cache
-                    .checkout(t, &self.index, self.cost_model, &self.ledger, &mut stats)
+                self.cache.checkout(
+                    t,
+                    self.index.as_ref(),
+                    self.cost_model,
+                    &self.ledger,
+                    &mut stats,
+                )
             })
             .collect();
         let mut executions_log: Vec<Vec<ExecutedSubtask>> = vec![Vec::new(); tasks.len()];
@@ -718,7 +867,7 @@ impl<'a> AssignmentEngine<'a> {
                 candidates[task_idx].refresh_slot(
                     &tasks[task_idx],
                     slot,
-                    &self.index,
+                    self.index.as_ref(),
                     self.cost_model,
                     &self.ledger,
                 );
@@ -870,6 +1019,120 @@ mod tests {
         // assign_batch keeps entries (the re-planning path).
         engine.assign_batch(&tasks[..3], Objective::SumQuality);
         assert_eq!(engine.cache().len(), 3);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_recomputes_correctly() {
+        let (tasks, index, cost) = small_instance(80, 5, 12, 100);
+        let mut stats = CacheStats::default();
+        let mut bounded = CandidateCache::with_capacity(2);
+        assert_eq!(bounded.capacity(), Some(2));
+        for t in &tasks[..3] {
+            bounded.checkout_base(t, &index, &cost, &mut stats);
+        }
+        assert_eq!(bounded.len(), 2, "capacity bound must hold");
+        assert_eq!(stats.tasks_computed, 3);
+        // Task 0 was the least recently used, so it was evicted; tasks 1 and
+        // 2 are still served from the cache.
+        let mut probe = CacheStats::default();
+        bounded.checkout_base(&tasks[1], &index, &cost, &mut probe);
+        bounded.checkout_base(&tasks[2], &index, &cost, &mut probe);
+        assert_eq!(probe.tasks_reused, 2);
+        // Re-checkout of the evicted task recomputes — and the recomputed
+        // candidates are identical to a fresh computation.
+        let mut recompute = CacheStats::default();
+        let evicted = bounded.checkout_base(&tasks[0], &index, &cost, &mut recompute);
+        assert_eq!(recompute.tasks_computed, 1);
+        let fresh = SlotCandidates::compute(&tasks[0], &index, &cost);
+        assert_eq!(evicted.costs(), fresh.costs());
+        for slot in 0..evicted.len() {
+            assert_eq!(
+                evicted.get(slot).map(|c| c.worker),
+                fresh.get(slot).map(|c| c.worker)
+            );
+        }
+    }
+
+    #[test]
+    fn touching_an_entry_protects_it_from_eviction() {
+        let (tasks, index, cost) = small_instance(81, 3, 10, 80);
+        let mut stats = CacheStats::default();
+        let mut cache = CandidateCache::with_capacity(2);
+        cache.checkout_base(&tasks[0], &index, &cost, &mut stats);
+        cache.checkout_base(&tasks[1], &index, &cost, &mut stats);
+        // Touch task 0 so task 1 becomes the LRU entry.
+        cache.checkout_base(&tasks[0], &index, &cost, &mut stats);
+        cache.checkout_base(&tasks[2], &index, &cost, &mut stats);
+        let mut probe = CacheStats::default();
+        cache.checkout_base(&tasks[0], &index, &cost, &mut probe);
+        assert_eq!(probe.tasks_reused, 1, "task 0 must have survived");
+        cache.checkout_base(&tasks[1], &index, &cost, &mut probe);
+        assert_eq!(probe.tasks_computed, 1, "task 1 must have been evicted");
+    }
+
+    #[test]
+    fn eviction_prefers_entries_from_older_rounds() {
+        let (tasks, index, cost) = small_instance(82, 3, 10, 80);
+        let mut stats = CacheStats::default();
+        let mut cache = CandidateCache::with_capacity(2);
+        cache.checkout_base(&tasks[0], &index, &cost, &mut stats);
+        cache.advance_round();
+        assert_eq!(cache.round(), 1);
+        cache.checkout_base(&tasks[1], &index, &cost, &mut stats);
+        cache.checkout_base(&tasks[2], &index, &cost, &mut stats);
+        let mut probe = CacheStats::default();
+        cache.checkout_base(&tasks[1], &index, &cost, &mut probe);
+        cache.checkout_base(&tasks[2], &index, &cost, &mut probe);
+        assert_eq!(probe.tasks_reused, 2, "round-1 arrivals must survive");
+        cache.checkout_base(&tasks[0], &index, &cost, &mut probe);
+        assert_eq!(
+            probe.tasks_computed, 1,
+            "the round-0 arrival must have been evicted first"
+        );
+    }
+
+    #[test]
+    fn set_capacity_shrinks_and_unbounds() {
+        let (tasks, index, cost) = small_instance(83, 4, 10, 80);
+        let mut stats = CacheStats::default();
+        let mut cache = CandidateCache::new();
+        for t in &tasks {
+            cache.checkout_base(t, &index, &cost, &mut stats);
+        }
+        assert_eq!(cache.len(), 4);
+        cache.set_capacity(Some(2));
+        assert_eq!(cache.len(), 2);
+        cache.set_capacity(None);
+        for t in &tasks {
+            cache.checkout_base(t, &index, &cost, &mut stats);
+        }
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity > 0")]
+    fn zero_capacity_is_rejected() {
+        let _ = CandidateCache::with_capacity(0);
+    }
+
+    #[test]
+    fn bounded_engine_cache_reproduces_unbounded_plans() {
+        // Eviction may cost recomputation but must never change a plan.
+        let (tasks, index, cost) = small_instance(84, 6, 20, 120);
+        let cfg = MultiTaskConfig::new(35.0);
+        let mut unbounded = AssignmentEngine::borrowed(&index, &cost, cfg);
+        let mut bounded = AssignmentEngine::borrowed(&index, &cost, cfg);
+        bounded.cache().set_capacity(Some(2));
+        for _ in 0..3 {
+            let a = unbounded.assign_batch(&tasks, Objective::SumQuality);
+            let b = bounded.assign_batch(&tasks, Objective::SumQuality);
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(a.conflicts, b.conflicts);
+            assert_eq!(a.executions, b.executions);
+            unbounded.release_all();
+            bounded.release_all();
+        }
+        assert!(bounded.cache().len() <= 2);
     }
 
     #[test]

@@ -1,0 +1,771 @@
+//! The concurrent, region-parallel assignment engine.
+//!
+//! [`super::AssignmentEngine`] is single-threaded: one ledger, one candidate
+//! cache, one thread.  [`ConcurrentAssignmentEngine`] partitions that state
+//! along the spatial tiles of a [`ShardedWorkerIndex`]:
+//!
+//! * the **ledger** becomes a [`ShardedLedger`] — one `RwLock<WorkerLedger>`
+//!   per tile, where a worker's occupancy at a slot is recorded in the shard
+//!   owning the worker's *location* during that slot (the same routing
+//!   function the sharded index uses, so an index probe of tile `t` only
+//!   ever consults ledger shard `t`);
+//! * the **candidate cache** becomes one `Mutex<CandidateCache>` per tile,
+//!   with each task owned by its *home shard* (the tile of the task's
+//!   location);
+//! * the expensive phases — candidate checkout and the initial
+//!   best-candidate computation of every task — run on a scoped thread pool,
+//!   with worker threads pulling whole home-shard groups so tasks of
+//!   disjoint regions never contend on a lock.
+//!
+//! # Determinism and bit-identity
+//!
+//! The commit loop (pick the globally best candidate, arbitrate conflicts,
+//! subtract budget) is the exact serial greedy of the single-threaded
+//! engine; only *pure computations* are parallelised:
+//!
+//! * checkout and refresh of a task's candidates depend on the task, the
+//!   immutable index and the ledger state at a phase boundary — computing
+//!   them on any thread gives the same result the serial engine computes
+//!   inline;
+//! * budget arithmetic happens only in the commit loop, in commit order, so
+//!   every affordability comparison sees the exact `f64` the serial engine
+//!   sees.
+//!
+//! Cross-shard candidates (a task in tile A whose nearest worker sits in
+//! tile B) are resolved by a deterministic **two-phase claim**: when a
+//! worker is granted, phase one *releases* every task registered on that
+//! `(shard, worker, slot)` claim (the holder map hands them over as a set),
+//! and phase two lets the losers *re-claim* replacement candidates in
+//! ascending `(shard, worker, task)` order, each computed against the same
+//! post-commit ledger state — so the outcome is independent of thread
+//! interleaving.  The net result:
+//! [`ConcurrentAssignmentEngine::assign_batch_parallel`] is **bit-identical**
+//! (plans, conflicts, executions, cache counters) to
+//! [`super::AssignmentEngine::assign_batch`] for every shard grid and every
+//! thread count — locked in by `tests/concurrent_equivalence.rs` over the
+//! seeded `ScenarioConfig` presets.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
+use std::thread;
+
+use tcsc_core::{CandidateAssignment, CostModel, MultiAssignment, SlotIndex, Task, WorkerId};
+use tcsc_index::ShardedWorkerIndex;
+
+use crate::candidates::WorkerLedger;
+use crate::engine::{CacheStats, CandidateCache, HolderMap, Objective};
+use crate::multi::{MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};
+
+/// Minimum number of simultaneously invalidated tasks before an in-loop
+/// candidate wave is dispatched to the thread pool; smaller waves (the common
+/// 0–2 conflict losers) run inline, where thread spawn overhead would
+/// dominate.
+const PARALLEL_WAVE_MIN: usize = 8;
+
+/// Worker occupancy partitioned by spatial shard behind per-shard locks.
+///
+/// A commitment `(slot, worker)` lives in the shard owning the worker's
+/// location during that slot — [`ShardedWorkerIndex::spatial_shard_of`] is
+/// the routing function, shared with the index itself, so ledger shard `t`
+/// holds exactly the occupancy of the workers that index shard `t` stores.
+#[derive(Debug)]
+pub struct ShardedLedger {
+    shards: Vec<RwLock<WorkerLedger>>,
+}
+
+impl ShardedLedger {
+    /// An empty ledger over `num_shards` spatial shards.
+    pub fn new(num_shards: usize) -> Self {
+        Self {
+            shards: (0..num_shards.max(1))
+                .map(|_| RwLock::new(WorkerLedger::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of (slot, worker) commitments across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("ledger shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether nothing is occupied anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.read().expect("ledger shard lock poisoned").is_empty())
+    }
+
+    /// Marks a worker as occupied during a slot within a shard.  Returns
+    /// `false` when the worker was already occupied there (a conflict).
+    pub fn occupy(&self, shard: usize, slot: SlotIndex, worker: WorkerId) -> bool {
+        self.shards[shard]
+            .write()
+            .expect("ledger shard lock poisoned")
+            .occupy(slot, worker)
+    }
+
+    /// Whether a worker is occupied during a slot within a shard.
+    pub fn is_occupied(&self, shard: usize, slot: SlotIndex, worker: WorkerId) -> bool {
+        self.shards[shard]
+            .read()
+            .expect("ledger shard lock poisoned")
+            .is_occupied(slot, worker)
+    }
+
+    /// Releases every commitment of every shard.
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.get_mut().expect("ledger shard lock poisoned").clear();
+        }
+    }
+
+    /// Read guards over every shard, for a bulk-synchronous read phase (each
+    /// worker thread of a parallel phase holds its own set; `std` RwLock
+    /// readers do not contend with each other).
+    fn read_all(&self) -> Vec<RwLockReadGuard<'_, WorkerLedger>> {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("ledger shard lock poisoned"))
+            .collect()
+    }
+}
+
+/// Computes a task's candidate for one slot against the sharded index and
+/// the sharded ledger: the nearest worker whose owning shard does not record
+/// it as occupied at the slot.  Pure function of `(task, slot, index, ledger
+/// state)` — bit-identical to the dense `candidate_for_slot` over the
+/// equivalent flat ledger.
+fn candidate_for_slot_sharded(
+    task: &Task,
+    slot: SlotIndex,
+    index: &ShardedWorkerIndex,
+    cost_model: &dyn CostModel,
+    ledger: &[RwLockReadGuard<'_, WorkerLedger>],
+) -> Option<CandidateAssignment> {
+    let nearest = index.nearest_excluding_with(slot, &task.location, |shard, worker| {
+        ledger[shard].is_occupied(slot, worker)
+    })?;
+    let cost = cost_model.assignment_cost_at(&task.subtask(slot), nearest.worker, nearest.location);
+    Some(CandidateAssignment {
+        slot,
+        worker: nearest.worker,
+        worker_location: nearest.location,
+        cost,
+        reliability: nearest.reliability,
+    })
+}
+
+/// Long-lived concurrent assignment engine over a sharded index: per-shard
+/// ledgers and candidate caches, parallel checkout/candidate phases, serial
+/// deterministic commit loop.  See the [module docs](self) for the shard
+/// routing and the bit-identity argument.
+pub struct ConcurrentAssignmentEngine<'a> {
+    index: ShardedWorkerIndex,
+    cost_model: &'a (dyn CostModel + Sync),
+    config: MultiTaskConfig,
+    ledger: ShardedLedger,
+    caches: Vec<Mutex<CandidateCache>>,
+    pending: Vec<Task>,
+    threads: usize,
+    lifetime_stats: CacheStats,
+}
+
+impl<'a> ConcurrentAssignmentEngine<'a> {
+    /// An engine owning a sharded index, running its parallel phases on
+    /// `threads` worker threads (1 = fully serial, still shard-partitioned).
+    pub fn new(
+        index: ShardedWorkerIndex,
+        cost_model: &'a (dyn CostModel + Sync),
+        config: MultiTaskConfig,
+        threads: usize,
+    ) -> Self {
+        let num_shards = index.num_spatial_shards();
+        Self {
+            index,
+            cost_model,
+            config,
+            ledger: ShardedLedger::new(num_shards),
+            caches: (0..num_shards)
+                .map(|_| Mutex::new(CandidateCache::new()))
+                .collect(),
+            pending: Vec::new(),
+            threads: threads.max(1),
+            lifetime_stats: CacheStats::default(),
+        }
+    }
+
+    /// The engine's sharded worker index.
+    pub fn index(&self) -> &ShardedWorkerIndex {
+        &self.index
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &MultiTaskConfig {
+        &self.config
+    }
+
+    /// The configured degree of parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Changes the degree of parallelism (results never depend on it).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Overrides the budget used by subsequent solves.
+    pub fn set_budget(&mut self, budget: f64) {
+        self.config.budget = budget;
+    }
+
+    /// The sharded occupancy ledger.
+    pub fn ledger(&self) -> &ShardedLedger {
+        &self.ledger
+    }
+
+    /// Number of tasks cached across all shard caches.
+    pub fn cached_tasks(&self) -> usize {
+        self.caches
+            .iter()
+            .map(|c| c.lock().expect("shard cache lock poisoned").len())
+            .sum()
+    }
+
+    /// Bounds every shard cache to `capacity` tasks (LRU per shard; `None`
+    /// removes the bound).
+    pub fn set_cache_capacity(&mut self, capacity: Option<usize>) {
+        for cache in &self.caches {
+            cache
+                .lock()
+                .expect("shard cache lock poisoned")
+                .set_capacity(capacity);
+        }
+    }
+
+    /// Accumulated candidate-computation counters over the engine's lifetime.
+    pub fn stats(&self) -> CacheStats {
+        self.lifetime_stats
+    }
+
+    /// Releases every occupancy commitment while keeping the shard caches
+    /// warm.
+    pub fn release_all(&mut self) {
+        self.ledger.clear();
+    }
+
+    /// Queues task arrivals for the next
+    /// [`ConcurrentAssignmentEngine::drain_parallel`].
+    pub fn submit(&mut self, tasks: impl IntoIterator<Item = Task>) {
+        self.pending.extend(tasks);
+    }
+
+    /// Number of submitted-but-not-yet-drained tasks.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Solves every pending task as one parallel batch (in submission order)
+    /// and commits the occupancy; like [`super::AssignmentEngine::drain`],
+    /// the one-shot arrivals are evicted from their home-shard caches
+    /// afterwards and the caches' arrival-round clocks advance.
+    pub fn drain_parallel(&mut self, objective: Objective) -> MultiOutcome {
+        let tasks = std::mem::take(&mut self.pending);
+        let outcome = self.assign_batch_parallel(&tasks, objective);
+        for task in &tasks {
+            let shard = self.index.spatial_shard_of(&task.location);
+            self.caches[shard]
+                .lock()
+                .expect("shard cache lock poisoned")
+                .evict(task.id);
+        }
+        for cache in &self.caches {
+            cache
+                .lock()
+                .expect("shard cache lock poisoned")
+                .advance_round();
+        }
+        outcome
+    }
+
+    /// Solves one task batch under the configured budget and objective,
+    /// running checkout and candidate waves region-parallel across shards.
+    /// Bit-identical to [`super::AssignmentEngine::assign_batch`] on the same
+    /// engine history, for any shard grid and any thread count.
+    pub fn assign_batch_parallel(&mut self, tasks: &[Task], objective: Objective) -> MultiOutcome {
+        let outcome = match objective {
+            Objective::SumQuality => self.run_msqm_parallel(tasks),
+            Objective::MinQuality => self.run_mmqm_parallel(tasks),
+        };
+        self.lifetime_stats.merge(&outcome.stats);
+        outcome
+    }
+
+    /// Parallel checkout: tasks grouped by home shard, shard groups pulled by
+    /// the worker threads, candidates served from the shard's cache and
+    /// reconciled against a read snapshot of the sharded ledger.  Returns the
+    /// states in batch order with the merged cache counters.
+    fn checkout_states_parallel(
+        &mut self,
+        tasks: &[Task],
+        stats: &mut CacheStats,
+    ) -> Vec<TaskState> {
+        // Group the batch by home shard, in shard order.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.caches.len()];
+        for (i, task) in tasks.iter().enumerate() {
+            by_shard[self.index.spatial_shard_of(&task.location)].push(i);
+        }
+        let jobs: Vec<(usize, Vec<usize>)> = by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .collect();
+
+        let index = &self.index;
+        let cost_model = self.cost_model;
+        let config = self.config;
+        let ledger = &self.ledger;
+        let ledger_empty = self.ledger.is_empty();
+        let caches = &self.caches;
+
+        let mut states: Vec<Option<TaskState>> = Vec::new();
+        states.resize_with(tasks.len(), || None);
+
+        let workers = self.threads.min(jobs.len()).max(1);
+        let next_job = AtomicUsize::new(0);
+        let collected: Vec<(Vec<(usize, TaskState)>, CacheStats)> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let jobs = &jobs;
+                    let next_job = &next_job;
+                    scope.spawn(move || {
+                        let guards = ledger.read_all();
+                        let mut local_stats = CacheStats::default();
+                        let mut out: Vec<(usize, TaskState)> = Vec::new();
+                        loop {
+                            let j = next_job.fetch_add(1, Ordering::Relaxed);
+                            let Some((shard, idxs)) = jobs.get(j) else {
+                                break;
+                            };
+                            let mut cache =
+                                caches[*shard].lock().expect("shard cache lock poisoned");
+                            for &i in idxs {
+                                let task = &tasks[i];
+                                let mut working =
+                                    cache.checkout_base(task, index, cost_model, &mut local_stats);
+                                if !ledger_empty {
+                                    for slot in 0..working.len() {
+                                        let occupied = working.get(slot).is_some_and(|c| {
+                                            let owner = index.spatial_shard_of(&c.worker_location);
+                                            guards[owner].is_occupied(slot, c.worker)
+                                        });
+                                        if occupied {
+                                            working.set(
+                                                slot,
+                                                candidate_for_slot_sharded(
+                                                    task, slot, index, cost_model, &guards,
+                                                ),
+                                            );
+                                            local_stats.slot_computations += 1;
+                                            local_stats.slot_refreshes += 1;
+                                        }
+                                    }
+                                }
+                                out.push((i, TaskState::from_candidates(task, working, &config)));
+                            }
+                        }
+                        (out, local_stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("checkout worker thread panicked"))
+                .collect()
+        });
+        for (chunk, local_stats) in collected {
+            stats.merge(&local_stats);
+            for (i, state) in chunk {
+                states[i] = Some(state);
+            }
+        }
+        states
+            .into_iter()
+            .map(|s| s.expect("every task was checked out by exactly one shard job"))
+            .collect()
+    }
+
+    /// Computes `best_candidate(remaining)` for every listed state, fanning
+    /// the searches out to the thread pool when the wave is large enough.
+    /// Results come back in ascending task order; each is a pure function of
+    /// the task's own state and `remaining`, so inline and parallel execution
+    /// coincide.
+    fn candidate_wave(
+        &self,
+        states: &mut [TaskState],
+        invalidated: &[usize],
+        remaining: f64,
+    ) -> Vec<(usize, Option<TaskCandidate>)> {
+        if self.threads == 1 || invalidated.len() < PARALLEL_WAVE_MIN {
+            let mut out = Vec::with_capacity(invalidated.len());
+            for &i in invalidated {
+                out.push((i, states[i].best_candidate(remaining)));
+            }
+            return out;
+        }
+        let members: std::collections::BTreeSet<usize> = invalidated.iter().copied().collect();
+        let mut refs: Vec<(usize, &mut TaskState)> = states
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| members.contains(i))
+            .collect();
+        let chunk_size = refs.len().div_ceil(self.threads);
+        thread::scope(|scope| {
+            let handles: Vec<_> = refs
+                .chunks_mut(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter_mut()
+                            .map(|(i, state)| (*i, state.best_candidate(remaining)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("candidate wave thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Refreshes one state's slot against the sharded ledger (post-conflict
+    /// fallback), keeping the V-tree aggregates in sync and counting the
+    /// refresh exactly as the serial engine does.
+    fn refresh_slot_sharded(&self, state: &mut TaskState, slot: SlotIndex, stats: &mut CacheStats) {
+        let guards = self.ledger.read_all();
+        let candidate =
+            candidate_for_slot_sharded(&state.task, slot, &self.index, self.cost_model, &guards);
+        state.set_candidate(slot, candidate);
+        stats.slot_computations += 1;
+        stats.slot_refreshes += 1;
+        stats.rebuild_slot_computations += 1;
+    }
+
+    /// MSQM: the serial greedy commit loop of [`super::AssignmentEngine`]
+    /// with the checkout, the warm-start candidate wave and the
+    /// budget-staleness waves running region-parallel.
+    fn run_msqm_parallel(&mut self, tasks: &[Task]) -> MultiOutcome {
+        let mut stats = CacheStats::default();
+        let mut states = self.checkout_states_parallel(tasks, &mut stats);
+        let mut remaining = self.config.budget;
+        let mut conflicts = 0usize;
+        let mut executions = 0usize;
+
+        let mut cached: Vec<Option<Option<TaskCandidate>>> = vec![None; states.len()];
+        let mut holders = HolderMap::with_tasks(states.len());
+
+        loop {
+            // Deregister candidates that the shrinking budget made
+            // unaffordable (they must be recomputed with the current budget
+            // so cheaper slots of the same task are still considered).
+            for (i, entry) in cached.iter_mut().enumerate() {
+                if let Some(Some(c)) = entry {
+                    if c.cost > remaining {
+                        holders.deregister(i);
+                        *entry = None;
+                    }
+                }
+            }
+            // Recompute every invalidated candidate as one wave (the first
+            // iteration recomputes the whole batch — the warm start).
+            let invalidated: Vec<usize> =
+                (0..states.len()).filter(|&i| cached[i].is_none()).collect();
+            if !invalidated.is_empty() {
+                for (i, candidate) in self.candidate_wave(&mut states, &invalidated, remaining) {
+                    if let Some(c) = &candidate {
+                        let worker = states[i]
+                            .planned_worker(c.slot)
+                            .expect("candidate slot has a planned worker");
+                        holders.register(i, c.slot, worker);
+                    }
+                    cached[i] = Some(candidate);
+                }
+            }
+            // Pick the task with the globally maximal heuristic value among
+            // the affordable candidates (identical rule, identical ties).
+            let mut best: Option<(usize, TaskCandidate)> = None;
+            for (i, entry) in cached.iter().enumerate() {
+                let Some(Some(candidate)) = entry else {
+                    continue;
+                };
+                if candidate.cost > remaining {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((bi, b)) => {
+                        candidate.heuristic > b.heuristic
+                            || (candidate.heuristic == b.heuristic && i < *bi)
+                    }
+                };
+                if better {
+                    best = Some((i, *candidate));
+                }
+            }
+            let Some((task_idx, candidate)) = best else {
+                break;
+            };
+
+            let planned = *states[task_idx]
+                .candidates
+                .get(candidate.slot)
+                .expect("candidate slot has a planned worker");
+            let shard = self.index.spatial_shard_of(&planned.worker_location);
+            if self
+                .ledger
+                .is_occupied(shard, candidate.slot, planned.worker)
+            {
+                // Conflict: fall back to the next nearest worker and retry.
+                conflicts += 1;
+                holders.deregister(task_idx);
+                cached[task_idx] = None;
+                self.refresh_slot_sharded(&mut states[task_idx], candidate.slot, &mut stats);
+                continue;
+            }
+
+            // Execute: claim the worker in its owning shard's ledger.
+            remaining -= candidate.cost;
+            self.ledger.occupy(shard, candidate.slot, planned.worker);
+            states[task_idx].execute(candidate.slot);
+            executions += 1;
+            holders.deregister(task_idx);
+            cached[task_idx] = None;
+            // Two-phase claim resolution: phase one releases every claim on
+            // the granted (shard, worker, slot); phase two re-claims for the
+            // losers in ascending (shard, worker, task) order — all against
+            // the same post-commit ledger, so the result is independent of
+            // how the parallel waves were scheduled.
+            let losers = holders.take_holders(candidate.slot, planned.worker);
+            debug_assert!(
+                !losers.contains(&task_idx),
+                "the executing task was deregistered before its worker was occupied"
+            );
+            for i in losers {
+                conflicts += 1;
+                cached[i] = None;
+                self.refresh_slot_sharded(&mut states[i], candidate.slot, &mut stats);
+            }
+        }
+
+        let assignment =
+            MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
+        MultiOutcome {
+            assignment,
+            conflicts,
+            executions,
+            stats,
+        }
+    }
+
+    /// MMQM: reinforce-the-weakest with a lazy heap (port of the serial
+    /// engine's loop); the parallel phase is the checkout, the heap loop is
+    /// inherently sequential.
+    fn run_mmqm_parallel(&mut self, tasks: &[Task]) -> MultiOutcome {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        use crate::multi::rebuild::HeapEntry;
+
+        let mut stats = CacheStats::default();
+        let mut states = self.checkout_states_parallel(tasks, &mut stats);
+        let mut remaining = self.config.budget;
+        let mut conflicts = 0usize;
+        let mut executions = 0usize;
+
+        let mut heap: BinaryHeap<Reverse<HeapEntry>> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Reverse(HeapEntry(s.quality(), i)))
+            .collect();
+        let mut retired = vec![false; states.len()];
+
+        while let Some(Reverse(HeapEntry(quality, task_idx))) = heap.pop() {
+            if retired[task_idx] {
+                continue;
+            }
+            if (states[task_idx].quality() - quality).abs() > 1e-12 {
+                heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
+                continue;
+            }
+
+            let Some(candidate) = states[task_idx].best_candidate(remaining) else {
+                retired[task_idx] = true;
+                continue;
+            };
+            if candidate.cost > remaining {
+                retired[task_idx] = true;
+                continue;
+            }
+            let planned = *states[task_idx]
+                .candidates
+                .get(candidate.slot)
+                .expect("candidate slot has a planned worker");
+            let shard = self.index.spatial_shard_of(&planned.worker_location);
+            if self
+                .ledger
+                .is_occupied(shard, candidate.slot, planned.worker)
+            {
+                conflicts += 1;
+                self.refresh_slot_sharded(&mut states[task_idx], candidate.slot, &mut stats);
+                heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
+                continue;
+            }
+
+            remaining -= candidate.cost;
+            self.ledger.occupy(shard, candidate.slot, planned.worker);
+            states[task_idx].execute(candidate.slot);
+            executions += 1;
+            heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
+        }
+
+        let assignment =
+            MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
+        MultiOutcome {
+            assignment,
+            conflicts,
+            executions,
+            stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for ConcurrentAssignmentEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentAssignmentEngine")
+            .field("config", &self.config)
+            .field("shards", &self.caches.len())
+            .field("threads", &self.threads)
+            .field("ledger_commitments", &self.ledger.len())
+            .field("cached_tasks", &self.cached_tasks())
+            .field("pending", &self.pending.len())
+            .field("lifetime_stats", &self.lifetime_stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AssignmentEngine;
+    use crate::multi::test_support::small_world;
+    use tcsc_core::EuclideanCost;
+    use tcsc_index::{ShardGridConfig, WorkerIndex};
+
+    fn build(
+        seed: u64,
+        grid: ShardGridConfig,
+    ) -> (
+        Vec<tcsc_core::Task>,
+        WorkerIndex,
+        ShardedWorkerIndex,
+        EuclideanCost,
+    ) {
+        let (tasks, workers, domain) = small_world(seed, 8, 20, 120);
+        let dense = WorkerIndex::build(&workers, 20, &domain);
+        let sharded = ShardedWorkerIndex::build(&workers, 20, &domain, grid);
+        (tasks, dense, sharded, EuclideanCost::default())
+    }
+
+    #[test]
+    fn matches_the_serial_engine_bit_for_bit() {
+        for (seed, grid, threads) in [
+            (90, ShardGridConfig::new(1, 1), 1),
+            (91, ShardGridConfig::new(4, 4), 4),
+            (92, ShardGridConfig::new(3, 5).with_time_splits(2), 8),
+        ] {
+            let (tasks, dense, sharded, cost) = build(seed, grid);
+            let cfg = MultiTaskConfig::new(45.0);
+            for objective in [Objective::SumQuality, Objective::MinQuality] {
+                let serial =
+                    AssignmentEngine::borrowed(&dense, &cost, cfg).assign_batch(&tasks, objective);
+                let mut engine =
+                    ConcurrentAssignmentEngine::new(sharded.clone(), &cost, cfg, threads);
+                let parallel = engine.assign_batch_parallel(&tasks, objective);
+                assert_eq!(serial.assignment, parallel.assignment, "{grid:?}");
+                assert_eq!(serial.conflicts, parallel.conflicts);
+                assert_eq!(serial.executions, parallel.executions);
+                assert_eq!(serial.stats, parallel.stats);
+                assert_eq!(engine.ledger().len(), parallel.executions);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_outcome() {
+        let (tasks, _, sharded, cost) = build(93, ShardGridConfig::new(4, 4));
+        let cfg = MultiTaskConfig::new(60.0);
+        let mut reference: Option<MultiOutcome> = None;
+        for threads in [1, 2, 4, 16] {
+            let mut engine = ConcurrentAssignmentEngine::new(sharded.clone(), &cost, cfg, threads);
+            let outcome = engine.assign_batch_parallel(&tasks, Objective::SumQuality);
+            match &reference {
+                None => reference = Some(outcome),
+                Some(r) => assert_eq!(r, &outcome, "threads={threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drains_persist_occupancy_and_evict_arrivals() {
+        let (tasks, _, sharded, cost) = build(94, ShardGridConfig::new(2, 2));
+        let mut engine =
+            ConcurrentAssignmentEngine::new(sharded, &cost, MultiTaskConfig::new(100.0), 4);
+        let (a, b) = tasks.split_at(4);
+        engine.submit(a.to_vec());
+        let round1 = engine.drain_parallel(Objective::SumQuality);
+        assert_eq!(engine.cached_tasks(), 0, "drain must evict its arrivals");
+        engine.submit(b.to_vec());
+        let round2 = engine.drain_parallel(Objective::SumQuality);
+        assert_eq!(engine.pending(), 0);
+        let mut seen = std::collections::HashSet::new();
+        for plan in round1
+            .assignment
+            .plans
+            .iter()
+            .chain(&round2.assignment.plans)
+        {
+            for exec in &plan.executions {
+                assert!(
+                    seen.insert((exec.slot, exec.worker)),
+                    "worker {:?} double-booked at slot {} across rounds",
+                    exec.worker,
+                    exec.slot
+                );
+            }
+        }
+        assert_eq!(engine.ledger().len(), round1.executions + round2.executions);
+    }
+
+    #[test]
+    fn release_all_frees_every_shard() {
+        let (tasks, _, sharded, cost) = build(95, ShardGridConfig::new(3, 3));
+        let mut engine =
+            ConcurrentAssignmentEngine::new(sharded, &cost, MultiTaskConfig::new(30.0), 2);
+        let first = engine.assign_batch_parallel(&tasks, Objective::SumQuality);
+        assert!(!engine.ledger().is_empty());
+        engine.release_all();
+        assert!(engine.ledger().is_empty());
+        let second = engine.assign_batch_parallel(&tasks, Objective::SumQuality);
+        assert_eq!(first.assignment, second.assignment);
+        assert_eq!(second.stats.tasks_reused, tasks.len());
+    }
+}

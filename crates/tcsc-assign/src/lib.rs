@@ -14,7 +14,12 @@
 //! * [`engine`] — the long-lived batched / streaming assignment engine: a
 //!   shared incremental candidate cache with invalidation-driven refresh that
 //!   all multi-task solvers route through, plus the `assign_batch` and
-//!   `submit`/`drain` APIs that amortise index lookups across calls.
+//!   `submit`/`drain` APIs that amortise index lookups across calls;
+//! * [`engine::concurrent`] — the region-parallel engine over a sharded
+//!   worker index: per-shard ledgers and caches behind per-shard locks, with
+//!   `assign_batch_parallel` / `drain_parallel` running checkout and
+//!   candidate waves on a scoped thread pool, bit-identical to the serial
+//!   engine for any shard grid and thread count.
 //!
 //! ## Quick example
 //!
@@ -46,9 +51,12 @@ pub mod multi;
 pub mod single;
 
 pub use candidates::{SlotCandidates, WorkerLedger};
+pub use engine::concurrent::{ConcurrentAssignmentEngine, ShardedLedger};
 pub use engine::{AssignmentEngine, CacheStats, CandidateCache, Objective};
 pub use multi::conflict::{independence_graph, IndependenceGraph};
-pub use multi::group_parallel::{msqm_group_parallel, GroupParallelOutcome};
+pub use multi::group_parallel::{
+    msqm_group_parallel, msqm_group_parallel_cached, GroupParallelOutcome,
+};
 pub use multi::mmqm::mmqm;
 pub use multi::msqm::msqm_serial;
 pub use multi::rebuild::{mmqm_rebuild, msqm_rebuild};

@@ -14,7 +14,7 @@ use tcsc_core::{
     AssignmentPlan, CostModel, ExecutedSubtask, MultiAssignment, QualityEvaluator, QualityParams,
     SlotIndex, Task,
 };
-use tcsc_index::{SearchStats, VTree, VTreeConfig, WorkerIndex};
+use tcsc_index::{SearchStats, SpatialQuery, VTree, VTreeConfig};
 
 use crate::candidates::{SlotCandidates, WorkerLedger};
 use crate::engine::CacheStats;
@@ -110,7 +110,7 @@ impl TaskState {
     /// Initialises the state of one task against the worker index.
     pub fn new(
         task: &Task,
-        index: &WorkerIndex,
+        index: &dyn SpatialQuery,
         cost_model: &dyn CostModel,
         config: &MultiTaskConfig,
     ) -> Self {
@@ -216,12 +216,27 @@ impl TaskState {
     pub fn refresh_slot(
         &mut self,
         slot: SlotIndex,
-        index: &WorkerIndex,
+        index: &dyn SpatialQuery,
         cost_model: &dyn CostModel,
         ledger: &WorkerLedger,
     ) {
         self.candidates
             .refresh_slot(&self.task, slot, index, cost_model, ledger);
+        if let Some(tree) = &mut self.tree {
+            tree.update_cost(&self.evaluator, slot, self.candidates.cost(slot));
+        }
+    }
+
+    /// Replaces the candidate of one slot directly (the entry point used by
+    /// the concurrent engine, whose refreshes go through the sharded ledger
+    /// rather than a dense [`WorkerLedger`]), keeping the tree's cost
+    /// aggregates in sync.
+    pub fn set_candidate(
+        &mut self,
+        slot: SlotIndex,
+        candidate: Option<tcsc_core::CandidateAssignment>,
+    ) {
+        self.candidates.set(slot, candidate);
         if let Some(tree) = &mut self.tree {
             tree.update_cost(&self.evaluator, slot, self.candidates.cost(slot));
         }

@@ -1,0 +1,87 @@
+//! Figure 9s bench (repo extension): the sharded spatial index against the
+//! dense grid, and the concurrent region-parallel engine against the serial
+//! engine, on the region-partitioned streaming preset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use tcsc_assign::{AssignmentEngine, ConcurrentAssignmentEngine, MultiTaskConfig, Objective};
+use tcsc_bench::figures::fig9s;
+use tcsc_bench::Scale;
+use tcsc_core::EuclideanCost;
+use tcsc_index::{ShardGridConfig, ShardedWorkerIndex, WorkerIndex};
+use tcsc_workload::{ScenarioConfig, StreamingConfig};
+
+fn bench_sharded_engine(c: &mut Criterion) {
+    println!("{}", fig9s(Scale::Quick).render());
+
+    // A CI-sized slice of the fig9s preset (smaller than the driver's, so
+    // the criterion samples stay fast).
+    let base = ScenarioConfig::small()
+        .with_num_slots(60)
+        .with_num_workers(1500);
+    let streaming = StreamingConfig::region_partitioned(base, 4, 3, 8).build();
+    let tasks = streaming.concatenated();
+    let num_slots = streaming.config.base.num_slots;
+    let dense = WorkerIndex::build(&streaming.workers, num_slots, &streaming.domain);
+    let sharded = ShardedWorkerIndex::build(
+        &streaming.workers,
+        num_slots,
+        &streaming.domain,
+        ShardGridConfig::new(4, 4),
+    );
+    let cost = EuclideanCost::default();
+    let cfg = MultiTaskConfig::new(tasks.len() as f64 * 0.25);
+
+    let mut group = c.benchmark_group("fig9s_sharded_engine");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("dense_knn_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for task in &tasks {
+                for slot in (0..num_slots).step_by(5) {
+                    acc += dense.k_nearest(slot, &task.location, 8).len();
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("sharded_knn_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for task in &tasks {
+                for slot in (0..num_slots).step_by(5) {
+                    acc += sharded.k_nearest(slot, &task.location, 8).len();
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("serial_engine_batch", |b| {
+        b.iter(|| {
+            AssignmentEngine::borrowed(&dense, &cost, cfg)
+                .assign_batch(&tasks, Objective::SumQuality)
+        })
+    });
+    group.bench_function("concurrent_engine_batch_4t", |b| {
+        b.iter(|| {
+            ConcurrentAssignmentEngine::new(sharded.clone(), &cost, cfg, 4)
+                .assign_batch_parallel(&tasks, Objective::SumQuality)
+        })
+    });
+    group.bench_function("concurrent_engine_streaming_drains_4t", |b| {
+        b.iter(|| {
+            let mut engine = ConcurrentAssignmentEngine::new(sharded.clone(), &cost, cfg, 4);
+            for round in &streaming.rounds {
+                engine.submit(round.clone());
+                engine.drain_parallel(Objective::SumQuality);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_engine);
+criterion_main!(benches);

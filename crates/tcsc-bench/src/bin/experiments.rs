@@ -4,15 +4,40 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick|--full] [all | fig6a fig6b ... fig11c]
+//! experiments [--quick|--full] [all | fig6a fig6b ... fig9s ... fig11c]
 //! ```
 //!
 //! With no figure ids, every figure is run.  `--quick` (default) uses
 //! CI-sized workloads; `--full` approaches the paper's parameters and can
 //! take much longer.
+//!
+//! Running `fig9s` (directly or via `all`) additionally writes
+//! `BENCH_fig9.json` — the machine-readable throughput/speedup-per-thread
+//! artifact that tracks the sharded-engine perf trajectory across PRs.
 
 use tcsc_bench::figures;
 use tcsc_bench::Scale;
+
+/// Runs one figure: prints its table and, for `fig9s`, writes the JSON
+/// artifact from the same measurement pass (no double measuring).
+fn run_figure(id: &str, scale: Scale) -> bool {
+    if id == "fig9s" {
+        let measurements = figures::fig9s_measurements(scale);
+        println!("{}", measurements.to_experiment().render());
+        match std::fs::write("BENCH_fig9.json", measurements.to_json()) {
+            Ok(()) => eprintln!("wrote BENCH_fig9.json"),
+            Err(e) => eprintln!("could not write BENCH_fig9.json: {e}"),
+        }
+        return true;
+    }
+    match figures::by_id(id, scale) {
+        Some(experiment) => {
+            println!("{}", experiment.render());
+            true
+        }
+        None => false,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,14 +57,13 @@ fn main() {
     }
 
     if ids.is_empty() {
-        for experiment in figures::all(scale) {
-            println!("{}", experiment.render());
+        for id in figures::ALL_IDS {
+            run_figure(id, scale);
         }
     } else {
         for id in ids {
-            match figures::by_id(&id, scale) {
-                Some(experiment) => println!("{}", experiment.render()),
-                None => eprintln!("unknown figure id: {id}"),
+            if !run_figure(&id, scale) {
+                eprintln!("unknown figure id: {id}");
             }
         }
     }

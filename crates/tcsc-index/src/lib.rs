@@ -10,17 +10,23 @@
 //!   subtree aggregates, and the best-first search with upper-bound pruning
 //!   used by the `Approx*` algorithm;
 //! * [`spatial`] — a per-time-slot uniform grid over worker locations for
-//!   nearest-available-worker queries (worker cost retrieval).
+//!   nearest-available-worker queries (worker cost retrieval), and the
+//!   [`SpatialQuery`] trait shared by every worker index;
+//! * [`sharded`] — the domain partitioned into spatial-tile shards (plus an
+//!   optional time-range split) behind a neighbour-ring router, answering the
+//!   same queries bit-identically while keeping shards independently owned.
 //!
 //! These indexes are consumed by the assignment algorithms in `tcsc-assign`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sharded;
 pub mod spatial;
 pub mod voronoi;
 pub mod vtree;
 
-pub use spatial::{IndexedWorker, NearestWorker, WorkerIndex};
+pub use sharded::{ShardGridConfig, ShardedWorkerIndex};
+pub use spatial::{IndexedWorker, NearestWorker, SpatialQuery, WorkerIndex};
 pub use voronoi::{site_knn_set, OrderKVoronoi, VoronoiCell};
 pub use vtree::{BestSlot, SearchStats, VTree, VTreeConfig};

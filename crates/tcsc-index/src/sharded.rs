@@ -1,0 +1,547 @@
+//! Sharded spatial index: the domain partitioned into a grid of spatial
+//! tiles (optionally crossed with a time-range split), each shard owning its
+//! own dense per-slot worker buckets.
+//!
+//! The dense [`crate::WorkerIndex`] is one grid over the whole domain, so every
+//! parallel framework funnels its queries (and, in the assignment layer, its
+//! occupancy bookkeeping) through one shared structure.
+//! [`ShardedWorkerIndex`] splits that structure along spatial tiles: a thin
+//! router answers [`SpatialQuery`] queries by probing the query point's tile
+//! and expanding to neighbour rings **only while a closer worker could still
+//! exist across a tile boundary**, so shards stay independently owned — the
+//! property the concurrent assignment engine's per-shard ledgers and caches
+//! build on (see `tcsc-assign::engine::concurrent`).
+//!
+//! # Neighbour-ring expansion bound
+//!
+//! Rings are sets of tiles at the same Chebyshev distance from the query's
+//! tile.  After scanning rings `0..=r`, the unscanned tiles all lie outside
+//! the scanned tile rectangle, so any worker they hold is at least as far
+//! from the query point as the nearest edge of that rectangle (sides where
+//! the rectangle already touches the grid border cannot hide tiles and are
+//! ignored).  A search therefore expands to the next ring only while its
+//! current answer is not strictly closer than the rectangle edge — i.e.
+//! only while a closer worker could still exist across a tile boundary.
+//!
+//! # Bit-identical answers
+//!
+//! Every query resolves distance ties by ascending worker id.  The dense
+//! index does the same (its per-slot candidate lists are stored in worker-id
+//! order and sorted by `(distance, position)`), so the two indexes return
+//! identical results — same workers, same order, same `f64` distances — on
+//! every query.  `tests/sharded_properties.rs` locks this in across seeded
+//! domains, tile-boundary workers and empty shards.
+
+use std::collections::BTreeSet;
+
+use tcsc_core::{Domain, Location, SlotIndex, WorkerId, WorkerPool};
+
+use crate::spatial::{IndexedWorker, NearestWorker, SpatialQuery};
+
+/// Shard-grid layout: how many spatial tiles per axis and how many contiguous
+/// time ranges the slot axis is split into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardGridConfig {
+    /// Number of tiles along the x axis (min 1).
+    pub tiles_x: usize,
+    /// Number of tiles along the y axis (min 1).
+    pub tiles_y: usize,
+    /// Number of contiguous time ranges the slot axis is split into (min 1;
+    /// 1 means no time split).
+    pub time_splits: usize,
+}
+
+impl ShardGridConfig {
+    /// A `tiles_x x tiles_y` spatial grid without a time split.
+    pub fn new(tiles_x: usize, tiles_y: usize) -> Self {
+        Self {
+            tiles_x: tiles_x.max(1),
+            tiles_y: tiles_y.max(1),
+            time_splits: 1,
+        }
+    }
+
+    /// Adds a time-range split: shards own `ceil(num_slots / time_splits)`
+    /// consecutive slots each.
+    pub fn with_time_splits(mut self, time_splits: usize) -> Self {
+        self.time_splits = time_splits.max(1);
+        self
+    }
+
+    /// Number of spatial tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles_x * self.tiles_y
+    }
+}
+
+impl Default for ShardGridConfig {
+    /// An 8×8 spatial grid without a time split.
+    fn default() -> Self {
+        Self::new(8, 8)
+    }
+}
+
+/// One shard: the per-slot worker buckets of a single (tile, time-range)
+/// cell.  Buckets are in worker-id order (the pool iteration order), which is
+/// what makes tie-breaking identical to the dense index.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// `slots[local_slot]` holds the workers of this tile available during
+    /// `range_start + local_slot`.
+    slots: Vec<Vec<IndexedWorker>>,
+    /// Total number of indexed (worker, slot) entries.
+    entries: usize,
+}
+
+/// Sharded per-slot spatial index over a worker pool: a grid of spatial-tile
+/// shards behind a ring-expanding router.  Answers the same [`SpatialQuery`]
+/// queries as the dense [`crate::WorkerIndex`], bit-identically.
+#[derive(Debug, Clone)]
+pub struct ShardedWorkerIndex {
+    shards: Vec<Shard>,
+    config: ShardGridConfig,
+    origin: Location,
+    tile_w: f64,
+    tile_h: f64,
+    /// Slots per time range (`ceil(num_slots / time_splits)`).
+    slots_per_split: usize,
+    num_slots: usize,
+    total_workers: usize,
+    /// Per-slot availability counts (across all shards).
+    available: Vec<usize>,
+}
+
+impl ShardedWorkerIndex {
+    /// Builds the sharded index for the given pool over `num_slots` time
+    /// slots within `domain`, using the given shard-grid layout.
+    pub fn build(
+        pool: &WorkerPool,
+        num_slots: usize,
+        domain: &Domain,
+        config: ShardGridConfig,
+    ) -> Self {
+        let config = ShardGridConfig {
+            tiles_x: config.tiles_x.max(1),
+            tiles_y: config.tiles_y.max(1),
+            time_splits: config.time_splits.max(1),
+        };
+        let tile_w = (domain.width() / config.tiles_x as f64).max(f64::MIN_POSITIVE);
+        let tile_h = (domain.height() / config.tiles_y as f64).max(f64::MIN_POSITIVE);
+        let slots_per_split = num_slots.div_ceil(config.time_splits).max(1);
+        let num_shards = config.num_tiles() * config.time_splits;
+        let mut shards = vec![Shard::default(); num_shards];
+        let mut available = vec![0usize; num_slots];
+        let mut index = Self {
+            shards: Vec::new(),
+            config,
+            origin: domain.min,
+            tile_w,
+            tile_h,
+            slots_per_split,
+            num_slots,
+            total_workers: pool.len(),
+            available: Vec::new(),
+        };
+        // Pool iteration is worker-id ascending, so every per-slot bucket
+        // ends up in id order — the tie-break order of the dense index.
+        for worker in pool.workers() {
+            for ws in worker.availability() {
+                if ws.slot >= num_slots {
+                    continue;
+                }
+                let shard_id = index.shard_of(ws.slot, &ws.location);
+                let shard = &mut shards[shard_id];
+                let range_start = (ws.slot / slots_per_split) * slots_per_split;
+                let local = ws.slot - range_start;
+                if shard.slots.len() <= local {
+                    shard.slots.resize(local + 1, Vec::new());
+                }
+                shard.slots[local].push(IndexedWorker {
+                    worker: worker.id,
+                    location: ws.location,
+                    reliability: worker.reliability,
+                });
+                shard.entries += 1;
+                available[ws.slot] += 1;
+            }
+        }
+        index.shards = shards;
+        index.available = available;
+        index
+    }
+
+    /// The shard layout.
+    pub fn config(&self) -> &ShardGridConfig {
+        &self.config
+    }
+
+    /// Total number of shards (`tiles_x * tiles_y * time_splits`).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of spatial shards (tiles), ignoring the time split.
+    pub fn num_spatial_shards(&self) -> usize {
+        self.config.num_tiles()
+    }
+
+    /// The tile coordinates of a location (clamped into the grid, so
+    /// out-of-domain points route to the nearest boundary tile).
+    pub fn tile_of(&self, loc: &Location) -> (usize, usize) {
+        let tx = ((loc.x - self.origin.x) / self.tile_w).floor().max(0.0) as usize;
+        let ty = ((loc.y - self.origin.y) / self.tile_h).floor().max(0.0) as usize;
+        (
+            tx.min(self.config.tiles_x - 1),
+            ty.min(self.config.tiles_y - 1),
+        )
+    }
+
+    /// The spatial shard (tile) id owning a location: the routing function
+    /// shared by this index and the concurrent engine's per-shard ledgers and
+    /// caches.
+    pub fn spatial_shard_of(&self, loc: &Location) -> usize {
+        let (tx, ty) = self.tile_of(loc);
+        ty * self.config.tiles_x + tx
+    }
+
+    /// The shard id owning `(slot, location)`.
+    pub fn shard_of(&self, slot: SlotIndex, loc: &Location) -> usize {
+        let time_range = slot / self.slots_per_split;
+        time_range * self.config.num_tiles() + self.spatial_shard_of(loc)
+    }
+
+    /// Number of indexed (worker, slot) entries a shard owns (zero for empty
+    /// shards).
+    pub fn shard_entries(&self, shard: usize) -> usize {
+        self.shards.get(shard).map_or(0, |s| s.entries)
+    }
+
+    /// The workers of one tile available during `slot`, in worker-id order.
+    fn bucket(&self, slot: SlotIndex, tx: usize, ty: usize) -> &[IndexedWorker] {
+        let time_range = slot / self.slots_per_split;
+        let shard =
+            &self.shards[time_range * self.config.num_tiles() + ty * self.config.tiles_x + tx];
+        let local = slot - time_range * self.slots_per_split;
+        shard.slots.get(local).map_or(&[], Vec::as_slice)
+    }
+
+    /// Lower bound on the distance from `query` to any worker in a tile NOT
+    /// yet scanned after rings `0..=ring` around `(qx, qy)`: the distance
+    /// from the query point to the edge of the scanned tile rectangle.
+    /// Sides where the rectangle already covers the whole grid cannot hide
+    /// unscanned tiles and contribute nothing (`INFINITY`).
+    ///
+    /// A search may stop once its current answer is strictly below this
+    /// bound; at exact equality one more ring is scanned so that a worker
+    /// sitting precisely on the rectangle edge can still win a tie on
+    /// worker id.
+    fn unscanned_bound(&self, query: &Location, qx: usize, qy: usize, ring: usize) -> f64 {
+        let mut bound = f64::INFINITY;
+        if qx > ring {
+            bound = bound.min(query.x - (self.origin.x + (qx - ring) as f64 * self.tile_w));
+        }
+        if qx + ring + 1 < self.config.tiles_x {
+            bound = bound.min(self.origin.x + (qx + ring + 1) as f64 * self.tile_w - query.x);
+        }
+        if qy > ring {
+            bound = bound.min(query.y - (self.origin.y + (qy - ring) as f64 * self.tile_h));
+        }
+        if qy + ring + 1 < self.config.tiles_y {
+            bound = bound.min(self.origin.y + (qy + ring + 1) as f64 * self.tile_h - query.y);
+        }
+        bound
+    }
+
+    /// Visits the tiles whose exact Chebyshev distance from `(qx, qy)` equals
+    /// `ring`, so every tile is visited exactly once across all rings (no
+    /// border re-visits, no duplicate candidates to trip the stop bound).
+    fn for_ring_tiles(
+        &self,
+        qx: usize,
+        qy: usize,
+        ring: usize,
+        mut visit: impl FnMut(usize, usize),
+    ) {
+        let x_lo = qx.saturating_sub(ring);
+        let x_hi = (qx + ring).min(self.config.tiles_x - 1);
+        let y_lo = qy.saturating_sub(ring);
+        let y_hi = (qy + ring).min(self.config.tiles_y - 1);
+        for ty in y_lo..=y_hi {
+            for tx in x_lo..=x_hi {
+                if tx.abs_diff(qx).max(ty.abs_diff(qy)) != ring {
+                    continue;
+                }
+                visit(tx, ty);
+            }
+        }
+    }
+
+    /// The `count` nearest available workers to `query` during `slot`, sorted
+    /// by `(distance, worker id)` — bit-identical to the dense index.
+    pub fn k_nearest(&self, slot: SlotIndex, query: &Location, count: usize) -> Vec<NearestWorker> {
+        if slot >= self.num_slots || count == 0 || self.available[slot] == 0 {
+            return Vec::new();
+        }
+        let (qx, qy) = self.tile_of(query);
+        let mut found: Vec<(f64, IndexedWorker)> = Vec::new();
+        let max_ring = self.config.tiles_x.max(self.config.tiles_y);
+        for ring in 0..=max_ring {
+            self.for_ring_tiles(qx, qy, ring, |tx, ty| {
+                for w in self.bucket(slot, tx, ty) {
+                    found.push((query.distance(&w.location), *w));
+                }
+            });
+            // Stop once the count-th best answer is provably closer than
+            // anything an unscanned tile could hold.
+            if found.len() >= count {
+                found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.worker.cmp(&b.1.worker)));
+                let kth = found[count - 1].0;
+                if kth < self.unscanned_bound(query, qx, qy, ring) {
+                    break;
+                }
+            }
+        }
+        found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.worker.cmp(&b.1.worker)));
+        found
+            .into_iter()
+            .take(count)
+            .map(|(d, w)| NearestWorker {
+                worker: w.worker,
+                location: w.location,
+                reliability: w.reliability,
+                distance: d,
+            })
+            .collect()
+    }
+
+    /// The nearest available worker to `query` during `slot`.
+    pub fn nearest(&self, slot: SlotIndex, query: &Location) -> Option<NearestWorker> {
+        self.k_nearest(slot, query, 1).into_iter().next()
+    }
+
+    /// The nearest worker to `query` during `slot` whose id is not in
+    /// `excluded` (same overfetch bound as the dense index: at most
+    /// `excluded.len()` candidates can be skipped).
+    pub fn nearest_excluding_set(
+        &self,
+        slot: SlotIndex,
+        query: &Location,
+        excluded: &BTreeSet<WorkerId>,
+    ) -> Option<NearestWorker> {
+        if excluded.is_empty() {
+            return self.nearest(slot, query);
+        }
+        self.k_nearest(slot, query, excluded.len() + 1)
+            .into_iter()
+            .find(|c| !excluded.contains(&c.worker))
+    }
+
+    /// The nearest worker to `query` during `slot` for which
+    /// `occupied(spatial_shard, worker)` is false.
+    ///
+    /// This is the shard-local occupancy fast path of the concurrent
+    /// assignment engine: a worker indexed in tile `t` has its occupancy
+    /// recorded in ledger shard `t` (both routed through
+    /// [`ShardedWorkerIndex::spatial_shard_of`] on the worker's slot
+    /// location), so the filter only ever consults the ledger shard of the
+    /// tile currently being probed.  Returns the same worker as
+    /// [`ShardedWorkerIndex::nearest_excluding_set`] over the equivalent
+    /// global exclusion set: the minimum over non-excluded workers of
+    /// `(distance, worker id)`.
+    pub fn nearest_excluding_with(
+        &self,
+        slot: SlotIndex,
+        query: &Location,
+        mut occupied: impl FnMut(usize, WorkerId) -> bool,
+    ) -> Option<NearestWorker> {
+        if slot >= self.num_slots || self.available[slot] == 0 {
+            return None;
+        }
+        let (qx, qy) = self.tile_of(query);
+        let mut best: Option<(f64, IndexedWorker)> = None;
+        let max_ring = self.config.tiles_x.max(self.config.tiles_y);
+        for ring in 0..=max_ring {
+            let mut candidates: Vec<(usize, IndexedWorker)> = Vec::new();
+            self.for_ring_tiles(qx, qy, ring, |tx, ty| {
+                let shard = ty * self.config.tiles_x + tx;
+                for w in self.bucket(slot, tx, ty) {
+                    candidates.push((shard, *w));
+                }
+            });
+            for (shard, w) in candidates {
+                if occupied(shard, w.worker) {
+                    continue;
+                }
+                let d = query.distance(&w.location);
+                let better = match &best {
+                    None => true,
+                    Some((bd, bw)) => d < *bd || (d == *bd && w.worker < bw.worker),
+                };
+                if better {
+                    best = Some((d, w));
+                }
+            }
+            if let Some((bd, _)) = &best {
+                if *bd < self.unscanned_bound(query, qx, qy, ring) {
+                    break;
+                }
+            }
+        }
+        best.map(|(d, w)| NearestWorker {
+            worker: w.worker,
+            location: w.location,
+            reliability: w.reliability,
+            distance: d,
+        })
+    }
+}
+
+impl SpatialQuery for ShardedWorkerIndex {
+    fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    fn total_workers(&self) -> usize {
+        self.total_workers
+    }
+
+    fn available_count(&self, slot: SlotIndex) -> usize {
+        self.available.get(slot).copied().unwrap_or(0)
+    }
+
+    fn nearest(&self, slot: SlotIndex, query: &Location) -> Option<NearestWorker> {
+        ShardedWorkerIndex::nearest(self, slot, query)
+    }
+
+    fn k_nearest(&self, slot: SlotIndex, query: &Location, count: usize) -> Vec<NearestWorker> {
+        ShardedWorkerIndex::k_nearest(self, slot, query, count)
+    }
+
+    fn nearest_excluding_set(
+        &self,
+        slot: SlotIndex,
+        query: &Location,
+        excluded: &BTreeSet<WorkerId>,
+    ) -> Option<NearestWorker> {
+        ShardedWorkerIndex::nearest_excluding_set(self, slot, query, excluded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsc_core::{Worker, WorkerSlot};
+
+    fn pool_of(points: &[(usize, f64, f64)]) -> WorkerPool {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &(slot, x, y))| {
+                Worker::new(
+                    WorkerId(i as u32),
+                    vec![WorkerSlot {
+                        slot,
+                        location: Location::new(x, y),
+                    }],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routes_locations_to_tiles() {
+        let pool = pool_of(&[(0, 1.0, 1.0)]);
+        let index =
+            ShardedWorkerIndex::build(&pool, 1, &Domain::square(10.0), ShardGridConfig::new(2, 2));
+        assert_eq!(index.num_shards(), 4);
+        assert_eq!(index.tile_of(&Location::new(1.0, 1.0)), (0, 0));
+        assert_eq!(index.tile_of(&Location::new(9.0, 1.0)), (1, 0));
+        assert_eq!(index.tile_of(&Location::new(1.0, 9.0)), (0, 1));
+        // The grid boundary itself belongs to the upper tile; the domain's
+        // outer edge clamps into the last tile.
+        assert_eq!(index.tile_of(&Location::new(5.0, 5.0)), (1, 1));
+        assert_eq!(index.tile_of(&Location::new(10.0, 10.0)), (1, 1));
+    }
+
+    #[test]
+    fn empty_shards_are_skipped() {
+        // All workers cluster in one tile; queries from any tile still find
+        // them.
+        let pool = pool_of(&[(0, 1.0, 1.0), (0, 2.0, 2.0), (0, 1.5, 0.5)]);
+        let index =
+            ShardedWorkerIndex::build(&pool, 1, &Domain::square(100.0), ShardGridConfig::new(8, 8));
+        let populated: usize = (0..index.num_shards())
+            .filter(|&s| index.shard_entries(s) > 0)
+            .count();
+        assert_eq!(populated, 1);
+        let far = index.nearest(0, &Location::new(99.0, 99.0)).unwrap();
+        assert_eq!(far.worker, WorkerId(1));
+        assert_eq!(index.k_nearest(0, &Location::new(99.0, 99.0), 5).len(), 3);
+    }
+
+    #[test]
+    fn time_splits_partition_the_slot_axis() {
+        let pool = pool_of(&[(0, 1.0, 1.0), (3, 1.0, 1.0), (5, 9.0, 9.0)]);
+        let index = ShardedWorkerIndex::build(
+            &pool,
+            6,
+            &Domain::square(10.0),
+            ShardGridConfig::new(2, 2).with_time_splits(3),
+        );
+        assert_eq!(index.num_shards(), 12);
+        assert_eq!(index.available_count(0), 1);
+        assert_eq!(index.available_count(3), 1);
+        assert_eq!(index.available_count(5), 1);
+        assert_eq!(index.available_count(1), 0);
+        assert_eq!(
+            index.nearest(3, &Location::new(0.0, 0.0)).unwrap().worker,
+            WorkerId(1)
+        );
+        assert_eq!(
+            index.nearest(5, &Location::new(0.0, 0.0)).unwrap().worker,
+            WorkerId(2)
+        );
+        assert!(index.nearest(1, &Location::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn nearest_excluding_with_filters_per_tile() {
+        let pool = pool_of(&[(0, 1.0, 0.0), (0, 2.0, 0.0), (0, 8.0, 0.0)]);
+        let index =
+            ShardedWorkerIndex::build(&pool, 1, &Domain::square(10.0), ShardGridConfig::new(4, 1));
+        let q = Location::new(0.0, 0.0);
+        let shard0 = index.spatial_shard_of(&Location::new(1.0, 0.0));
+        let all = index.nearest_excluding_with(0, &q, |_, _| false).unwrap();
+        assert_eq!(all.worker, WorkerId(0));
+        let skip0 = index
+            .nearest_excluding_with(0, &q, |s, w| s == shard0 && w == WorkerId(0))
+            .unwrap();
+        assert_eq!(skip0.worker, WorkerId(1));
+        let none = index.nearest_excluding_with(0, &q, |_, _| true);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn out_of_horizon_slots_answer_empty() {
+        let pool = pool_of(&[(0, 1.0, 1.0)]);
+        let index =
+            ShardedWorkerIndex::build(&pool, 1, &Domain::square(10.0), ShardGridConfig::default());
+        assert!(index.nearest(5, &Location::new(0.0, 0.0)).is_none());
+        assert!(index.k_nearest(5, &Location::new(0.0, 0.0), 3).is_empty());
+        assert!(index
+            .nearest_excluding_with(5, &Location::new(0.0, 0.0), |_, _| false)
+            .is_none());
+        assert_eq!(index.available_count(5), 0);
+    }
+
+    #[test]
+    fn degenerate_one_tile_grid_is_a_linear_scan() {
+        let pool = pool_of(&[(0, 1.0, 0.0), (0, 2.0, 0.0), (0, 3.0, 0.0)]);
+        let index =
+            ShardedWorkerIndex::build(&pool, 1, &Domain::square(10.0), ShardGridConfig::new(1, 1));
+        let res = index.k_nearest(0, &Location::new(0.0, 0.0), 3);
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].worker, WorkerId(0));
+        assert_eq!(res[2].worker, WorkerId(2));
+    }
+}

@@ -12,6 +12,41 @@ use std::collections::BTreeSet;
 
 use tcsc_core::{Domain, Location, SlotIndex, WorkerId, WorkerPool};
 
+/// Nearest-available-worker queries over a per-slot worker index.
+///
+/// Implemented by the dense [`WorkerIndex`] (one grid over the whole domain)
+/// and by [`crate::sharded::ShardedWorkerIndex`] (a router over spatial-tile
+/// shards).  The two implementations are **bit-identical**: every method
+/// resolves distance ties by ascending worker id, so the assignment layer can
+/// swap one for the other without changing a single plan (locked in by
+/// `tests/sharded_properties.rs`).
+pub trait SpatialQuery {
+    /// Number of time slots covered by the index.
+    fn num_slots(&self) -> usize;
+
+    /// Number of workers in the indexed pool.
+    fn total_workers(&self) -> usize;
+
+    /// Number of workers available during `slot`.
+    fn available_count(&self, slot: SlotIndex) -> usize;
+
+    /// The nearest available worker to `query` during `slot`.
+    fn nearest(&self, slot: SlotIndex, query: &Location) -> Option<NearestWorker>;
+
+    /// The `count` nearest available workers to `query` during `slot`, sorted
+    /// by `(distance, worker id)`.
+    fn k_nearest(&self, slot: SlotIndex, query: &Location, count: usize) -> Vec<NearestWorker>;
+
+    /// The nearest worker to `query` during `slot` whose id is not in
+    /// `excluded` (the occupancy-aware conflict-fallback query).
+    fn nearest_excluding_set(
+        &self,
+        slot: SlotIndex,
+        query: &Location,
+        excluded: &BTreeSet<WorkerId>,
+    ) -> Option<NearestWorker>;
+}
+
 /// One indexed worker position: a worker available at the slot of the
 /// enclosing per-slot grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,8 +139,12 @@ impl SlotGrid {
             let y_hi = (qy + ring).min(self.rows - 1);
             for cy in y_lo..=y_hi {
                 for cx in x_lo..=x_hi {
-                    let on_ring = cx == x_lo || cx == x_hi || cy == y_lo || cy == y_hi;
-                    if ring > 0 && !on_ring {
+                    // Visit cells whose exact Chebyshev distance equals the
+                    // ring: clamping at the grid borders would otherwise
+                    // re-visit border cells on every later ring, and the
+                    // duplicate entries would trip the stop condition before
+                    // `count` *distinct* workers have been collected.
+                    if cx.abs_diff(qx).max(cy.abs_diff(qy)) != ring {
                         continue;
                     }
                     for &idx in &self.cells[cy * self.cols + cx] {
@@ -114,19 +153,39 @@ impl SlotGrid {
                     }
                 }
             }
-            // Stop once we have enough candidates and the next ring cannot
-            // contain anything closer than the current count-th candidate.
+            // Stop once we have enough candidates and no unscanned cell can
+            // hold anything closer: every unscanned cell lies outside the
+            // scanned cell rectangle, so its workers are at least as far
+            // away as the rectangle's nearest edge (sides already clamped to
+            // the grid border are exhausted and ignored).  The comparison is
+            // strict so a worker sitting exactly on the edge can still win a
+            // distance tie on its id.
             if found.len() >= count {
                 found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 let kth = found[count - 1].0;
-                let ring_guarantee = ring as f64 * self.cell_size;
-                if kth <= ring_guarantee {
+                let mut bound = f64::INFINITY;
+                if qx > ring {
+                    bound =
+                        bound.min(query.x - (self.origin.x + (qx - ring) as f64 * self.cell_size));
+                }
+                if qx + ring + 1 < self.cols {
+                    bound = bound
+                        .min(self.origin.x + (qx + ring + 1) as f64 * self.cell_size - query.x);
+                }
+                if qy > ring {
+                    bound =
+                        bound.min(query.y - (self.origin.y + (qy - ring) as f64 * self.cell_size));
+                }
+                if qy + ring + 1 < self.rows {
+                    bound = bound
+                        .min(self.origin.y + (qy + ring + 1) as f64 * self.cell_size - query.y);
+                }
+                if kth < bound {
                     break;
                 }
             }
         }
         found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        found.dedup_by_key(|(_, idx)| *idx);
         found
             .into_iter()
             .take(count)
@@ -267,6 +326,37 @@ impl WorkerIndex {
                     .total_cmp(&b.distance)
                     .then(a.worker.cmp(&b.worker))
             })
+    }
+}
+
+impl SpatialQuery for WorkerIndex {
+    fn num_slots(&self) -> usize {
+        WorkerIndex::num_slots(self)
+    }
+
+    fn total_workers(&self) -> usize {
+        WorkerIndex::total_workers(self)
+    }
+
+    fn available_count(&self, slot: SlotIndex) -> usize {
+        WorkerIndex::available_count(self, slot)
+    }
+
+    fn nearest(&self, slot: SlotIndex, query: &Location) -> Option<NearestWorker> {
+        WorkerIndex::nearest(self, slot, query)
+    }
+
+    fn k_nearest(&self, slot: SlotIndex, query: &Location, count: usize) -> Vec<NearestWorker> {
+        WorkerIndex::k_nearest(self, slot, query, count)
+    }
+
+    fn nearest_excluding_set(
+        &self,
+        slot: SlotIndex,
+        query: &Location,
+        excluded: &BTreeSet<WorkerId>,
+    ) -> Option<NearestWorker> {
+        WorkerIndex::nearest_excluding_set(self, slot, query, excluded)
     }
 }
 

@@ -1,0 +1,249 @@
+//! Property tests: [`ShardedWorkerIndex`] must answer every query
+//! **bit-identically** to the dense [`WorkerIndex`] — same workers, same
+//! order, same `f64` distances — across seeded domains, shard layouts,
+//! tile-boundary workers and empty shards.  This equivalence is what lets the
+//! assignment layer swap the sharded router in without changing a single
+//! plan.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcsc_core::{Domain, Location, Worker, WorkerId, WorkerPool, WorkerSlot};
+use tcsc_index::{ShardGridConfig, ShardedWorkerIndex, SpatialQuery, WorkerIndex};
+
+/// A seeded pool of workers with 1–4 availability slots each.
+fn random_pool(seed: u64, num_workers: usize, num_slots: usize, domain: &Domain) -> WorkerPool {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_workers)
+        .map(|i| {
+            let start = rng.gen_range(0..num_slots);
+            let len = rng.gen_range(1..=4.min(num_slots));
+            let availability = (start..(start + len).min(num_slots))
+                .map(|slot| WorkerSlot {
+                    slot,
+                    location: Location::new(
+                        rng.gen_range(domain.min.x..=domain.max.x),
+                        rng.gen_range(domain.min.y..=domain.max.y),
+                    ),
+                })
+                .collect();
+            Worker::new(WorkerId(i as u32), availability)
+        })
+        .collect()
+}
+
+/// Seeded query points, including the domain corners and centre.
+fn query_points(seed: u64, count: usize, domain: &Domain) -> Vec<Location> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = vec![
+        domain.min,
+        domain.max,
+        domain.center(),
+        Location::new(domain.min.x, domain.max.y),
+        Location::new(domain.max.x, domain.min.y),
+    ];
+    points.extend((0..count).map(|_| {
+        Location::new(
+            rng.gen_range(domain.min.x..=domain.max.x),
+            rng.gen_range(domain.min.y..=domain.max.y),
+        )
+    }));
+    points
+}
+
+fn shard_layouts() -> Vec<ShardGridConfig> {
+    vec![
+        ShardGridConfig::new(1, 1),
+        ShardGridConfig::new(2, 2),
+        ShardGridConfig::new(4, 4),
+        ShardGridConfig::new(5, 3),
+        ShardGridConfig::new(16, 16),
+        ShardGridConfig::new(4, 4).with_time_splits(2),
+        ShardGridConfig::new(3, 5).with_time_splits(4),
+    ]
+}
+
+/// Asserts every query of every slot agrees bit-for-bit between the two
+/// indexes.
+fn assert_equivalent(
+    pool: &WorkerPool,
+    num_slots: usize,
+    domain: &Domain,
+    config: ShardGridConfig,
+    queries: &[Location],
+) {
+    let dense = WorkerIndex::build(pool, num_slots, domain);
+    let sharded = ShardedWorkerIndex::build(pool, num_slots, domain, config);
+    assert_eq!(dense.num_slots(), SpatialQuery::num_slots(&sharded));
+    for slot in 0..num_slots {
+        assert_eq!(
+            dense.available_count(slot),
+            SpatialQuery::available_count(&sharded, slot),
+            "availability at slot {slot} under {config:?}"
+        );
+        for q in queries {
+            assert_eq!(
+                dense.nearest(slot, q),
+                sharded.nearest(slot, q),
+                "nearest at slot {slot}, query {q}, {config:?}"
+            );
+            for count in [2, 5, 17] {
+                assert_eq!(
+                    dense.k_nearest(slot, q, count),
+                    sharded.k_nearest(slot, q, count),
+                    "{count}-nearest at slot {slot}, query {q}, {config:?}"
+                );
+            }
+            // Exclusion sets built from the actual nearest workers (the
+            // conflict-fallback shape) plus ids absent from the slot.
+            let top: Vec<WorkerId> = dense
+                .k_nearest(slot, q, 4)
+                .into_iter()
+                .map(|w| w.worker)
+                .collect();
+            for take in 0..=top.len() {
+                let mut excluded: BTreeSet<WorkerId> = top[..take].iter().copied().collect();
+                excluded.insert(WorkerId(u32::MAX));
+                assert_eq!(
+                    dense.nearest_excluding_set(slot, q, &excluded),
+                    sharded.nearest_excluding_set(slot, q, &excluded),
+                    "excluding {excluded:?} at slot {slot}, query {q}, {config:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_domains_agree_across_shard_layouts() {
+    let domain = Domain::square(100.0);
+    for seed in [3, 17, 92] {
+        let pool = random_pool(seed, 150, 12, &domain);
+        let queries = query_points(seed ^ 0xbeef, 12, &domain);
+        for config in shard_layouts() {
+            assert_equivalent(&pool, 12, &domain, config, &queries);
+        }
+    }
+}
+
+#[test]
+fn rectangular_domains_agree() {
+    let domain = Domain::new(Location::new(-40.0, 10.0), Location::new(60.0, 35.0));
+    let pool = random_pool(7, 120, 6, &domain);
+    let queries = query_points(8, 10, &domain);
+    for config in [
+        ShardGridConfig::new(8, 2),
+        ShardGridConfig::new(2, 8).with_time_splits(3),
+    ] {
+        assert_equivalent(&pool, 6, &domain, config, &queries);
+    }
+}
+
+#[test]
+fn workers_on_tile_boundaries_agree() {
+    // Workers placed exactly on every 4x4 tile boundary line of a 100x100
+    // domain (x or y multiples of 25), including tile corners, plus queries
+    // on the same lines: the router must not lose or double-count them.
+    let domain = Domain::square(100.0);
+    let mut entries = Vec::new();
+    for i in 0..=4 {
+        for j in 0..=10 {
+            entries.push((0usize, i as f64 * 25.0, j as f64 * 10.0));
+            entries.push((0usize, j as f64 * 10.0, i as f64 * 25.0));
+        }
+    }
+    let pool: WorkerPool = entries
+        .iter()
+        .enumerate()
+        .map(|(i, &(slot, x, y))| {
+            Worker::new(
+                WorkerId(i as u32),
+                vec![WorkerSlot {
+                    slot,
+                    location: Location::new(x, y),
+                }],
+            )
+        })
+        .collect();
+    let mut queries = vec![
+        Location::new(25.0, 25.0),
+        Location::new(50.0, 50.0),
+        Location::new(75.0, 24.999999999),
+        Location::new(25.000000001, 80.0),
+    ];
+    queries.extend(query_points(11, 8, &domain));
+    for config in [
+        ShardGridConfig::new(4, 4),
+        ShardGridConfig::new(8, 8),
+        ShardGridConfig::new(4, 4).with_time_splits(2),
+    ] {
+        assert_equivalent(&pool, 1, &domain, config, &queries);
+    }
+}
+
+#[test]
+fn empty_shards_and_empty_slots_agree() {
+    // Every worker clusters into one corner tile, so almost every shard is
+    // empty, and slot 1 has no workers at all.
+    let domain = Domain::square(100.0);
+    let mut rng = StdRng::seed_from_u64(23);
+    let pool: WorkerPool = (0..60)
+        .map(|i| {
+            Worker::new(
+                WorkerId(i as u32),
+                vec![WorkerSlot {
+                    slot: if i % 3 == 0 { 2 } else { 0 },
+                    location: Location::new(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)),
+                }],
+            )
+        })
+        .collect();
+    let queries = query_points(29, 10, &domain);
+    for config in shard_layouts() {
+        assert_equivalent(&pool, 3, &domain, config, &queries);
+    }
+    let sharded = ShardedWorkerIndex::build(&pool, 3, &domain, ShardGridConfig::new(10, 10));
+    let empty = (0..sharded.num_shards())
+        .filter(|&s| sharded.shard_entries(s) == 0)
+        .count();
+    assert!(
+        empty > 90,
+        "expected mostly empty shards, got {empty} empty"
+    );
+}
+
+#[test]
+fn nearest_excluding_with_matches_the_set_query() {
+    // The closure-filtered query (used by the concurrent engine's per-shard
+    // ledgers) must agree with the global-set query when the filter encodes
+    // the same exclusions, with occupancy routed by the worker's tile.
+    let domain = Domain::square(100.0);
+    let pool = random_pool(41, 120, 4, &domain);
+    let queries = query_points(43, 10, &domain);
+    for config in [
+        ShardGridConfig::new(4, 4),
+        ShardGridConfig::new(6, 2).with_time_splits(2),
+    ] {
+        let sharded = ShardedWorkerIndex::build(&pool, 4, &domain, config);
+        for slot in 0..4 {
+            for q in &queries {
+                let top: Vec<_> = sharded.k_nearest(slot, q, 3);
+                for take in 0..=top.len() {
+                    let excluded: BTreeSet<WorkerId> =
+                        top[..take].iter().map(|w| w.worker).collect();
+                    // Record each excluded worker under its owning tile, as
+                    // the sharded ledger would.
+                    let by_shard: BTreeSet<(usize, WorkerId)> = top[..take]
+                        .iter()
+                        .map(|w| (sharded.spatial_shard_of(&w.location), w.worker))
+                        .collect();
+                    let via_set = sharded.nearest_excluding_set(slot, q, &excluded);
+                    let via_filter =
+                        sharded.nearest_excluding_with(slot, q, |s, w| by_shard.contains(&(s, w)));
+                    assert_eq!(via_set, via_filter, "slot {slot}, query {q}, {config:?}");
+                }
+            }
+        }
+    }
+}

@@ -36,6 +36,21 @@ pub enum SpatialDistribution {
         /// Standard deviation of each blob as a fraction of the domain side.
         spread: f64,
     },
+    /// Region-partitioned: the domain is divided into a `cols x rows` lattice
+    /// of regions; a region is drawn uniformly and the point falls uniformly
+    /// within the region's *interior*, shrunk by `margin` (a fraction of the
+    /// region size per side).  Tasks therefore cluster strictly inside
+    /// region cells and never sit on a region boundary — the workload shape
+    /// the sharded index and the region-parallel engine are built for.
+    RegionGrid {
+        /// Regions along the x axis.
+        cols: usize,
+        /// Regions along the y axis.
+        rows: usize,
+        /// Interior margin per side as a fraction of the region size
+        /// (clamped to `[0, 0.45]`).
+        margin: f64,
+    },
 }
 
 impl SpatialDistribution {
@@ -55,6 +70,16 @@ impl SpatialDistribution {
         }
     }
 
+    /// A `regions x regions` region-partitioned lattice with the default
+    /// 15% interior margin.
+    pub fn region_grid(regions: usize) -> Self {
+        Self::RegionGrid {
+            cols: regions.max(1),
+            rows: regions.max(1),
+            margin: 0.15,
+        }
+    }
+
     /// Human-readable label used by the benchmark harness output.
     pub fn label(&self) -> &'static str {
         match self {
@@ -62,6 +87,7 @@ impl SpatialDistribution {
             Self::Gaussian => "Gaussian",
             Self::Zipf { .. } => "Zipfian",
             Self::Clustered { .. } => "Real(POI)",
+            Self::RegionGrid { .. } => "Regions",
         }
     }
 
@@ -109,6 +135,20 @@ impl SpatialDistribution {
                 let sigma = spread * domain.width().max(domain.height());
                 let (gx, gy) = gaussian_pair(rng);
                 domain.clamp(Location::new(center.x + gx * sigma, center.y + gy * sigma))
+            }
+            Self::RegionGrid { cols, rows, margin } => {
+                let cols = (*cols).max(1);
+                let rows = (*rows).max(1);
+                let margin = margin.clamp(0.0, 0.45);
+                let region = rng.gen_range(0..cols * rows);
+                let (cx, cy) = (region % cols, region / cols);
+                let w = domain.width() / cols as f64;
+                let h = domain.height() / rows as f64;
+                let x_lo = domain.min.x + (cx as f64 + margin) * w;
+                let x_hi = domain.min.x + (cx as f64 + 1.0 - margin) * w;
+                let y_lo = domain.min.y + (cy as f64 + margin) * h;
+                let y_hi = domain.min.y + (cy as f64 + 1.0 - margin) * h;
+                Location::new(rng.gen_range(x_lo..x_hi), rng.gen_range(y_lo..y_hi))
             }
         }
     }
@@ -280,10 +320,45 @@ mod tests {
     }
 
     #[test]
+    fn region_grid_points_avoid_region_boundaries() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let d = domain();
+        let dist = SpatialDistribution::region_grid(4);
+        for p in dist.sample_many(&mut rng, &d, 2000) {
+            assert!(d.contains(&p));
+            // 4x4 regions of a 100-unit domain: region size 25, margin 15%
+            // => every coordinate stays >= 3.75 away from any multiple of 25.
+            for c in [p.x, p.y] {
+                let offset = c.rem_euclid(25.0);
+                let to_boundary = offset.min(25.0 - offset);
+                assert!(
+                    to_boundary >= 3.75 - 1e-9,
+                    "{p} lies within the margin of a region boundary"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_grid_covers_every_region() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let d = domain();
+        let dist = SpatialDistribution::region_grid(3);
+        let mut seen = [false; 9];
+        for p in dist.sample_many(&mut rng, &d, 500) {
+            let cx = (p.x / (100.0 / 3.0)).floor().min(2.0) as usize;
+            let cy = (p.y / (100.0 / 3.0)).floor().min(2.0) as usize;
+            seen[cy * 3 + cx] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some region received no tasks");
+    }
+
+    #[test]
     fn labels_are_stable() {
         assert_eq!(SpatialDistribution::Uniform.label(), "Uniform");
         assert_eq!(SpatialDistribution::Gaussian.label(), "Gaussian");
         assert_eq!(SpatialDistribution::zipf_default().label(), "Zipfian");
         assert_eq!(SpatialDistribution::poi_like().label(), "Real(POI)");
+        assert_eq!(SpatialDistribution::region_grid(4).label(), "Regions");
     }
 }

@@ -11,7 +11,8 @@
 
 use tcsc_core::{Domain, Task, WorkerPool};
 
-use crate::scenario::{Scenario, ScenarioConfig};
+use crate::distribution::SpatialDistribution;
+use crate::scenario::{Scenario, ScenarioConfig, TaskPlacement};
 
 /// Configuration of a streaming workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +49,25 @@ impl StreamingConfig {
     /// A CI-sized streaming workload derived from [`ScenarioConfig::small`].
     pub fn small(rounds: usize, tasks_per_round: usize) -> Self {
         Self::new(ScenarioConfig::small(), rounds, tasks_per_round)
+    }
+
+    /// A region-partitioned streaming workload: task locations are drawn
+    /// from [`SpatialDistribution::RegionGrid`] over a `regions x regions`
+    /// lattice, so every arrival clusters strictly inside one region cell
+    /// (workers still roam the whole domain).  This is the scenario shape
+    /// the sharded index and the concurrent region-parallel engine are
+    /// benchmarked on (`fig9s`): matching the engine's shard grid to
+    /// `regions` makes almost every task's candidates shard-local.
+    pub fn region_partitioned(
+        base: ScenarioConfig,
+        regions: usize,
+        rounds: usize,
+        tasks_per_round: usize,
+    ) -> Self {
+        let base = base.with_placement(TaskPlacement::Synthetic(SpatialDistribution::region_grid(
+            regions,
+        )));
+        Self::new(base, rounds, tasks_per_round)
     }
 
     /// Generates the streaming scenario deterministically.
@@ -135,6 +155,25 @@ mod tests {
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_is_rejected() {
         let _ = StreamingConfig::small(0, 3);
+    }
+
+    #[test]
+    fn region_partitioned_rounds_cluster_inside_region_cells() {
+        let streaming =
+            StreamingConfig::region_partitioned(ScenarioConfig::small(), 4, 3, 4).build();
+        assert_eq!(streaming.rounds.len(), 3);
+        let side = streaming.domain.width() / 4.0;
+        for task in streaming.concatenated() {
+            for c in [task.location.x, task.location.y] {
+                let offset = c.rem_euclid(side);
+                let to_boundary = offset.min(side - offset);
+                assert!(
+                    to_boundary > 0.0,
+                    "task at {} sits on a region boundary",
+                    task.location
+                );
+            }
+        }
     }
 
     #[test]

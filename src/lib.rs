@@ -42,16 +42,20 @@ pub use tcsc_workload as workload;
 pub mod prelude {
     pub use tcsc_assign::{
         approx, approx_star, independence_graph, min_budget_for_quality, mmqm, msqm_group_parallel,
-        msqm_serial, msqm_task_parallel, optimal, random_assignment, random_summary, sapprox,
-        AssignmentEngine, CacheStats, MultiTaskConfig, Objective, SingleTaskConfig, SlotCandidates,
-        SpatioTemporalObjective, WorkerLedger,
+        msqm_group_parallel_cached, msqm_serial, msqm_task_parallel, optimal, random_assignment,
+        random_summary, sapprox, AssignmentEngine, CacheStats, CandidateCache,
+        ConcurrentAssignmentEngine, MultiTaskConfig, Objective, ShardedLedger, SingleTaskConfig,
+        SlotCandidates, SpatioTemporalObjective, WorkerLedger,
     };
     pub use tcsc_core::{
         AssignmentPlan, Budget, CostModel, Domain, EuclideanCost, InterpolationWeights, Location,
         MultiAssignment, QualityEvaluator, QualityParams, SpatioTemporalEvaluator, Task, TaskId,
         Worker, WorkerId, WorkerPool, WorkerSlot,
     };
-    pub use tcsc_index::{OrderKVoronoi, VTree, VTreeConfig, WorkerIndex};
+    pub use tcsc_index::{
+        OrderKVoronoi, ShardGridConfig, ShardedWorkerIndex, SpatialQuery, VTree, VTreeConfig,
+        WorkerIndex,
+    };
     pub use tcsc_workload::{
         PoiConfig, PoiDataset, Scenario, ScenarioConfig, SpatialDistribution, StreamingConfig,
         StreamingScenario, TaskPlacement, TrajectoryConfig,
