@@ -174,6 +174,20 @@ impl WorkerLedger {
         self.occupied.get(&slot).filter(|set| !set.is_empty())
     }
 
+    /// Releases one commitment (the rollback path of the optimistic master:
+    /// a provisional grant that a late heartbeat superseded is undone).
+    /// Returns `false` when the worker was not occupied at the slot.
+    pub fn release(&mut self, slot: SlotIndex, worker: WorkerId) -> bool {
+        let removed = self
+            .occupied
+            .get_mut(&slot)
+            .is_some_and(|set| set.remove(&worker));
+        if removed {
+            self.commitments -= 1;
+        }
+        removed
+    }
+
     /// Total number of (slot, worker) commitments.
     pub fn len(&self) -> usize {
         self.commitments

@@ -59,9 +59,14 @@ pub use multi::group_parallel::{
 };
 pub use multi::mmqm::mmqm;
 pub use multi::msqm::msqm_serial;
+pub use multi::protocol::{
+    CommittedExecution, GrantPolicy, MasterCommand, TaskMaster, TaskOwner, WorkerEvent,
+};
 pub use multi::rebuild::{mmqm_rebuild, msqm_rebuild};
 pub use multi::sapprox::{sapprox, SpatioTemporalObjective};
-pub use multi::task_parallel::{msqm_task_parallel, TaskParallelOutcome};
+pub use multi::task_parallel::{
+    msqm_task_parallel, msqm_task_parallel_optimistic, TaskParallelOutcome,
+};
 pub use multi::{MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};
 pub use single::baseline::{random_assignment, random_summary, RandSummary};
 pub use single::dual::{min_budget_for_quality, DualOutcome};

@@ -6,6 +6,7 @@ pub mod conflict;
 pub mod group_parallel;
 pub mod mmqm;
 pub mod msqm;
+pub mod protocol;
 pub mod rebuild;
 pub mod sapprox;
 pub mod task_parallel;

@@ -1,0 +1,1262 @@
+//! Message protocol and master state machine of the task-level parallel
+//! framework.
+//!
+//! The master of [`super::task_parallel`] is factored out here as a pure,
+//! driver-agnostic state machine: [`TaskMaster`] consumes [`WorkerEvent`]s
+//! (heartbeats and execution confirmations from the task owners) and emits
+//! [`MasterCommand`]s (compute / refresh / execute / undo requests).  Two
+//! drivers exist:
+//!
+//! * the **thread driver** of [`super::task_parallel`], where commands travel
+//!   over `std::sync::mpsc` channels to worker threads;
+//! * the **simulation driver** of the `tcsc-sim` crate, where the same
+//!   commands travel as discrete-event messages with modeled network latency
+//!   between a dispatcher and region-node components.
+//!
+//! Because the machine is pure, the committed behaviour can be verified once
+//! (against the serial greedy) and reused by both drivers.
+//!
+//! # Grant policies
+//!
+//! [`GrantPolicy::Barrier`] reproduces the paper's deterministic master: a
+//! grant is only decided when **every** outstanding heartbeat has arrived, so
+//! each selection sees the complete heartbeat table.
+//!
+//! [`GrantPolicy::Optimistic`] removes the barrier with a **versioned
+//! heartbeat table and provisional grants**:
+//!
+//! * every compute / refresh request carries a per-task *version*; heartbeats
+//!   echo it, and a heartbeat whose version does not match the task's current
+//!   version is discarded (it belongs to a rolled-back timeline);
+//! * the master grants the current global-max execution as soon as it is
+//!   known, even while heartbeats are outstanding — the grant is
+//!   **provisional**: budget and worker occupancy are applied speculatively
+//!   and the conflict-loser refreshes are issued immediately (that is the
+//!   overlap the barrier forfeits), but the irreversible `Execute` command is
+//!   deferred;
+//! * each provisional grant remembers which tasks were outstanding at its
+//!   decision.  When such a late heartbeat arrives, it is checked against the
+//!   grant: if the late candidate is unaffordable at the grant's budget (the
+//!   barrier master would have recomputed it first) or *supersedes* the
+//!   granted candidate (strictly higher heuristic, or equal heuristic and
+//!   lower task index — the serial tie-break), the grant **rolls back**: the
+//!   speculative budget/occupancy are restored, speculative refreshes are
+//!   undone on the owner side ([`MasterCommand::UndoRefresh`], version bumps
+//!   discard their in-flight heartbeats), and the selection is re-run with
+//!   the late information incorporated;
+//! * a provisional grant **finalizes** — `Execute` is sent and the grant
+//!   becomes permanent — once every heartbeat outstanding at its decision has
+//!   arrived without superseding it.
+//!
+//! Rolled-back work is exactly the work the barrier master would not have
+//! done; surviving grants are exactly the barrier's grants.  The committed
+//! execution sequence of the optimistic master is therefore identical to the
+//! barrier master's on every input — locked in by
+//! `tests/optimistic_equivalence.rs`.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use tcsc_core::{AssignmentPlan, CandidateAssignment, CostModel, SlotIndex, WorkerId};
+use tcsc_index::SpatialQuery;
+
+use crate::candidates::WorkerLedger;
+use crate::multi::task_parallel::{ConflictRecord, LogEntry};
+use crate::multi::{TaskCandidate, TaskState};
+
+/// A per-task heartbeat version.  Compute / refresh commands carry the
+/// version the master expects; heartbeats echo it, and mismatches are
+/// discarded as belonging to a rolled-back timeline.
+pub type Version = u64;
+
+/// A command from the master to the owner (thread or region node) of a task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MasterCommand {
+    /// Compute the task's best candidate under the given budget and report a
+    /// heartbeat echoing `version`.
+    Compute {
+        /// Task index.
+        task: usize,
+        /// Version the heartbeat must echo.
+        version: Version,
+        /// Budget bound for the candidate search.
+        max_cost: f64,
+    },
+    /// Recompute the candidate of one slot excluding the occupied workers,
+    /// remember the replaced candidate for a potential
+    /// [`MasterCommand::UndoRefresh`], then report a heartbeat with the
+    /// task's new best candidate.
+    Refresh {
+        /// Task index.
+        task: usize,
+        /// Version the heartbeat must echo.
+        version: Version,
+        /// The slot whose candidate must be recomputed.
+        slot: SlotIndex,
+        /// Workers occupied at the slot (the exclusion set).
+        occupied: Vec<WorkerId>,
+        /// Budget bound for the follow-up candidate search.
+        max_cost: f64,
+    },
+    /// Undo the most recent not-yet-undone [`MasterCommand::Refresh`] of the
+    /// task (restore the replaced slot candidate).  Only emitted by the
+    /// optimistic master's rollback; expects no reply.
+    UndoRefresh {
+        /// Task index.
+        task: usize,
+        /// The slot whose previous candidate must be restored (sanity check
+        /// against the owner's undo stack).
+        slot: SlotIndex,
+    },
+    /// Execute a slot of the task with its current candidate worker.  Only
+    /// emitted for committed grants — never speculatively.
+    Execute {
+        /// Task index.
+        task: usize,
+        /// The granted slot.
+        slot: SlotIndex,
+    },
+}
+
+impl MasterCommand {
+    /// The task the command addresses.
+    pub fn task(&self) -> usize {
+        match self {
+            Self::Compute { task, .. }
+            | Self::Refresh { task, .. }
+            | Self::UndoRefresh { task, .. }
+            | Self::Execute { task, .. } => *task,
+        }
+    }
+}
+
+/// An event from a task owner back to the master.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerEvent {
+    /// The task's best candidate under the requested budget (`None` when no
+    /// affordable candidate remains), echoing the request's version.
+    Heartbeat {
+        /// Task index.
+        task: usize,
+        /// Version echoed from the triggering command.
+        version: Version,
+        /// The best candidate, or `None`.
+        candidate: Option<TaskCandidate>,
+        /// The worker currently planned for the candidate's slot.
+        planned_worker: Option<WorkerId>,
+    },
+    /// Confirmation that a granted slot was executed.
+    Executed {
+        /// Task index.
+        task: usize,
+        /// Executed slot.
+        slot: SlotIndex,
+        /// The worker that served it.
+        worker: WorkerId,
+        /// The charged cost.
+        cost: f64,
+    },
+}
+
+/// How the master decides grants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantPolicy {
+    /// Wait for every outstanding heartbeat before each grant (the paper's
+    /// deterministic full barrier).
+    Barrier,
+    /// Grant the current global max immediately; roll a provisional grant
+    /// back when a late heartbeat supersedes it.
+    Optimistic,
+}
+
+/// One committed execution, in grant order (the sequence the equivalence
+/// tests compare between policies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommittedExecution {
+    /// Task index.
+    pub task: usize,
+    /// Granted slot.
+    pub slot: SlotIndex,
+    /// Granted worker.
+    pub worker: WorkerId,
+    /// Charged cost.
+    pub cost: f64,
+}
+
+/// The owner side of the protocol: the mutable [`TaskState`]s of the tasks a
+/// worker thread (or a simulated region node) owns, plus the per-task undo
+/// stacks that make speculative refreshes reversible.
+///
+/// [`TaskOwner::handle`] executes one [`MasterCommand`] and returns the
+/// [`WorkerEvent`] to send back (if the command expects a reply).  The same
+/// executor backs the thread driver of [`super::task_parallel`] and the
+/// region-node components of `tcsc-sim`, so the two runtimes cannot drift.
+#[derive(Debug, Default)]
+pub struct TaskOwner {
+    states: HashMap<usize, TaskState>,
+    undo: HashMap<usize, Vec<(SlotIndex, Option<CandidateAssignment>)>>,
+}
+
+impl TaskOwner {
+    /// An owner over the given `(task index, state)` pairs.
+    pub fn new(states: impl IntoIterator<Item = (usize, TaskState)>) -> Self {
+        Self {
+            states: states.into_iter().collect(),
+            undo: HashMap::new(),
+        }
+    }
+
+    /// Number of owned tasks.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Adds one task's state (the region-node checkout path of `tcsc-sim`).
+    pub fn insert(&mut self, task_idx: usize, state: TaskState) {
+        self.states.insert(task_idx, state);
+    }
+
+    /// The location of the worker currently planned for a task's slot (used
+    /// by the simulated runtime to route claim replication to the worker's
+    /// owning shard).
+    pub fn planned_location(&self, task: usize, slot: SlotIndex) -> Option<tcsc_core::Location> {
+        self.states
+            .get(&task)
+            .and_then(|s| s.candidates.get(slot))
+            .map(|c| c.worker_location)
+    }
+
+    /// Whether no task is owned.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Executes one command against the owned states, returning the reply
+    /// event (`None` for [`MasterCommand::UndoRefresh`], which is
+    /// fire-and-forget).
+    pub fn handle(
+        &mut self,
+        command: MasterCommand,
+        index: &dyn SpatialQuery,
+        cost_model: &dyn CostModel,
+    ) -> Option<WorkerEvent> {
+        match command {
+            MasterCommand::Compute {
+                task,
+                version,
+                max_cost,
+            } => {
+                let state = self.states.get_mut(&task).expect("task owned here");
+                let candidate = state.best_candidate(max_cost);
+                let planned_worker = candidate.and_then(|c| state.planned_worker(c.slot));
+                Some(WorkerEvent::Heartbeat {
+                    task,
+                    version,
+                    candidate,
+                    planned_worker,
+                })
+            }
+            MasterCommand::Refresh {
+                task,
+                version,
+                slot,
+                occupied,
+                max_cost,
+            } => {
+                let state = self.states.get_mut(&task).expect("task owned here");
+                self.undo
+                    .entry(task)
+                    .or_default()
+                    .push((slot, state.candidates.get(slot).copied()));
+                let mut ledger = WorkerLedger::new();
+                for w in occupied {
+                    ledger.occupy(slot, w);
+                }
+                state.refresh_slot(slot, index, cost_model, &ledger);
+                let candidate = state.best_candidate(max_cost);
+                let planned_worker = candidate.and_then(|c| state.planned_worker(c.slot));
+                Some(WorkerEvent::Heartbeat {
+                    task,
+                    version,
+                    candidate,
+                    planned_worker,
+                })
+            }
+            MasterCommand::UndoRefresh { task, slot } => {
+                let state = self.states.get_mut(&task).expect("task owned here");
+                let (saved_slot, saved) = self
+                    .undo
+                    .get_mut(&task)
+                    .and_then(Vec::pop)
+                    .expect("an undo must match a prior speculative refresh");
+                assert_eq!(saved_slot, slot, "undo order must mirror refresh order");
+                state.set_candidate(slot, saved);
+                None
+            }
+            MasterCommand::Execute { task, slot } => {
+                let state = self.states.get_mut(&task).expect("task owned here");
+                let candidate = *state
+                    .candidates
+                    .get(slot)
+                    .expect("granted slot has a candidate");
+                state.execute(slot);
+                Some(WorkerEvent::Executed {
+                    task,
+                    slot,
+                    worker: candidate.worker,
+                    cost: candidate.cost,
+                })
+            }
+        }
+    }
+
+    /// Finalises every owned task's plan.
+    pub fn into_plans(self) -> Vec<(usize, AssignmentPlan)> {
+        self.states
+            .into_iter()
+            .map(|(task_idx, state)| (task_idx, state.into_plan()))
+            .collect()
+    }
+}
+
+/// Per-task heartbeat-table entry.
+#[derive(Debug, Clone, PartialEq)]
+enum Entry {
+    /// A compute / refresh request is outstanding for the current version.
+    Pending,
+    /// The latest heartbeat for the current version.  `bound` is the budget
+    /// the candidate search ran under: the entry is only trustworthy while
+    /// `remaining <= bound` (a rollback that restores a larger budget must
+    /// recompute it, since candidates costing more than `bound` were never
+    /// considered).
+    Known {
+        candidate: Option<TaskCandidate>,
+        worker: Option<WorkerId>,
+        bound: f64,
+    },
+    /// The task is the winner of a provisional grant (not selectable).
+    Granted,
+}
+
+/// One step of the speculation journal.  Steps after (and including) a
+/// superseded grant are undone in reverse order.
+#[derive(Debug)]
+enum Step {
+    /// A provisional grant.
+    Grant {
+        task: usize,
+        candidate: TaskCandidate,
+        worker: WorkerId,
+        /// The entry the winner held before the grant.
+        old_entry: Entry,
+        /// `remaining` before this grant's subtraction (the budget the
+        /// barrier master would see at this selection).
+        budget_before: f64,
+        /// The slot's occupancy right after this grant (the exclusion set a
+        /// barrier master would hand this grant's losers).
+        occupied_after: Vec<WorkerId>,
+        /// Conflict losers invalidated by this grant, with their replaced
+        /// entries (refreshes for them were emitted speculatively).  Grows
+        /// when a late heartbeat turns out to target the granted worker.
+        losers: Vec<(usize, Entry)>,
+        /// Tasks whose heartbeats were outstanding at the decision; the grant
+        /// finalizes when this set empties.
+        waiting_on: BTreeSet<usize>,
+    },
+    /// A selection-time worker conflict (the picked candidate's worker was
+    /// already occupied): counted, recorded and refreshed speculatively.
+    /// Like a grant, the *selection* that derived it may be superseded by a
+    /// late heartbeat, so it carries the same validation state.
+    Conflict {
+        task: usize,
+        /// The conflicted candidate (supersede checks compare against its
+        /// heuristic).
+        candidate: TaskCandidate,
+        old_entry: Entry,
+        /// `remaining` at the selection (the barrier's staleness bound).
+        budget_at: f64,
+        /// Tasks whose heartbeats were outstanding at the selection.
+        waiting_on: BTreeSet<usize>,
+    },
+    /// A budget-staleness invalidation (the cached candidate became
+    /// unaffordable): a recompute was requested speculatively.
+    Invalidate { task: usize, old_entry: Entry },
+}
+
+/// The master state machine of the task-level parallel framework.  Feed it
+/// [`WorkerEvent`]s via [`TaskMaster::handle`]; dispatch the returned
+/// [`MasterCommand`]s to the task owners; broadcast the finish signal when
+/// [`TaskMaster::is_done`] turns true.
+#[derive(Debug)]
+pub struct TaskMaster {
+    policy: GrantPolicy,
+    use_priorities: bool,
+    remaining: f64,
+    ledger: WorkerLedger,
+    versions: Vec<Version>,
+    table: Vec<Entry>,
+    /// The budget bound of the latest command issued per task (stamped onto
+    /// the entry its heartbeat installs).
+    issued_bound: Vec<f64>,
+    /// Outstanding replies (heartbeats and execution confirmations),
+    /// including replies that will arrive stale.
+    pending: usize,
+    journal: VecDeque<Step>,
+    conflicts: usize,
+    executions: usize,
+    rollbacks: usize,
+    committed: Vec<CommittedExecution>,
+    conflict_table: Vec<ConflictRecord>,
+    conflict_ranks: HashMap<(SlotIndex, WorkerId), usize>,
+    log: Vec<LogEntry>,
+    /// Last reported heuristic per task (the priority-ordering key), kept in
+    /// step with the log so the sort never re-scans it.
+    last_heuristic: Vec<Option<f64>>,
+    done: bool,
+}
+
+impl TaskMaster {
+    /// A master over `num_tasks` tasks with budget `budget` under `policy`,
+    /// starting from `ledger` (empty for a fresh batch; the committed
+    /// occupancy of earlier rounds for streaming drains).  Returns the
+    /// machine and the initial compute commands (one per task, version 0).
+    pub fn new(
+        num_tasks: usize,
+        budget: f64,
+        ledger: WorkerLedger,
+        policy: GrantPolicy,
+        use_priorities: bool,
+    ) -> (Self, Vec<MasterCommand>) {
+        let master = Self {
+            policy,
+            use_priorities,
+            remaining: budget,
+            ledger,
+            versions: vec![0; num_tasks],
+            table: vec![Entry::Pending; num_tasks],
+            issued_bound: vec![budget; num_tasks],
+            pending: num_tasks,
+            journal: VecDeque::new(),
+            conflicts: 0,
+            executions: 0,
+            rollbacks: 0,
+            committed: Vec::new(),
+            conflict_table: Vec::new(),
+            conflict_ranks: HashMap::new(),
+            log: Vec::new(),
+            last_heuristic: vec![None; num_tasks],
+            done: num_tasks == 0,
+        };
+        let commands = (0..num_tasks)
+            .map(|task| MasterCommand::Compute {
+                task,
+                version: 0,
+                max_cost: master.remaining,
+            })
+            .collect();
+        (master, commands)
+    }
+
+    /// Whether every grant is committed and no reply is outstanding.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Number of worker conflicts recorded so far (committed timeline only
+    /// once the run is done).
+    pub fn conflicts(&self) -> usize {
+        self.conflicts
+    }
+
+    /// Number of committed executions so far.
+    pub fn executions(&self) -> usize {
+        self.executions
+    }
+
+    /// Number of provisional grants that were rolled back.
+    pub fn rollbacks(&self) -> usize {
+        self.rollbacks
+    }
+
+    /// The committed execution sequence, in grant order.
+    pub fn committed(&self) -> &[CommittedExecution] {
+        &self.committed
+    }
+
+    /// The master's occupancy ledger (committed plus provisional grants).
+    pub fn ledger(&self) -> &WorkerLedger {
+        &self.ledger
+    }
+
+    /// Consumes the machine, returning its tables:
+    /// `(conflict_table, log, committed, conflicts, executions, rollbacks)`.
+    #[allow(clippy::type_complexity)]
+    pub fn into_tables(
+        self,
+    ) -> (
+        Vec<ConflictRecord>,
+        Vec<LogEntry>,
+        Vec<CommittedExecution>,
+        usize,
+        usize,
+        usize,
+    ) {
+        (
+            self.conflict_table,
+            self.log,
+            self.committed,
+            self.conflicts,
+            self.executions,
+            self.rollbacks,
+        )
+    }
+
+    /// Feeds one worker event into the machine, returning the commands it
+    /// triggers (in emission order).
+    pub fn handle(&mut self, event: WorkerEvent) -> Vec<MasterCommand> {
+        let mut out = Vec::new();
+        match event {
+            WorkerEvent::Heartbeat {
+                task,
+                version,
+                candidate,
+                planned_worker,
+            } => {
+                self.pending -= 1;
+                if version != self.versions[task] {
+                    // A reply from a rolled-back timeline; drop it.
+                    return self.attempt(out);
+                }
+                self.log.push(LogEntry::Heartbeat {
+                    task,
+                    heuristic: candidate.map(|c| c.heuristic),
+                });
+                if let Some(c) = &candidate {
+                    self.last_heuristic[task] = Some(c.heuristic);
+                }
+                if self.incorporate_late_heartbeat(task, candidate, planned_worker, &mut out) {
+                    self.table[task] = Entry::Known {
+                        candidate,
+                        worker: planned_worker,
+                        bound: self.issued_bound[task],
+                    };
+                }
+            }
+            WorkerEvent::Executed {
+                task,
+                slot,
+                worker,
+                cost,
+            } => {
+                self.pending -= 1;
+                self.log.push(LogEntry::Execution {
+                    task,
+                    slot,
+                    worker,
+                    cost,
+                });
+                self.executions += 1;
+            }
+        }
+        self.attempt(out)
+    }
+
+    /// Checks an arriving current-version heartbeat against the provisional
+    /// grants in decision order; rolls back when it supersedes one (or when
+    /// the barrier master would have recomputed the task before the grant).
+    /// Returns whether the heartbeat should be installed in the table
+    /// (`false` when it was consumed — by the staleness recompute or by
+    /// becoming a late conflict loser of a standing grant).
+    fn incorporate_late_heartbeat(
+        &mut self,
+        task: usize,
+        candidate: Option<TaskCandidate>,
+        planned_worker: Option<WorkerId>,
+        out: &mut Vec<MasterCommand>,
+    ) -> bool {
+        // Walk the speculative steps oldest-first; only steps whose decision
+        // predates this heartbeat (the task is in their waiting set)
+        // participate.
+        let positions: Vec<usize> = self
+            .journal
+            .iter()
+            .enumerate()
+            .filter(|(_, step)| match step {
+                Step::Grant { waiting_on, .. } | Step::Conflict { waiting_on, .. } => {
+                    waiting_on.contains(&task)
+                }
+                Step::Invalidate { .. } => false,
+            })
+            .map(|(pos, _)| pos)
+            .collect();
+        for pos in positions {
+            // The selection that produced this step compared against some
+            // candidate under some budget; extract both.
+            let (sel_task, sel_candidate, budget_at) = match &self.journal[pos] {
+                Step::Grant {
+                    task: winner,
+                    candidate,
+                    budget_before,
+                    ..
+                } => (*winner, *candidate, *budget_before),
+                Step::Conflict {
+                    task: conflicted,
+                    candidate,
+                    budget_at,
+                    ..
+                } => (*conflicted, *candidate, *budget_at),
+                Step::Invalidate { .. } => unreachable!("filtered out above"),
+            };
+            match candidate {
+                Some(c) if c.cost > budget_at => {
+                    // The barrier master would have invalidated and
+                    // recomputed this task before this selection: the step
+                    // was decided on incomplete information.  Roll back and
+                    // re-request the compute under the restored budget.
+                    self.rollback_from(pos, out);
+                    self.versions[task] += 1;
+                    self.table[task] = Entry::Pending;
+                    self.pending += 1;
+                    self.issued_bound[task] = self.remaining;
+                    out.push(MasterCommand::Compute {
+                        task,
+                        version: self.versions[task],
+                        max_cost: self.remaining,
+                    });
+                    return false;
+                }
+                Some(c)
+                    if c.heuristic > sel_candidate.heuristic
+                        || (c.heuristic == sel_candidate.heuristic && task < sel_task) =>
+                {
+                    // The late candidate wins the serial tie-break: the
+                    // selection is superseded.  Roll back; the heartbeat is
+                    // installed and the re-run selection picks the true max.
+                    self.rollback_from(pos, out);
+                    return true;
+                }
+                _ => {}
+            }
+            // The selection stands with respect to this task.  For a grant,
+            // an entry targeting the granted worker becomes a late conflict
+            // loser (in the barrier timeline it would have been present at
+            // the grant and lost the worker to it).
+            if let Step::Grant {
+                candidate: granted,
+                worker: granted_worker,
+                budget_before,
+                ..
+            } = &self.journal[pos]
+            {
+                let (granted, granted_worker, budget_before) =
+                    (*granted, *granted_worker, *budget_before);
+                if let Some(c) = candidate {
+                    if c.slot == granted.slot && planned_worker == Some(granted_worker) {
+                        self.conflicts += 1;
+                        let rank = self
+                            .conflict_ranks
+                            .entry((granted.slot, granted_worker))
+                            .and_modify(|r| *r += 1)
+                            .or_insert(2);
+                        self.conflict_table.push(ConflictRecord {
+                            tasks: vec![task],
+                            slot: granted.slot,
+                            worker: granted_worker,
+                            next_rank: *rank,
+                        });
+                        let Step::Grant {
+                            losers,
+                            waiting_on,
+                            occupied_after,
+                            ..
+                        } = &mut self.journal[pos]
+                        else {
+                            unreachable!("the step was just matched as a grant");
+                        };
+                        waiting_on.remove(&task);
+                        losers.push((
+                            task,
+                            Entry::Known {
+                                candidate,
+                                worker: planned_worker,
+                                bound: self.issued_bound[task],
+                            },
+                        ));
+                        let occupied = occupied_after.clone();
+                        self.versions[task] += 1;
+                        self.table[task] = Entry::Pending;
+                        self.pending += 1;
+                        self.issued_bound[task] = budget_before - granted.cost;
+                        out.push(MasterCommand::Refresh {
+                            task,
+                            version: self.versions[task],
+                            slot: granted.slot,
+                            occupied,
+                            max_cost: budget_before - granted.cost,
+                        });
+                        return false;
+                    }
+                }
+            }
+            match &mut self.journal[pos] {
+                Step::Grant { waiting_on, .. } | Step::Conflict { waiting_on, .. } => {
+                    waiting_on.remove(&task);
+                }
+                Step::Invalidate { .. } => unreachable!("filtered out above"),
+            }
+        }
+        true
+    }
+
+    /// Undoes journal steps from the top down to (and including) `from`, in
+    /// reverse order, emitting the owner-side undo commands.
+    fn rollback_from(&mut self, from: usize, out: &mut Vec<MasterCommand>) {
+        while self.journal.len() > from {
+            let step = self
+                .journal
+                .pop_back()
+                .expect("journal has steps beyond `from`");
+            match step {
+                Step::Grant {
+                    task,
+                    candidate,
+                    worker,
+                    old_entry,
+                    budget_before,
+                    losers,
+                    ..
+                } => {
+                    self.rollbacks += 1;
+                    for (loser, entry) in losers.into_iter().rev() {
+                        out.push(MasterCommand::UndoRefresh {
+                            task: loser,
+                            slot: candidate.slot,
+                        });
+                        self.versions[loser] += 1;
+                        self.table[loser] = entry;
+                        self.conflicts -= 1;
+                    }
+                    assert!(
+                        self.ledger.release(candidate.slot, worker),
+                        "rolling back a grant must release its occupancy"
+                    );
+                    self.remaining = budget_before;
+                    self.table[task] = old_entry;
+                }
+                Step::Conflict {
+                    task,
+                    candidate,
+                    old_entry,
+                    ..
+                } => {
+                    out.push(MasterCommand::UndoRefresh {
+                        task,
+                        slot: candidate.slot,
+                    });
+                    self.versions[task] += 1;
+                    self.table[task] = old_entry;
+                    self.conflicts -= 1;
+                }
+                Step::Invalidate { task, old_entry } => {
+                    self.versions[task] += 1;
+                    self.table[task] = old_entry;
+                }
+            }
+        }
+        // The rollback may have *raised* `remaining` past the budget bound
+        // some entries (or in-flight requests) were computed under — those
+        // searches never considered candidates costing more than their
+        // bound, so they are unusable in the restored timeline.  Recompute
+        // them under the restored budget (the barrier master, whose budget
+        // never grows, maintains this invariant for free).
+        for task in 0..self.table.len() {
+            match &self.table[task] {
+                Entry::Known { bound, .. } if *bound < self.remaining => {
+                    let old_entry = std::mem::replace(&mut self.table[task], Entry::Pending);
+                    self.journal.push_back(Step::Invalidate { task, old_entry });
+                    self.versions[task] += 1;
+                    self.pending += 1;
+                    self.issued_bound[task] = self.remaining;
+                    out.push(MasterCommand::Compute {
+                        task,
+                        version: self.versions[task],
+                        max_cost: self.remaining,
+                    });
+                }
+                Entry::Pending if self.issued_bound[task] < self.remaining => {
+                    self.versions[task] += 1;
+                    self.pending += 1;
+                    self.issued_bound[task] = self.remaining;
+                    out.push(MasterCommand::Compute {
+                        task,
+                        version: self.versions[task],
+                        max_cost: self.remaining,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Records one conflict event: counts the losing tasks, bumps the
+    /// `(slot, worker)` fallback rank (first conflict starts at the 2nd NN)
+    /// and appends the conflicting-table record.  The single site of the
+    /// rank convention — the late-loser, selection-conflict and grant-loser
+    /// paths all go through it (rollback decrements `conflicts` per loser).
+    fn record_conflict(&mut self, tasks: Vec<usize>, slot: SlotIndex, worker: WorkerId) {
+        self.conflicts += tasks.len();
+        let rank = self
+            .conflict_ranks
+            .entry((slot, worker))
+            .and_modify(|r| *r += 1)
+            .or_insert(2);
+        self.conflict_table.push(ConflictRecord {
+            tasks,
+            slot,
+            worker,
+            next_rank: *rank,
+        });
+    }
+
+    /// Sorts a request batch by descending last-reported heuristic when the
+    /// dynamic priorities are enabled (Fig. 9(f)); affects only the emission
+    /// order, never the result.
+    fn priority_sort(&self, tasks: &mut [usize]) {
+        if self.use_priorities {
+            tasks.sort_by(|&a, &b| {
+                let ha = self.last_heuristic[a].unwrap_or(f64::INFINITY);
+                let hb = self.last_heuristic[b].unwrap_or(f64::INFINITY);
+                hb.total_cmp(&ha)
+            });
+        }
+    }
+
+    /// Drives the machine forward: finalize ripe grants, invalidate stale
+    /// candidates, and (policy permitting) decide new grants.
+    fn attempt(&mut self, mut out: Vec<MasterCommand>) -> Vec<MasterCommand> {
+        loop {
+            let before = out.len();
+            self.finalize_ripe_grants(&mut out);
+
+            // Budget staleness: cached candidates computed under a larger
+            // budget may have become unaffordable; recompute them under the
+            // current budget so cheaper slots are still considered.
+            let mut stale: Vec<usize> = Vec::new();
+            for (task, entry) in self.table.iter().enumerate() {
+                if let Entry::Known {
+                    candidate: Some(c), ..
+                } = entry
+                {
+                    if c.cost > self.remaining {
+                        stale.push(task);
+                    }
+                }
+            }
+            self.priority_sort(&mut stale);
+            for task in stale {
+                let old_entry = std::mem::replace(&mut self.table[task], Entry::Pending);
+                self.journal.push_back(Step::Invalidate { task, old_entry });
+                self.versions[task] += 1;
+                self.pending += 1;
+                self.issued_bound[task] = self.remaining;
+                out.push(MasterCommand::Compute {
+                    task,
+                    version: self.versions[task],
+                    max_cost: self.remaining,
+                });
+            }
+
+            if self.may_grant() {
+                self.try_grant(&mut out);
+            }
+            self.finalize_ripe_grants(&mut out);
+
+            if out.len() == before {
+                break;
+            }
+        }
+        self.done = self.pending == 0 && self.journal.is_empty() && self.select().is_none();
+        out
+    }
+
+    /// Whether the policy currently allows deciding a grant.
+    fn may_grant(&self) -> bool {
+        match self.policy {
+            GrantPolicy::Barrier => self.pending == 0,
+            GrantPolicy::Optimistic => true,
+        }
+    }
+
+    /// The serial selection rule: the affordable candidate with the maximum
+    /// heuristic, ties to the lower task index.
+    fn select(&self) -> Option<(usize, TaskCandidate, WorkerId)> {
+        let mut best: Option<(usize, TaskCandidate, WorkerId)> = None;
+        for (task, entry) in self.table.iter().enumerate() {
+            let Entry::Known {
+                candidate: Some(c),
+                worker: Some(worker),
+                ..
+            } = entry
+            else {
+                continue;
+            };
+            if c.cost > self.remaining {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bt, b, _)) => {
+                    c.heuristic > b.heuristic || (c.heuristic == b.heuristic && task < *bt)
+                }
+            };
+            if better {
+                best = Some((task, *c, *worker));
+            }
+        }
+        best
+    }
+
+    /// Decides grants (and processes selection-time conflicts) while the
+    /// selection yields winners.
+    fn try_grant(&mut self, out: &mut Vec<MasterCommand>) {
+        while let Some((task, candidate, worker)) = self.select() {
+            if self.ledger.is_occupied(candidate.slot, worker) {
+                // Selection-time conflict: the cached candidate's worker was
+                // taken since the candidate was computed.  Count it, record
+                // it, and refresh the slot (speculatively — the refresh is
+                // undoable).
+                self.record_conflict(vec![task], candidate.slot, worker);
+                let waiting_on: BTreeSet<usize> = self
+                    .table
+                    .iter()
+                    .enumerate()
+                    .filter(|(t, e)| *t != task && matches!(e, Entry::Pending))
+                    .map(|(t, _)| t)
+                    .collect();
+                let old_entry = std::mem::replace(&mut self.table[task], Entry::Pending);
+                self.journal.push_back(Step::Conflict {
+                    task,
+                    candidate,
+                    old_entry,
+                    budget_at: self.remaining,
+                    waiting_on,
+                });
+                self.versions[task] += 1;
+                self.pending += 1;
+                self.issued_bound[task] = self.remaining;
+                out.push(MasterCommand::Refresh {
+                    task,
+                    version: self.versions[task],
+                    slot: candidate.slot,
+                    occupied: self.ledger.occupied_at(candidate.slot),
+                    max_cost: self.remaining,
+                });
+                if matches!(self.policy, GrantPolicy::Barrier) {
+                    // The barrier master waits for the refreshed heartbeat
+                    // before selecting again.
+                    break;
+                }
+                continue;
+            }
+
+            // Provisional grant: apply budget and occupancy speculatively and
+            // invalidate + refresh the conflict losers immediately; defer the
+            // irreversible Execute to finalization.
+            let budget_before = self.remaining;
+            self.remaining -= candidate.cost;
+            self.ledger.occupy(candidate.slot, worker);
+            let old_entry = std::mem::replace(&mut self.table[task], Entry::Granted);
+
+            let mut losers: Vec<usize> = Vec::new();
+            for (other, entry) in self.table.iter().enumerate() {
+                if other == task {
+                    continue;
+                }
+                if let Entry::Known {
+                    candidate: Some(c),
+                    worker: Some(w),
+                    ..
+                } = entry
+                {
+                    if c.slot == candidate.slot && *w == worker {
+                        losers.push(other);
+                    }
+                }
+            }
+            if !losers.is_empty() {
+                self.record_conflict(losers.clone(), candidate.slot, worker);
+            }
+            let mut ordered = losers.clone();
+            self.priority_sort(&mut ordered);
+            let occupied = self.ledger.occupied_at(candidate.slot);
+            let mut loser_entries = Vec::with_capacity(losers.len());
+            for &loser in &losers {
+                loser_entries.push((
+                    loser,
+                    std::mem::replace(&mut self.table[loser], Entry::Pending),
+                ));
+            }
+            for loser in ordered {
+                self.versions[loser] += 1;
+                self.pending += 1;
+                self.issued_bound[loser] = self.remaining;
+                out.push(MasterCommand::Refresh {
+                    task: loser,
+                    version: self.versions[loser],
+                    slot: candidate.slot,
+                    occupied: occupied.clone(),
+                    max_cost: self.remaining,
+                });
+            }
+
+            let waiting_on: BTreeSet<usize> = self
+                .table
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches!(e, Entry::Pending))
+                .map(|(t, _)| t)
+                .filter(|t| !losers.contains(t))
+                .collect();
+            self.journal.push_back(Step::Grant {
+                task,
+                candidate,
+                worker,
+                old_entry,
+                budget_before,
+                occupied_after: occupied,
+                losers: loser_entries,
+                waiting_on,
+            });
+
+            if matches!(self.policy, GrantPolicy::Barrier) {
+                // The barrier master decides at most one grant per epoch and
+                // finalizes it immediately (nothing was outstanding).
+                break;
+            }
+        }
+    }
+
+    /// Retires the journal from the oldest step up while waiting sets are
+    /// empty: ripe grants finalize (Execute + the winner's follow-up Compute
+    /// are emitted, the execution is committed), ripe conflicts and
+    /// invalidations simply become permanent.  Stops at the first step whose
+    /// selection is still awaiting late heartbeats — an irreversible Execute
+    /// may never overtake a step that could still roll back underneath it.
+    fn finalize_ripe_grants(&mut self, out: &mut Vec<MasterCommand>) {
+        while let Some(step) = self.journal.front() {
+            match step {
+                Step::Grant { waiting_on, .. } | Step::Conflict { waiting_on, .. }
+                    if !waiting_on.is_empty() =>
+                {
+                    return;
+                }
+                Step::Conflict { .. } | Step::Invalidate { .. } => {
+                    self.journal.pop_front();
+                }
+                Step::Grant {
+                    task,
+                    candidate,
+                    worker,
+                    budget_before,
+                    ..
+                } => {
+                    let (task, candidate, worker) = (*task, *candidate, *worker);
+                    let after_grant = *budget_before - candidate.cost;
+                    self.journal.pop_front();
+                    self.committed.push(CommittedExecution {
+                        task,
+                        slot: candidate.slot,
+                        worker,
+                        cost: candidate.cost,
+                    });
+                    self.pending += 2;
+                    out.push(MasterCommand::Execute {
+                        task,
+                        slot: candidate.slot,
+                    });
+                    self.versions[task] += 1;
+                    self.table[task] = Entry::Pending;
+                    self.issued_bound[task] = after_grant;
+                    out.push(MasterCommand::Compute {
+                        task,
+                        version: self.versions[task],
+                        // The budget the barrier master hands the winner:
+                        // remaining right after this grant's subtraction,
+                        // independent of any younger provisional grants.
+                        max_cost: after_grant,
+                    });
+                    // In the barrier timeline the winner's post-execution
+                    // heartbeat arrives before every later selection; steps
+                    // decided after this grant (still in the journal) must
+                    // therefore wait for it — it may supersede them.
+                    for step in &mut self.journal {
+                        match step {
+                            Step::Grant { waiting_on, .. } | Step::Conflict { waiting_on, .. } => {
+                                waiting_on.insert(task);
+                            }
+                            Step::Invalidate { .. } => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(slot: SlotIndex, cost: f64, heuristic: f64) -> TaskCandidate {
+        TaskCandidate {
+            slot,
+            gain: heuristic * cost,
+            cost,
+            heuristic,
+        }
+    }
+
+    fn hb(
+        task: usize,
+        version: Version,
+        candidate: Option<TaskCandidate>,
+        worker: Option<WorkerId>,
+    ) -> WorkerEvent {
+        WorkerEvent::Heartbeat {
+            task,
+            version,
+            candidate,
+            planned_worker: worker,
+        }
+    }
+
+    #[test]
+    fn barrier_machine_waits_for_every_heartbeat() {
+        let (mut master, initial) =
+            TaskMaster::new(2, 10.0, WorkerLedger::new(), GrantPolicy::Barrier, false);
+        assert_eq!(initial.len(), 2);
+        // One heartbeat in: the barrier master must not grant yet.
+        let out = master.handle(hb(0, 0, Some(cand(0, 1.0, 3.0)), Some(WorkerId(0))));
+        assert!(out.is_empty(), "barrier must wait for task 1's heartbeat");
+        // Second heartbeat: now the max (task 0) is granted and executed.
+        let out = master.handle(hb(1, 0, Some(cand(1, 1.0, 2.0)), Some(WorkerId(1))));
+        assert!(matches!(
+            out[0],
+            MasterCommand::Execute { task: 0, slot: 0 }
+        ));
+        assert_eq!(master.rollbacks(), 0);
+    }
+
+    #[test]
+    fn optimistic_machine_grants_early_and_rolls_back_when_superseded() {
+        let (mut master, initial) =
+            TaskMaster::new(2, 10.0, WorkerLedger::new(), GrantPolicy::Optimistic, false);
+        assert_eq!(initial.len(), 2);
+        // Task 1 reports first; the optimistic master provisionally grants it
+        // (no Execute yet — task 0 is still outstanding and could supersede).
+        let out = master.handle(hb(1, 0, Some(cand(0, 1.0, 2.0)), Some(WorkerId(1))));
+        assert!(
+            !out.iter()
+                .any(|c| matches!(c, MasterCommand::Execute { .. })),
+            "a provisional grant must not execute"
+        );
+        assert!(master.ledger().is_occupied(0, WorkerId(1)));
+        // Task 0's late heartbeat beats the provisional grant: rollback, then
+        // task 0 is granted and finalized (nothing else is outstanding);
+        // task 1 is re-granted behind it, provisionally again — its commit
+        // must wait for task 0's post-execution recompute, exactly like the
+        // barrier master would.
+        let out = master.handle(hb(0, 0, Some(cand(0, 1.0, 3.0)), Some(WorkerId(0))));
+        assert_eq!(master.rollbacks(), 1);
+        let executes: Vec<usize> = out
+            .iter()
+            .filter_map(|c| match c {
+                MasterCommand::Execute { task, .. } => Some(*task),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(executes, vec![0], "commit order follows the serial max");
+        assert_eq!(master.committed()[0].task, 0);
+        let v0 = out
+            .iter()
+            .find_map(|c| match c {
+                MasterCommand::Compute {
+                    task: 0, version, ..
+                } => Some(*version),
+                _ => None,
+            })
+            .expect("the winner gets a follow-up compute");
+        master.handle(WorkerEvent::Executed {
+            task: 0,
+            slot: 0,
+            worker: WorkerId(0),
+            cost: 1.0,
+        });
+        // Task 0 has nothing left; the waiting provisional grant of task 1
+        // finalizes now.
+        let out = master.handle(hb(0, v0, None, None));
+        assert!(matches!(
+            out[0],
+            MasterCommand::Execute { task: 1, slot: 0 }
+        ));
+        assert_eq!(master.committed()[1].task, 1);
+        let v1 = out
+            .iter()
+            .find_map(|c| match c {
+                MasterCommand::Compute {
+                    task: 1, version, ..
+                } => Some(*version),
+                _ => None,
+            })
+            .expect("the winner gets a follow-up compute");
+        master.handle(WorkerEvent::Executed {
+            task: 1,
+            slot: 0,
+            worker: WorkerId(1),
+            cost: 1.0,
+        });
+        let out = master.handle(hb(1, v1, None, None));
+        assert!(out.is_empty());
+        assert!(master.is_done());
+        assert_eq!(master.executions(), 2);
+    }
+
+    #[test]
+    fn stale_heartbeats_from_rolled_back_timelines_are_dropped() {
+        let (mut master, _) =
+            TaskMaster::new(3, 10.0, WorkerLedger::new(), GrantPolicy::Optimistic, false);
+        // Tasks 1 and 2 both plan worker 9 at slot 0; task 1 wins the
+        // provisional grant and task 2 becomes a speculative loser (its
+        // refresh is version-bumped).
+        master.handle(hb(1, 0, Some(cand(0, 1.0, 5.0)), Some(WorkerId(9))));
+        let out = master.handle(hb(2, 0, Some(cand(0, 1.0, 4.0)), Some(WorkerId(9))));
+        assert!(out
+            .iter()
+            .any(|c| matches!(c, MasterCommand::Refresh { task: 2, .. })));
+        assert_eq!(master.conflicts(), 1);
+        // Task 0 supersedes the grant: the loser refresh is undone first, and
+        // the re-run selection re-grants task 1 behind task 0 — re-deriving
+        // task 2's loss with a fresh (higher-version) refresh.
+        let out = master.handle(hb(0, 0, Some(cand(1, 1.0, 6.0)), Some(WorkerId(3))));
+        assert_eq!(master.rollbacks(), 1);
+        let undo_pos = out
+            .iter()
+            .position(|c| matches!(c, MasterCommand::UndoRefresh { task: 2, .. }))
+            .expect("the speculative loser refresh is undone");
+        let redo_pos = out
+            .iter()
+            .position(|c| matches!(c, MasterCommand::Refresh { task: 2, .. }))
+            .expect("the loss is re-derived in the corrected timeline");
+        assert!(undo_pos < redo_pos, "undo precedes the re-derived refresh");
+        assert_eq!(
+            master.conflicts(),
+            1,
+            "one rolled-back conflict uncounted, one re-derived"
+        );
+        // The in-flight heartbeat of the *rolled-back* refresh carries a
+        // stale version and must be ignored (the re-derived refresh bumped
+        // past it).
+        master.handle(hb(2, 1, None, None));
+        assert_eq!(master.conflicts(), 1);
+        assert!(!master.is_done());
+    }
+}

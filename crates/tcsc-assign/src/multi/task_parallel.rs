@@ -6,7 +6,9 @@
 //! aggregated tree).  The master maintains the control structures of the
 //! paper:
 //!
-//! * **Heartbeat table** — the latest heuristic value reported per task;
+//! * **Heartbeat table** — the latest heuristic value reported per task, now
+//!   *versioned*: every request carries a version the heartbeat echoes, so
+//!   replies from abandoned timelines are recognisable;
 //! * **Conflicting table** — records `⟨conflicting tasks, slot, j-th NN⟩`
 //!   describing which tasks competed for a worker and which fallback rank the
 //!   losers must use next;
@@ -15,11 +17,28 @@
 //!   their last reported heuristic value, so threads working on promising
 //!   tasks are served first (Fig. 9(f) ablates this).
 //!
-//! The framework is *deterministic*: the master waits for every outstanding
-//! heartbeat before granting an execution, so the sequence of executed
-//! subtasks — and therefore the final assignment plan — is identical to the
-//! serial greedy of [`super::msqm::msqm_serial`].  Parallelism only reduces
-//! the wall-clock time of the per-task candidate searches.
+//! The decision logic lives in the driver-agnostic
+//! [`crate::multi::protocol::TaskMaster`] state machine; this module is the
+//! *thread driver*: it wires the machine and the
+//! [`crate::multi::protocol::TaskOwner`] executors over `std::sync::mpsc`
+//! channels.  (`tcsc-sim` drives the same machine over simulated network
+//! messages.)
+//!
+//! Two grant policies are offered:
+//!
+//! * [`msqm_task_parallel`] — the paper's deterministic **barrier** master:
+//!   it waits for every outstanding heartbeat before granting an execution,
+//!   so the sequence of executed subtasks — and therefore the final
+//!   assignment plan — is identical to the serial greedy of
+//!   [`super::msqm::msqm_serial`].
+//! * [`msqm_task_parallel_optimistic`] — the **optimistic non-blocking**
+//!   master: grants are decided as soon as a global max is known, applied
+//!   provisionally, and rolled back if a late heartbeat supersedes them (see
+//!   the [`crate::multi::protocol`] docs for the versioned-table mechanics).
+//!   Its *committed* execution sequence is identical to the barrier master's
+//!   — locked in by `tests/optimistic_equivalence.rs` — while conflict-loser
+//!   refreshes overlap with outstanding heartbeats instead of serialising
+//!   behind a full barrier.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -29,7 +48,10 @@ use tcsc_index::WorkerIndex;
 
 use crate::candidates::WorkerLedger;
 use crate::engine::CacheStats;
-use crate::multi::{MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};
+use crate::multi::protocol::{
+    CommittedExecution, GrantPolicy, MasterCommand, TaskMaster, TaskOwner, WorkerEvent,
+};
+use crate::multi::{MultiOutcome, MultiTaskConfig, TaskState};
 
 /// One record of the conflicting table: the tasks that competed for a worker
 /// at a slot and the NN rank the losers must fall back to.
@@ -76,49 +98,37 @@ pub struct TaskParallelOutcome {
     pub outcome: MultiOutcome,
     /// The conflicting table accumulated by the master thread.
     pub conflict_table: Vec<ConflictRecord>,
-    /// The logging table (heartbeats and executions, in order).
+    /// The logging table (heartbeats and executions, in arrival order; under
+    /// the optimistic policy it may also contain heartbeats of rolled-back
+    /// timelines).
     pub log: Vec<LogEntry>,
+    /// The committed execution sequence, in grant order (identical between
+    /// the barrier and the optimistic master).
+    pub committed: Vec<CommittedExecution>,
+    /// Number of provisional grants that were rolled back (always 0 under
+    /// the barrier policy).
+    pub rollbacks: usize,
     /// Number of worker threads used.
     pub threads: usize,
 }
 
-/// Commands sent from the master to a worker thread.
-enum Command {
-    /// Compute the best candidate of a task under the given budget.
-    Compute { task: usize, max_cost: f64 },
-    /// Execute a slot of a task (the candidate previously reported).
-    Execute { task: usize, slot: SlotIndex },
-    /// A conflict occurred: recompute the slot's candidate excluding the
-    /// occupied workers, then recompute the task's best candidate.
-    Refresh {
-        task: usize,
-        slot: SlotIndex,
-        occupied: Vec<WorkerId>,
-        max_cost: f64,
-    },
+/// What travels over a worker thread's command channel.
+enum ThreadCommand {
+    /// A master command for a task this thread owns.
+    Master(MasterCommand),
     /// Finish: send the task plans back to the master.
     Finish,
 }
 
-/// Events sent from worker threads to the master.
-enum Event {
-    Heartbeat {
-        task: usize,
-        candidate: Option<TaskCandidate>,
-        planned_worker: Option<WorkerId>,
-    },
-    Executed {
-        task: usize,
-        slot: SlotIndex,
-        worker: WorkerId,
-        cost: f64,
-    },
+/// What travels back to the master.
+enum ThreadEvent {
+    Worker(WorkerEvent),
     Plans(Vec<(usize, AssignmentPlan)>),
 }
 
 /// Runs MSQM with the task-level parallel framework on `threads` worker
-/// threads.  `use_priorities` toggles the dynamic priority ordering of
-/// recomputation requests (Fig. 9(f)).
+/// threads under the deterministic barrier master.  `use_priorities` toggles
+/// the dynamic priority ordering of recomputation requests (Fig. 9(f)).
 pub fn msqm_task_parallel(
     tasks: &[Task],
     index: &WorkerIndex,
@@ -126,6 +136,50 @@ pub fn msqm_task_parallel(
     config: &MultiTaskConfig,
     threads: usize,
     use_priorities: bool,
+) -> TaskParallelOutcome {
+    run_task_parallel(
+        tasks,
+        index,
+        cost_model,
+        config,
+        threads,
+        use_priorities,
+        GrantPolicy::Barrier,
+    )
+}
+
+/// Runs MSQM with the task-level parallel framework under the optimistic
+/// non-blocking master: grants are applied provisionally without waiting for
+/// every outstanding heartbeat and rolled back when superseded.  The
+/// committed execution sequence (and hence the plans) is identical to
+/// [`msqm_task_parallel`].
+pub fn msqm_task_parallel_optimistic(
+    tasks: &[Task],
+    index: &WorkerIndex,
+    cost_model: &(dyn CostModel + Sync),
+    config: &MultiTaskConfig,
+    threads: usize,
+    use_priorities: bool,
+) -> TaskParallelOutcome {
+    run_task_parallel(
+        tasks,
+        index,
+        cost_model,
+        config,
+        threads,
+        use_priorities,
+        GrantPolicy::Optimistic,
+    )
+}
+
+fn run_task_parallel(
+    tasks: &[Task],
+    index: &WorkerIndex,
+    cost_model: &(dyn CostModel + Sync),
+    config: &MultiTaskConfig,
+    threads: usize,
+    use_priorities: bool,
+    policy: GrantPolicy,
 ) -> TaskParallelOutcome {
     let threads = threads.clamp(1, tasks.len().max(1));
     if tasks.is_empty() {
@@ -138,6 +192,8 @@ pub fn msqm_task_parallel(
             },
             conflict_table: Vec::new(),
             log: Vec::new(),
+            committed: Vec::new(),
+            rollbacks: 0,
             threads,
         };
     }
@@ -160,9 +216,9 @@ pub fn msqm_task_parallel(
         per_thread_candidates[owner[task_idx]].insert(task_idx, candidates);
     }
 
-    let (event_tx, event_rx): (Sender<Event>, Receiver<Event>) = channel();
-    let mut command_txs: Vec<Sender<Command>> = Vec::with_capacity(threads);
-    let mut command_rxs: Vec<Receiver<Command>> = Vec::with_capacity(threads);
+    let (event_tx, event_rx): (Sender<ThreadEvent>, Receiver<ThreadEvent>) = channel();
+    let mut command_txs: Vec<Sender<ThreadCommand>> = Vec::with_capacity(threads);
+    let mut command_rxs: Vec<Receiver<ThreadCommand>> = Vec::with_capacity(threads);
     for _ in 0..threads {
         let (tx, rx) = channel();
         command_txs.push(tx);
@@ -171,80 +227,27 @@ pub fn msqm_task_parallel(
 
     std::thread::scope(|scope| {
         // ------------------------------------------------------------------
-        // Worker threads.
+        // Worker threads: a `TaskOwner` executor each.
         // ------------------------------------------------------------------
         for (command_rx, thread_candidates) in command_rxs.into_iter().zip(per_thread_candidates) {
             let event_tx = event_tx.clone();
             scope.spawn(move || {
-                let mut states: HashMap<usize, TaskState> = thread_candidates
-                    .into_iter()
-                    .map(|(task_idx, candidates)| {
+                let mut owner =
+                    TaskOwner::new(thread_candidates.into_iter().map(|(task_idx, candidates)| {
                         (
                             task_idx,
                             TaskState::from_candidates(&tasks[task_idx], candidates, config),
                         )
-                    })
-                    .collect();
+                    }));
                 while let Ok(command) = command_rx.recv() {
                     match command {
-                        Command::Compute { task, max_cost } => {
-                            let state = states.get_mut(&task).expect("task owned by this thread");
-                            let candidate = state.best_candidate(max_cost);
-                            let planned_worker =
-                                candidate.and_then(|c| state.planned_worker(c.slot));
-                            event_tx
-                                .send(Event::Heartbeat {
-                                    task,
-                                    candidate,
-                                    planned_worker,
-                                })
-                                .ok();
-                        }
-                        Command::Execute { task, slot } => {
-                            let state = states.get_mut(&task).expect("task owned by this thread");
-                            let candidate = *state
-                                .candidates
-                                .get(slot)
-                                .expect("granted slot has a candidate");
-                            state.execute(slot);
-                            event_tx
-                                .send(Event::Executed {
-                                    task,
-                                    slot,
-                                    worker: candidate.worker,
-                                    cost: candidate.cost,
-                                })
-                                .ok();
-                        }
-                        Command::Refresh {
-                            task,
-                            slot,
-                            occupied,
-                            max_cost,
-                        } => {
-                            let state = states.get_mut(&task).expect("task owned by this thread");
-                            let mut ledger = WorkerLedger::new();
-                            for w in occupied {
-                                ledger.occupy(slot, w);
+                        ThreadCommand::Master(command) => {
+                            if let Some(event) = owner.handle(command, index, cost_model) {
+                                event_tx.send(ThreadEvent::Worker(event)).ok();
                             }
-                            state.refresh_slot(slot, index, cost_model, &ledger);
-                            let candidate = state.best_candidate(max_cost);
-                            let planned_worker =
-                                candidate.and_then(|c| state.planned_worker(c.slot));
-                            event_tx
-                                .send(Event::Heartbeat {
-                                    task,
-                                    candidate,
-                                    planned_worker,
-                                })
-                                .ok();
                         }
-                        Command::Finish => {
-                            let plans = states
-                                .drain()
-                                .map(|(task_idx, state)| (task_idx, state.into_plan()))
-                                .collect();
-                            event_tx.send(Event::Plans(plans)).ok();
+                        ThreadCommand::Finish => {
+                            event_tx.send(ThreadEvent::Plans(owner.into_plans())).ok();
                             break;
                         }
                     }
@@ -254,245 +257,51 @@ pub fn msqm_task_parallel(
         drop(event_tx);
 
         // ------------------------------------------------------------------
-        // Master thread (this thread).
+        // Master thread (this thread): drive the shared state machine.
         // ------------------------------------------------------------------
-        let mut remaining = config.budget;
-        let mut ledger = WorkerLedger::new();
-        let mut conflicts = 0usize;
-        let mut executions = 0usize;
-        // `stats` already carries the initial checkout counters; each Refresh
-        // command below additionally recomputes exactly one slot on the
-        // owning worker thread.
-        let mut conflict_table: Vec<ConflictRecord> = Vec::new();
-        let mut conflict_ranks: HashMap<(SlotIndex, WorkerId), usize> = HashMap::new();
-        let mut log: Vec<LogEntry> = Vec::new();
-
-        // Heartbeat table: the latest candidate per task.
-        let mut heartbeat: Vec<Option<(Option<TaskCandidate>, Option<WorkerId>)>> =
-            vec![None; tasks.len()];
-        let mut pending = 0usize;
-
-        // Initial heartbeats, requested in priority order (all priorities are
-        // initialised to infinity, so the initial order is the task order).
-        let request_order: Vec<usize> = (0..tasks.len()).collect();
-        for &task in &request_order {
-            command_txs[owner[task]]
-                .send(Command::Compute {
-                    task,
-                    max_cost: remaining,
-                })
-                .ok();
-            pending += 1;
-        }
-
-        loop {
-            // Wait for every outstanding heartbeat so that the greedy choice
-            // is deterministic.
-            while pending > 0 {
-                match event_rx
-                    .recv()
-                    .expect("worker threads stay alive until Finish")
-                {
-                    Event::Heartbeat {
-                        task,
-                        candidate,
-                        planned_worker,
-                    } => {
-                        log.push(LogEntry::Heartbeat {
-                            task,
-                            heuristic: candidate.map(|c| c.heuristic),
-                        });
-                        heartbeat[task] = Some((candidate, planned_worker));
-                        pending -= 1;
-                    }
-                    Event::Executed {
-                        task,
-                        slot,
-                        worker,
-                        cost,
-                    } => {
-                        log.push(LogEntry::Execution {
-                            task,
-                            slot,
-                            worker,
-                            cost,
-                        });
-                        executions += 1;
-                        pending -= 1;
-                    }
-                    Event::Plans(_) => unreachable!("no Finish command sent yet"),
-                }
-            }
-
-            // Invalidate candidates that became unaffordable and request their
-            // recomputation (in priority order when enabled).
-            let mut stale: Vec<usize> = Vec::new();
-            for (task, entry) in heartbeat.iter_mut().enumerate() {
-                if let Some((Some(c), _)) = entry {
-                    if c.cost > remaining {
-                        stale.push(task);
-                        *entry = None;
-                    }
-                }
-            }
-            if use_priorities {
-                stale.sort_by(|&a, &b| {
-                    let ha = last_heuristic(&log, a).unwrap_or(f64::INFINITY);
-                    let hb = last_heuristic(&log, b).unwrap_or(f64::INFINITY);
-                    hb.total_cmp(&ha)
-                });
-            }
-            if !stale.is_empty() {
-                for task in stale {
-                    command_txs[owner[task]]
-                        .send(Command::Compute {
-                            task,
-                            max_cost: remaining,
-                        })
-                        .ok();
-                    pending += 1;
-                }
-                continue;
-            }
-
-            // Select the affordable candidate with the maximum heuristic.
-            let mut best: Option<(usize, TaskCandidate, WorkerId)> = None;
-            for (task, entry) in heartbeat.iter().enumerate() {
-                let Some((Some(c), Some(worker))) = entry else {
-                    continue;
-                };
-                if c.cost > remaining {
-                    continue;
-                }
-                let better = match &best {
-                    None => true,
-                    Some((bt, b, _)) => {
-                        c.heuristic > b.heuristic || (c.heuristic == b.heuristic && task < *bt)
-                    }
-                };
-                if better {
-                    best = Some((task, *c, *worker));
-                }
-            }
-            let Some((task, candidate, worker)) = best else {
-                break;
-            };
-
-            if ledger.is_occupied(candidate.slot, worker) {
-                // Conflict: look up / update the conflicting table and tell the
-                // losing task to fall back to its next-nearest worker.
-                conflicts += 1;
-                let rank = conflict_ranks
-                    .entry((candidate.slot, worker))
-                    .and_modify(|r| *r += 1)
-                    .or_insert(2);
-                conflict_table.push(ConflictRecord {
-                    tasks: vec![task],
-                    slot: candidate.slot,
-                    worker,
-                    next_rank: *rank,
-                });
-                heartbeat[task] = None;
-                stats.slot_computations += 1;
-                stats.slot_refreshes += 1;
-                stats.rebuild_slot_computations += 1;
-                command_txs[owner[task]]
-                    .send(Command::Refresh {
-                        task,
-                        slot: candidate.slot,
-                        occupied: ledger.occupied_at(candidate.slot),
-                        max_cost: remaining,
-                    })
+        let (mut master, initial) = TaskMaster::new(
+            tasks.len(),
+            config.budget,
+            WorkerLedger::new(),
+            policy,
+            use_priorities,
+        );
+        let dispatch = |commands: Vec<MasterCommand>, txs: &[Sender<ThreadCommand>]| {
+            for command in commands {
+                txs[owner[command.task()]]
+                    .send(ThreadCommand::Master(command))
                     .ok();
-                pending += 1;
-                continue;
             }
-
-            // Grant the execution.
-            remaining -= candidate.cost;
-            ledger.occupy(candidate.slot, worker);
-            command_txs[owner[task]]
-                .send(Command::Execute {
-                    task,
-                    slot: candidate.slot,
-                })
-                .ok();
-            pending += 1;
-            heartbeat[task] = None;
-            command_txs[owner[task]]
-                .send(Command::Compute {
-                    task,
-                    max_cost: remaining,
-                })
-                .ok();
-            pending += 1;
-
-            // Any other task that planned to use the now-occupied worker at
-            // the same slot must fall back (this is the conflicting-table
-            // lookup of the paper's step 3).
-            let mut losers: Vec<usize> = Vec::new();
-            for (other, entry) in heartbeat.iter_mut().enumerate() {
-                if other == task {
-                    continue;
-                }
-                if let Some((Some(c), Some(w))) = entry {
-                    if c.slot == candidate.slot && *w == worker {
-                        losers.push(other);
-                        *entry = None;
-                    }
-                }
-            }
-            if !losers.is_empty() {
-                conflicts += losers.len();
-                let rank = conflict_ranks
-                    .entry((candidate.slot, worker))
-                    .and_modify(|r| *r += 1)
-                    .or_insert(2);
-                conflict_table.push(ConflictRecord {
-                    tasks: losers.clone(),
-                    slot: candidate.slot,
-                    worker,
-                    next_rank: *rank,
-                });
-                if use_priorities {
-                    losers.sort_by(|&a, &b| {
-                        let ha = last_heuristic(&log, a).unwrap_or(f64::INFINITY);
-                        let hb = last_heuristic(&log, b).unwrap_or(f64::INFINITY);
-                        hb.total_cmp(&ha)
-                    });
-                }
-                for loser in losers {
-                    stats.slot_computations += 1;
-                    stats.slot_refreshes += 1;
-                    stats.rebuild_slot_computations += 1;
-                    command_txs[owner[loser]]
-                        .send(Command::Refresh {
-                            task: loser,
-                            slot: candidate.slot,
-                            occupied: ledger.occupied_at(candidate.slot),
-                            max_cost: remaining,
-                        })
-                        .ok();
-                    pending += 1;
-                }
-            }
+        };
+        dispatch(initial, &command_txs);
+        while !master.is_done() {
+            let event = match event_rx
+                .recv()
+                .expect("worker threads stay alive until Finish")
+            {
+                ThreadEvent::Worker(event) => event,
+                ThreadEvent::Plans(_) => unreachable!("no Finish command sent yet"),
+            };
+            let commands = master.handle(event);
+            dispatch(commands, &command_txs);
         }
+
         // Collect the plans.
         for tx in &command_txs {
-            tx.send(Command::Finish).ok();
+            tx.send(ThreadCommand::Finish).ok();
         }
         let mut plans: Vec<Option<AssignmentPlan>> = vec![None; tasks.len()];
         let mut finished = 0usize;
         while finished < threads {
             match event_rx.recv().expect("threads reply with their plans") {
-                Event::Plans(batch) => {
+                ThreadEvent::Plans(batch) => {
                     for (task_idx, plan) in batch {
                         plans[task_idx] = Some(plan);
                     }
                     finished += 1;
                 }
-                Event::Heartbeat { .. } | Event::Executed { .. } => {
-                    // Late events from already-granted work; ignore.
+                ThreadEvent::Worker(_) => {
+                    // Late events from already-committed work; ignore.
                 }
             }
         }
@@ -504,6 +313,15 @@ pub fn msqm_task_parallel(
             })
             .collect();
 
+        let (conflict_table, log, committed, conflicts, executions, rollbacks) =
+            master.into_tables();
+        // Each committed conflict (selection-time or loser) triggered exactly
+        // one slot refresh on the owning thread; account them like the serial
+        // engine does.
+        stats.slot_computations += conflicts;
+        stats.slot_refreshes += conflicts;
+        stats.rebuild_slot_computations += conflicts;
+
         TaskParallelOutcome {
             outcome: MultiOutcome {
                 assignment: MultiAssignment::new(plans),
@@ -513,19 +331,10 @@ pub fn msqm_task_parallel(
             },
             conflict_table,
             log,
+            committed,
+            rollbacks,
             threads,
         }
-    })
-}
-
-/// The last heuristic value a task reported, from the logging table.
-fn last_heuristic(log: &[LogEntry], task: usize) -> Option<f64> {
-    log.iter().rev().find_map(|entry| match entry {
-        LogEntry::Heartbeat {
-            task: t,
-            heuristic: Some(h),
-        } if *t == task => Some(*h),
-        _ => None,
     })
 }
 
@@ -551,6 +360,7 @@ mod tests {
                 serial.sum_quality()
             );
             assert_eq!(parallel.outcome.executions, serial.executions);
+            assert_eq!(parallel.rollbacks, 0, "the barrier master never rolls back");
         }
     }
 
@@ -620,6 +430,7 @@ mod tests {
             "every task reports at least once"
         );
         assert_eq!(execs, outcome.outcome.executions);
+        assert_eq!(outcome.committed.len(), outcome.outcome.executions);
     }
 
     #[test]
@@ -637,5 +448,17 @@ mod tests {
         let outcome = msqm_task_parallel(&[], &index, &cost, &MultiTaskConfig::new(10.0), 2, true);
         assert_eq!(outcome.outcome.executions, 0);
         assert!(outcome.outcome.assignment.plans.is_empty());
+    }
+
+    #[test]
+    fn optimistic_master_commits_the_barrier_sequence() {
+        let (tasks, index, cost) = small_instance(48, 8, 20, 60);
+        let cfg = MultiTaskConfig::new(70.0);
+        let barrier = msqm_task_parallel(&tasks, &index, &cost, &cfg, 4, true);
+        let optimistic = msqm_task_parallel_optimistic(&tasks, &index, &cost, &cfg, 4, true);
+        assert_eq!(barrier.committed, optimistic.committed);
+        assert_eq!(barrier.outcome.assignment, optimistic.outcome.assignment);
+        assert_eq!(barrier.outcome.conflicts, optimistic.outcome.conflicts);
+        assert_eq!(barrier.outcome.executions, optimistic.outcome.executions);
     }
 }

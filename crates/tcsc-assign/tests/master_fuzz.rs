@@ -1,0 +1,176 @@
+//! Deterministic interleaving fuzz of the optimistic master: the machine is
+//! driven in-process against [`TaskOwner`] executors with a seeded scheduler
+//! that picks, at every step, either a command to process or an event to
+//! deliver — exploring message orderings real threads would produce (per-owner
+//! command FIFO, arbitrary cross-owner event interleaving).  Every ordering
+//! must commit the barrier sequence with the barrier's conflict count.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcsc_assign::{
+    msqm_task_parallel, CommittedExecution, GrantPolicy, MultiTaskConfig, TaskMaster, TaskOwner,
+    TaskState, WorkerLedger,
+};
+use tcsc_core::{EuclideanCost, Task};
+use tcsc_index::WorkerIndex;
+use tcsc_workload::ScenarioConfig;
+
+struct FuzzOutcome {
+    committed: Vec<CommittedExecution>,
+    conflicts: usize,
+    executions: usize,
+    rollbacks: usize,
+    sum_quality: f64,
+}
+
+/// Runs the machine under one seeded delivery order.  Each task is owned by
+/// `task % owners`; commands to one owner are FIFO, event delivery to the
+/// master interleaves freely across owners.
+fn run_interleaved(
+    seed: u64,
+    policy: GrantPolicy,
+    owners: usize,
+    tasks: &[Task],
+    index: &WorkerIndex,
+    config: &MultiTaskConfig,
+) -> FuzzOutcome {
+    let cost = EuclideanCost::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let owner_of: Vec<usize> = (0..tasks.len()).map(|i| i % owners).collect();
+    let mut executors: Vec<TaskOwner> = (0..owners)
+        .map(|o| {
+            TaskOwner::new(
+                tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % owners == o)
+                    .map(|(i, task)| (i, TaskState::new(task, index, &cost, config))),
+            )
+        })
+        .collect();
+
+    let (mut master, initial) = TaskMaster::new(
+        tasks.len(),
+        config.budget,
+        WorkerLedger::new(),
+        policy,
+        true,
+    );
+    let mut command_queues: Vec<VecDeque<_>> = vec![VecDeque::new(); owners];
+    for command in initial {
+        command_queues[owner_of[command.task()]].push_back(command);
+    }
+    // Events ready for delivery, one queue per owner (same-owner events stay
+    // ordered, like one thread's sends over an mpsc channel).
+    let mut event_queues: Vec<VecDeque<_>> = vec![VecDeque::new(); owners];
+
+    loop {
+        let mut choices: Vec<(usize, bool)> = Vec::new();
+        for o in 0..owners {
+            if !command_queues[o].is_empty() {
+                choices.push((o, true));
+            }
+            if !event_queues[o].is_empty() {
+                choices.push((o, false));
+            }
+        }
+        if choices.is_empty() {
+            break;
+        }
+        let (o, is_command) = choices[rng.gen_range(0..choices.len())];
+        if is_command {
+            let command = command_queues[o].pop_front().expect("chosen non-empty");
+            if let Some(event) = executors[o].handle(command, index, &cost) {
+                event_queues[o].push_back(event);
+            }
+        } else {
+            let event = event_queues[o].pop_front().expect("chosen non-empty");
+            for command in master.handle(event) {
+                command_queues[owner_of[command.task()]].push_back(command);
+            }
+        }
+    }
+    assert!(
+        master.is_done(),
+        "delivery drained without completing the run"
+    );
+
+    let sum_quality: f64 = executors
+        .into_iter()
+        .flat_map(TaskOwner::into_plans)
+        .map(|(_, plan)| plan.quality)
+        .sum();
+    let (_, _, committed, conflicts, executions, rollbacks) = master.into_tables();
+    FuzzOutcome {
+        committed,
+        conflicts,
+        executions,
+        rollbacks,
+        sum_quality,
+    }
+}
+
+#[test]
+fn every_delivery_order_commits_the_barrier_outcome() {
+    let scenario = ScenarioConfig::small()
+        .with_num_tasks(8)
+        .with_num_slots(24)
+        .with_num_workers(60)
+        .build();
+    let index = WorkerIndex::build(&scenario.workers, 24, &scenario.domain);
+    let cost = EuclideanCost::default();
+    let cfg = MultiTaskConfig::new(40.0);
+    let reference = msqm_task_parallel(&scenario.tasks, &index, &cost, &cfg, 1, true);
+    let mut rollbacks_seen = 0usize;
+    for seed in 0..60 {
+        for owners in [1, 3, 8] {
+            let run = run_interleaved(
+                seed,
+                GrantPolicy::Optimistic,
+                owners,
+                &scenario.tasks,
+                &index,
+                &cfg,
+            );
+            assert_eq!(
+                run.committed, reference.committed,
+                "committed sequence diverged at seed {seed}, {owners} owners"
+            );
+            assert_eq!(
+                run.conflicts, reference.outcome.conflicts,
+                "conflict count diverged at seed {seed}, {owners} owners"
+            );
+            assert_eq!(run.executions, reference.outcome.executions);
+            assert!(
+                (run.sum_quality - reference.outcome.sum_quality()).abs() < 1e-9,
+                "quality diverged at seed {seed}, {owners} owners"
+            );
+            rollbacks_seen += run.rollbacks;
+        }
+    }
+    assert!(
+        rollbacks_seen > 0,
+        "the fuzz must exercise the rollback path at least once"
+    );
+}
+
+#[test]
+fn barrier_policy_is_order_insensitive_too() {
+    let scenario = ScenarioConfig::small()
+        .with_num_tasks(6)
+        .with_num_slots(20)
+        .with_num_workers(50)
+        .build();
+    let index = WorkerIndex::build(&scenario.workers, 20, &scenario.domain);
+    let cost = EuclideanCost::default();
+    let cfg = MultiTaskConfig::new(25.0);
+    let reference = msqm_task_parallel(&scenario.tasks, &index, &cost, &cfg, 1, true);
+    for seed in 0..20 {
+        let run = run_interleaved(seed, GrantPolicy::Barrier, 3, &scenario.tasks, &index, &cfg);
+        assert_eq!(run.committed, reference.committed, "seed {seed}");
+        assert_eq!(run.conflicts, reference.outcome.conflicts);
+        assert_eq!(run.rollbacks, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Equivalence of the optimistic non-blocking task-parallel master with the
+//! barrier master (and, transitively, the serial greedy): on every scenario
+//! preset, thread count and budget, the *committed execution sequence* —
+//! and therefore the plans, the conflict count and the execution count —
+//! must be identical.  Rolled-back speculation may differ run to run; the
+//! committed outcome may not.
+
+use tcsc_assign::{
+    msqm_serial, msqm_task_parallel, msqm_task_parallel_optimistic, MultiTaskConfig,
+};
+use tcsc_core::EuclideanCost;
+use tcsc_index::WorkerIndex;
+use tcsc_workload::{ScenarioConfig, SpatialDistribution, StreamingConfig, TaskPlacement};
+
+fn preset_scenarios() -> Vec<(&'static str, ScenarioConfig)> {
+    vec![
+        (
+            "small-uniform",
+            ScenarioConfig::small().with_num_tasks(8).with_num_slots(40),
+        ),
+        (
+            "gaussian-clustered-tasks",
+            ScenarioConfig::small()
+                .with_num_tasks(10)
+                .with_num_slots(30)
+                .with_num_workers(120)
+                .with_placement(TaskPlacement::Synthetic(SpatialDistribution::Gaussian)),
+        ),
+        (
+            "zipf-scarce-workers",
+            // Skewed tasks over few workers: the conflict-heavy preset.
+            ScenarioConfig::small()
+                .with_num_tasks(12)
+                .with_num_slots(25)
+                .with_num_workers(60)
+                .with_placement(TaskPlacement::Synthetic(SpatialDistribution::zipf_default()))
+                .with_seed(7),
+        ),
+        (
+            "region-partitioned",
+            StreamingConfig::region_partitioned(
+                ScenarioConfig::small()
+                    .with_num_slots(30)
+                    .with_num_workers(200),
+                3,
+                2,
+                5,
+            )
+            .base,
+        ),
+    ]
+}
+
+#[test]
+fn optimistic_commits_the_barrier_sequence_on_every_preset() {
+    for (name, cfg) in preset_scenarios() {
+        let scenario = cfg.build();
+        let index = WorkerIndex::build(&scenario.workers, cfg.num_slots, &scenario.domain);
+        let cost = EuclideanCost::default();
+        for budget in [12.0, 35.0, 90.0] {
+            let mcfg = MultiTaskConfig::new(budget);
+            let serial = msqm_serial(&scenario.tasks, &index, &cost, &mcfg);
+            for threads in [1, 3, 6] {
+                let barrier =
+                    msqm_task_parallel(&scenario.tasks, &index, &cost, &mcfg, threads, true);
+                let optimistic = msqm_task_parallel_optimistic(
+                    &scenario.tasks,
+                    &index,
+                    &cost,
+                    &mcfg,
+                    threads,
+                    true,
+                );
+                assert_eq!(
+                    barrier.committed, optimistic.committed,
+                    "committed sequence diverged on {name}, budget {budget}, {threads} threads"
+                );
+                assert_eq!(
+                    barrier.outcome.assignment, optimistic.outcome.assignment,
+                    "plans diverged on {name}, budget {budget}, {threads} threads"
+                );
+                assert_eq!(barrier.outcome.conflicts, optimistic.outcome.conflicts);
+                assert_eq!(barrier.outcome.executions, optimistic.outcome.executions);
+                assert_eq!(barrier.rollbacks, 0, "the barrier master never speculates");
+                // Both frameworks reproduce the serial greedy.
+                assert!(
+                    (optimistic.outcome.sum_quality() - serial.sum_quality()).abs() < 1e-9,
+                    "quality diverged from serial on {name}, budget {budget}"
+                );
+                assert_eq!(optimistic.outcome.executions, serial.executions);
+            }
+        }
+    }
+}
+
+#[test]
+fn optimistic_result_is_stable_across_repeated_runs() {
+    // Thread timing varies run to run; the committed outcome may not.
+    let scenario = ScenarioConfig::small()
+        .with_num_tasks(10)
+        .with_num_slots(30)
+        .with_num_workers(80)
+        .build();
+    let index = WorkerIndex::build(&scenario.workers, 30, &scenario.domain);
+    let cost = EuclideanCost::default();
+    let cfg = MultiTaskConfig::new(45.0);
+    let reference = msqm_task_parallel_optimistic(&scenario.tasks, &index, &cost, &cfg, 4, true);
+    for _ in 0..5 {
+        let run = msqm_task_parallel_optimistic(&scenario.tasks, &index, &cost, &cfg, 4, true);
+        assert_eq!(reference.committed, run.committed);
+        assert_eq!(reference.outcome.assignment, run.outcome.assignment);
+        assert_eq!(reference.outcome.conflicts, run.outcome.conflicts);
+    }
+}
+
+#[test]
+fn priority_toggle_is_neutral_under_the_optimistic_master() {
+    let scenario = ScenarioConfig::small().with_num_tasks(6).build();
+    let index = WorkerIndex::build(
+        &scenario.workers,
+        scenario.config.num_slots,
+        &scenario.domain,
+    );
+    let cost = EuclideanCost::default();
+    let cfg = MultiTaskConfig::new(25.0);
+    let with = msqm_task_parallel_optimistic(&scenario.tasks, &index, &cost, &cfg, 3, true);
+    let without = msqm_task_parallel_optimistic(&scenario.tasks, &index, &cost, &cfg, 3, false);
+    assert_eq!(with.committed, without.committed);
+    assert_eq!(with.outcome.assignment, without.outcome.assignment);
+}

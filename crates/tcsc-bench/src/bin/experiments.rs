@@ -14,12 +14,16 @@
 //! Running `fig9s` (directly or via `all`) additionally writes
 //! `BENCH_fig9.json` — the machine-readable throughput/speedup-per-thread
 //! artifact that tracks the sharded-engine perf trajectory across PRs.
+//! Running `fig9dist` writes `BENCH_fig9d.json` — the distributed-runtime
+//! sweep (node count × latency, barrier vs optimistic master) including the
+//! zero-latency-sim-vs-engine plan-hash gate, and **exits non-zero when the
+//! hashes disagree** so CI fails loudly.
 
 use tcsc_bench::figures;
 use tcsc_bench::Scale;
 
-/// Runs one figure: prints its table and, for `fig9s`, writes the JSON
-/// artifact from the same measurement pass (no double measuring).
+/// Runs one figure: prints its table and, for `fig9s` / `fig9dist`, writes
+/// the JSON artifact from the same measurement pass (no double measuring).
 fn run_figure(id: &str, scale: Scale) -> bool {
     if id == "fig9s" {
         let measurements = figures::fig9s_measurements(scale);
@@ -28,6 +32,21 @@ fn run_figure(id: &str, scale: Scale) -> bool {
             Ok(()) => eprintln!("wrote BENCH_fig9.json"),
             Err(e) => eprintln!("could not write BENCH_fig9.json: {e}"),
         }
+        return true;
+    }
+    if id == "fig9dist" {
+        let measurements = figures::fig9dist_measurements(scale);
+        println!("{}", measurements.to_experiment().render());
+        match std::fs::write("BENCH_fig9d.json", measurements.to_json()) {
+            Ok(()) => eprintln!("wrote BENCH_fig9d.json"),
+            Err(e) => eprintln!("could not write BENCH_fig9d.json: {e}"),
+        }
+        assert!(
+            measurements.plan_hash_matches,
+            "the zero-latency single-node simulation must reproduce the serial engine's plans \
+             (sim {:#018x} vs engine {:#018x})",
+            measurements.sim_plan_hash, measurements.engine_plan_hash
+        );
         return true;
     }
     match figures::by_id(id, scale) {

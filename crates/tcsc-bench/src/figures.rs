@@ -1227,6 +1227,294 @@ pub fn fig9s(scale: Scale) -> Experiment {
 }
 
 // ---------------------------------------------------------------------------
+// Figure 9d (repo extension): the simulated distributed runtime
+// ---------------------------------------------------------------------------
+
+/// One `(node count, latency model)` cell of the fig9dist sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9dRow {
+    /// Region nodes in the cluster.
+    pub nodes: usize,
+    /// Latency-model label.
+    pub latency: String,
+    /// Mean one-way latency (µs).
+    pub latency_mean_us: f64,
+    /// Virtual completion time of the barrier master (ms).
+    pub barrier_virtual_ms: f64,
+    /// Virtual completion time of the optimistic master (ms).
+    pub optimistic_virtual_ms: f64,
+    /// Delivered events under the barrier master.
+    pub barrier_events: u64,
+    /// Delivered events under the optimistic master.
+    pub optimistic_events: u64,
+    /// Rolled-back provisional grants of the optimistic run.
+    pub optimistic_rollbacks: usize,
+    /// Wall-clock time to simulate both runs (ms).
+    pub wall_ms: f64,
+}
+
+/// The raw measurements behind [`fig9dist`]: the distributed discrete-event
+/// runtime swept over node count × network latency, under both grant
+/// policies, plus the zero-latency single-node cross-check against the
+/// in-process engine (the CI gate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9dMeasurements {
+    /// Scale label (`"quick"` / `"full"`).
+    pub scale: &'static str,
+    /// Total simulated task arrivals.
+    pub num_tasks: usize,
+    /// Arrival rounds.
+    pub rounds: usize,
+    /// Worker conflicts of the committed solve.
+    pub conflicts: usize,
+    /// Committed executions.
+    pub executions: usize,
+    /// Plan hash of the zero-latency single-node simulation.
+    pub sim_plan_hash: u64,
+    /// Plan hash of the in-process engine on the same rounds.
+    pub engine_plan_hash: u64,
+    /// Whether the two hashes agree (must be `true`; CI asserts it).
+    pub plan_hash_matches: bool,
+    /// The sweep cells.
+    pub rows: Vec<Fig9dRow>,
+}
+
+impl Fig9dMeasurements {
+    /// Renders the measurements as an [`Experiment`] table.
+    pub fn to_experiment(&self) -> Experiment {
+        let mut rows = vec![Row::new(
+            "plan-hash",
+            vec![(
+                "Matches".into(),
+                f64::from(u8::from(self.plan_hash_matches)),
+            )],
+        )];
+        for row in &self.rows {
+            rows.push(Row::new(
+                format!("n={} {}", row.nodes, row.latency),
+                vec![
+                    ("BarrierVmMs".into(), row.barrier_virtual_ms),
+                    ("OptimisticVmMs".into(), row.optimistic_virtual_ms),
+                    ("BarrierEvents".into(), row.barrier_events as f64),
+                    ("OptimisticEvents".into(), row.optimistic_events as f64),
+                    ("Rollbacks".into(), row.optimistic_rollbacks as f64),
+                ],
+            ));
+        }
+        Experiment {
+            id: "fig9dist",
+            caption: "Distributed discrete-event runtime: virtual completion time vs \
+                      node count x network latency (barrier vs optimistic master)",
+            rows,
+        }
+    }
+
+    /// Serialises the measurements as the `BENCH_fig9d.json` artifact
+    /// (hand-rolled JSON; no serde in the hermetic build).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"figure\": \"fig9d\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!("  \"num_tasks\": {},\n", self.num_tasks));
+        out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
+        out.push_str(&format!("  \"conflicts\": {},\n", self.conflicts));
+        out.push_str(&format!("  \"executions\": {},\n", self.executions));
+        out.push_str(&format!(
+            "  \"sim_plan_hash\": \"{:#018x}\",\n",
+            self.sim_plan_hash
+        ));
+        out.push_str(&format!(
+            "  \"engine_plan_hash\": \"{:#018x}\",\n",
+            self.engine_plan_hash
+        ));
+        out.push_str(&format!(
+            "  \"plan_hash_matches\": {},\n",
+            self.plan_hash_matches
+        ));
+        out.push_str("  \"sweep\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"nodes\": {}, \"latency\": \"{}\", \"latency_mean_us\": {:.1}, \
+                 \"barrier_virtual_ms\": {:.4}, \"optimistic_virtual_ms\": {:.4}, \
+                 \"barrier_events\": {}, \"optimistic_events\": {}, \
+                 \"optimistic_rollbacks\": {}, \"wall_ms\": {:.4} }}{}\n",
+                row.nodes,
+                row.latency,
+                row.latency_mean_us,
+                row.barrier_virtual_ms,
+                row.optimistic_virtual_ms,
+                row.barrier_events,
+                row.optimistic_events,
+                row.optimistic_rollbacks,
+                row.wall_ms,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Measures fig9dist: a region-partitioned streaming workload converted to a
+/// timed arrival trace and replayed through the simulated distributed
+/// runtime, sweeping node count × network latency under both grant policies.
+/// Every cell's plans are checked against the in-process engine.
+pub fn fig9dist_measurements(scale: Scale) -> Fig9dMeasurements {
+    use std::rc::Rc;
+
+    use tcsc_sim::{plan_hash, run_cluster, GrantPolicy, LatencyModel, SimBatch, SimClusterConfig};
+    use tcsc_workload::ArrivalTrace;
+
+    let (label, regions, rounds, per_round, slots, workers, node_sweep, latencies) = match scale {
+        Scale::Quick => (
+            "quick",
+            3usize,
+            3usize,
+            6usize,
+            24usize,
+            120usize,
+            vec![1usize, 2, 4],
+            vec![
+                LatencyModel::Zero,
+                LatencyModel::Fixed(200),
+                LatencyModel::Uniform { min: 50, max: 2000 },
+            ],
+        ),
+        Scale::Full => (
+            "full",
+            4,
+            4,
+            15,
+            60,
+            800,
+            vec![1, 2, 4, 8, 16],
+            vec![
+                LatencyModel::Zero,
+                LatencyModel::Fixed(200),
+                LatencyModel::Fixed(2_000),
+                LatencyModel::Uniform { min: 50, max: 5000 },
+            ],
+        ),
+    };
+    let base = ScenarioConfig::small()
+        .with_num_slots(slots)
+        .with_num_workers(workers);
+    let streaming = StreamingConfig::region_partitioned(base, regions, rounds, per_round).build();
+    // Rounds arrive back to back (10ms apart), so completion time measures
+    // the protocol's latency behaviour rather than the arrival schedule.
+    let trace = ArrivalTrace::from_streaming(&streaming, 10_000);
+    let budget = trace.len() as f64 * 2.0;
+    let cost = EuclideanCost::default();
+
+    // The in-process reference: the serial engine on the same rounds.
+    let dense = WorkerIndex::build(&streaming.workers, slots, &streaming.domain);
+    let mut engine = AssignmentEngine::borrowed(&dense, &cost, MultiTaskConfig::new(budget));
+    let mut engine_plans = Vec::new();
+    let mut conflicts = 0usize;
+    let mut executions = 0usize;
+    for round in &streaming.rounds {
+        engine.submit(round.clone());
+        let outcome = engine.drain(Objective::SumQuality);
+        engine_plans.extend(outcome.assignment.plans);
+        conflicts += outcome.conflicts;
+        executions += outcome.executions;
+    }
+    let engine_plan_hash = tcsc_sim::plan_hash(&tcsc_core::MultiAssignment::new(engine_plans));
+
+    let batches = |trace: &ArrivalTrace| -> Vec<SimBatch> {
+        trace
+            .batches()
+            .into_iter()
+            .map(|(at_us, tasks)| SimBatch { at_us, tasks })
+            .collect()
+    };
+
+    // CI gate: the zero-latency single-node barrier sim must reproduce the
+    // engine's plans bit for bit.
+    let gate = run_cluster(
+        &streaming.workers,
+        slots,
+        &streaming.domain,
+        batches(&trace),
+        Rc::new(EuclideanCost::default()),
+        &SimClusterConfig::new(1, regions, budget, LatencyModel::Zero)
+            .with_policy(GrantPolicy::Barrier),
+    );
+    let sim_plan_hash = plan_hash(&gate.assignment);
+    let plan_hash_matches = sim_plan_hash == engine_plan_hash;
+
+    let mut rows = Vec::new();
+    for &nodes in &node_sweep {
+        for latency in &latencies {
+            let ((barrier, optimistic), wall_ms) = timed(|| {
+                let barrier = run_cluster(
+                    &streaming.workers,
+                    slots,
+                    &streaming.domain,
+                    batches(&trace),
+                    Rc::new(EuclideanCost::default()),
+                    &SimClusterConfig::new(nodes, regions, budget, *latency)
+                        .with_policy(GrantPolicy::Barrier)
+                        .with_service_us(50)
+                        .with_pings(10_000, 16),
+                );
+                let optimistic = run_cluster(
+                    &streaming.workers,
+                    slots,
+                    &streaming.domain,
+                    batches(&trace),
+                    Rc::new(EuclideanCost::default()),
+                    &SimClusterConfig::new(nodes, regions, budget, *latency)
+                        .with_policy(GrantPolicy::Optimistic)
+                        .with_service_us(50)
+                        .with_pings(10_000, 16),
+                );
+                (barrier, optimistic)
+            });
+            assert_eq!(
+                plan_hash(&barrier.assignment),
+                engine_plan_hash,
+                "barrier sim diverged from the engine at {nodes} nodes, {latency:?}"
+            );
+            assert_eq!(
+                plan_hash(&optimistic.assignment),
+                engine_plan_hash,
+                "optimistic sim diverged from the engine at {nodes} nodes, {latency:?}"
+            );
+            rows.push(Fig9dRow {
+                nodes,
+                latency: latency.describe(),
+                latency_mean_us: latency.mean(),
+                barrier_virtual_ms: barrier.finish_time_us as f64 / 1000.0,
+                optimistic_virtual_ms: optimistic.finish_time_us as f64 / 1000.0,
+                barrier_events: barrier.delivered_events,
+                optimistic_events: optimistic.delivered_events,
+                optimistic_rollbacks: optimistic.rollbacks,
+                wall_ms,
+            });
+        }
+    }
+
+    Fig9dMeasurements {
+        scale: label,
+        num_tasks: trace.len(),
+        rounds: trace.rounds,
+        conflicts,
+        executions,
+        sim_plan_hash,
+        engine_plan_hash,
+        plan_hash_matches,
+        rows,
+    }
+}
+
+/// Fig. 9d (repo extension): the distributed discrete-event runtime swept
+/// over node count × network latency, barrier vs optimistic master.
+pub fn fig9dist(scale: Scale) -> Experiment {
+    fig9dist_measurements(scale).to_experiment()
+}
+
+// ---------------------------------------------------------------------------
 // Figure 11: spatiotemporal interpolation (appendix)
 // ---------------------------------------------------------------------------
 
@@ -1385,7 +1673,7 @@ pub fn fig11c(scale: Scale) -> Experiment {
 pub const ALL_IDS: &[&str] = &[
     "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c", "fig8d",
     "fig8e", "fig8f", "fig8g", "fig8h", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
-    "fig9g", "fig9h", "fig9i", "fig9s", "fig11a", "fig11b", "fig11c",
+    "fig9g", "fig9h", "fig9i", "fig9s", "fig9dist", "fig11a", "fig11b", "fig11c",
 ];
 
 /// Every experiment, in figure order (derived from [`ALL_IDS`] so the id
@@ -1421,6 +1709,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "fig9h" => fig9h(scale),
         "fig9i" => fig9i(scale),
         "fig9s" => fig9s(scale),
+        "fig9dist" => fig9dist(scale),
         "fig11a" => fig11a(scale),
         "fig11b" => fig11b(scale),
         "fig11c" => fig11c(scale),
@@ -1471,8 +1760,9 @@ mod tests {
         // check against the match arms is exercised by the binary smoke.)
         let unique: std::collections::HashSet<_> = ALL_IDS.iter().collect();
         assert_eq!(unique.len(), ALL_IDS.len());
-        assert_eq!(ALL_IDS.len(), 27);
+        assert_eq!(ALL_IDS.len(), 28);
         assert!(ALL_IDS.contains(&"fig9s"));
+        assert!(ALL_IDS.contains(&"fig9dist"));
         assert!(by_id("nonexistent", Scale::Quick).is_none());
     }
 
@@ -1498,6 +1788,36 @@ mod tests {
         assert!(json.contains("\"figure\": \"fig9s\""));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"speedup\": 2.5000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn fig9dist_json_is_well_formed() {
+        let m = Fig9dMeasurements {
+            scale: "quick",
+            num_tasks: 18,
+            rounds: 3,
+            conflicts: 2,
+            executions: 30,
+            sim_plan_hash: 0xabcd,
+            engine_plan_hash: 0xabcd,
+            plan_hash_matches: true,
+            rows: vec![Fig9dRow {
+                nodes: 2,
+                latency: "fixed:200us".into(),
+                latency_mean_us: 200.0,
+                barrier_virtual_ms: 12.5,
+                optimistic_virtual_ms: 11.25,
+                barrier_events: 400,
+                optimistic_events: 450,
+                optimistic_rollbacks: 7,
+                wall_ms: 3.0,
+            }],
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"figure\": \"fig9d\""));
+        assert!(json.contains("\"plan_hash_matches\": true"));
+        assert!(json.contains("\"optimistic_rollbacks\": 7"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -1,6 +1,8 @@
 //! Sharded spatial index: the domain partitioned into a grid of spatial
 //! tiles (optionally crossed with a time-range split), each shard owning its
-//! own dense per-slot worker buckets.
+//! own dense per-slot worker buckets — each bucket itself a tile-interior
+//! `SlotGrid` (the same grid the dense index uses per slot), so single-tile
+//! scans prune at cell level instead of walking a flat vector.
 //!
 //! The dense [`crate::WorkerIndex`] is one grid over the whole domain, so every
 //! parallel framework funnels its queries (and, in the assignment layer, its
@@ -36,7 +38,7 @@ use std::collections::BTreeSet;
 
 use tcsc_core::{Domain, Location, SlotIndex, WorkerId, WorkerPool};
 
-use crate::spatial::{IndexedWorker, NearestWorker, SpatialQuery};
+use crate::spatial::{IndexedWorker, NearestWorker, SlotGrid, SpatialQuery};
 
 /// Shard-grid layout: how many spatial tiles per axis and how many contiguous
 /// time ranges the slot axis is split into.
@@ -82,13 +84,15 @@ impl Default for ShardGridConfig {
 }
 
 /// One shard: the per-slot worker buckets of a single (tile, time-range)
-/// cell.  Buckets are in worker-id order (the pool iteration order), which is
-/// what makes tie-breaking identical to the dense index.
+/// cell.  Each bucket is a dense [`SlotGrid`] over the tile's rectangle, so
+/// scanning a tile prunes at cell level instead of walking a flat vector;
+/// grids store workers in worker-id order (the pool iteration order), which
+/// is what makes tie-breaking identical to the dense index.
 #[derive(Debug, Clone, Default)]
 struct Shard {
-    /// `slots[local_slot]` holds the workers of this tile available during
-    /// `range_start + local_slot`.
-    slots: Vec<Vec<IndexedWorker>>,
+    /// `slots[local_slot]` holds the tile-interior grid over the workers of
+    /// this tile available during `range_start + local_slot`.
+    slots: Vec<Option<SlotGrid>>,
     /// Total number of indexed (worker, slot) entries.
     entries: usize,
 }
@@ -129,7 +133,7 @@ impl ShardedWorkerIndex {
         let tile_h = (domain.height() / config.tiles_y as f64).max(f64::MIN_POSITIVE);
         let slots_per_split = num_slots.div_ceil(config.time_splits).max(1);
         let num_shards = config.num_tiles() * config.time_splits;
-        let mut shards = vec![Shard::default(); num_shards];
+        let mut buckets: Vec<Vec<Vec<IndexedWorker>>> = vec![Vec::new(); num_shards];
         let mut available = vec![0usize; num_slots];
         let mut index = Self {
             shards: Vec::new(),
@@ -150,24 +154,55 @@ impl ShardedWorkerIndex {
                     continue;
                 }
                 let shard_id = index.shard_of(ws.slot, &ws.location);
-                let shard = &mut shards[shard_id];
+                let bucket = &mut buckets[shard_id];
                 let range_start = (ws.slot / slots_per_split) * slots_per_split;
                 let local = ws.slot - range_start;
-                if shard.slots.len() <= local {
-                    shard.slots.resize(local + 1, Vec::new());
+                if bucket.len() <= local {
+                    bucket.resize(local + 1, Vec::new());
                 }
-                shard.slots[local].push(IndexedWorker {
+                bucket[local].push(IndexedWorker {
                     worker: worker.id,
                     location: ws.location,
                     reliability: worker.reliability,
                 });
-                shard.entries += 1;
                 available[ws.slot] += 1;
             }
         }
-        index.shards = shards;
+        // Turn every non-empty bucket into a dense grid over its tile's
+        // rectangle, so single-tile scans recover cell-level pruning.  (Out-of
+        // -domain workers clamp into border tiles; `SlotGrid` clamps their
+        // cell coordinates the same way, so they are searchable regardless.)
+        index.shards = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(shard_id, bucket)| {
+                let tile = shard_id % index.config.num_tiles();
+                let tile_domain = index.tile_domain(tile);
+                let entries = bucket.iter().map(Vec::len).sum();
+                Shard {
+                    slots: bucket
+                        .into_iter()
+                        .map(|workers| {
+                            (!workers.is_empty()).then(|| SlotGrid::build(workers, &tile_domain))
+                        })
+                        .collect(),
+                    entries,
+                }
+            })
+            .collect();
         index.available = available;
         index
+    }
+
+    /// The rectangle of one spatial tile (by tile id within the grid).
+    fn tile_domain(&self, tile: usize) -> Domain {
+        let tx = tile % self.config.tiles_x;
+        let ty = tile / self.config.tiles_x;
+        let min = Location::new(
+            self.origin.x + tx as f64 * self.tile_w,
+            self.origin.y + ty as f64 * self.tile_h,
+        );
+        Domain::new(min, Location::new(min.x + self.tile_w, min.y + self.tile_h))
     }
 
     /// The shard layout.
@@ -216,13 +251,14 @@ impl ShardedWorkerIndex {
         self.shards.get(shard).map_or(0, |s| s.entries)
     }
 
-    /// The workers of one tile available during `slot`, in worker-id order.
-    fn bucket(&self, slot: SlotIndex, tx: usize, ty: usize) -> &[IndexedWorker] {
+    /// The tile-interior grid over the workers of one tile available during
+    /// `slot` (`None` when the bucket is empty).
+    fn bucket(&self, slot: SlotIndex, tx: usize, ty: usize) -> Option<&SlotGrid> {
         let time_range = slot / self.slots_per_split;
         let shard =
             &self.shards[time_range * self.config.num_tiles() + ty * self.config.tiles_x + tx];
         let local = slot - time_range * self.slots_per_split;
-        shard.slots.get(local).map_or(&[], Vec::as_slice)
+        shard.slots.get(local).and_then(Option::as_ref)
     }
 
     /// Lower bound on the distance from `query` to any worker in a tile NOT
@@ -283,35 +319,39 @@ impl ShardedWorkerIndex {
             return Vec::new();
         }
         let (qx, qy) = self.tile_of(query);
-        let mut found: Vec<(f64, IndexedWorker)> = Vec::new();
+        let mut found: Vec<NearestWorker> = Vec::new();
         let max_ring = self.config.tiles_x.max(self.config.tiles_y);
         for ring in 0..=max_ring {
             self.for_ring_tiles(qx, qy, ring, |tx, ty| {
-                for w in self.bucket(slot, tx, ty) {
-                    found.push((query.distance(&w.location), *w));
+                if let Some(grid) = self.bucket(slot, tx, ty) {
+                    // The tile's own top-`count` suffices: a worker beaten by
+                    // `count` closer workers within its tile can never make
+                    // the global top-`count`, so dropping it here leaves the
+                    // k-th best distance — and the stop bound — unchanged.
+                    found.extend(grid.nearest(query, count));
                 }
             });
             // Stop once the count-th best answer is provably closer than
             // anything an unscanned tile could hold.
             if found.len() >= count {
-                found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.worker.cmp(&b.1.worker)));
-                let kth = found[count - 1].0;
+                found.sort_by(|a, b| {
+                    a.distance
+                        .total_cmp(&b.distance)
+                        .then(a.worker.cmp(&b.worker))
+                });
+                let kth = found[count - 1].distance;
                 if kth < self.unscanned_bound(query, qx, qy, ring) {
                     break;
                 }
             }
         }
-        found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.worker.cmp(&b.1.worker)));
+        found.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.worker.cmp(&b.worker))
+        });
+        found.truncate(count);
         found
-            .into_iter()
-            .take(count)
-            .map(|(d, w)| NearestWorker {
-                worker: w.worker,
-                location: w.location,
-                reliability: w.reliability,
-                distance: d,
-            })
-            .collect()
     }
 
     /// The nearest available worker to `query` during `slot`.
@@ -361,18 +401,16 @@ impl ShardedWorkerIndex {
         let mut best: Option<(f64, IndexedWorker)> = None;
         let max_ring = self.config.tiles_x.max(self.config.tiles_y);
         for ring in 0..=max_ring {
-            let mut candidates: Vec<(usize, IndexedWorker)> = Vec::new();
             self.for_ring_tiles(qx, qy, ring, |tx, ty| {
                 let shard = ty * self.config.tiles_x + tx;
-                for w in self.bucket(slot, tx, ty) {
-                    candidates.push((shard, *w));
-                }
-            });
-            for (shard, w) in candidates {
-                if occupied(shard, w.worker) {
-                    continue;
-                }
-                let d = query.distance(&w.location);
+                let Some(grid) = self.bucket(slot, tx, ty) else {
+                    return;
+                };
+                // Per-tile filtered search: the grid prunes at cell level and
+                // only ever consults the occupancy of this tile's shard.
+                let Some((d, w)) = grid.nearest_filtered(query, |id| occupied(shard, id)) else {
+                    return;
+                };
                 let better = match &best {
                     None => true,
                     Some((bd, bw)) => d < *bd || (d == *bd && w.worker < bw.worker),
@@ -380,7 +418,7 @@ impl ShardedWorkerIndex {
                 if better {
                     best = Some((d, w));
                 }
-            }
+            });
             if let Some((bd, _)) = &best {
                 if *bd < self.unscanned_bound(query, qx, qy, ring) {
                     break;

@@ -73,8 +73,14 @@ pub struct NearestWorker {
 }
 
 /// Uniform grid over the workers available during a single time slot.
+///
+/// Shared between the dense [`WorkerIndex`] (one grid per slot over the whole
+/// domain) and the sharded index (one grid per `(shard, slot)` bucket over
+/// the shard's tile), so both resolve distance ties identically: workers are
+/// stored in ascending id order and every query sorts by
+/// `(distance, position)`.
 #[derive(Debug, Clone)]
-struct SlotGrid {
+pub(crate) struct SlotGrid {
     /// All workers available in this slot.
     workers: Vec<IndexedWorker>,
     /// Grid buckets holding indices into `workers`.
@@ -86,7 +92,7 @@ struct SlotGrid {
 }
 
 impl SlotGrid {
-    fn build(workers: Vec<IndexedWorker>, domain: &Domain) -> Self {
+    pub(crate) fn build(workers: Vec<IndexedWorker>, domain: &Domain) -> Self {
         // Aim for a handful of workers per cell on average.
         let n = workers.len().max(1);
         let target_cells = (n as f64 / 2.0).ceil().max(1.0);
@@ -121,10 +127,37 @@ impl SlotGrid {
         (cx.min(cols - 1), cy.min(rows - 1))
     }
 
+    /// Lower bound on the distance from `query` to any worker in a cell NOT
+    /// yet scanned after rings `0..=ring` around `(qx, qy)`: the distance to
+    /// the nearest edge of the scanned cell rectangle (sides already clamped
+    /// to the grid border are exhausted and contribute `INFINITY`).
+    ///
+    /// A search may stop once its current answer is **strictly** below this
+    /// bound; at exact equality one more ring is scanned so a worker sitting
+    /// precisely on the rectangle edge can still win a distance tie on its
+    /// id.  Shared by [`SlotGrid::nearest`] and [`SlotGrid::nearest_filtered`]
+    /// so the bound math exists exactly once.
+    fn unscanned_bound(&self, query: &Location, qx: usize, qy: usize, ring: usize) -> f64 {
+        let mut bound = f64::INFINITY;
+        if qx > ring {
+            bound = bound.min(query.x - (self.origin.x + (qx - ring) as f64 * self.cell_size));
+        }
+        if qx + ring + 1 < self.cols {
+            bound = bound.min(self.origin.x + (qx + ring + 1) as f64 * self.cell_size - query.x);
+        }
+        if qy > ring {
+            bound = bound.min(query.y - (self.origin.y + (qy - ring) as f64 * self.cell_size));
+        }
+        if qy + ring + 1 < self.rows {
+            bound = bound.min(self.origin.y + (qy + ring + 1) as f64 * self.cell_size - query.y);
+        }
+        bound
+    }
+
     /// The `count` nearest workers to `query`, sorted by distance.
     /// Ring-expansion search over the grid; falls back to scanning everything
     /// when the rings are exhausted.
-    fn nearest(&self, query: &Location, count: usize) -> Vec<NearestWorker> {
+    pub(crate) fn nearest(&self, query: &Location, count: usize) -> Vec<NearestWorker> {
         if self.workers.is_empty() || count == 0 {
             return Vec::new();
         }
@@ -154,33 +187,11 @@ impl SlotGrid {
                 }
             }
             // Stop once we have enough candidates and no unscanned cell can
-            // hold anything closer: every unscanned cell lies outside the
-            // scanned cell rectangle, so its workers are at least as far
-            // away as the rectangle's nearest edge (sides already clamped to
-            // the grid border are exhausted and ignored).  The comparison is
-            // strict so a worker sitting exactly on the edge can still win a
-            // distance tie on its id.
+            // hold anything closer (see `unscanned_bound`).
             if found.len() >= count {
                 found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 let kth = found[count - 1].0;
-                let mut bound = f64::INFINITY;
-                if qx > ring {
-                    bound =
-                        bound.min(query.x - (self.origin.x + (qx - ring) as f64 * self.cell_size));
-                }
-                if qx + ring + 1 < self.cols {
-                    bound = bound
-                        .min(self.origin.x + (qx + ring + 1) as f64 * self.cell_size - query.x);
-                }
-                if qy > ring {
-                    bound =
-                        bound.min(query.y - (self.origin.y + (qy - ring) as f64 * self.cell_size));
-                }
-                if qy + ring + 1 < self.rows {
-                    bound = bound
-                        .min(self.origin.y + (qy + ring + 1) as f64 * self.cell_size - query.y);
-                }
-                if kth < bound {
+                if kth < self.unscanned_bound(query, qx, qy, ring) {
                     break;
                 }
             }
@@ -199,6 +210,59 @@ impl SlotGrid {
                 }
             })
             .collect()
+    }
+
+    /// The nearest worker to `query` for which `skip` is false, with ties
+    /// resolved by ascending worker id (the per-bucket building block of the
+    /// sharded index's occupancy-filtered search).
+    ///
+    /// Same ring expansion and stop bound as [`SlotGrid::nearest`]: a ring is
+    /// scanned while the best answer so far is not strictly closer than the
+    /// edge of the scanned cell rectangle.
+    pub(crate) fn nearest_filtered(
+        &self,
+        query: &Location,
+        mut skip: impl FnMut(WorkerId) -> bool,
+    ) -> Option<(f64, IndexedWorker)> {
+        if self.workers.is_empty() {
+            return None;
+        }
+        let (qx, qy) = Self::cell_coords(self.origin, self.cell_size, self.cols, self.rows, query);
+        let mut best: Option<(f64, IndexedWorker)> = None;
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            let x_lo = qx.saturating_sub(ring);
+            let x_hi = (qx + ring).min(self.cols - 1);
+            let y_lo = qy.saturating_sub(ring);
+            let y_hi = (qy + ring).min(self.rows - 1);
+            for cy in y_lo..=y_hi {
+                for cx in x_lo..=x_hi {
+                    if cx.abs_diff(qx).max(cy.abs_diff(qy)) != ring {
+                        continue;
+                    }
+                    for &idx in &self.cells[cy * self.cols + cx] {
+                        let w = self.workers[idx as usize];
+                        if skip(w.worker) {
+                            continue;
+                        }
+                        let d = query.distance(&w.location);
+                        let better = match &best {
+                            None => true,
+                            Some((bd, bw)) => d < *bd || (d == *bd && w.worker < bw.worker),
+                        };
+                        if better {
+                            best = Some((d, w));
+                        }
+                    }
+                }
+            }
+            if let Some((bd, _)) = &best {
+                if *bd < self.unscanned_bound(query, qx, qy, ring) {
+                    break;
+                }
+            }
+        }
+        best
     }
 }
 

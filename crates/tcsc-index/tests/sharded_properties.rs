@@ -214,6 +214,85 @@ fn empty_shards_and_empty_slots_agree() {
 }
 
 #[test]
+fn dense_tiles_exercise_the_interior_grids() {
+    // Many workers packed into few tiles force multi-cell interior grids in
+    // every populated (shard, slot) bucket; answers must stay bit-identical
+    // to the dense index.  (600 workers over a 2x2 grid gives ~150 workers
+    // per tile-slot — far past the handful-per-cell target of `SlotGrid`.)
+    let domain = Domain::square(50.0);
+    let mut rng = StdRng::seed_from_u64(57);
+    let pool: WorkerPool = (0..600)
+        .map(|i| {
+            // Two dense clusters, both inside single tiles of the 2x2 grid.
+            let (cx, cy) = if i % 2 == 0 {
+                (10.0, 10.0)
+            } else {
+                (40.0, 35.0)
+            };
+            Worker::new(
+                WorkerId(i as u32),
+                vec![WorkerSlot {
+                    slot: (i % 2) as usize,
+                    location: Location::new(
+                        cx + rng.gen_range(-9.0..9.0),
+                        cy + rng.gen_range(-9.0..9.0),
+                    ),
+                }],
+            )
+        })
+        .collect();
+    let queries = query_points(59, 14, &domain);
+    for config in [
+        ShardGridConfig::new(2, 2),
+        ShardGridConfig::new(1, 1),
+        ShardGridConfig::new(2, 2).with_time_splits(2),
+    ] {
+        assert_equivalent(&pool, 2, &domain, config, &queries);
+    }
+}
+
+#[test]
+fn interior_grid_filtered_search_survives_heavy_occupancy() {
+    // Exclude large prefixes of a dense tile's workers through the filtered
+    // query: the interior grid must keep expanding past excluded cells and
+    // agree with the dense index's equivalent set query.
+    let domain = Domain::square(40.0);
+    let mut rng = StdRng::seed_from_u64(61);
+    let pool: WorkerPool = (0..200)
+        .map(|i| {
+            Worker::new(
+                WorkerId(i as u32),
+                vec![WorkerSlot {
+                    slot: 0,
+                    location: Location::new(rng.gen_range(0.0..40.0), rng.gen_range(0.0..40.0)),
+                }],
+            )
+        })
+        .collect();
+    let dense = WorkerIndex::build(&pool, 1, &domain);
+    let config = ShardGridConfig::new(3, 3);
+    let sharded = ShardedWorkerIndex::build(&pool, 1, &domain, config);
+    for q in query_points(67, 8, &domain) {
+        let order: Vec<_> = dense.k_nearest(0, &q, 200);
+        for take in [0, 1, 5, 40, 150, 199, 200] {
+            let excluded: BTreeSet<WorkerId> = order[..take].iter().map(|w| w.worker).collect();
+            let by_shard: BTreeSet<(usize, WorkerId)> = order[..take]
+                .iter()
+                .map(|w| (sharded.spatial_shard_of(&w.location), w.worker))
+                .collect();
+            let via_dense = dense.nearest_excluding_set(0, &q, &excluded);
+            let via_filter =
+                sharded.nearest_excluding_with(0, &q, |s, w| by_shard.contains(&(s, w)));
+            assert_eq!(
+                via_dense.map(|w| (w.worker, w.distance.to_bits())),
+                via_filter.map(|w| (w.worker, w.distance.to_bits())),
+                "excluding the {take} nearest at query {q}"
+            );
+        }
+    }
+}
+
+#[test]
 fn nearest_excluding_with_matches_the_set_query() {
     // The closure-filtered query (used by the concurrent engine's per-shard
     // ledgers) must agree with the global-set query when the filter encodes

@@ -1,0 +1,300 @@
+//! Cluster assembly and the one-call run harness: wire a dispatcher, `n`
+//! region nodes and their worker pools over a simulated network, feed task
+//! arrivals, run to quiescence and collect the [`SimOutcome`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tcsc_assign::{CacheStats, CommittedExecution, GrantPolicy, MultiTaskConfig};
+use tcsc_core::{CostModel, Domain, MultiAssignment, Task, WorkerPool as CoreWorkerPool};
+use tcsc_index::{ShardGridConfig, ShardedWorkerIndex};
+
+use crate::dispatcher::{Dispatcher, DispatcherReport};
+use crate::kernel::{SimTime, Simulation, TraceRecord};
+use crate::latency::LatencyModel;
+use crate::messages::NetMessage;
+use crate::node::{RegionNode, WorkerPool};
+
+/// Configuration of one simulated cluster run.
+#[derive(Debug, Clone)]
+pub struct SimClusterConfig {
+    /// Number of region nodes (spatial shards are striped over them).
+    pub nodes: usize,
+    /// The spatial shard grid (shared by the replicated index, the node
+    /// ledger partitions and the dispatcher's routing).
+    pub grid: ShardGridConfig,
+    /// The master's grant policy.
+    pub policy: GrantPolicy,
+    /// Assignment parameters (budget, `k`, `ts`, ...).
+    pub assignment: MultiTaskConfig,
+    /// One-way network latency between components.
+    pub latency: LatencyModel,
+    /// Node service time added to every command reply, in microseconds.
+    pub service_us: SimTime,
+    /// Worker-pool liveness ping period (0 disables the pools' ticking).
+    pub ping_interval_us: SimTime,
+    /// Maximum number of pings per pool (bounds the event count).
+    pub max_pings: u32,
+    /// Seed of the latency draws.
+    pub seed: u64,
+    /// Whether to retain the full delivery trace (determinism tests).
+    pub record_trace: bool,
+}
+
+impl SimClusterConfig {
+    /// A cluster of `nodes` nodes over a `regions x regions` shard grid with
+    /// the given latency, using defaults for everything else.
+    pub fn new(nodes: usize, regions: usize, budget: f64, latency: LatencyModel) -> Self {
+        Self {
+            nodes: nodes.max(1),
+            grid: ShardGridConfig::new(regions.max(1), regions.max(1)),
+            policy: GrantPolicy::Optimistic,
+            assignment: MultiTaskConfig::new(budget),
+            latency,
+            service_us: 0,
+            ping_interval_us: 0,
+            max_pings: 0,
+            seed: 42,
+            record_trace: false,
+        }
+    }
+
+    /// Overrides the grant policy.
+    pub fn with_policy(mut self, policy: GrantPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the latency seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables worker-pool liveness pings.
+    pub fn with_pings(mut self, interval_us: SimTime, max_pings: u32) -> Self {
+        self.ping_interval_us = interval_us;
+        self.max_pings = max_pings;
+        self
+    }
+
+    /// Enables trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Sets the per-command node service time.
+    pub fn with_service_us(mut self, service_us: SimTime) -> Self {
+        self.service_us = service_us;
+        self
+    }
+}
+
+/// One timed batch of task arrivals.
+#[derive(Debug, Clone)]
+pub struct SimBatch {
+    /// Arrival time of the batch at the dispatcher.
+    pub at_us: SimTime,
+    /// The arriving tasks, in submission order.
+    pub tasks: Vec<Task>,
+}
+
+impl SimBatch {
+    /// A batch arriving at virtual time 0.
+    pub fn immediate(tasks: Vec<Task>) -> Self {
+        Self { at_us: 0, tasks }
+    }
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per-task plans, in global submission order.
+    pub assignment: MultiAssignment,
+    /// Worker conflicts across all batches.
+    pub conflicts: usize,
+    /// Committed executions across all batches.
+    pub executions: usize,
+    /// Rolled-back provisional grants (0 under the barrier policy).
+    pub rollbacks: usize,
+    /// Candidate-cache counters (comparable to the engines').
+    pub stats: CacheStats,
+    /// Committed executions in grant order (global task indices).
+    pub committed: Vec<CommittedExecution>,
+    /// Virtual time at which the last plan arrived at the dispatcher.
+    pub finish_time_us: SimTime,
+    /// Total delivered events.
+    pub delivered_events: u64,
+    /// Worker-pool liveness pings observed by the nodes.
+    pub worker_pings: u64,
+    /// Commitments replicated into the nodes' shard-ledger partitions
+    /// (equals `executions` when the claim replication is consistent).
+    pub shard_commitments: usize,
+    /// The full delivery trace (empty unless trace recording was enabled).
+    pub trace: Vec<TraceRecord>,
+}
+
+impl SimOutcome {
+    /// Summation quality over all plans.
+    pub fn sum_quality(&self) -> f64 {
+        self.assignment.sum_quality()
+    }
+}
+
+/// A stable 64-bit FNV-1a hash over an assignment's plans: task ids, slot /
+/// worker sequences and cost bit patterns.  Used by the fig9d artifact and
+/// the CI gate to compare the simulated runtime against the in-process
+/// engine without serialising full plans.
+pub fn plan_hash(assignment: &MultiAssignment) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut eat = |value: u64| {
+        for byte in value.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for plan in &assignment.plans {
+        eat(plan.task.0 as u64);
+        eat(plan.num_slots as u64);
+        eat(plan.quality.to_bits());
+        for exec in &plan.executions {
+            eat(exec.slot as u64);
+            eat(exec.worker.0 as u64);
+            eat(exec.cost.to_bits());
+        }
+    }
+    h
+}
+
+/// Builds the cluster, feeds the batches, runs to quiescence and returns the
+/// outcome.
+///
+/// The replicated [`ShardedWorkerIndex`] is built once from the pool and
+/// shared (read-only) by every node — the simulated stand-in for each node
+/// holding a copy of the immutable index.
+pub fn run_cluster(
+    workers: &CoreWorkerPool,
+    num_slots: usize,
+    domain: &Domain,
+    batches: Vec<SimBatch>,
+    cost_model: Rc<dyn CostModel>,
+    config: &SimClusterConfig,
+) -> SimOutcome {
+    if batches.is_empty() {
+        // Nothing arrives, nothing runs: an empty outcome, not a stalled
+        // dispatcher waiting for batches that never come.
+        return SimOutcome {
+            assignment: MultiAssignment::default(),
+            conflicts: 0,
+            executions: 0,
+            rollbacks: 0,
+            stats: tcsc_assign::CacheStats::default(),
+            committed: Vec::new(),
+            finish_time_us: 0,
+            delivered_events: 0,
+            worker_pings: 0,
+            shard_commitments: 0,
+            trace: Vec::new(),
+        };
+    }
+    let index = Rc::new(ShardedWorkerIndex::build(
+        workers,
+        num_slots,
+        domain,
+        config.grid,
+    ));
+    let mut sim: Simulation<NetMessage> =
+        Simulation::new(config.latency, config.seed, config.record_trace);
+
+    // Component wiring: the dispatcher's id is allocated first so the nodes
+    // can address it; its construction needs the node ids, so it is
+    // registered through a placeholder-free two-phase add (nodes first,
+    // dispatcher last, nodes learn the dispatcher id up front).
+    let dispatcher_id = config.nodes + config.nodes; // nodes + pools precede it
+    let mut node_ids = Vec::with_capacity(config.nodes);
+    for _ in 0..config.nodes {
+        let id = sim.add_component(Box::new(RegionNode::new(
+            index.clone(),
+            cost_model.clone(),
+            config.assignment,
+            dispatcher_id,
+            config.service_us,
+        )));
+        node_ids.push(id);
+    }
+    let per_pool = workers.len().div_ceil(config.nodes.max(1));
+    let mut pool_ids = Vec::with_capacity(config.nodes);
+    for &node in &node_ids {
+        let id = sim.add_component(Box::new(WorkerPool::new(
+            node,
+            per_pool,
+            config.ping_interval_us.max(1),
+            config.max_pings,
+        )));
+        pool_ids.push(id);
+    }
+    let outbox: Rc<RefCell<Option<DispatcherReport>>> = Rc::new(RefCell::new(None));
+    let actual_dispatcher = sim.add_component(Box::new(Dispatcher::new(
+        index.clone(),
+        config.policy,
+        config.assignment.budget,
+        node_ids,
+        pool_ids.clone(),
+        batches.len(),
+        outbox.clone(),
+    )));
+    assert_eq!(
+        actual_dispatcher, dispatcher_id,
+        "component registration order is fixed"
+    );
+
+    // Kick the worker pools and feed the arrival schedule.
+    if config.ping_interval_us > 0 && config.max_pings > 0 {
+        for &pool in &pool_ids {
+            sim.schedule(pool, NetMessage::Tick, config.ping_interval_us);
+        }
+    }
+    let mut next_global = 0usize;
+    for batch in batches {
+        let entries: Vec<(usize, Task)> = batch
+            .tasks
+            .into_iter()
+            .map(|task| {
+                let idx = next_global;
+                next_global += 1;
+                (idx, task)
+            })
+            .collect();
+        sim.schedule(
+            dispatcher_id,
+            NetMessage::SubmitBatch { entries },
+            batch.at_us,
+        );
+    }
+
+    sim.run();
+    let report = outbox
+        .borrow_mut()
+        .take()
+        .expect("the dispatcher reports when every node returned its plans");
+    let delivered_events = sim.delivered();
+    let trace = sim.into_trace();
+
+    let plans = report.plans.into_iter().map(|(_, plan)| plan).collect();
+    SimOutcome {
+        assignment: MultiAssignment::new(plans),
+        conflicts: report.conflicts,
+        executions: report.executions,
+        rollbacks: report.rollbacks,
+        stats: report.stats,
+        committed: report.committed,
+        finish_time_us: report.finish_time_us,
+        delivered_events,
+        worker_pings: report.worker_pings,
+        shard_commitments: report.shard_commitments,
+        trace,
+    }
+}

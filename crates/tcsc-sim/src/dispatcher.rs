@@ -1,0 +1,368 @@
+//! The dispatcher component: routes task batches to region nodes by
+//! `spatial_shard_of` and drives the task-parallel master state machine
+//! ([`TaskMaster`]) over the simulated network.
+//!
+//! The dispatcher is deliberately thin: every grant/rollback decision lives
+//! in the shared, fuzz-verified machine of `tcsc-assign::multi::protocol`;
+//! this component only translates between batch-local and global task
+//! indices, snapshots committed occupancy for checkouts, and replicates
+//! committed claims to the worker's owning shard.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
+
+use tcsc_assign::{
+    CacheStats, CommittedExecution, GrantPolicy, MasterCommand, TaskMaster, WorkerEvent,
+    WorkerLedger,
+};
+use tcsc_core::{AssignmentPlan, Task};
+use tcsc_index::ShardedWorkerIndex;
+
+use crate::kernel::{Component, ComponentId, Context, SimTime};
+use crate::messages::NetMessage;
+
+/// One in-flight batch: the master machine plus the local↔global index maps.
+struct Batch {
+    master: TaskMaster,
+    global: Vec<usize>,
+    /// Global → batch-local index (events arrive with global indices).
+    local_of: HashMap<usize, usize>,
+}
+
+/// What the dispatcher hands back to the harness when the run completes.
+#[derive(Debug, Default, Clone)]
+pub struct DispatcherReport {
+    /// Per-task plans in ascending global index.
+    pub plans: Vec<(usize, AssignmentPlan)>,
+    /// Committed executions in grant order (global task indices).
+    pub committed: Vec<CommittedExecution>,
+    /// Worker conflicts across all batches.
+    pub conflicts: usize,
+    /// Committed executions across all batches.
+    pub executions: usize,
+    /// Rolled-back provisional grants (0 under the barrier policy).
+    pub rollbacks: usize,
+    /// Candidate-cache counters summed over the nodes, plus the
+    /// conflict-refresh accounting (matches the engines' convention).
+    pub stats: CacheStats,
+    /// Commitments replicated into the nodes' shard-ledger partitions.
+    pub shard_commitments: usize,
+    /// Worker-pool liveness pings observed by the nodes.
+    pub worker_pings: u64,
+    /// Virtual time at which the last plan arrived.
+    pub finish_time_us: SimTime,
+}
+
+/// The master/router component.
+pub struct Dispatcher {
+    index: Rc<ShardedWorkerIndex>,
+    policy: GrantPolicy,
+    budget: f64,
+    /// Region-node component ids, indexed by node number.
+    nodes: Vec<ComponentId>,
+    /// Worker-pool component ids (quiesced at finish).
+    pools: Vec<ComponentId>,
+    /// Pending batches (not yet started).
+    queue: VecDeque<Vec<(usize, Task)>>,
+    /// Batches the harness promised to submit; the run only ends after all
+    /// of them were solved (late rounds must not be cut off).
+    batches_expected: usize,
+    batches_done: usize,
+    /// The batch currently being solved.
+    current: Option<Batch>,
+    /// Node number per global task index (fixed at submit time).
+    node_of_task: BTreeMap<usize, usize>,
+    /// Committed occupancy across batches (the checkout snapshot source).
+    mirror: WorkerLedger,
+    report: DispatcherReport,
+    plans_outstanding: usize,
+    /// Shared slot the harness reads the report from after the run.
+    outbox: Rc<RefCell<Option<DispatcherReport>>>,
+}
+
+impl Dispatcher {
+    /// A dispatcher over the given nodes and pools, writing its final report
+    /// into `outbox` when every node has returned its plans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        index: Rc<ShardedWorkerIndex>,
+        policy: GrantPolicy,
+        budget: f64,
+        nodes: Vec<ComponentId>,
+        pools: Vec<ComponentId>,
+        batches_expected: usize,
+        outbox: Rc<RefCell<Option<DispatcherReport>>>,
+    ) -> Self {
+        Self {
+            index,
+            policy,
+            budget,
+            nodes,
+            pools,
+            queue: VecDeque::new(),
+            batches_expected,
+            batches_done: 0,
+            current: None,
+            node_of_task: BTreeMap::new(),
+            mirror: WorkerLedger::new(),
+            report: DispatcherReport::default(),
+            plans_outstanding: 0,
+            outbox,
+        }
+    }
+
+    /// The node number owning a task (its home shard, striped over nodes).
+    fn node_of(&self, task: &Task) -> usize {
+        self.index.spatial_shard_of(&task.location) % self.nodes.len()
+    }
+
+    /// Rewrites a batch-local command to global indices.
+    fn globalize(&self, command: MasterCommand, global: &[usize]) -> MasterCommand {
+        match command {
+            MasterCommand::Compute {
+                task,
+                version,
+                max_cost,
+            } => MasterCommand::Compute {
+                task: global[task],
+                version,
+                max_cost,
+            },
+            MasterCommand::Refresh {
+                task,
+                version,
+                slot,
+                occupied,
+                max_cost,
+            } => MasterCommand::Refresh {
+                task: global[task],
+                version,
+                slot,
+                occupied,
+                max_cost,
+            },
+            MasterCommand::UndoRefresh { task, slot } => MasterCommand::UndoRefresh {
+                task: global[task],
+                slot,
+            },
+            MasterCommand::Execute { task, slot } => MasterCommand::Execute {
+                task: global[task],
+                slot,
+            },
+        }
+    }
+
+    /// Sends a batch of master commands to the owning nodes.
+    fn dispatch(
+        &self,
+        commands: Vec<MasterCommand>,
+        global: &[usize],
+        ctx: &mut Context<'_, NetMessage>,
+    ) {
+        for command in commands {
+            let cmd = self.globalize(command, global);
+            let node = self.node_of_task[&cmd.task()];
+            ctx.send(self.nodes[node], NetMessage::Command(cmd));
+        }
+    }
+
+    /// Starts the next queued batch: checkout requests per node, then the
+    /// master's initial compute commands.
+    fn start_next_batch(&mut self, ctx: &mut Context<'_, NetMessage>) {
+        let Some(entries) = self.queue.pop_front() else {
+            return;
+        };
+        // Committed-occupancy snapshot for the checkout reconciliation (the
+        // ledger exposes per-slot sets; walk the slots the index covers).
+        let snapshot: Vec<_> = (0..tcsc_index::SpatialQuery::num_slots(self.index.as_ref()))
+            .filter_map(|slot| {
+                let occupied = self.mirror.occupied_at(slot);
+                (!occupied.is_empty()).then_some((slot, occupied))
+            })
+            .collect();
+
+        let mut per_node: BTreeMap<usize, Vec<(usize, Task)>> = BTreeMap::new();
+        let mut global = Vec::with_capacity(entries.len());
+        for (global_idx, task) in entries {
+            let node = self.node_of(&task);
+            self.node_of_task.insert(global_idx, node);
+            global.push(global_idx);
+            per_node.entry(node).or_default().push((global_idx, task));
+        }
+        for (node, node_entries) in per_node {
+            ctx.send(
+                self.nodes[node],
+                NetMessage::Checkout {
+                    entries: node_entries,
+                    occupied: snapshot.clone(),
+                },
+            );
+        }
+
+        let (master, initial) = TaskMaster::new(
+            global.len(),
+            self.budget,
+            self.mirror.clone(),
+            self.policy,
+            true,
+        );
+        self.dispatch(initial, &global, ctx);
+        let local_of = global.iter().enumerate().map(|(l, &g)| (g, l)).collect();
+        self.current = Some(Batch {
+            master,
+            global,
+            local_of,
+        });
+    }
+
+    /// Retires finished batches, starts queued ones, and ends the run when
+    /// every promised batch has been solved.
+    fn pump(&mut self, ctx: &mut Context<'_, NetMessage>) {
+        loop {
+            match self.current.take() {
+                Some(batch) if batch.master.is_done() => {
+                    self.finish_batch(batch);
+                    self.batches_done += 1;
+                }
+                Some(batch) => {
+                    self.current = Some(batch);
+                    return;
+                }
+                None => {
+                    if !self.queue.is_empty() {
+                        self.start_next_batch(ctx);
+                        continue;
+                    }
+                    if self.batches_done == self.batches_expected && self.plans_outstanding == 0 {
+                        self.broadcast_finish(ctx);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Folds a finished batch's tables into the run report.
+    fn finish_batch(&mut self, batch: Batch) {
+        let global = batch.global;
+        let (_, _, committed, conflicts, executions, rollbacks) = batch.master.into_tables();
+        self.report.conflicts += conflicts;
+        self.report.executions += executions;
+        self.report.rollbacks += rollbacks;
+        self.report
+            .committed
+            .extend(committed.into_iter().map(|c| CommittedExecution {
+                task: global[c.task],
+                ..c
+            }));
+    }
+
+    /// Ends the run: quiesce the pools and collect plans from every node.
+    fn broadcast_finish(&mut self, ctx: &mut Context<'_, NetMessage>) {
+        for &pool in &self.pools {
+            ctx.send(pool, NetMessage::Quiesce);
+        }
+        for &node in &self.nodes {
+            ctx.send(node, NetMessage::Finish);
+        }
+        self.plans_outstanding = self.nodes.len();
+    }
+}
+
+impl Component<NetMessage> for Dispatcher {
+    fn on_message(
+        &mut self,
+        _from: ComponentId,
+        message: NetMessage,
+        ctx: &mut Context<'_, NetMessage>,
+    ) {
+        match message {
+            NetMessage::SubmitBatch { entries } => {
+                self.queue.push_back(entries);
+                self.pump(ctx);
+            }
+            NetMessage::Event {
+                event,
+                worker_location,
+            } => {
+                let mut batch = self.current.take().expect("an event implies a live batch");
+                // Translate the global task index back to the batch-local one.
+                let localize = |global_idx: usize| {
+                    *batch
+                        .local_of
+                        .get(&global_idx)
+                        .expect("event for a task of the current batch")
+                };
+                let local_event = match event {
+                    WorkerEvent::Heartbeat {
+                        task,
+                        version,
+                        candidate,
+                        planned_worker,
+                    } => WorkerEvent::Heartbeat {
+                        task: localize(task),
+                        version,
+                        candidate,
+                        planned_worker,
+                    },
+                    WorkerEvent::Executed {
+                        task,
+                        slot,
+                        worker,
+                        cost,
+                    } => {
+                        // A committed execution: mirror the occupancy and
+                        // replicate the claim to the worker's owning shard.
+                        self.mirror.occupy(slot, worker);
+                        let location =
+                            worker_location.expect("executed events carry the worker location");
+                        let shard = self.index.spatial_shard_of(&location);
+                        let node = shard % self.nodes.len();
+                        ctx.send(
+                            self.nodes[node],
+                            NetMessage::Claim {
+                                shard,
+                                slot,
+                                worker,
+                            },
+                        );
+                        WorkerEvent::Executed {
+                            task: localize(task),
+                            slot,
+                            worker,
+                            cost,
+                        }
+                    }
+                };
+                let commands = batch.master.handle(local_event);
+                self.dispatch(commands, &batch.global, ctx);
+                self.current = Some(batch);
+                self.pump(ctx);
+            }
+            NetMessage::Plans {
+                plans,
+                stats,
+                commitments,
+                pings,
+            } => {
+                self.report.plans.extend(plans);
+                self.report.stats.merge(&stats);
+                self.report.shard_commitments += commitments;
+                self.report.worker_pings += pings;
+                self.plans_outstanding -= 1;
+                if self.plans_outstanding == 0 {
+                    // The engines charge one slot refresh per conflict; match
+                    // their accounting so the stats are comparable.
+                    self.report.stats.slot_computations += self.report.conflicts;
+                    self.report.stats.slot_refreshes += self.report.conflicts;
+                    self.report.stats.rebuild_slot_computations += self.report.conflicts;
+                    self.report.plans.sort_by_key(|(g, _)| *g);
+                    self.report.finish_time_us = ctx.now();
+                    *self.outbox.borrow_mut() = Some(std::mem::take(&mut self.report));
+                }
+            }
+            _ => unreachable!("unexpected message at the dispatcher"),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Seeded network-latency models for the simulated links.
+//!
+//! Latency draws come from the simulation's single seeded generator (see
+//! [`crate::kernel::Simulation`]), so a model with jitter still produces a
+//! fully reproducible virtual timeline per seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::kernel::SimTime;
+
+/// How long a message spends on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Ideal network: every delivery is instantaneous.  With zero latency the
+    /// whole run happens at virtual time 0 in send order — the configuration
+    /// the bit-identity tests pin against the in-process engine.
+    Zero,
+    /// Constant one-way latency in microseconds.
+    Fixed(SimTime),
+    /// Uniform latency in `[min, max]` microseconds (seeded jitter).
+    Uniform {
+        /// Minimum one-way latency.
+        min: SimTime,
+        /// Maximum one-way latency.
+        max: SimTime,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut StdRng) -> SimTime {
+        match self {
+            Self::Zero => 0,
+            Self::Fixed(us) => *us,
+            Self::Uniform { min, max } => {
+                let (lo, hi) = (*min.min(max), *max.max(min));
+                if lo == hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+        }
+    }
+
+    /// The mean latency of the model (for reporting).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Self::Zero => 0.0,
+            Self::Fixed(us) => *us as f64,
+            Self::Uniform { min, max } => (*min as f64 + *max as f64) / 2.0,
+        }
+    }
+
+    /// A short human-readable label (for the fig9d artifact rows).
+    pub fn describe(&self) -> String {
+        match self {
+            Self::Zero => "zero".into(),
+            Self::Fixed(us) => format!("fixed:{us}us"),
+            Self::Uniform { min, max } => format!("uniform:{min}-{max}us"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_bounds_and_reproduce() {
+        let model = LatencyModel::Uniform { min: 50, max: 200 };
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let x = model.sample(&mut a);
+            assert!((50..=200).contains(&x));
+            assert_eq!(x, model.sample(&mut b));
+        }
+        assert_eq!(LatencyModel::Zero.sample(&mut a), 0);
+        assert_eq!(LatencyModel::Fixed(75).sample(&mut a), 75);
+    }
+
+    #[test]
+    fn descriptions_and_means() {
+        assert_eq!(LatencyModel::Zero.describe(), "zero");
+        assert_eq!(LatencyModel::Fixed(10).mean(), 10.0);
+        assert_eq!(LatencyModel::Uniform { min: 10, max: 30 }.mean(), 20.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # tcsc-sim
+//!
+//! A deterministic discrete-event simulation of a **distributed TCSC
+//! runtime**, following the component/event-queue architecture of the dslab
+//! simulation framework:
+//!
+//! * [`kernel`] — the simulation kernel: virtual clock, binary-heap event
+//!   queue with stable `(time, seq)` ordering, FIFO links, and the
+//!   [`kernel::Component`] trait with typed message delivery;
+//! * [`latency`] — seeded network-latency models (zero / fixed / uniform
+//!   jitter), reproducible per seed;
+//! * [`messages`] — the runtime's network protocol, wrapping the
+//!   master/owner protocol of `tcsc-assign::multi::protocol`;
+//! * [`node`] — [`node::RegionNode`] components owning spatial-shard
+//!   candidate caches, ledger partitions and task states, plus
+//!   [`node::WorkerPool`] components emitting liveness heartbeats;
+//! * [`dispatcher`] — the [`dispatcher::Dispatcher`] component routing tasks
+//!   by `spatial_shard_of` and driving the (barrier or optimistic
+//!   non-blocking) task-parallel master over the simulated network;
+//! * [`cluster`] — one-call assembly: build the cluster, feed timed task
+//!   arrivals, run to quiescence, collect the [`cluster::SimOutcome`].
+//!
+//! # Guarantees
+//!
+//! * **Determinism** — same seed, same inputs ⇒ identical event trace,
+//!   plans, conflicts and executions, for every latency model.
+//! * **Engine bit-identity** — the committed results (plans, conflicts,
+//!   executions, cache counters) are identical to the in-process
+//!   [`tcsc_assign::AssignmentEngine`] for *any* node count, latency model
+//!   and grant policy; with zero latency and a single node the run degrades
+//!   to exactly the engine's loop.  Locked in by `tests/sim_equivalence.rs`.
+//!
+//! The simulated runtime is the staging ground for a real multi-process
+//! deployment: the message protocol, the shard routing and the master's
+//! optimistic concurrency control are exercised here against the exact
+//! serial results before any real networking exists.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dispatcher;
+pub mod kernel;
+pub mod latency;
+pub mod messages;
+pub mod node;
+
+pub use cluster::{plan_hash, run_cluster, SimBatch, SimClusterConfig, SimOutcome};
+pub use dispatcher::{Dispatcher, DispatcherReport};
+pub use kernel::{Component, ComponentId, Context, Message, SimTime, Simulation, TraceRecord};
+pub use latency::LatencyModel;
+pub use messages::NetMessage;
+pub use node::{RegionNode, WorkerPool};
+pub use tcsc_assign::GrantPolicy;

@@ -1,0 +1,267 @@
+//! The simulated distributed runtime against the in-process engine:
+//!
+//! * zero-latency single-node runs must be **bit-identical** to
+//!   [`AssignmentEngine::assign_batch`] — plans, conflicts, executions and
+//!   cache counters;
+//! * any node count × latency model × grant policy must commit the same
+//!   results (latency moves messages, never decisions);
+//! * the same seed must replay the identical event trace.
+
+use std::rc::Rc;
+
+use tcsc_assign::{AssignmentEngine, GrantPolicy, MultiTaskConfig, Objective};
+use tcsc_core::EuclideanCost;
+use tcsc_sim::{plan_hash, run_cluster, LatencyModel, SimBatch, SimClusterConfig};
+use tcsc_workload::{ScenarioConfig, SpatialDistribution, StreamingConfig, TaskPlacement};
+
+fn scenario() -> (tcsc_workload::Scenario, usize) {
+    let cfg = ScenarioConfig::small()
+        .with_num_tasks(10)
+        .with_num_slots(30)
+        .with_num_workers(150)
+        .with_placement(TaskPlacement::Synthetic(SpatialDistribution::region_grid(
+            3,
+        )));
+    let slots = cfg.num_slots;
+    (cfg.build(), slots)
+}
+
+#[test]
+fn zero_latency_single_node_is_bit_identical_to_the_engine() {
+    let (scenario, slots) = scenario();
+    let cost = EuclideanCost::default();
+    let budget = 40.0;
+
+    let dense = tcsc_index::WorkerIndex::build(&scenario.workers, slots, &scenario.domain);
+    let mut engine = AssignmentEngine::borrowed(&dense, &cost, MultiTaskConfig::new(budget));
+    let reference = engine.assign_batch(&scenario.tasks, Objective::SumQuality);
+
+    let config =
+        SimClusterConfig::new(1, 3, budget, LatencyModel::Zero).with_policy(GrantPolicy::Barrier);
+    let outcome = run_cluster(
+        &scenario.workers,
+        slots,
+        &scenario.domain,
+        vec![SimBatch::immediate(scenario.tasks.clone())],
+        Rc::new(EuclideanCost::default()),
+        &config,
+    );
+
+    assert_eq!(outcome.assignment, reference.assignment, "plans diverged");
+    assert_eq!(outcome.conflicts, reference.conflicts);
+    assert_eq!(outcome.executions, reference.executions);
+    assert_eq!(outcome.stats, reference.stats, "cache counters diverged");
+    assert_eq!(
+        outcome.finish_time_us, 0,
+        "zero latency keeps virtual time 0"
+    );
+    assert_eq!(
+        plan_hash(&outcome.assignment),
+        plan_hash(&reference.assignment)
+    );
+    assert_eq!(outcome.shard_commitments, outcome.executions);
+}
+
+#[test]
+fn node_count_latency_and_policy_never_change_the_committed_results() {
+    let (scenario, slots) = scenario();
+    let cost = EuclideanCost::default();
+    let budget = 55.0;
+    let dense = tcsc_index::WorkerIndex::build(&scenario.workers, slots, &scenario.domain);
+    let mut engine = AssignmentEngine::borrowed(&dense, &cost, MultiTaskConfig::new(budget));
+    let reference = engine.assign_batch(&scenario.tasks, Objective::SumQuality);
+
+    let mut optimistic_rollback_seen = false;
+    for nodes in [1, 2, 4, 9] {
+        for latency in [
+            LatencyModel::Zero,
+            LatencyModel::Fixed(250),
+            LatencyModel::Uniform { min: 20, max: 4000 },
+        ] {
+            for policy in [GrantPolicy::Barrier, GrantPolicy::Optimistic] {
+                let config = SimClusterConfig::new(nodes, 3, budget, latency)
+                    .with_policy(policy)
+                    .with_seed(7 + nodes as u64);
+                let outcome = run_cluster(
+                    &scenario.workers,
+                    slots,
+                    &scenario.domain,
+                    vec![SimBatch::immediate(scenario.tasks.clone())],
+                    Rc::new(EuclideanCost::default()),
+                    &config,
+                );
+                assert_eq!(
+                    outcome.assignment, reference.assignment,
+                    "plans diverged: {nodes} nodes, {latency:?}, {policy:?}"
+                );
+                assert_eq!(outcome.conflicts, reference.conflicts);
+                assert_eq!(outcome.executions, reference.executions);
+                assert_eq!(outcome.stats, reference.stats);
+                assert_eq!(outcome.shard_commitments, outcome.executions);
+                if policy == GrantPolicy::Barrier {
+                    assert_eq!(outcome.rollbacks, 0, "the barrier master never speculates");
+                } else if outcome.rollbacks > 0 {
+                    optimistic_rollback_seen = true;
+                }
+            }
+        }
+    }
+    assert!(
+        optimistic_rollback_seen,
+        "at least one latency configuration must exercise the rollback path"
+    );
+}
+
+#[test]
+fn same_seed_replays_the_identical_event_trace() {
+    let (scenario, slots) = scenario();
+    let run = |seed: u64| {
+        let config = SimClusterConfig::new(3, 3, 35.0, LatencyModel::Uniform { min: 10, max: 900 })
+            .with_seed(seed)
+            .with_trace()
+            .with_pings(500, 8)
+            .with_service_us(40);
+        run_cluster(
+            &scenario.workers,
+            slots,
+            &scenario.domain,
+            vec![SimBatch::immediate(scenario.tasks.clone())],
+            Rc::new(EuclideanCost::default()),
+            &config,
+        )
+    };
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a.trace, b.trace, "same seed must replay the same trace");
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.finish_time_us, b.finish_time_us);
+    assert_eq!(a.delivered_events, b.delivered_events);
+    assert!(a.worker_pings > 0, "worker pools must have pinged");
+    // A different seed moves the timeline but never the committed results.
+    let c = run(12);
+    assert_eq!(a.assignment, c.assignment);
+    assert_eq!(a.conflicts, c.conflicts);
+}
+
+#[test]
+fn streaming_rounds_match_the_engine_drain_sequence() {
+    // Timed arrival rounds against the engine's submit/drain path: occupancy
+    // must persist across rounds identically.
+    let streaming = StreamingConfig::region_partitioned(
+        ScenarioConfig::small()
+            .with_num_slots(24)
+            .with_num_workers(120),
+        3,
+        3,
+        4,
+    )
+    .build();
+    let slots = streaming.config.base.num_slots;
+    let cost = EuclideanCost::default();
+    let budget = 30.0;
+
+    let dense = tcsc_index::WorkerIndex::build(&streaming.workers, slots, &streaming.domain);
+    let mut engine = AssignmentEngine::borrowed(&dense, &cost, MultiTaskConfig::new(budget));
+    let mut reference_plans = Vec::new();
+    let mut reference_conflicts = 0usize;
+    let mut reference_executions = 0usize;
+    for round in &streaming.rounds {
+        engine.submit(round.clone());
+        let outcome = engine.drain(Objective::SumQuality);
+        reference_plans.extend(outcome.assignment.plans);
+        reference_conflicts += outcome.conflicts;
+        reference_executions += outcome.executions;
+    }
+
+    for (latency, policy) in [
+        (LatencyModel::Zero, GrantPolicy::Barrier),
+        (LatencyModel::Fixed(100), GrantPolicy::Optimistic),
+    ] {
+        let config = SimClusterConfig::new(3, 3, budget, latency).with_policy(policy);
+        let batches = streaming
+            .rounds
+            .iter()
+            .enumerate()
+            .map(|(r, tasks)| SimBatch {
+                at_us: r as u64 * 50_000,
+                tasks: tasks.clone(),
+            })
+            .collect();
+        let outcome = run_cluster(
+            &streaming.workers,
+            slots,
+            &streaming.domain,
+            batches,
+            Rc::new(EuclideanCost::default()),
+            &config,
+        );
+        assert_eq!(
+            outcome.assignment.plans, reference_plans,
+            "round plans diverged under {latency:?}/{policy:?}"
+        );
+        assert_eq!(outcome.conflicts, reference_conflicts);
+        assert_eq!(outcome.executions, reference_executions);
+    }
+}
+
+#[test]
+fn policies_trade_time_and_traffic_but_never_results() {
+    // The optimistic master overlaps conflict-loser refreshes with
+    // outstanding heartbeats at the price of speculative traffic that may be
+    // rolled back; which policy finishes earlier depends on the conflict
+    // density and the latency model (the fig9d sweep quantifies it).  What
+    // must hold unconditionally: identical committed results, an exercised
+    // speculation path, and more traffic on the optimistic side (the undone
+    // work is visible, never silently lost).
+    let cfg = ScenarioConfig::small()
+        .with_num_tasks(12)
+        .with_num_slots(20)
+        .with_num_workers(50)
+        .with_seed(9);
+    let slots = cfg.num_slots;
+    let scenario = cfg.build();
+    let run = |policy| {
+        let config = SimClusterConfig::new(4, 3, 60.0, LatencyModel::Fixed(1_000))
+            .with_policy(policy)
+            .with_service_us(100);
+        run_cluster(
+            &scenario.workers,
+            slots,
+            &scenario.domain,
+            vec![SimBatch::immediate(scenario.tasks.clone())],
+            Rc::new(EuclideanCost::default()),
+            &config,
+        )
+    };
+    let barrier = run(GrantPolicy::Barrier);
+    let optimistic = run(GrantPolicy::Optimistic);
+    assert_eq!(barrier.assignment, optimistic.assignment);
+    assert_eq!(barrier.conflicts, optimistic.conflicts);
+    assert_eq!(barrier.committed, optimistic.committed);
+    assert_eq!(barrier.rollbacks, 0);
+    assert!(
+        optimistic.rollbacks > 0,
+        "this conflict-heavy workload must exercise speculation"
+    );
+    assert!(
+        optimistic.delivered_events >= barrier.delivered_events,
+        "speculative work shows up as extra traffic"
+    );
+    assert!(barrier.finish_time_us > 0 && optimistic.finish_time_us > 0);
+}
+
+#[test]
+fn an_empty_arrival_schedule_yields_an_empty_outcome() {
+    let (scenario, slots) = scenario();
+    let outcome = run_cluster(
+        &scenario.workers,
+        slots,
+        &scenario.domain,
+        Vec::new(),
+        Rc::new(EuclideanCost::default()),
+        &SimClusterConfig::new(2, 3, 10.0, LatencyModel::Fixed(100)),
+    );
+    assert!(outcome.assignment.plans.is_empty());
+    assert_eq!(outcome.executions, 0);
+    assert_eq!(outcome.delivered_events, 0);
+}

@@ -1,0 +1,143 @@
+//! Scenario → event-trace conversion: turns a [`StreamingScenario`]'s rounds
+//! into a timed sequence of task-arrival events, the input format of the
+//! discrete-event distributed runtime (`tcsc-sim`) — and of any future real
+//! ingestion pipeline.
+
+use tcsc_core::Task;
+
+use crate::streaming::StreamingScenario;
+
+/// One task arrival at a virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskArrival {
+    /// Arrival time in microseconds since the trace start.
+    pub at_us: u64,
+    /// The arrival round the task belongs to.
+    pub round: usize,
+    /// The arriving task.
+    pub task: Task,
+}
+
+/// A timed trace of task arrivals, grouped into rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    /// The arrivals, sorted by `(at_us, round, submission order)`.
+    pub arrivals: Vec<TaskArrival>,
+    /// The configured inter-round interval.
+    pub round_interval_us: u64,
+    /// Number of rounds in the trace.
+    pub rounds: usize,
+}
+
+impl ArrivalTrace {
+    /// Converts a streaming scenario into an arrival trace: round `r`'s tasks
+    /// all arrive at `r * round_interval_us`, in their submission order.
+    pub fn from_streaming(scenario: &StreamingScenario, round_interval_us: u64) -> Self {
+        let arrivals = scenario
+            .rounds
+            .iter()
+            .enumerate()
+            .flat_map(|(round, tasks)| {
+                tasks.iter().cloned().map(move |task| TaskArrival {
+                    at_us: round as u64 * round_interval_us,
+                    round,
+                    task,
+                })
+            })
+            .collect();
+        Self {
+            arrivals,
+            round_interval_us,
+            rounds: scenario.rounds.len(),
+        }
+    }
+
+    /// A one-round trace with every task arriving at time 0.
+    pub fn immediate(tasks: Vec<Task>) -> Self {
+        Self {
+            arrivals: tasks
+                .into_iter()
+                .map(|task| TaskArrival {
+                    at_us: 0,
+                    round: 0,
+                    task,
+                })
+                .collect(),
+            round_interval_us: 0,
+            rounds: 1,
+        }
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The time of the last arrival (0 for an empty trace).
+    pub fn duration_us(&self) -> u64 {
+        self.arrivals.last().map_or(0, |a| a.at_us)
+    }
+
+    /// The trace regrouped as `(arrival time, tasks)` batches in round order
+    /// — the shape consumed by the simulated cluster's submit schedule.
+    pub fn batches(&self) -> Vec<(u64, Vec<Task>)> {
+        let mut out: Vec<(u64, Vec<Task>)> = Vec::with_capacity(self.rounds);
+        for arrival in &self.arrivals {
+            match out.last_mut() {
+                Some((at, tasks)) if *at == arrival.at_us => tasks.push(arrival.task.clone()),
+                _ => out.push((arrival.at_us, vec![arrival.task.clone()])),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streaming::StreamingConfig;
+
+    #[test]
+    fn streaming_rounds_map_to_timed_batches() {
+        let streaming = StreamingConfig::small(3, 4).build();
+        let trace = ArrivalTrace::from_streaming(&streaming, 50_000);
+        assert_eq!(trace.len(), 12);
+        assert_eq!(trace.rounds, 3);
+        assert_eq!(trace.duration_us(), 100_000);
+        let batches = trace.batches();
+        assert_eq!(batches.len(), 3);
+        for (round, (at, tasks)) in batches.iter().enumerate() {
+            assert_eq!(*at, round as u64 * 50_000);
+            assert_eq!(tasks.len(), 4);
+            assert_eq!(tasks, &streaming.rounds[round]);
+        }
+        // The flattened trace preserves the submission order exactly.
+        let flat: Vec<_> = trace.arrivals.iter().map(|a| a.task.clone()).collect();
+        assert_eq!(flat, streaming.concatenated());
+    }
+
+    #[test]
+    fn immediate_trace_is_one_round_at_time_zero() {
+        let streaming = StreamingConfig::small(2, 3).build();
+        let trace = ArrivalTrace::immediate(streaming.concatenated());
+        assert_eq!(trace.rounds, 1);
+        assert_eq!(trace.duration_us(), 0);
+        assert_eq!(trace.batches().len(), 1);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn zero_interval_collapses_rounds_into_one_batch() {
+        let streaming = StreamingConfig::small(3, 2).build();
+        let trace = ArrivalTrace::from_streaming(&streaming, 0);
+        assert_eq!(trace.rounds, 3);
+        let batches = trace.batches();
+        assert_eq!(batches.len(), 1, "same-time rounds merge into one batch");
+        assert_eq!(batches[0].1.len(), 6);
+    }
+}

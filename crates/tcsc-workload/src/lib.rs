@@ -12,12 +12,15 @@
 //! * [`scenario`] — the paper's default parameter sets bundled into
 //!   reproducible, seeded scenarios;
 //! * [`streaming`] — task batches arriving over rounds, for the batched /
-//!   streaming assignment engine.
+//!   streaming assignment engine;
+//! * [`events`] — scenario → event-trace conversion: timed task-arrival
+//!   traces for the discrete-event distributed runtime (`tcsc-sim`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod distribution;
+pub mod events;
 pub mod poi;
 pub mod scenario;
 pub mod streaming;
@@ -25,6 +28,7 @@ pub mod tasks;
 pub mod trajectory;
 
 pub use distribution::SpatialDistribution;
+pub use events::{ArrivalTrace, TaskArrival};
 pub use poi::{PoiConfig, PoiDataset};
 pub use scenario::{Scenario, ScenarioConfig, TaskPlacement};
 pub use streaming::{StreamingConfig, StreamingScenario};

@@ -1,0 +1,158 @@
+//! Property tests for the region-partitioned workload shapes:
+//! [`SpatialDistribution::RegionGrid`] (every sample strictly inside its
+//! region cell's interior, full coverage at scale) and
+//! [`StreamingConfig::region_partitioned`] (round/arrival invariants).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcsc_core::{Domain, Location};
+use tcsc_workload::{ScenarioConfig, SpatialDistribution, StreamingConfig};
+
+/// The region cell of a point under a `cols x rows` lattice.
+fn region_of(domain: &Domain, cols: usize, rows: usize, p: &Location) -> (usize, usize) {
+    let w = domain.width() / cols as f64;
+    let h = domain.height() / rows as f64;
+    let cx = (((p.x - domain.min.x) / w).floor() as usize).min(cols - 1);
+    let cy = (((p.y - domain.min.y) / h).floor() as usize).min(rows - 1);
+    (cx, cy)
+}
+
+/// Distance from a point to the nearest boundary of its region cell.
+fn boundary_distance(domain: &Domain, cols: usize, rows: usize, p: &Location) -> f64 {
+    let w = domain.width() / cols as f64;
+    let h = domain.height() / rows as f64;
+    let (cx, cy) = region_of(domain, cols, rows, p);
+    let x_lo = domain.min.x + cx as f64 * w;
+    let y_lo = domain.min.y + cy as f64 * h;
+    (p.x - x_lo)
+        .min(x_lo + w - p.x)
+        .min(p.y - y_lo)
+        .min(y_lo + h - p.y)
+}
+
+#[test]
+fn region_grid_samples_stay_strictly_inside_their_cells() {
+    // Across lattice shapes (including non-square), margins and rectangular
+    // domains: every sample keeps a margin-sized distance to every region
+    // boundary — strictly inside its cell's interior.
+    let domains = [
+        Domain::square(100.0),
+        Domain::new(Location::new(-30.0, 5.0), Location::new(70.0, 45.0)),
+    ];
+    for domain in &domains {
+        for (cols, rows) in [(1usize, 1usize), (2, 5), (4, 4), (7, 3)] {
+            for margin in [0.05, 0.15, 0.3] {
+                let dist = SpatialDistribution::RegionGrid { cols, rows, margin };
+                let mut rng = StdRng::seed_from_u64(1000 + cols as u64 * 10 + rows as u64);
+                let min_gap = margin
+                    * (domain.width() / cols as f64).min(domain.height() / rows as f64)
+                    - 1e-9;
+                for p in dist.sample_many(&mut rng, domain, 800) {
+                    assert!(domain.contains(&p), "{p} escaped the domain");
+                    assert!(
+                        boundary_distance(domain, cols, rows, &p) >= min_gap,
+                        "{p} violates the {margin} margin on a {cols}x{rows} lattice"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn region_grid_populates_every_cell_for_large_samples() {
+    for (cols, rows) in [(2usize, 2usize), (4, 4), (5, 3), (8, 8)] {
+        let domain = Domain::square(100.0);
+        let dist = SpatialDistribution::RegionGrid {
+            cols,
+            rows,
+            margin: 0.15,
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = cols * rows * 60;
+        let mut seen = vec![false; cols * rows];
+        for p in dist.sample_many(&mut rng, &domain, n) {
+            let (cx, cy) = region_of(&domain, cols, rows, &p);
+            seen[cy * cols + cx] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "{cols}x{rows}: some region cell received no samples out of {n}"
+        );
+    }
+}
+
+#[test]
+fn region_grid_tasks_of_a_scenario_respect_their_cells() {
+    // End to end through the scenario generator: every *task* of a
+    // region-grid scenario lands strictly inside a region cell.
+    let regions = 4;
+    let cfg = ScenarioConfig::small().with_num_tasks(200).with_placement(
+        tcsc_workload::TaskPlacement::Synthetic(SpatialDistribution::region_grid(regions)),
+    );
+    let scenario = cfg.build();
+    assert_eq!(scenario.tasks.len(), 200);
+    let min_gap = 0.15 * scenario.domain.width() / regions as f64 - 1e-9;
+    for task in &scenario.tasks {
+        assert!(
+            boundary_distance(&scenario.domain, regions, regions, &task.location) >= min_gap,
+            "task {:?} at {} sits within the boundary margin",
+            task.id,
+            task.location
+        );
+    }
+}
+
+#[test]
+fn region_partitioned_stream_has_exact_rounds_and_unique_arrivals() {
+    for (regions, rounds, per_round) in [(3usize, 4usize, 6usize), (5, 2, 9), (2, 7, 1)] {
+        let config = StreamingConfig::region_partitioned(
+            ScenarioConfig::small(),
+            regions,
+            rounds,
+            per_round,
+        );
+        let streaming = config.build();
+        // Round shape.
+        assert_eq!(streaming.rounds.len(), rounds);
+        assert!(streaming.rounds.iter().all(|r| r.len() == per_round));
+        assert_eq!(streaming.num_tasks(), rounds * per_round);
+        // Arrival uniqueness across rounds.
+        let mut ids = std::collections::HashSet::new();
+        for task in streaming.concatenated() {
+            assert!(ids.insert(task.id), "duplicate arrival id {:?}", task.id);
+        }
+        // Every arrival clusters strictly inside a region cell.
+        let min_gap = 0.15 * streaming.domain.width() / regions as f64 - 1e-9;
+        for task in streaming.concatenated() {
+            assert!(
+                boundary_distance(&streaming.domain, regions, regions, &task.location) >= min_gap,
+                "arrival at {} sits within the boundary margin",
+                task.location
+            );
+        }
+        // The concatenation equals the one-shot scenario of the same config.
+        let batch = streaming
+            .config
+            .base
+            .clone()
+            .with_num_tasks(rounds * per_round)
+            .build();
+        assert_eq!(streaming.concatenated(), batch.tasks);
+        assert_eq!(streaming.workers, batch.workers);
+    }
+}
+
+#[test]
+fn region_partitioned_stream_is_deterministic_per_seed() {
+    let build = |seed| {
+        StreamingConfig::region_partitioned(ScenarioConfig::small().with_seed(seed), 4, 3, 5)
+            .build()
+    };
+    let a = build(21);
+    let b = build(21);
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.workers, b.workers);
+    let c = build(22);
+    assert_ne!(a.rounds, c.rounds, "different seeds must differ");
+}

@@ -13,7 +13,11 @@
 //!   `AssignmentEngine` with its shared incremental candidate cache;
 //! * [`workload`] — synthetic workload generators (task distributions,
 //!   worker trajectories, POIs) and reproducible scenarios, including
-//!   streaming task arrivals.
+//!   streaming task arrivals and their event-trace conversion;
+//! * [`sim`] — the deterministic discrete-event simulation of the
+//!   distributed runtime: dispatcher / region-node components over a
+//!   virtual network, driving the (barrier or optimistic non-blocking)
+//!   task-parallel master.
 //!
 //! See the `examples/` directory for end-to-end usage and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the mapping to the paper.
@@ -36,6 +40,7 @@
 pub use tcsc_assign as assign;
 pub use tcsc_core as core;
 pub use tcsc_index as index;
+pub use tcsc_sim as sim;
 pub use tcsc_workload as workload;
 
 /// Convenient glob import of the most frequently used items.
@@ -56,8 +61,11 @@ pub mod prelude {
         OrderKVoronoi, ShardGridConfig, ShardedWorkerIndex, SpatialQuery, VTree, VTreeConfig,
         WorkerIndex,
     };
+    pub use tcsc_sim::{
+        plan_hash, run_cluster, LatencyModel, SimBatch, SimClusterConfig, SimOutcome,
+    };
     pub use tcsc_workload::{
-        PoiConfig, PoiDataset, Scenario, ScenarioConfig, SpatialDistribution, StreamingConfig,
-        StreamingScenario, TaskPlacement, TrajectoryConfig,
+        ArrivalTrace, PoiConfig, PoiDataset, Scenario, ScenarioConfig, SpatialDistribution,
+        StreamingConfig, StreamingScenario, TaskPlacement, TrajectoryConfig,
     };
 }
