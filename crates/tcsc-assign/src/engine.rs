@@ -38,20 +38,23 @@
 //! (the pre-engine solvers, kept as the rebuild-per-call baseline); the
 //! equivalence is locked in by `tests/engine_equivalence.rs`.
 
+pub(crate) mod commit;
 pub mod concurrent;
 
 use std::borrow::Cow;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use tcsc_core::{
     CostModel, Domain, ExecutedSubtask, InterpolationWeights, MultiAssignment, QualityParams,
-    SlotIndex, SpatioTemporalEvaluator, Task, TaskId, WorkerId,
+    SpatioTemporalEvaluator, Task, TaskId,
 };
 use tcsc_index::{SpatialQuery, WorkerIndex};
 
 use crate::candidates::{SlotCandidates, WorkerLedger};
+use crate::engine::commit::{inline_wave, msqm_commit_loop, DenseBackend};
 use crate::multi::sapprox::SpatioTemporalObjective;
-use crate::multi::{MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};
+use crate::multi::{MultiOutcome, MultiTaskConfig, TaskState};
+pub use crate::multi::{RefreshStats, RefreshStrategy};
 
 /// Which aggregate objective a batch solve maximises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +73,16 @@ pub enum Objective {
 /// rebuild-per-call strategy — recomputing every task's candidates from
 /// scratch, as the pre-engine solvers do — would have performed for the same
 /// work.  The difference is the engine's saving.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// The refresh-accounting block (`full_refreshes`, `incremental_patches`,
+/// `stale_pops`, `refresh_nanos`) measures the *commit-tail* best-candidate
+/// work of the run — the cost the [`RefreshStrategy::Incremental`] gain
+/// ledger attacks.  Those four fields are **measurement, not behaviour**:
+/// different drivers of the same plan (engine greedy vs task-parallel master
+/// vs simulated cluster) legitimately issue different best-candidate request
+/// sequences, so the refresh block is excluded from `PartialEq` and from
+/// every bit-identity contract.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
     /// Tasks whose candidates were computed from scratch (cache misses).
     pub tasks_computed: usize,
@@ -84,7 +96,31 @@ pub struct CacheStats {
     /// Per-slot computations a rebuild-per-call strategy would have performed
     /// for the same solves.
     pub rebuild_slot_computations: usize,
+    /// Full best-candidate searches beyond each task's warm start (the
+    /// commit-tail recomputes; `0` in steady state on the incremental path).
+    pub full_refreshes: usize,
+    /// Gain-ledger entries patched (re-keyed) after candidate refreshes and
+    /// rollback undos.
+    pub incremental_patches: usize,
+    /// Stale gain-ledger entries re-scored on pop (the lazy-greedy work).
+    pub stale_pops: usize,
+    /// Nanoseconds spent in commit-tail refresh work (searches beyond the
+    /// warm start, ledger pops and patches).
+    pub refresh_nanos: u64,
 }
+
+/// Equality covers the candidate-computation counters only; the refresh
+/// accounting is a per-driver measurement (see the struct docs).
+impl PartialEq for CacheStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.tasks_computed == other.tasks_computed
+            && self.tasks_reused == other.tasks_reused
+            && self.slot_computations == other.slot_computations
+            && self.slot_refreshes == other.slot_refreshes
+            && self.rebuild_slot_computations == other.rebuild_slot_computations
+    }
+}
+impl Eq for CacheStats {}
 
 impl CacheStats {
     /// Accumulates another stats block into this one.
@@ -94,6 +130,28 @@ impl CacheStats {
         self.slot_computations += other.slot_computations;
         self.slot_refreshes += other.slot_refreshes;
         self.rebuild_slot_computations += other.rebuild_slot_computations;
+        self.full_refreshes += other.full_refreshes;
+        self.incremental_patches += other.incremental_patches;
+        self.stale_pops += other.stale_pops;
+        self.refresh_nanos += other.refresh_nanos;
+    }
+
+    /// Counts one conflict-driven slot refresh (a real index-backed
+    /// recompute that the rebuild baseline would also have performed) — the
+    /// single site of this accounting convention, shared by every commit
+    /// backend and the rebuild solvers.
+    pub(crate) fn count_conflict_refresh(&mut self) {
+        self.slot_computations += 1;
+        self.slot_refreshes += 1;
+        self.rebuild_slot_computations += 1;
+    }
+
+    /// Folds one task state's refresh accounting into the run's counters.
+    pub fn absorb_refresh(&mut self, refresh: &RefreshStats) {
+        self.full_refreshes += refresh.full_refreshes;
+        self.incremental_patches += refresh.incremental_patches;
+        self.stale_pops += refresh.stale_pops;
+        self.refresh_nanos += refresh.refresh_nanos;
     }
 
     /// Slot computations saved relative to the rebuild-per-call baseline.
@@ -295,64 +353,15 @@ impl CandidateCache {
     }
 }
 
-/// Reverse holder map of one solve: `(slot, worker)` to the tasks whose
-/// cached best candidate currently targets that worker.  `registered`
-/// remembers each task's key so deregistration never has to search.
-#[derive(Debug, Default)]
-struct HolderMap {
-    holders: HashMap<(SlotIndex, WorkerId), BTreeSet<usize>>,
-    registered: Vec<Option<(SlotIndex, WorkerId)>>,
-}
-
-impl HolderMap {
-    fn with_tasks(n: usize) -> Self {
-        Self {
-            holders: HashMap::new(),
-            registered: vec![None; n],
-        }
-    }
-
-    fn register(&mut self, task_idx: usize, slot: SlotIndex, worker: WorkerId) {
-        self.holders
-            .entry((slot, worker))
-            .or_default()
-            .insert(task_idx);
-        self.registered[task_idx] = Some((slot, worker));
-    }
-
-    fn deregister(&mut self, task_idx: usize) {
-        if let Some(key) = self.registered[task_idx].take() {
-            if let Some(set) = self.holders.get_mut(&key) {
-                set.remove(&task_idx);
-                if set.is_empty() {
-                    self.holders.remove(&key);
-                }
-            }
-        }
-    }
-
-    /// Removes and returns every task holding `(slot, worker)` as its best
-    /// candidate.
-    fn take_holders(&mut self, slot: SlotIndex, worker: WorkerId) -> BTreeSet<usize> {
-        let set = self.holders.remove(&(slot, worker)).unwrap_or_default();
-        for &task_idx in &set {
-            self.registered[task_idx] = None;
-        }
-        set
-    }
-}
-
-/// The serial MSQM greedy over already-checked-out task states: repeatedly
-/// execute the globally best affordable `(gain / cost)` candidate, arbitrate
-/// worker conflicts through `ledger` and refresh exactly the invalidated
-/// slots.  Returns `(conflicts, executions)`.
+/// The serial MSQM greedy over already-checked-out task states against a
+/// dense ledger: a thin wrapper binding [`commit::msqm_commit_loop`] to the
+/// dense backend with the inline candidate wave.  Returns
+/// `(conflicts, executions)`.
 ///
-/// [`AssignmentEngine::assign_batch`] and the cache-sharing group-parallel
-/// variant both call this function, so their results can only differ through
-/// the candidates they feed in.  The concurrent engine's
-/// `run_msqm_parallel` is a deliberate line-for-line port over the sharded
-/// ledger (like `multi::rebuild` before it); any change to the selection or
-/// invalidation rules here must be mirrored there — the equivalence suites
+/// [`AssignmentEngine::assign_batch`], the cache-sharing group-parallel
+/// variant and (through the sharded backend) the concurrent engine all
+/// commit through the same loop, so their results can only differ through
+/// the candidates they feed in — the equivalence suites
 /// (`engine_equivalence.rs`, `concurrent_equivalence.rs`) are the tripwire.
 pub(crate) fn msqm_greedy_core(
     states: &mut [TaskState],
@@ -362,106 +371,12 @@ pub(crate) fn msqm_greedy_core(
     ledger: &mut WorkerLedger,
     stats: &mut CacheStats,
 ) -> (usize, usize) {
-    let mut remaining = budget;
-    let mut conflicts = 0usize;
-    let mut executions = 0usize;
-
-    // Cached best candidate per task; recomputed lazily when invalidated.
-    let mut cached: Vec<Option<Option<TaskCandidate>>> = vec![None; states.len()];
-    let mut holders = HolderMap::with_tasks(states.len());
-
-    loop {
-        // Refresh stale candidate caches.  A cached candidate computed
-        // under a larger remaining budget may have become unaffordable;
-        // recompute it with the current budget so that cheaper slots of
-        // the same task are still considered.
-        for (i, state) in states.iter_mut().enumerate() {
-            if let Some(Some(c)) = &cached[i] {
-                if c.cost > remaining {
-                    holders.deregister(i);
-                    cached[i] = None;
-                }
-            }
-            if cached[i].is_none() {
-                let candidate = state.best_candidate(remaining);
-                if let Some(c) = &candidate {
-                    let worker = state
-                        .planned_worker(c.slot)
-                        .expect("candidate slot has a planned worker");
-                    holders.register(i, c.slot, worker);
-                }
-                cached[i] = Some(candidate);
-            }
-        }
-        // Pick the task with the globally maximal heuristic value among
-        // the affordable candidates.
-        let mut best: Option<(usize, TaskCandidate)> = None;
-        for (i, entry) in cached.iter().enumerate() {
-            let Some(Some(candidate)) = entry else {
-                continue;
-            };
-            if candidate.cost > remaining {
-                continue;
-            }
-            let better = match &best {
-                None => true,
-                Some((bi, b)) => {
-                    candidate.heuristic > b.heuristic
-                        || (candidate.heuristic == b.heuristic && i < *bi)
-                }
-            };
-            if better {
-                best = Some((i, *candidate));
-            }
-        }
-        let Some((task_idx, candidate)) = best else {
-            break;
-        };
-
-        // Worker-conflict check: the planned worker may have been taken
-        // by another task since this candidate was computed.
-        let worker = states[task_idx]
-            .planned_worker(candidate.slot)
-            .expect("candidate slot has a planned worker");
-        if ledger.is_occupied(candidate.slot, worker) {
-            // Conflict: fall back to the next nearest worker and retry.
-            conflicts += 1;
-            holders.deregister(task_idx);
-            cached[task_idx] = None;
-            states[task_idx].refresh_slot(candidate.slot, index, cost_model, ledger);
-            stats.slot_computations += 1;
-            stats.slot_refreshes += 1;
-            stats.rebuild_slot_computations += 1;
-            continue;
-        }
-
-        // Execute.
-        remaining -= candidate.cost;
-        ledger.occupy(candidate.slot, worker);
-        states[task_idx].execute(candidate.slot);
-        executions += 1;
-        holders.deregister(task_idx);
-        cached[task_idx] = None;
-        // Invalidate cached candidates of tasks that planned to use the
-        // same worker at the same slot (they must fall back on their next
-        // try).  The holder map yields exactly those tasks without
-        // scanning the whole batch.
-        let losers = holders.take_holders(candidate.slot, worker);
-        debug_assert!(
-            !losers.contains(&task_idx),
-            "the executing task was deregistered before its worker was occupied"
-        );
-        for i in losers {
-            conflicts += 1;
-            cached[i] = None;
-            states[i].refresh_slot(candidate.slot, index, cost_model, ledger);
-            stats.slot_computations += 1;
-            stats.slot_refreshes += 1;
-            stats.rebuild_slot_computations += 1;
-        }
-    }
-
-    (conflicts, executions)
+    let mut backend = DenseBackend {
+        index,
+        cost_model,
+        ledger,
+    };
+    msqm_commit_loop(states, budget, &mut backend, stats, &mut inline_wave)
 }
 
 /// Long-lived batched / streaming multi-task assignment engine.
@@ -647,73 +562,18 @@ impl<'a> AssignmentEngine<'a> {
         }
     }
 
-    /// MMQM greedy (port of the rebuild solver: reinforce the weakest task,
-    /// with candidates served through the cache).
+    /// MMQM greedy (reinforce the weakest task, candidates served through the
+    /// cache), committing through the shared lazy-heap loop.
     fn run_mmqm(&mut self, tasks: &[Task]) -> MultiOutcome {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-
-        use crate::multi::rebuild::HeapEntry;
-
         let mut stats = CacheStats::default();
         let mut states = self.checkout_states(tasks, &mut stats);
-        let mut remaining = self.config.budget;
-        let mut conflicts = 0usize;
-        let mut executions = 0usize;
-
-        // Min-heap over (quality, task index); entries are lazily refreshed.
-        let mut heap: BinaryHeap<Reverse<HeapEntry>> = states
-            .iter()
-            .enumerate()
-            .map(|(i, s)| Reverse(HeapEntry(s.quality(), i)))
-            .collect();
-        // Tasks that ran out of affordable candidates are retired.
-        let mut retired = vec![false; states.len()];
-
-        while let Some(Reverse(HeapEntry(quality, task_idx))) = heap.pop() {
-            if retired[task_idx] {
-                continue;
-            }
-            // Lazy entry: skip if stale (the task's quality has changed since
-            // the entry was pushed).
-            if (states[task_idx].quality() - quality).abs() > 1e-12 {
-                heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
-                continue;
-            }
-
-            let Some(candidate) = states[task_idx].best_candidate(remaining) else {
-                retired[task_idx] = true;
-                continue;
-            };
-            if candidate.cost > remaining {
-                retired[task_idx] = true;
-                continue;
-            }
-            // Conflict check against the shared ledger.
-            let worker = states[task_idx]
-                .planned_worker(candidate.slot)
-                .expect("candidate slot has a planned worker");
-            if self.ledger.is_occupied(candidate.slot, worker) {
-                conflicts += 1;
-                states[task_idx].refresh_slot(
-                    candidate.slot,
-                    self.index.as_ref(),
-                    self.cost_model,
-                    &self.ledger,
-                );
-                stats.slot_computations += 1;
-                stats.slot_refreshes += 1;
-                stats.rebuild_slot_computations += 1;
-                heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
-                continue;
-            }
-
-            remaining -= candidate.cost;
-            self.ledger.occupy(candidate.slot, worker);
-            states[task_idx].execute(candidate.slot);
-            executions += 1;
-            heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
-        }
+        let mut backend = DenseBackend {
+            index: self.index.as_ref(),
+            cost_model: self.cost_model,
+            ledger: &mut self.ledger,
+        };
+        let (conflicts, executions) =
+            commit::mmqm_commit_loop(&mut states, self.config.budget, &mut backend, &mut stats);
 
         let assignment =
             MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());

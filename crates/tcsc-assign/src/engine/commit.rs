@@ -1,0 +1,342 @@
+//! The shared greedy commit loops.
+//!
+//! Before this module, the MSQM holder-map loop lived twice (serial engine,
+//! concurrent engine) and the MMQM lazy-heap loop three times (serial engine,
+//! rebuild baseline, concurrent engine) — every copy a line-for-line port
+//! that had to be patched in lockstep (the equivalence suites were the only
+//! tripwire).  The incremental-gain ledger gives the commit tail exactly one
+//! implementation to patch by factoring both loops here, parameterized by a
+//! [`CommitBackend`]: the only thing the drivers actually differ in is *where
+//! occupancy lives* (a dense [`WorkerLedger`] vs the sharded per-tile
+//! ledgers) and therefore how a conflict-invalidated slot is refreshed.
+//!
+//! The loops never compute candidates themselves — they call
+//! [`TaskState::best_candidate`], which dispatches on the task's
+//! [`crate::multi::RefreshStrategy`]; the refresh accounting each state
+//! accumulates is absorbed into the run's [`CacheStats`] when a loop
+//! finishes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use tcsc_core::{CandidateAssignment, CostModel, SlotIndex, WorkerId};
+use tcsc_index::SpatialQuery;
+
+use crate::candidates::WorkerLedger;
+use crate::engine::CacheStats;
+use crate::multi::rebuild::HeapEntry;
+use crate::multi::{TaskCandidate, TaskState};
+
+/// What a commit loop needs from its occupancy store: conflict checks,
+/// claims, and the post-conflict slot refresh.
+pub(crate) trait CommitBackend {
+    /// Whether the planned worker is already occupied at the planned slot.
+    fn is_occupied(&self, planned: &CandidateAssignment) -> bool;
+
+    /// Claims the planned `(slot, worker)` (the caller checked availability).
+    fn occupy(&mut self, planned: &CandidateAssignment);
+
+    /// Recomputes one slot's candidate against the current occupancy (the
+    /// conflict fallback), counting the refresh into `stats`.
+    fn refresh_conflict_slot(
+        &mut self,
+        state: &mut TaskState,
+        slot: SlotIndex,
+        stats: &mut CacheStats,
+    );
+}
+
+/// The dense-ledger backend of the serial engine and the rebuild baselines.
+pub(crate) struct DenseBackend<'a> {
+    pub index: &'a dyn SpatialQuery,
+    pub cost_model: &'a dyn CostModel,
+    pub ledger: &'a mut WorkerLedger,
+}
+
+impl CommitBackend for DenseBackend<'_> {
+    fn is_occupied(&self, planned: &CandidateAssignment) -> bool {
+        self.ledger.is_occupied(planned.slot, planned.worker)
+    }
+
+    fn occupy(&mut self, planned: &CandidateAssignment) {
+        self.ledger.occupy(planned.slot, planned.worker);
+    }
+
+    fn refresh_conflict_slot(
+        &mut self,
+        state: &mut TaskState,
+        slot: SlotIndex,
+        stats: &mut CacheStats,
+    ) {
+        state.refresh_slot(slot, self.index, self.cost_model, self.ledger);
+        stats.count_conflict_refresh();
+    }
+}
+
+/// Folds every state's refresh accounting into the run's stats (called once
+/// per finished commit loop; states are per-solve, so nothing double-counts).
+pub(crate) fn absorb_refresh_stats(states: &[TaskState], stats: &mut CacheStats) {
+    for state in states {
+        stats.absorb_refresh(&state.refresh_stats());
+    }
+}
+
+/// Reverse holder map of one solve: `(slot, worker)` to the tasks whose
+/// cached best candidate currently targets that worker.  `registered`
+/// remembers each task's key so deregistration never has to search.
+#[derive(Debug, Default)]
+pub(crate) struct HolderMap {
+    holders: HashMap<(SlotIndex, WorkerId), std::collections::BTreeSet<usize>>,
+    registered: Vec<Option<(SlotIndex, WorkerId)>>,
+}
+
+impl HolderMap {
+    pub(crate) fn with_tasks(n: usize) -> Self {
+        Self {
+            holders: HashMap::new(),
+            registered: vec![None; n],
+        }
+    }
+
+    pub(crate) fn register(&mut self, task_idx: usize, slot: SlotIndex, worker: WorkerId) {
+        self.holders
+            .entry((slot, worker))
+            .or_default()
+            .insert(task_idx);
+        self.registered[task_idx] = Some((slot, worker));
+    }
+
+    pub(crate) fn deregister(&mut self, task_idx: usize) {
+        if let Some(key) = self.registered[task_idx].take() {
+            if let Some(set) = self.holders.get_mut(&key) {
+                set.remove(&task_idx);
+                if set.is_empty() {
+                    self.holders.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns every task holding `(slot, worker)` as its best
+    /// candidate.
+    pub(crate) fn take_holders(
+        &mut self,
+        slot: SlotIndex,
+        worker: WorkerId,
+    ) -> std::collections::BTreeSet<usize> {
+        let set = self.holders.remove(&(slot, worker)).unwrap_or_default();
+        for &task_idx in &set {
+            self.registered[task_idx] = None;
+        }
+        set
+    }
+}
+
+/// A candidate wave: recomputes `best_candidate(remaining)` for the listed
+/// states, returning `(task index, candidate)` pairs in ascending task order.
+/// The serial drivers answer inline; the concurrent engine fans large waves
+/// out to its thread pool.  Each answer is a pure function of the task's own
+/// state and `remaining`, so inline and parallel execution coincide.
+pub(crate) type CandidateWave<'a> =
+    dyn FnMut(&mut [TaskState], &[usize], f64) -> Vec<(usize, Option<TaskCandidate>)> + 'a;
+
+/// The inline (serial) candidate wave.
+pub(crate) fn inline_wave(
+    states: &mut [TaskState],
+    invalidated: &[usize],
+    remaining: f64,
+) -> Vec<(usize, Option<TaskCandidate>)> {
+    invalidated
+        .iter()
+        .map(|&i| (i, states[i].best_candidate(remaining)))
+        .collect()
+}
+
+/// The serial MSQM greedy over already-checked-out task states: repeatedly
+/// execute the globally best affordable `(gain / cost)` candidate, arbitrate
+/// worker conflicts through the backend and refresh exactly the invalidated
+/// slots (the reverse holder map yields them without scanning the batch).
+/// Returns `(conflicts, executions)`.
+///
+/// Every MSQM driver commits through this loop — the serial engine, the
+/// cache-sharing group-parallel variant and the concurrent engine (which
+/// passes its thread-pool wave); their results can only differ through the
+/// candidates they feed in.  The equivalence suites (`engine_equivalence.rs`,
+/// `concurrent_equivalence.rs`) are the tripwire.
+pub(crate) fn msqm_commit_loop(
+    states: &mut [TaskState],
+    budget: f64,
+    backend: &mut dyn CommitBackend,
+    stats: &mut CacheStats,
+    wave: &mut CandidateWave<'_>,
+) -> (usize, usize) {
+    let mut remaining = budget;
+    let mut conflicts = 0usize;
+    let mut executions = 0usize;
+
+    // Cached best candidate per task; recomputed lazily when invalidated.
+    let mut cached: Vec<Option<Option<TaskCandidate>>> = vec![None; states.len()];
+    let mut holders = HolderMap::with_tasks(states.len());
+
+    loop {
+        // Deregister candidates that the shrinking budget made unaffordable
+        // (they must be recomputed with the current budget so cheaper slots
+        // of the same task are still considered).
+        for (i, entry) in cached.iter_mut().enumerate() {
+            if let Some(Some(c)) = entry {
+                if c.cost > remaining {
+                    holders.deregister(i);
+                    *entry = None;
+                }
+            }
+        }
+        // Recompute every invalidated candidate as one wave (the first
+        // iteration recomputes the whole batch — the warm start).
+        let invalidated: Vec<usize> = (0..states.len()).filter(|&i| cached[i].is_none()).collect();
+        if !invalidated.is_empty() {
+            for (i, candidate) in wave(states, &invalidated, remaining) {
+                if let Some(c) = &candidate {
+                    let worker = states[i]
+                        .planned_worker(c.slot)
+                        .expect("candidate slot has a planned worker");
+                    holders.register(i, c.slot, worker);
+                }
+                cached[i] = Some(candidate);
+            }
+        }
+        // Pick the task with the globally maximal heuristic value among the
+        // affordable candidates (identical rule, identical ties).
+        let mut best: Option<(usize, TaskCandidate)> = None;
+        for (i, entry) in cached.iter().enumerate() {
+            let Some(Some(candidate)) = entry else {
+                continue;
+            };
+            if candidate.cost > remaining {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bi, b)) => {
+                    candidate.heuristic > b.heuristic
+                        || (candidate.heuristic == b.heuristic && i < *bi)
+                }
+            };
+            if better {
+                best = Some((i, *candidate));
+            }
+        }
+        let Some((task_idx, candidate)) = best else {
+            break;
+        };
+
+        // Worker-conflict check: the planned worker may have been taken by
+        // another task since this candidate was computed.
+        let planned = *states[task_idx]
+            .candidates
+            .get(candidate.slot)
+            .expect("candidate slot has a planned worker");
+        if backend.is_occupied(&planned) {
+            // Conflict: fall back to the next nearest worker and retry.
+            conflicts += 1;
+            holders.deregister(task_idx);
+            cached[task_idx] = None;
+            backend.refresh_conflict_slot(&mut states[task_idx], candidate.slot, stats);
+            continue;
+        }
+
+        // Execute.
+        remaining -= candidate.cost;
+        backend.occupy(&planned);
+        states[task_idx].execute(candidate.slot);
+        executions += 1;
+        holders.deregister(task_idx);
+        cached[task_idx] = None;
+        // Invalidate cached candidates of tasks that planned to use the same
+        // worker at the same slot (they must fall back on their next try).
+        // The holder map yields exactly those tasks without scanning the
+        // whole batch.
+        let losers = holders.take_holders(candidate.slot, planned.worker);
+        debug_assert!(
+            !losers.contains(&task_idx),
+            "the executing task was deregistered before its worker was occupied"
+        );
+        for i in losers {
+            conflicts += 1;
+            cached[i] = None;
+            backend.refresh_conflict_slot(&mut states[i], candidate.slot, stats);
+        }
+    }
+
+    absorb_refresh_stats(states, stats);
+    (conflicts, executions)
+}
+
+/// The MMQM lazy-heap greedy: repeatedly reinforce the weakest task with its
+/// best affordable candidate, arbitrating conflicts through the backend.
+/// Heap entries are lazily refreshed — a popped entry whose quality no longer
+/// matches the task is re-pushed with the current quality instead of being
+/// trusted.  Returns `(conflicts, executions)`.
+///
+/// The single implementation behind the serial engine, the rebuild baseline
+/// and the concurrent engine (which previously carried three line-for-line
+/// copies of this loop).
+pub(crate) fn mmqm_commit_loop(
+    states: &mut [TaskState],
+    budget: f64,
+    backend: &mut dyn CommitBackend,
+    stats: &mut CacheStats,
+) -> (usize, usize) {
+    let mut remaining = budget;
+    let mut conflicts = 0usize;
+    let mut executions = 0usize;
+
+    // Min-heap over (quality, task index); entries are lazily refreshed.
+    let mut heap: BinaryHeap<Reverse<HeapEntry>> = states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Reverse(HeapEntry(s.quality(), i)))
+        .collect();
+    // Tasks that ran out of affordable candidates are retired.
+    let mut retired = vec![false; states.len()];
+
+    while let Some(Reverse(HeapEntry(quality, task_idx))) = heap.pop() {
+        if retired[task_idx] {
+            continue;
+        }
+        // Lazy entry: skip if stale (the task's quality has changed since the
+        // entry was pushed).
+        if (states[task_idx].quality() - quality).abs() > 1e-12 {
+            heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
+            continue;
+        }
+
+        let Some(candidate) = states[task_idx].best_candidate(remaining) else {
+            retired[task_idx] = true;
+            continue;
+        };
+        if candidate.cost > remaining {
+            retired[task_idx] = true;
+            continue;
+        }
+        // Conflict check against the shared occupancy.
+        let planned = *states[task_idx]
+            .candidates
+            .get(candidate.slot)
+            .expect("candidate slot has a planned worker");
+        if backend.is_occupied(&planned) {
+            conflicts += 1;
+            backend.refresh_conflict_slot(&mut states[task_idx], candidate.slot, stats);
+            heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
+            continue;
+        }
+
+        remaining -= candidate.cost;
+        backend.occupy(&planned);
+        states[task_idx].execute(candidate.slot);
+        executions += 1;
+        heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
+    }
+
+    absorb_refresh_stats(states, stats);
+    (conflicts, executions)
+}

@@ -53,7 +53,8 @@ use tcsc_core::{CandidateAssignment, CostModel, MultiAssignment, SlotIndex, Task
 use tcsc_index::ShardedWorkerIndex;
 
 use crate::candidates::WorkerLedger;
-use crate::engine::{CacheStats, CandidateCache, HolderMap, Objective};
+use crate::engine::commit::{inline_wave, mmqm_commit_loop, msqm_commit_loop, CommitBackend};
+use crate::engine::{CacheStats, CandidateCache, Objective};
 use crate::multi::{MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};
 
 /// Minimum number of simultaneously invalidated tasks before an in-loop
@@ -161,6 +162,41 @@ fn candidate_for_slot_sharded(
         cost,
         reliability: nearest.reliability,
     })
+}
+
+/// The sharded-ledger backend of the shared commit loops: occupancy routed to
+/// the shard owning the planned worker's location (the same routing function
+/// the index uses), conflict refreshes computed against a read snapshot of
+/// every shard.
+struct ShardedBackend<'a> {
+    index: &'a ShardedWorkerIndex,
+    cost_model: &'a (dyn CostModel + Sync),
+    ledger: &'a ShardedLedger,
+}
+
+impl CommitBackend for ShardedBackend<'_> {
+    fn is_occupied(&self, planned: &CandidateAssignment) -> bool {
+        let shard = self.index.spatial_shard_of(&planned.worker_location);
+        self.ledger.is_occupied(shard, planned.slot, planned.worker)
+    }
+
+    fn occupy(&mut self, planned: &CandidateAssignment) {
+        let shard = self.index.spatial_shard_of(&planned.worker_location);
+        self.ledger.occupy(shard, planned.slot, planned.worker);
+    }
+
+    fn refresh_conflict_slot(
+        &mut self,
+        state: &mut TaskState,
+        slot: SlotIndex,
+        stats: &mut CacheStats,
+    ) {
+        let guards = self.ledger.read_all();
+        let candidate =
+            candidate_for_slot_sharded(&state.task, slot, self.index, self.cost_model, &guards);
+        state.set_candidate(slot, candidate);
+        stats.count_conflict_refresh();
+    }
 }
 
 /// Long-lived concurrent assignment engine over a sharded index: per-shard
@@ -403,168 +439,32 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
             .collect()
     }
 
-    /// Computes `best_candidate(remaining)` for every listed state, fanning
-    /// the searches out to the thread pool when the wave is large enough.
-    /// Results come back in ascending task order; each is a pure function of
-    /// the task's own state and `remaining`, so inline and parallel execution
-    /// coincide.
-    fn candidate_wave(
-        &self,
-        states: &mut [TaskState],
-        invalidated: &[usize],
-        remaining: f64,
-    ) -> Vec<(usize, Option<TaskCandidate>)> {
-        if self.threads == 1 || invalidated.len() < PARALLEL_WAVE_MIN {
-            let mut out = Vec::with_capacity(invalidated.len());
-            for &i in invalidated {
-                out.push((i, states[i].best_candidate(remaining)));
-            }
-            return out;
-        }
-        let members: std::collections::BTreeSet<usize> = invalidated.iter().copied().collect();
-        let mut refs: Vec<(usize, &mut TaskState)> = states
-            .iter_mut()
-            .enumerate()
-            .filter(|(i, _)| members.contains(i))
-            .collect();
-        let chunk_size = refs.len().div_ceil(self.threads);
-        thread::scope(|scope| {
-            let handles: Vec<_> = refs
-                .chunks_mut(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter_mut()
-                            .map(|(i, state)| (*i, state.best_candidate(remaining)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("candidate wave thread panicked"))
-                .collect()
-        })
-    }
-
-    /// Refreshes one state's slot against the sharded ledger (post-conflict
-    /// fallback), keeping the V-tree aggregates in sync and counting the
-    /// refresh exactly as the serial engine does.
-    fn refresh_slot_sharded(&self, state: &mut TaskState, slot: SlotIndex, stats: &mut CacheStats) {
-        let guards = self.ledger.read_all();
-        let candidate =
-            candidate_for_slot_sharded(&state.task, slot, &self.index, self.cost_model, &guards);
-        state.set_candidate(slot, candidate);
-        stats.slot_computations += 1;
-        stats.slot_refreshes += 1;
-        stats.rebuild_slot_computations += 1;
-    }
-
-    /// MSQM: the serial greedy commit loop of [`super::AssignmentEngine`]
-    /// with the checkout, the warm-start candidate wave and the
-    /// budget-staleness waves running region-parallel.
+    /// MSQM: the shared greedy commit loop over the sharded backend, with
+    /// the checkout, the warm-start candidate wave and the budget-staleness
+    /// waves running region-parallel.  Conflict resolution is the
+    /// deterministic two-phase claim: granting a worker releases every claim
+    /// registered on that `(shard, worker, slot)` (the holder map hands them
+    /// over as a set) and the losers re-claim against the same post-commit
+    /// ledger, so the result is independent of thread interleaving.
     fn run_msqm_parallel(&mut self, tasks: &[Task]) -> MultiOutcome {
         let mut stats = CacheStats::default();
         let mut states = self.checkout_states_parallel(tasks, &mut stats);
-        let mut remaining = self.config.budget;
-        let mut conflicts = 0usize;
-        let mut executions = 0usize;
-
-        let mut cached: Vec<Option<Option<TaskCandidate>>> = vec![None; states.len()];
-        let mut holders = HolderMap::with_tasks(states.len());
-
-        loop {
-            // Deregister candidates that the shrinking budget made
-            // unaffordable (they must be recomputed with the current budget
-            // so cheaper slots of the same task are still considered).
-            for (i, entry) in cached.iter_mut().enumerate() {
-                if let Some(Some(c)) = entry {
-                    if c.cost > remaining {
-                        holders.deregister(i);
-                        *entry = None;
-                    }
-                }
-            }
-            // Recompute every invalidated candidate as one wave (the first
-            // iteration recomputes the whole batch — the warm start).
-            let invalidated: Vec<usize> =
-                (0..states.len()).filter(|&i| cached[i].is_none()).collect();
-            if !invalidated.is_empty() {
-                for (i, candidate) in self.candidate_wave(&mut states, &invalidated, remaining) {
-                    if let Some(c) = &candidate {
-                        let worker = states[i]
-                            .planned_worker(c.slot)
-                            .expect("candidate slot has a planned worker");
-                        holders.register(i, c.slot, worker);
-                    }
-                    cached[i] = Some(candidate);
-                }
-            }
-            // Pick the task with the globally maximal heuristic value among
-            // the affordable candidates (identical rule, identical ties).
-            let mut best: Option<(usize, TaskCandidate)> = None;
-            for (i, entry) in cached.iter().enumerate() {
-                let Some(Some(candidate)) = entry else {
-                    continue;
-                };
-                if candidate.cost > remaining {
-                    continue;
-                }
-                let better = match &best {
-                    None => true,
-                    Some((bi, b)) => {
-                        candidate.heuristic > b.heuristic
-                            || (candidate.heuristic == b.heuristic && i < *bi)
-                    }
-                };
-                if better {
-                    best = Some((i, *candidate));
-                }
-            }
-            let Some((task_idx, candidate)) = best else {
-                break;
-            };
-
-            let planned = *states[task_idx]
-                .candidates
-                .get(candidate.slot)
-                .expect("candidate slot has a planned worker");
-            let shard = self.index.spatial_shard_of(&planned.worker_location);
-            if self
-                .ledger
-                .is_occupied(shard, candidate.slot, planned.worker)
-            {
-                // Conflict: fall back to the next nearest worker and retry.
-                conflicts += 1;
-                holders.deregister(task_idx);
-                cached[task_idx] = None;
-                self.refresh_slot_sharded(&mut states[task_idx], candidate.slot, &mut stats);
-                continue;
-            }
-
-            // Execute: claim the worker in its owning shard's ledger.
-            remaining -= candidate.cost;
-            self.ledger.occupy(shard, candidate.slot, planned.worker);
-            states[task_idx].execute(candidate.slot);
-            executions += 1;
-            holders.deregister(task_idx);
-            cached[task_idx] = None;
-            // Two-phase claim resolution: phase one releases every claim on
-            // the granted (shard, worker, slot); phase two re-claims for the
-            // losers in ascending (shard, worker, task) order — all against
-            // the same post-commit ledger, so the result is independent of
-            // how the parallel waves were scheduled.
-            let losers = holders.take_holders(candidate.slot, planned.worker);
-            debug_assert!(
-                !losers.contains(&task_idx),
-                "the executing task was deregistered before its worker was occupied"
-            );
-            for i in losers {
-                conflicts += 1;
-                cached[i] = None;
-                self.refresh_slot_sharded(&mut states[i], candidate.slot, &mut stats);
-            }
-        }
+        let threads = self.threads;
+        let mut backend = ShardedBackend {
+            index: &self.index,
+            cost_model: self.cost_model,
+            ledger: &self.ledger,
+        };
+        let mut wave = |states: &mut [TaskState], invalidated: &[usize], remaining: f64| {
+            candidate_wave(threads, states, invalidated, remaining)
+        };
+        let (conflicts, executions) = msqm_commit_loop(
+            &mut states,
+            self.config.budget,
+            &mut backend,
+            &mut stats,
+            &mut wave,
+        );
 
         let assignment =
             MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
@@ -576,66 +476,19 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
         }
     }
 
-    /// MMQM: reinforce-the-weakest with a lazy heap (port of the serial
-    /// engine's loop); the parallel phase is the checkout, the heap loop is
-    /// inherently sequential.
+    /// MMQM: reinforce-the-weakest through the shared lazy-heap commit loop;
+    /// the parallel phase is the checkout, the heap loop is inherently
+    /// sequential.
     fn run_mmqm_parallel(&mut self, tasks: &[Task]) -> MultiOutcome {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-
-        use crate::multi::rebuild::HeapEntry;
-
         let mut stats = CacheStats::default();
         let mut states = self.checkout_states_parallel(tasks, &mut stats);
-        let mut remaining = self.config.budget;
-        let mut conflicts = 0usize;
-        let mut executions = 0usize;
-
-        let mut heap: BinaryHeap<Reverse<HeapEntry>> = states
-            .iter()
-            .enumerate()
-            .map(|(i, s)| Reverse(HeapEntry(s.quality(), i)))
-            .collect();
-        let mut retired = vec![false; states.len()];
-
-        while let Some(Reverse(HeapEntry(quality, task_idx))) = heap.pop() {
-            if retired[task_idx] {
-                continue;
-            }
-            if (states[task_idx].quality() - quality).abs() > 1e-12 {
-                heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
-                continue;
-            }
-
-            let Some(candidate) = states[task_idx].best_candidate(remaining) else {
-                retired[task_idx] = true;
-                continue;
-            };
-            if candidate.cost > remaining {
-                retired[task_idx] = true;
-                continue;
-            }
-            let planned = *states[task_idx]
-                .candidates
-                .get(candidate.slot)
-                .expect("candidate slot has a planned worker");
-            let shard = self.index.spatial_shard_of(&planned.worker_location);
-            if self
-                .ledger
-                .is_occupied(shard, candidate.slot, planned.worker)
-            {
-                conflicts += 1;
-                self.refresh_slot_sharded(&mut states[task_idx], candidate.slot, &mut stats);
-                heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
-                continue;
-            }
-
-            remaining -= candidate.cost;
-            self.ledger.occupy(shard, candidate.slot, planned.worker);
-            states[task_idx].execute(candidate.slot);
-            executions += 1;
-            heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
-        }
+        let mut backend = ShardedBackend {
+            index: &self.index,
+            cost_model: self.cost_model,
+            ledger: &self.ledger,
+        };
+        let (conflicts, executions) =
+            mmqm_commit_loop(&mut states, self.config.budget, &mut backend, &mut stats);
 
         let assignment =
             MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
@@ -646,6 +499,46 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
             stats,
         }
     }
+}
+
+/// Computes `best_candidate(remaining)` for every listed state, fanning the
+/// searches out to a scoped thread pool when the wave is large enough.
+/// Results come back in ascending task order; each is a pure function of the
+/// task's own state and `remaining`, so inline and parallel execution
+/// coincide.
+fn candidate_wave(
+    threads: usize,
+    states: &mut [TaskState],
+    invalidated: &[usize],
+    remaining: f64,
+) -> Vec<(usize, Option<TaskCandidate>)> {
+    if threads == 1 || invalidated.len() < PARALLEL_WAVE_MIN {
+        return inline_wave(states, invalidated, remaining);
+    }
+    let members: std::collections::BTreeSet<usize> = invalidated.iter().copied().collect();
+    let mut refs: Vec<(usize, &mut TaskState)> = states
+        .iter_mut()
+        .enumerate()
+        .filter(|(i, _)| members.contains(i))
+        .collect();
+    let chunk_size = refs.len().div_ceil(threads);
+    thread::scope(|scope| {
+        let handles: Vec<_> = refs
+            .chunks_mut(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .map(|(i, state)| (*i, state.best_candidate(remaining)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("candidate wave thread panicked"))
+            .collect()
+    })
 }
 
 impl std::fmt::Debug for ConcurrentAssignmentEngine<'_> {

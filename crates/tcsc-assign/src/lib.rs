@@ -54,6 +54,7 @@ pub use candidates::{SlotCandidates, WorkerLedger};
 pub use engine::concurrent::{ConcurrentAssignmentEngine, ShardedLedger};
 pub use engine::{AssignmentEngine, CacheStats, CandidateCache, Objective};
 pub use multi::conflict::{independence_graph, IndependenceGraph};
+pub use multi::gain::GainLedger;
 pub use multi::group_parallel::{
     msqm_group_parallel, msqm_group_parallel_cached, GroupParallelOutcome,
 };
@@ -67,7 +68,9 @@ pub use multi::sapprox::{sapprox, SpatioTemporalObjective};
 pub use multi::task_parallel::{
     msqm_task_parallel, msqm_task_parallel_optimistic, TaskParallelOutcome,
 };
-pub use multi::{MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};
+pub use multi::{
+    MultiOutcome, MultiTaskConfig, RefreshStats, RefreshStrategy, TaskCandidate, TaskState,
+};
 pub use single::baseline::{random_assignment, random_summary, RandSummary};
 pub use single::dual::{min_budget_for_quality, DualOutcome};
 pub use single::greedy::{approx, GreedyOutcome, GreedyStats};

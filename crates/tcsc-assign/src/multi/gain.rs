@@ -1,0 +1,526 @@
+//! Incremental-gain maintenance for the greedy commit loops.
+//!
+//! Every multi-task driver (serial engine, concurrent engine, task-parallel
+//! master, simulated cluster) repeatedly asks one question of a task: *"what
+//! is your best affordable `(gain / cost)` execution right now?"*.  The
+//! original answer — [`RefreshStrategy::Full`] — recomputes it from scratch
+//! on every call: a V-tree best-first search (or a plain scan) over the whole
+//! candidate set, per grant, per conflict, per budget-staleness
+//! invalidation.  That recompute is the serial commit tail that caps the
+//! parallel engines' speedup.
+//!
+//! [`GainLedger`] replaces the recompute with a **per-task lazy max-structure
+//! over the `(slot, worker)` candidate pairs**:
+//!
+//! * every feasible slot owns one live entry `(heuristic key, gain, cost,
+//!   slot, worker)` in a max-heap ordered by `(key, slot asc)`;
+//! * when a grant lands on *another* `(slot, worker)` pair, nothing here is
+//!   touched — entries are only **patched** (re-scored and re-stamped) for
+//!   the slots whose candidate actually changed: the conflict-loser refreshes
+//!   that the reverse holder map already identifies, and the optimistic
+//!   master's `UndoRefresh` un-patches through the same entry point;
+//! * when a slot of *this* task executes, the task's gains shift, so the
+//!   ledger bumps a **score version**: every entry key becomes a *stale upper
+//!   bound* (the entropy quality metric has diminishing marginal gains — the
+//!   same lazy-greedy justification the MMQM heap already relies on), and
+//!   stale entries are **re-scored on pop**, exactly like a lazy-greedy
+//!   priority queue;
+//! * affordability never forces a recompute: entries costing more than the
+//!   query bound are *parked* and reactivated the moment a later query (e.g.
+//!   after an optimistic rollback restored budget) can afford them again.
+//!
+//! # Why the committed plan stays bit-identical
+//!
+//! The returned candidate's `gain` / `cost` / `heuristic` are produced by the
+//! *same* scoring functions the full search uses (`VTree::gain` under
+//! `use_index`, `QualityEvaluator::gain_if_executed` otherwise) evaluated at
+//! the same state, so the values are the same `f64`s.  The selection is the
+//! same argmax: stale keys only ever *over*-estimate (diminishing gains), so
+//! popping until the top entry is freshly scored yields the true maximum, and
+//! final comparisons use the exact `>` / `==` + lower-slot tie-break of the
+//! full search.  Floating-point jitter can push a re-scored gain a few ULP
+//! *above* its stale key; the pop loop therefore keeps re-scoring every entry
+//! whose key is within a small margin (`RESCORE_MARGIN`) of the current
+//! best — orders of magnitude wider than the observed jitter (~1e-15) and
+//! narrower than any meaningful heuristic gap — before trusting the argmax.
+//! Zero-cost candidates (`heuristic == INFINITY`) are the one case whose
+//! tie-break depends on the V-tree's internal visit order; the caller falls
+//! back to the full search for those (they are immediately executed, so the
+//! fallback is at most a handful of searches per task).  The differential
+//! fuzz suite (`tests/incremental_gain_fuzz.rs`) and every pre-existing
+//! equivalence suite pin the bit-identity across presets × grids × threads ×
+//! grant policies.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use tcsc_core::{SlotIndex, WorkerId};
+
+/// Which best-candidate maintenance strategy a solve uses.
+///
+/// The committed plans, conflicts and executions are **bit-identical** under
+/// both strategies; only the amount of per-grant recomputation differs.
+/// `Full` is retained as the in-tree equivalence oracle and for the
+/// `fig9p` old-vs-new measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshStrategy {
+    /// Recompute the best candidate from scratch on every request (V-tree
+    /// best-first search / plain scan) — the pre-ledger behaviour.
+    Full,
+    /// Maintain a [`GainLedger`] per task: patch entries on candidate
+    /// refreshes, lazily re-score on pop after executions.
+    #[default]
+    Incremental,
+}
+
+/// Refresh-accounting counters of one task state (merged into
+/// [`crate::engine::CacheStats`] by the drivers).
+///
+/// `full_refreshes` counts full best-candidate searches *beyond the first*
+/// per task state — the first search is the warm start both strategies pay
+/// identically (the full path's initial search, the ledger's initial build).
+/// On the incremental path the commit tail therefore shows
+/// `full_refreshes == 0` (zero-cost-candidate fallbacks aside).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Full best-candidate searches beyond the warm start.
+    pub full_refreshes: usize,
+    /// Ledger entries patched (re-keyed) by candidate refreshes / undos.
+    pub incremental_patches: usize,
+    /// Stale ledger entries re-scored on pop (the lazy-greedy work).
+    pub stale_pops: usize,
+    /// Nanoseconds spent in commit-tail refresh work (searches beyond the
+    /// warm start, ledger pops and patches).  Measurement, not behaviour:
+    /// excluded from every equivalence comparison.
+    pub refresh_nanos: u64,
+}
+
+impl RefreshStats {
+    /// Accumulates another stats block into this one.
+    pub fn merge(&mut self, other: &RefreshStats) {
+        self.full_refreshes += other.full_refreshes;
+        self.incremental_patches += other.incremental_patches;
+        self.stale_pops += other.stale_pops;
+        self.refresh_nanos += other.refresh_nanos;
+    }
+}
+
+/// Re-score margin of the lazy pop: an entry whose stale key is within this
+/// (relative + absolute) band of the current best is re-scored before the
+/// argmax is trusted.  Wide enough to swallow the float jitter of re-scored
+/// gains (observed ≤ 4e-15), narrow enough never to matter for real gaps.
+const RESCORE_MARGIN: f64 = 1e-9;
+
+/// One `(slot, worker)` candidate entry of the ledger.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GainEntry {
+    /// Heuristic key `gain / cost` (`INFINITY` for zero-cost candidates).
+    pub heuristic: f64,
+    /// Quality gain at scoring time.
+    pub gain: f64,
+    /// Assignment cost at scoring time (exact while `slot_version` matches:
+    /// costs only change through patches, which re-stamp the version).
+    pub cost: f64,
+    /// The slot this entry scores.
+    pub slot: SlotIndex,
+    /// The candidate worker at scoring time (diagnostic; the version stamp is
+    /// what detects candidate changes).
+    pub worker: WorkerId,
+    /// Slot-version stamp: the entry is dead once the slot was patched.
+    pub slot_version: u32,
+    /// Score-version stamp: the entry is stale (key = upper bound) once the
+    /// task executed another slot.
+    pub scored_at: u32,
+}
+
+impl PartialEq for GainEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for GainEntry {}
+impl PartialOrd for GainEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for GainEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: highest key first, ties to the *lower* slot (the serial
+        // tie-break), then the version stamps for a total order.
+        self.heuristic
+            .total_cmp(&other.heuristic)
+            .then_with(|| other.slot.cmp(&self.slot))
+            .then_with(|| self.slot_version.cmp(&other.slot_version))
+            .then_with(|| self.scored_at.cmp(&other.scored_at))
+    }
+}
+
+/// What [`GainLedger::pop_best`] asks of an entry it is about to trust.
+pub(crate) enum EntryState {
+    /// The slot can no longer be a candidate (executed / candidate gone).
+    Dead,
+    /// The entry's key is stale; `rescore` carries the fresh score.
+    Stale {
+        /// Freshly computed `(gain, cost, heuristic)`.
+        gain: f64,
+        /// Current candidate cost.
+        cost: f64,
+        /// Current heuristic.
+        heuristic: f64,
+        /// Current candidate worker.
+        worker: WorkerId,
+    },
+}
+
+/// The per-task lazy max-structure over `(slot, worker)` candidate entries.
+///
+/// The ledger is a dumb container: scoring needs the task's evaluator, tree
+/// and candidates, so [`crate::multi::TaskState`] drives it and hands in the
+/// scores.  See the [module docs](self) for the maintenance protocol.
+#[derive(Debug, Default)]
+pub struct GainLedger {
+    heap: BinaryHeap<GainEntry>,
+    /// Entries whose cost exceeded a query's budget bound: kept aside so a
+    /// later query with a larger bound (optimistic rollback) can reactivate
+    /// them instead of recomputing.
+    parked: Vec<GainEntry>,
+    /// Per-slot patch versions; entries stamped with an older version are
+    /// dead.
+    slot_versions: Vec<u32>,
+    /// Bumped on every execution of this task; entries stamped older are
+    /// stale upper bounds to be re-scored on pop.
+    score_version: u32,
+    built: bool,
+}
+
+impl GainLedger {
+    /// An unbuilt ledger over `num_slots` slots (entries are installed by the
+    /// first [`GainLedger::is_built`]-gated build).
+    pub fn new(num_slots: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(num_slots),
+            parked: Vec::new(),
+            slot_versions: vec![0; num_slots],
+            score_version: 0,
+            built: false,
+        }
+    }
+
+    /// Whether the initial build has run.
+    pub fn is_built(&self) -> bool {
+        self.built
+    }
+
+    /// Marks the ledger built (after the caller pushed the initial entries).
+    pub(crate) fn mark_built(&mut self) {
+        self.built = true;
+    }
+
+    /// Live entries currently in the structure (heap + parked; may include
+    /// version-dead garbage awaiting a pop).
+    pub fn len(&self) -> usize {
+        self.heap.len() + self.parked.len()
+    }
+
+    /// Whether no entry is held at all.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty() && self.parked.is_empty()
+    }
+
+    /// Installs a *bounded* entry for a slot: `key` is an admissible upper
+    /// bound on the slot's heuristic (e.g. the V-tree's leaf gain bound over
+    /// the slot's own cost) rather than its exact value, so the entry enters
+    /// stale and is exact-scored only if it ever reaches the top — the
+    /// initial build then costs one cheap tree walk instead of one exact
+    /// gain per slot, mirroring the pruning of the full best-first search.
+    pub(crate) fn push_bounded(&mut self, slot: SlotIndex, worker: WorkerId, cost: f64, key: f64) {
+        let entry = GainEntry {
+            heuristic: key,
+            gain: 0.0,
+            cost,
+            slot,
+            worker,
+            slot_version: self.slot_versions[slot],
+            // One behind the current version: stale until re-scored.  The
+            // version only moves forward (per execution of this task), so a
+            // sentinel collision would need u32::MAX executions.
+            scored_at: self.score_version.wrapping_sub(1),
+        };
+        self.heap.push(entry);
+    }
+
+    /// Installs a freshly scored entry for a slot.
+    pub(crate) fn push_scored(
+        &mut self,
+        slot: SlotIndex,
+        worker: WorkerId,
+        gain: f64,
+        cost: f64,
+        heuristic: f64,
+    ) {
+        let entry = GainEntry {
+            heuristic,
+            gain,
+            cost,
+            slot,
+            worker,
+            slot_version: self.slot_versions[slot],
+            scored_at: self.score_version,
+        };
+        self.heap.push(entry);
+    }
+
+    /// Patch entry point: the slot's candidate changed (conflict fallback or
+    /// rollback undo).  Bumps the slot version so the old entry dies; the
+    /// caller re-scores and [`GainLedger::push_scored`]s the replacement if a
+    /// candidate remains.
+    pub(crate) fn invalidate_slot(&mut self, slot: SlotIndex) {
+        self.slot_versions[slot] = self.slot_versions[slot].wrapping_add(1);
+    }
+
+    /// Execution entry point: this task executed a slot, every key becomes a
+    /// stale upper bound.
+    pub(crate) fn bump_score_version(&mut self) {
+        self.score_version = self.score_version.wrapping_add(1);
+    }
+
+    /// Whether an entry is still the live entry of its slot.
+    fn is_live(&self, entry: &GainEntry) -> bool {
+        entry.slot_version == self.slot_versions[entry.slot]
+    }
+
+    /// Reactivates the parked entries `max_cost` can now afford (the
+    /// restored-budget case), dropping version-dead garbage and keeping the
+    /// still-unaffordable rest parked so a budget oscillation never cycles
+    /// high-cost entries through the heap.
+    fn reactivate_parked(&mut self, max_cost: f64) {
+        if !self.parked.iter().any(|e| e.cost <= max_cost) {
+            return;
+        }
+        let parked = std::mem::take(&mut self.parked);
+        for entry in parked {
+            if entry.slot_version != self.slot_versions[entry.slot] {
+                continue;
+            }
+            if entry.cost <= max_cost {
+                self.heap.push(entry);
+            } else {
+                self.parked.push(entry);
+            }
+        }
+    }
+
+    /// Could an entry with stale key `key` still beat `best_key` once
+    /// re-scored?  (Stale keys are upper bounds up to float jitter.)
+    fn could_beat(key: f64, best_key: f64) -> bool {
+        key + RESCORE_MARGIN * key.abs() + RESCORE_MARGIN >= best_key
+    }
+
+    /// The lazy-greedy pop: returns the affordable entry with the exact
+    /// maximum `(heuristic, lower slot)` — bit-identical to a full search —
+    /// re-scoring stale entries through `probe` on the way.  `probe` returns
+    /// [`EntryState::Dead`] when the slot is executed / candidate-less, or
+    /// the fresh score.  `stale_pops` counts the re-scores performed.
+    pub(crate) fn pop_best(
+        &mut self,
+        max_cost: f64,
+        mut probe: impl FnMut(SlotIndex) -> EntryState,
+        stale_pops: &mut usize,
+    ) -> Option<GainEntry> {
+        self.reactivate_parked(max_cost);
+        let mut best: Option<GainEntry> = None;
+        let mut aside: Vec<GainEntry> = Vec::new();
+        while let Some(top) = self.heap.peek().copied() {
+            if let Some(b) = &best {
+                if !Self::could_beat(top.heuristic, b.heuristic) {
+                    break;
+                }
+            }
+            self.heap.pop();
+            if !self.is_live(&top) {
+                continue;
+            }
+            // Affordability first: the recorded cost is exact while the slot
+            // version matches (patches re-stamp it; executions of *other*
+            // slots never change it), so an unaffordable entry parks without
+            // paying for a gain re-score — the case where the full search
+            // prunes on `min_cost > max_cost` for free.
+            if top.cost > max_cost {
+                self.parked.push(top);
+                continue;
+            }
+            if top.scored_at != self.score_version {
+                // Stale upper bound: re-score against the current state.
+                *stale_pops += 1;
+                match probe(top.slot) {
+                    EntryState::Dead => {
+                        // Kill the slot so later duplicates die cheaply.
+                        self.invalidate_slot(top.slot);
+                    }
+                    EntryState::Stale {
+                        gain,
+                        cost,
+                        heuristic,
+                        worker,
+                    } => {
+                        self.heap.push(GainEntry {
+                            heuristic,
+                            gain,
+                            cost,
+                            slot: top.slot,
+                            worker,
+                            slot_version: top.slot_version,
+                            scored_at: self.score_version,
+                        });
+                    }
+                }
+                continue;
+            }
+            // Fresh and affordable: exact comparison, exact tie-break.
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    top.heuristic > b.heuristic
+                        || (top.heuristic == b.heuristic && top.slot < b.slot)
+                }
+            };
+            if better {
+                if let Some(b) = best.replace(top) {
+                    aside.push(b);
+                }
+            } else {
+                aside.push(top);
+            }
+        }
+        // Losing fresh entries — and the winner — stay in the structure: the
+        // winner's entry dies naturally when the caller executes or refreshes
+        // the slot.
+        for entry in aside {
+            self.heap.push(entry);
+        }
+        if let Some(b) = &best {
+            self.heap.push(*b);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_table(scores: Vec<Option<(f64, f64)>>) -> impl FnMut(SlotIndex) -> EntryState {
+        move |slot| match scores[slot] {
+            None => EntryState::Dead,
+            Some((gain, cost)) => EntryState::Stale {
+                gain,
+                cost,
+                heuristic: if cost > 0.0 {
+                    gain / cost
+                } else {
+                    f64::INFINITY
+                },
+                worker: WorkerId(slot as u32),
+            },
+        }
+    }
+
+    fn push(ledger: &mut GainLedger, slot: SlotIndex, gain: f64, cost: f64) {
+        let h = if cost > 0.0 {
+            gain / cost
+        } else {
+            f64::INFINITY
+        };
+        ledger.push_scored(slot, WorkerId(slot as u32), gain, cost, h);
+    }
+
+    #[test]
+    fn pop_returns_the_exact_argmax_with_lower_slot_ties() {
+        let mut ledger = GainLedger::new(4);
+        push(&mut ledger, 2, 4.0, 2.0); // h = 2.0
+        push(&mut ledger, 0, 2.0, 1.0); // h = 2.0 (tie, lower slot wins)
+        push(&mut ledger, 3, 9.0, 2.0); // h = 4.5
+        ledger.mark_built();
+        let mut pops = 0;
+        let best = ledger
+            .pop_best(f64::INFINITY, |_| EntryState::Dead, &mut pops)
+            .unwrap();
+        assert_eq!(best.slot, 3);
+        assert_eq!(pops, 0, "fresh entries need no re-score");
+        // Kill slot 3; the 2.0-tie resolves to slot 0.
+        ledger.invalidate_slot(3);
+        let best = ledger
+            .pop_best(f64::INFINITY, |_| EntryState::Dead, &mut pops)
+            .unwrap();
+        assert_eq!(best.slot, 0);
+    }
+
+    #[test]
+    fn stale_entries_are_rescored_on_pop() {
+        let mut ledger = GainLedger::new(2);
+        push(&mut ledger, 0, 10.0, 1.0); // h = 10
+        push(&mut ledger, 1, 8.0, 1.0); // h = 8
+        ledger.mark_built();
+        ledger.bump_score_version();
+        // After the "execution", slot 0's gain collapsed below slot 1's.
+        let mut pops = 0;
+        let best = ledger
+            .pop_best(
+                f64::INFINITY,
+                probe_table(vec![Some((1.0, 1.0)), Some((7.0, 1.0))]),
+                &mut pops,
+            )
+            .unwrap();
+        assert_eq!(best.slot, 1);
+        assert!((best.heuristic - 7.0).abs() < 1e-12);
+        assert_eq!(pops, 2, "both stale entries had to be re-scored");
+        // A second pop re-scores nothing: the tops are fresh now.
+        let mut more = 0;
+        let again = ledger
+            .pop_best(f64::INFINITY, |_| EntryState::Dead, &mut more)
+            .unwrap();
+        assert_eq!(again.slot, 1);
+        assert_eq!(more, 0);
+    }
+
+    #[test]
+    fn unaffordable_entries_park_and_reactivate() {
+        let mut ledger = GainLedger::new(2);
+        push(&mut ledger, 0, 50.0, 10.0); // h = 5, cost 10
+        push(&mut ledger, 1, 3.0, 1.0); // h = 3, cost 1
+        ledger.mark_built();
+        let mut pops = 0;
+        let tight = ledger
+            .pop_best(2.0, |_| EntryState::Dead, &mut pops)
+            .unwrap();
+        assert_eq!(tight.slot, 1, "the expensive slot is parked");
+        // A restored budget (rollback) reactivates the parked entry.
+        let wide = ledger
+            .pop_best(20.0, |_| EntryState::Dead, &mut pops)
+            .unwrap();
+        assert_eq!(wide.slot, 0);
+        assert_eq!(pops, 0);
+    }
+
+    #[test]
+    fn dead_slots_are_skipped() {
+        let mut ledger = GainLedger::new(2);
+        push(&mut ledger, 0, 5.0, 1.0);
+        push(&mut ledger, 1, 4.0, 1.0);
+        ledger.mark_built();
+        ledger.bump_score_version();
+        let mut pops = 0;
+        // Slot 0 reports dead on re-score (it was executed).
+        let best = ledger
+            .pop_best(
+                f64::INFINITY,
+                probe_table(vec![None, Some((4.0, 1.0))]),
+                &mut pops,
+            )
+            .unwrap();
+        assert_eq!(best.slot, 1);
+        let empty = GainLedger::new(0);
+        assert!(empty.is_empty());
+    }
+}

@@ -3,6 +3,7 @@
 //! conflict machinery, and the group-level / task-level parallel frameworks.
 
 pub mod conflict;
+pub mod gain;
 pub mod group_parallel;
 pub mod mmqm;
 pub mod msqm;
@@ -11,14 +12,18 @@ pub mod rebuild;
 pub mod sapprox;
 pub mod task_parallel;
 
+use std::time::Instant;
+
 use tcsc_core::{
     AssignmentPlan, CostModel, ExecutedSubtask, MultiAssignment, QualityEvaluator, QualityParams,
-    SlotIndex, Task,
+    SlotIndex, Task, WorkerId,
 };
 use tcsc_index::{SearchStats, SpatialQuery, VTree, VTreeConfig};
 
 use crate::candidates::{SlotCandidates, WorkerLedger};
 use crate::engine::CacheStats;
+use crate::multi::gain::{EntryState, GainLedger};
+pub use crate::multi::gain::{RefreshStats, RefreshStrategy};
 
 /// Parameters shared by the multi-task solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,10 +39,17 @@ pub struct MultiTaskConfig {
     /// Whether per-task candidate search uses the aggregated tree index
     /// (`Approx*`) or the plain enumeration (`Approx`).
     pub use_index: bool,
+    /// How best-candidate values are maintained across the commit loop:
+    /// recomputed from scratch per request ([`RefreshStrategy::Full`], the
+    /// in-tree equivalence oracle) or maintained incrementally through a
+    /// per-task [`GainLedger`] ([`RefreshStrategy::Incremental`], the
+    /// default).  The committed plans are bit-identical either way.
+    pub refresh: RefreshStrategy,
 }
 
 impl MultiTaskConfig {
-    /// Default configuration (`k = 3`, `ts = 4`, indexed search).
+    /// Default configuration (`k = 3`, `ts = 4`, indexed search, incremental
+    /// gain maintenance).
     pub fn new(budget: f64) -> Self {
         Self {
             budget,
@@ -45,6 +57,7 @@ impl MultiTaskConfig {
             ts: 4,
             use_reliability: false,
             use_index: true,
+            refresh: RefreshStrategy::Incremental,
         }
     }
 
@@ -70,6 +83,12 @@ impl MultiTaskConfig {
     /// Enables reliability weighting.
     pub fn with_reliability(mut self) -> Self {
         self.use_reliability = true;
+        self
+    }
+
+    /// Overrides the best-candidate refresh strategy.
+    pub fn with_refresh(mut self, refresh: RefreshStrategy) -> Self {
+        self.refresh = refresh;
         self
     }
 }
@@ -105,6 +124,44 @@ pub struct TaskState {
     /// Accumulated best-first search statistics.
     pub search_stats: SearchStats,
     use_reliability: bool,
+    refresh: RefreshStrategy,
+    /// The incremental-gain structure (present under
+    /// [`RefreshStrategy::Incremental`]; built lazily by the first
+    /// best-candidate request).
+    gain_ledger: Option<GainLedger>,
+    /// Refresh-accounting counters of this state's commit-tail work.
+    refresh_stats: RefreshStats,
+    /// Best-candidate requests served so far (the first is the warm start
+    /// both strategies pay identically; it is excluded from the refresh
+    /// accounting).
+    searches: usize,
+}
+
+/// Scores one slot of a task against the current evaluator / tree state:
+/// `(gain, cost, heuristic, worker)`, or `None` when the slot is executed or
+/// has no candidate.  This is the *same* computation the full search performs
+/// per evaluated slot, so ledger entries carry bit-identical values.
+fn score_slot(
+    evaluator: &QualityEvaluator,
+    tree: &Option<VTree>,
+    candidates: &SlotCandidates,
+    slot: SlotIndex,
+) -> Option<(f64, f64, f64, WorkerId)> {
+    if evaluator.is_executed(slot) {
+        return None;
+    }
+    let candidate = candidates.get(slot)?;
+    let cost = candidate.cost;
+    let gain = match tree {
+        Some(tree) => tree.gain(evaluator, slot),
+        None => evaluator.gain_if_executed(slot),
+    };
+    let heuristic = if cost > 0.0 {
+        gain / cost
+    } else {
+        f64::INFINITY
+    };
+    Some((gain, cost, heuristic, candidate.worker))
 }
 
 impl TaskState {
@@ -139,12 +196,138 @@ impl TaskState {
             executions: Vec::new(),
             search_stats: SearchStats::default(),
             use_reliability: config.use_reliability,
+            refresh: config.refresh,
+            gain_ledger: matches!(config.refresh, RefreshStrategy::Incremental)
+                .then(|| GainLedger::new(task.num_slots)),
+            refresh_stats: RefreshStats::default(),
+            searches: 0,
         }
+    }
+
+    /// The refresh-accounting counters accumulated by this state.
+    pub fn refresh_stats(&self) -> RefreshStats {
+        self.refresh_stats
     }
 
     /// The best affordable candidate execution of this task, or `None` when no
     /// remaining slot has an available worker within `max_cost`.
+    ///
+    /// Under [`RefreshStrategy::Full`] every call runs the full search
+    /// (V-tree best-first / plain scan); under
+    /// [`RefreshStrategy::Incremental`] the [`GainLedger`] answers with a
+    /// lazy-greedy pop.  The returned candidate is bit-identical either way.
     pub fn best_candidate(&mut self, max_cost: f64) -> Option<TaskCandidate> {
+        self.searches += 1;
+        // The first request is the warm start both strategies pay alike (the
+        // full path's initial search, the ledger's initial build); only the
+        // commit tail beyond it is accounted as refresh work.
+        let warm = self.searches == 1;
+        let start = (!warm).then(Instant::now);
+        let result = match self.refresh {
+            RefreshStrategy::Full => {
+                if !warm {
+                    self.refresh_stats.full_refreshes += 1;
+                }
+                self.search_best(max_cost)
+            }
+            RefreshStrategy::Incremental => self.best_candidate_incremental(max_cost),
+        };
+        if let Some(start) = start {
+            self.refresh_stats.refresh_nanos += start.elapsed().as_nanos() as u64;
+        }
+        result
+    }
+
+    /// The incremental path: build the ledger on first use, then answer via
+    /// the lazy-greedy pop.  Zero-cost candidates (`heuristic == INFINITY`)
+    /// fall back to the full search, whose tie-break among them depends on
+    /// the V-tree's visit order that the ledger does not replicate.
+    fn best_candidate_incremental(&mut self, max_cost: f64) -> Option<TaskCandidate> {
+        let Self {
+            evaluator,
+            tree,
+            candidates,
+            gain_ledger,
+            refresh_stats,
+            task,
+            ..
+        } = self;
+        let ledger = gain_ledger
+            .as_mut()
+            .expect("the incremental strategy always owns a gain ledger");
+        if !ledger.is_built() {
+            match tree {
+                Some(tree) => {
+                    // Seed with the V-tree's admissible leaf gain bounds
+                    // (stale upper-bound keys): one cheap tree walk instead
+                    // of one exact gain per slot, so the first pop cascades
+                    // exactly like the pruned best-first search — exact-
+                    // scoring only slots that can reach the top.
+                    for (start, end, gain_ub) in tree.leaf_bounds() {
+                        for slot in start..=end {
+                            if evaluator.is_executed(slot) {
+                                continue;
+                            }
+                            let Some(candidate) = candidates.get(slot) else {
+                                continue;
+                            };
+                            let key = if candidate.cost > 0.0 {
+                                gain_ub / candidate.cost
+                            } else {
+                                f64::INFINITY
+                            };
+                            ledger.push_bounded(slot, candidate.worker, candidate.cost, key);
+                        }
+                    }
+                }
+                None => {
+                    // The plain path has no aggregate bounds (and no pruned
+                    // search to match); exact-score every slot up front.
+                    for slot in 0..task.num_slots {
+                        if let Some((gain, cost, heuristic, worker)) =
+                            score_slot(evaluator, tree, candidates, slot)
+                        {
+                            ledger.push_scored(slot, worker, gain, cost, heuristic);
+                        }
+                    }
+                }
+            }
+            ledger.mark_built();
+        }
+        let best = ledger.pop_best(
+            max_cost,
+            |slot| match score_slot(evaluator, tree, candidates, slot) {
+                None => EntryState::Dead,
+                Some((gain, cost, heuristic, worker)) => EntryState::Stale {
+                    gain,
+                    cost,
+                    heuristic,
+                    worker,
+                },
+            },
+            &mut refresh_stats.stale_pops,
+        )?;
+        debug_assert_eq!(
+            self.candidates.get(best.slot).map(|c| c.worker),
+            Some(best.worker),
+            "a live ledger entry must agree with the slot's planned worker"
+        );
+        if best.heuristic == f64::INFINITY {
+            self.refresh_stats.full_refreshes += 1;
+            return self.search_best(max_cost);
+        }
+        Some(TaskCandidate {
+            slot: best.slot,
+            gain: best.gain,
+            cost: best.cost,
+            heuristic: best.heuristic,
+        })
+    }
+
+    /// The full best-candidate search (the [`RefreshStrategy::Full`] path and
+    /// the pre-ledger behaviour): a V-tree best-first search when the index
+    /// is enabled, a plain scan otherwise.
+    fn search_best(&mut self, max_cost: f64) -> Option<TaskCandidate> {
         if let Some(tree) = &self.tree {
             let best = tree.best_slot(&self.evaluator, max_cost, &mut self.search_stats)?;
             Some(TaskCandidate {
@@ -204,12 +387,48 @@ impl TaskState {
         if let Some(tree) = &mut self.tree {
             tree.notify_executed(&self.evaluator, slot);
         }
+        if let Some(ledger) = &mut self.gain_ledger {
+            // The task's gains shifted: every ledger key becomes a stale
+            // upper bound, re-scored lazily on pop.
+            ledger.bump_score_version();
+        }
         self.executions.push(ExecutedSubtask {
             slot,
             worker: candidate.worker,
             cost: candidate.cost,
             reliability: candidate.reliability,
         });
+    }
+
+    /// Patches the gain ledger after one slot's candidate changed (conflict
+    /// fallback or rollback undo): the old `(slot, worker)` entry is
+    /// version-killed and a freshly scored replacement installed.  Touches
+    /// exactly one slot — this is the incremental alternative to the full
+    /// path's recompute-on-next-request.
+    fn patch_gain_slot(&mut self, slot: SlotIndex) {
+        let Self {
+            evaluator,
+            tree,
+            candidates,
+            gain_ledger,
+            refresh_stats,
+            ..
+        } = self;
+        let Some(ledger) = gain_ledger.as_mut() else {
+            return;
+        };
+        if !ledger.is_built() {
+            // Nothing installed yet; the initial build scores current state.
+            return;
+        }
+        let start = Instant::now();
+        ledger.invalidate_slot(slot);
+        if let Some((gain, cost, heuristic, worker)) = score_slot(evaluator, tree, candidates, slot)
+        {
+            ledger.push_scored(slot, worker, gain, cost, heuristic);
+        }
+        refresh_stats.incremental_patches += 1;
+        refresh_stats.refresh_nanos += start.elapsed().as_nanos() as u64;
     }
 
     /// Refreshes the candidate of one slot against the ledger (after a worker
@@ -226,6 +445,7 @@ impl TaskState {
         if let Some(tree) = &mut self.tree {
             tree.update_cost(&self.evaluator, slot, self.candidates.cost(slot));
         }
+        self.patch_gain_slot(slot);
     }
 
     /// Replaces the candidate of one slot directly (the entry point used by
@@ -241,6 +461,7 @@ impl TaskState {
         if let Some(tree) = &mut self.tree {
             tree.update_cost(&self.evaluator, slot, self.candidates.cost(slot));
         }
+        self.patch_gain_slot(slot);
     }
 
     /// The worker currently planned for a slot.

@@ -230,6 +230,17 @@ impl TaskOwner {
         self.states.is_empty()
     }
 
+    /// The summed refresh accounting of every owned task state (merged into
+    /// the run's [`crate::engine::CacheStats`] by the drivers when the
+    /// protocol finishes).
+    pub fn refresh_stats(&self) -> crate::multi::RefreshStats {
+        let mut total = crate::multi::RefreshStats::default();
+        for state in self.states.values() {
+            total.merge(&state.refresh_stats());
+        }
+        total
+    }
+
     /// Executes one command against the owned states, returning the reply
     /// event (`None` for [`MasterCommand::UndoRefresh`], which is
     /// fire-and-forget).

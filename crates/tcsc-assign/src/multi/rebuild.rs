@@ -15,17 +15,20 @@
 //! Production callers should use [`crate::msqm_serial`] / [`crate::mmqm`]
 //! (which route through the engine) or a long-lived engine directly.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use tcsc_core::{CostModel, MultiAssignment, Task};
 use tcsc_index::WorkerIndex;
 
 use crate::candidates::WorkerLedger;
+use crate::engine::commit::{absorb_refresh_stats, mmqm_commit_loop, DenseBackend};
 use crate::engine::CacheStats;
-use crate::multi::{MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};
+use crate::multi::{MultiOutcome, MultiTaskConfig, RefreshStrategy, TaskCandidate, TaskState};
 
 /// Builds fresh per-task states, charging the full rebuild cost to `stats`.
+///
+/// The rebuild solvers always run under [`RefreshStrategy::Full`] regardless
+/// of the caller's configuration: they are the in-tree oracle the
+/// incremental-gain path is differentially checked against, so they must
+/// keep exercising the recompute-per-request behaviour.
 fn rebuild_states(
     tasks: &[Task],
     index: &WorkerIndex,
@@ -33,20 +36,15 @@ fn rebuild_states(
     config: &MultiTaskConfig,
     stats: &mut CacheStats,
 ) -> Vec<TaskState> {
+    let config = config.with_refresh(RefreshStrategy::Full);
     stats.tasks_computed += tasks.len();
     let slots: usize = tasks.iter().map(|t| t.num_slots).sum();
     stats.slot_computations += slots;
     stats.rebuild_slot_computations += slots;
     tasks
         .iter()
-        .map(|t| TaskState::new(t, index, cost_model, config))
+        .map(|t| TaskState::new(t, index, cost_model, &config))
         .collect()
-}
-
-fn count_refresh(stats: &mut CacheStats) {
-    stats.slot_computations += 1;
-    stats.slot_refreshes += 1;
-    stats.rebuild_slot_computations += 1;
 }
 
 /// Runs the serial MSQM greedy, rebuilding all candidate state for this call.
@@ -115,7 +113,7 @@ pub fn msqm_rebuild(
             // Conflict: fall back to the next nearest worker and retry.
             conflicts += 1;
             states[task_idx].refresh_slot(candidate.slot, index, cost_model, &ledger);
-            count_refresh(&mut stats);
+            stats.count_conflict_refresh();
             cached[task_idx] = None;
             continue;
         }
@@ -136,13 +134,14 @@ pub fn msqm_rebuild(
                 if c.slot == candidate.slot && states[i].planned_worker(c.slot) == Some(worker) {
                     conflicts += 1;
                     states[i].refresh_slot(c.slot, index, cost_model, &ledger);
-                    count_refresh(&mut stats);
+                    stats.count_conflict_refresh();
                     *entry = None;
                 }
             }
         }
     }
 
+    absorb_refresh_stats(&states, &mut stats);
     let assignment = MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
     MultiOutcome {
         assignment,
@@ -170,7 +169,8 @@ impl Ord for HeapEntry {
 }
 
 /// Runs the MMQM greedy (maximise the minimum task quality), rebuilding all
-/// candidate state for this call.
+/// candidate state for this call and committing through the shared lazy-heap
+/// commit loop (`crate::engine::commit`).
 pub fn mmqm_rebuild(
     tasks: &[Task],
     index: &WorkerIndex,
@@ -180,56 +180,13 @@ pub fn mmqm_rebuild(
     let mut stats = CacheStats::default();
     let mut states = rebuild_states(tasks, index, cost_model, config, &mut stats);
     let mut ledger = WorkerLedger::new();
-    let mut remaining = config.budget;
-    let mut conflicts = 0usize;
-    let mut executions = 0usize;
-
-    // Min-heap over (quality, task index); entries are lazily refreshed.
-    let mut heap: BinaryHeap<Reverse<HeapEntry>> = states
-        .iter()
-        .enumerate()
-        .map(|(i, s)| Reverse(HeapEntry(s.quality(), i)))
-        .collect();
-    // Tasks that ran out of affordable candidates are retired.
-    let mut retired = vec![false; states.len()];
-
-    while let Some(Reverse(HeapEntry(quality, task_idx))) = heap.pop() {
-        if retired[task_idx] {
-            continue;
-        }
-        // Lazy entry: skip if stale (the task's quality has changed since the
-        // entry was pushed).
-        if (states[task_idx].quality() - quality).abs() > 1e-12 {
-            heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
-            continue;
-        }
-
-        let Some(candidate) = states[task_idx].best_candidate(remaining) else {
-            retired[task_idx] = true;
-            continue;
-        };
-        if candidate.cost > remaining {
-            retired[task_idx] = true;
-            continue;
-        }
-        // Conflict check against the shared ledger.
-        let worker = states[task_idx]
-            .planned_worker(candidate.slot)
-            .expect("candidate slot has a planned worker");
-        if ledger.is_occupied(candidate.slot, worker) {
-            conflicts += 1;
-            states[task_idx].refresh_slot(candidate.slot, index, cost_model, &ledger);
-            count_refresh(&mut stats);
-            heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
-            continue;
-        }
-
-        remaining -= candidate.cost;
-        ledger.occupy(candidate.slot, worker);
-        states[task_idx].execute(candidate.slot);
-        executions += 1;
-        heap.push(Reverse(HeapEntry(states[task_idx].quality(), task_idx)));
-    }
+    let mut backend = DenseBackend {
+        index,
+        cost_model,
+        ledger: &mut ledger,
+    };
+    let (conflicts, executions) =
+        mmqm_commit_loop(&mut states, config.budget, &mut backend, &mut stats);
 
     let assignment = MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
     MultiOutcome {

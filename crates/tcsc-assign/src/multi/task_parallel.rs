@@ -123,7 +123,8 @@ enum ThreadCommand {
 /// What travels back to the master.
 enum ThreadEvent {
     Worker(WorkerEvent),
-    Plans(Vec<(usize, AssignmentPlan)>),
+    /// The thread's task plans plus its states' refresh accounting.
+    Plans(Vec<(usize, AssignmentPlan)>, crate::multi::RefreshStats),
 }
 
 /// Runs MSQM with the task-level parallel framework on `threads` worker
@@ -247,7 +248,10 @@ fn run_task_parallel(
                             }
                         }
                         ThreadCommand::Finish => {
-                            event_tx.send(ThreadEvent::Plans(owner.into_plans())).ok();
+                            let refresh = owner.refresh_stats();
+                            event_tx
+                                .send(ThreadEvent::Plans(owner.into_plans(), refresh))
+                                .ok();
                             break;
                         }
                     }
@@ -280,7 +284,7 @@ fn run_task_parallel(
                 .expect("worker threads stay alive until Finish")
             {
                 ThreadEvent::Worker(event) => event,
-                ThreadEvent::Plans(_) => unreachable!("no Finish command sent yet"),
+                ThreadEvent::Plans(..) => unreachable!("no Finish command sent yet"),
             };
             let commands = master.handle(event);
             dispatch(commands, &command_txs);
@@ -294,10 +298,11 @@ fn run_task_parallel(
         let mut finished = 0usize;
         while finished < threads {
             match event_rx.recv().expect("threads reply with their plans") {
-                ThreadEvent::Plans(batch) => {
+                ThreadEvent::Plans(batch, refresh) => {
                     for (task_idx, plan) in batch {
                         plans[task_idx] = Some(plan);
                     }
+                    stats.absorb_refresh(&refresh);
                     finished += 1;
                 }
                 ThreadEvent::Worker(_) => {

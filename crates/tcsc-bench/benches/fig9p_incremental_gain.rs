@@ -1,0 +1,64 @@
+//! Figure 9p bench (repo extension): the incremental-gain commit engine
+//! against the recompute-per-grant full-refresh path — the same cold-cache
+//! batch under both `RefreshStrategy` settings, plus a streaming-drain
+//! variant where the ledger survives nothing but still amortises every
+//! round's commit tail.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use tcsc_assign::{AssignmentEngine, MultiTaskConfig, Objective, RefreshStrategy};
+use tcsc_bench::figures::fig9p;
+use tcsc_bench::{prepare_multi, Scale};
+use tcsc_core::EuclideanCost;
+use tcsc_workload::ScenarioConfig;
+
+fn bench_incremental_gain(c: &mut Criterion) {
+    println!("{}", fig9p(Scale::Quick).render());
+
+    let prepared = prepare_multi(
+        &ScenarioConfig::small()
+            .with_num_tasks(24)
+            .with_num_slots(64)
+            .with_num_workers(1500),
+    );
+    let tasks = &prepared.scenario.tasks;
+    let cost = EuclideanCost::default();
+    let budget = tasks.len() as f64 * 2.5;
+
+    let mut group = c.benchmark_group("fig9p_incremental_gain");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for (name, strategy) in [
+        ("full_refresh_batch", RefreshStrategy::Full),
+        ("incremental_gain_batch", RefreshStrategy::Incremental),
+    ] {
+        let cfg = MultiTaskConfig::new(budget).with_refresh(strategy);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                AssignmentEngine::borrowed(&prepared.index, &cost, cfg)
+                    .assign_batch(tasks, Objective::SumQuality)
+            })
+        });
+    }
+    for (name, strategy) in [
+        ("full_refresh_drains", RefreshStrategy::Full),
+        ("incremental_gain_drains", RefreshStrategy::Incremental),
+    ] {
+        let cfg = MultiTaskConfig::new(budget / 4.0).with_refresh(strategy);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine = AssignmentEngine::borrowed(&prepared.index, &cost, cfg);
+                for round in tasks.chunks(6) {
+                    engine.submit(round.to_vec());
+                    engine.drain(Objective::SumQuality);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_gain);
+criterion_main!(benches);

@@ -14,6 +14,11 @@
 //! Running `fig9s` (directly or via `all`) additionally writes
 //! `BENCH_fig9.json` — the machine-readable throughput/speedup-per-thread
 //! artifact that tracks the sharded-engine perf trajectory across PRs.
+//! Running `fig9p` writes `BENCH_fig9p.json` — the incremental-gain commit
+//! engine against the full-refresh path (per-grant refresh cost, commit-tail
+//! share) — and **exits non-zero** when the two strategies' outcomes diverge,
+//! when the incremental path's measured per-grant refresh cost exceeds the
+//! full path's, or when the incremental commit tail ran a full recompute.
 //! Running `fig9dist` writes `BENCH_fig9d.json` — the distributed-runtime
 //! sweep (node count × latency, barrier vs optimistic master) including the
 //! zero-latency-sim-vs-engine plan-hash gate, and **exits non-zero when the
@@ -32,6 +37,30 @@ fn run_figure(id: &str, scale: Scale) -> bool {
             Ok(()) => eprintln!("wrote BENCH_fig9.json"),
             Err(e) => eprintln!("could not write BENCH_fig9.json: {e}"),
         }
+        return true;
+    }
+    if id == "fig9p" {
+        let measurements = figures::fig9p_measurements(scale);
+        println!("{}", measurements.to_experiment().render());
+        match std::fs::write("BENCH_fig9p.json", measurements.to_json()) {
+            Ok(()) => eprintln!("wrote BENCH_fig9p.json"),
+            Err(e) => eprintln!("could not write BENCH_fig9p.json: {e}"),
+        }
+        assert!(
+            measurements.plans_match,
+            "the incremental-gain commit engine must be bit-identical to the full-refresh path \
+             (plans/conflicts/executions diverged)"
+        );
+        assert!(
+            measurements.incremental.per_grant_refresh_us <= measurements.full.per_grant_refresh_us,
+            "per-grant refresh regression: incremental {:.2}us > full {:.2}us",
+            measurements.incremental.per_grant_refresh_us,
+            measurements.full.per_grant_refresh_us
+        );
+        assert_eq!(
+            measurements.incremental.full_refreshes, 0,
+            "the incremental commit tail must not run full best-candidate recomputes"
+        );
         return true;
     }
     if id == "fig9dist" {

@@ -34,11 +34,31 @@
 //! every query.  `tests/sharded_properties.rs` locks this in across seeded
 //! domains, tile-boundary workers and empty shards.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 
 use tcsc_core::{Domain, Location, SlotIndex, WorkerId, WorkerPool};
 
 use crate::spatial::{IndexedWorker, NearestWorker, SlotGrid, SpatialQuery};
+
+thread_local! {
+    /// Per-thread scratch of the sharded k-NN path, reused across queries:
+    /// the cross-tile merge list and the tile-interior working buffer.
+    /// `BENCH_fig9.json` showed the per-call allocations (one `Vec` per tile
+    /// per ring, plus the merge vector) making the sharded query slower than
+    /// the dense one at small scales; reusing the buffers removes every
+    /// transient allocation except the exactly-sized result.
+    static KNN_SCRATCH: RefCell<KnnScratch> = RefCell::new(KnnScratch::default());
+}
+
+/// The reusable buffers of one thread's k-NN queries.
+#[derive(Default)]
+struct KnnScratch {
+    /// Cross-tile candidate merge list (`found` of the ring expansion).
+    merged: Vec<NearestWorker>,
+    /// Tile-interior `(distance, index)` working buffer.
+    tile: Vec<(f64, u32)>,
+}
 
 /// Shard-grid layout: how many spatial tiles per axis and how many contiguous
 /// time ranges the slot axis is split into.
@@ -288,6 +308,33 @@ impl ShardedWorkerIndex {
         bound
     }
 
+    /// Lower bound on the Euclidean distance from `query` to any worker a
+    /// tile can hold.  Border tiles are unbounded on their grid-edge sides:
+    /// out-of-domain workers clamp into them ([`ShardedWorkerIndex::tile_of`])
+    /// while lying *outside* the tile's rectangle, so only interior tile
+    /// boundaries may contribute to the bound.  The result is additionally
+    /// relaxed by a tiny factor so that a worker placed within float-rounding
+    /// distance of a tile boundary (whose `tile_of` division may round it
+    /// across) can never be excluded by ULP noise — the skip comparison is
+    /// strict, so an exact k-th-distance tie candidate is always scanned.
+    fn tile_min_distance(&self, query: &Location, tx: usize, ty: usize) -> f64 {
+        let mut dx = 0.0f64;
+        if tx > 0 {
+            dx = dx.max(self.origin.x + tx as f64 * self.tile_w - query.x);
+        }
+        if tx + 1 < self.config.tiles_x {
+            dx = dx.max(query.x - (self.origin.x + (tx + 1) as f64 * self.tile_w));
+        }
+        let mut dy = 0.0f64;
+        if ty > 0 {
+            dy = dy.max(self.origin.y + ty as f64 * self.tile_h - query.y);
+        }
+        if ty + 1 < self.config.tiles_y {
+            dy = dy.max(query.y - (self.origin.y + (ty + 1) as f64 * self.tile_h));
+        }
+        (dx * dx + dy * dy).sqrt() * (1.0 - 1e-9)
+    }
+
     /// Visits the tiles whose exact Chebyshev distance from `(qx, qy)` equals
     /// `ring`, so every tile is visited exactly once across all rings (no
     /// border re-visits, no duplicate candidates to trip the stop bound).
@@ -319,39 +366,55 @@ impl ShardedWorkerIndex {
             return Vec::new();
         }
         let (qx, qy) = self.tile_of(query);
-        let mut found: Vec<NearestWorker> = Vec::new();
-        let max_ring = self.config.tiles_x.max(self.config.tiles_y);
-        for ring in 0..=max_ring {
-            self.for_ring_tiles(qx, qy, ring, |tx, ty| {
-                if let Some(grid) = self.bucket(slot, tx, ty) {
-                    // The tile's own top-`count` suffices: a worker beaten by
-                    // `count` closer workers within its tile can never make
-                    // the global top-`count`, so dropping it here leaves the
-                    // k-th best distance — and the stop bound — unchanged.
-                    found.extend(grid.nearest(query, count));
-                }
-            });
-            // Stop once the count-th best answer is provably closer than
-            // anything an unscanned tile could hold.
-            if found.len() >= count {
-                found.sort_by(|a, b| {
-                    a.distance
-                        .total_cmp(&b.distance)
-                        .then(a.worker.cmp(&b.worker))
+        // The ring frontier's merge list and the per-tile top-k buffer are
+        // per-thread scratch (see `KNN_SCRATCH`); only the final, exactly
+        // sized result is allocated.
+        KNN_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            let found = &mut scratch.merged;
+            let tile_buf = &mut scratch.tile;
+            found.clear();
+            let max_ring = self.config.tiles_x.max(self.config.tiles_y);
+            // The count-th best distance seen so far (from the previous
+            // ring's sort): a tile whose rectangle lies strictly beyond it
+            // cannot contribute to the top-`count` and is skipped whole.
+            let mut kth = f64::INFINITY;
+            for ring in 0..=max_ring {
+                self.for_ring_tiles(qx, qy, ring, |tx, ty| {
+                    if self.tile_min_distance(query, tx, ty) > kth {
+                        return;
+                    }
+                    if let Some(grid) = self.bucket(slot, tx, ty) {
+                        // The tile's own top-`count` suffices: a worker beaten
+                        // by `count` closer workers within its tile can never
+                        // make the global top-`count`, so dropping it here
+                        // leaves the k-th best distance — and the stop bound —
+                        // unchanged.
+                        grid.nearest_append(query, count, tile_buf, found);
+                    }
                 });
-                let kth = found[count - 1].distance;
-                if kth < self.unscanned_bound(query, qx, qy, ring) {
-                    break;
+                // Stop once the count-th best answer is provably closer than
+                // anything an unscanned tile could hold.
+                if found.len() >= count {
+                    found.sort_by(|a, b| {
+                        a.distance
+                            .total_cmp(&b.distance)
+                            .then(a.worker.cmp(&b.worker))
+                    });
+                    kth = found[count - 1].distance;
+                    if kth < self.unscanned_bound(query, qx, qy, ring) {
+                        break;
+                    }
                 }
             }
-        }
-        found.sort_by(|a, b| {
-            a.distance
-                .total_cmp(&b.distance)
-                .then(a.worker.cmp(&b.worker))
-        });
-        found.truncate(count);
-        found
+            found.sort_by(|a, b| {
+                a.distance
+                    .total_cmp(&b.distance)
+                    .then(a.worker.cmp(&b.worker))
+            });
+            found.truncate(count);
+            found.clone()
+        })
     }
 
     /// The nearest available worker to `query` during `slot`.
@@ -570,6 +633,67 @@ mod tests {
             .nearest_excluding_with(5, &Location::new(0.0, 0.0), |_, _| false)
             .is_none());
         assert_eq!(index.available_count(5), 0);
+    }
+
+    #[test]
+    fn out_of_domain_workers_clamped_into_border_tiles_are_never_pruned() {
+        // Regression for the k-th-distance tile skip: an out-of-domain
+        // worker clamps into a border tile while lying *outside* the tile's
+        // rectangle, so a rectangle-based bound over-estimates its distance
+        // and can skip it.  Geometry: query (-10, 0) routes to tile (0, 0);
+        // worker 0 at (-9, 12) clamps into tile (0, 1) — ring 1 — with true
+        // distance sqrt(1 + 144) ≈ 12.04, while its tile rectangle
+        // [0,10]x[10,20] lies sqrt(100 + 100) ≈ 14.14 away; worker 1 at
+        // (3, 0) inside the query tile establishes kth = 13 in ring 0.  A
+        // bound that ignores the clamping skips tile (0, 1) (14.14 > 13)
+        // and wrongly answers worker 1; the dense index answers worker 0.
+        let pool = pool_of(&[(0, -9.0, 12.0), (0, 3.0, 0.0)]);
+        let domain = Domain::square(40.0);
+        let dense = crate::WorkerIndex::build(&pool, 1, &domain);
+        let sharded = ShardedWorkerIndex::build(&pool, 1, &domain, ShardGridConfig::new(4, 4));
+        let q = Location::new(-10.0, 0.0);
+        assert_eq!(
+            dense.nearest(0, &q).unwrap().worker,
+            WorkerId(0),
+            "sanity: the clamped worker is the true nearest"
+        );
+        assert_eq!(sharded.nearest(0, &q).unwrap().worker, WorkerId(0));
+        // Broader sweep: with out-of-domain workers on two edges, every
+        // query x count must stay bit-identical to the dense index.
+        let pool = pool_of(&[
+            (0, -9.0, 12.0),
+            (0, 15.0, 45.0),
+            (0, 5.0, 5.0),
+            (0, 12.0, 22.0),
+            (0, 28.0, 8.0),
+            (0, 33.0, 33.0),
+            (0, 2.0, 38.0),
+            (0, 21.0, 14.0),
+        ]);
+        let dense = crate::WorkerIndex::build(&pool, 1, &domain);
+        let sharded = ShardedWorkerIndex::build(&pool, 1, &domain, ShardGridConfig::new(4, 4));
+        for q in [
+            Location::new(-10.0, 0.0),
+            Location::new(-10.0, 12.0),
+            Location::new(0.0, 0.0),
+            Location::new(20.0, 50.0),
+            Location::new(39.0, 1.0),
+            Location::new(20.0, 20.0),
+        ] {
+            for count in [1, 3, 8] {
+                let d: Vec<_> = dense
+                    .k_nearest(0, &q, count)
+                    .into_iter()
+                    .map(|w| (w.worker, w.distance.to_bits()))
+                    .collect();
+                let s: Vec<_> = sharded
+                    .k_nearest(0, &q, count)
+                    .into_iter()
+                    .map(|w| (w.worker, w.distance.to_bits()))
+                    .collect();
+                assert_eq!(d, s, "query {q}, count {count}");
+            }
+        }
     }
 
     #[test]

@@ -158,11 +158,52 @@ impl SlotGrid {
     /// Ring-expansion search over the grid; falls back to scanning everything
     /// when the rings are exhausted.
     pub(crate) fn nearest(&self, query: &Location, count: usize) -> Vec<NearestWorker> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.nearest_append(query, count, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`SlotGrid::nearest`]: runs the search in
+    /// the caller-provided `scratch` buffer and *appends* the top-`count`
+    /// answers to `out` (callers merging several tiles reuse both buffers
+    /// across tiles and calls).  Identical candidates in identical order.
+    pub(crate) fn nearest_append(
+        &self,
+        query: &Location,
+        count: usize,
+        scratch: &mut Vec<(f64, u32)>,
+        out: &mut Vec<NearestWorker>,
+    ) {
         if self.workers.is_empty() || count == 0 {
-            return Vec::new();
+            return;
+        }
+        scratch.clear();
+        let found: &mut Vec<(f64, u32)> = scratch;
+        // Tiny grids (common for the sharded index's per-tile buckets, which
+        // hold a few workers each) skip the ring machinery: every worker is a
+        // candidate anyway, and the final sort yields the identical order the
+        // ring expansion would.
+        if self.workers.len() <= count {
+            found.extend(
+                self.workers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| (query.distance(&w.location), i as u32)),
+            );
+            found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            out.extend(found.iter().map(|&(d, idx)| {
+                let w = &self.workers[idx as usize];
+                NearestWorker {
+                    worker: w.worker,
+                    location: w.location,
+                    reliability: w.reliability,
+                    distance: d,
+                }
+            }));
+            return;
         }
         let (qx, qy) = Self::cell_coords(self.origin, self.cell_size, self.cols, self.rows, query);
-        let mut found: Vec<(f64, u32)> = Vec::new();
         let max_ring = self.cols.max(self.rows);
         for ring in 0..=max_ring {
             // Visit the cells of this ring.
@@ -197,19 +238,15 @@ impl SlotGrid {
             }
         }
         found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        found
-            .into_iter()
-            .take(count)
-            .map(|(d, idx)| {
-                let w = &self.workers[idx as usize];
-                NearestWorker {
-                    worker: w.worker,
-                    location: w.location,
-                    reliability: w.reliability,
-                    distance: d,
-                }
-            })
-            .collect()
+        out.extend(found.iter().take(count).map(|&(d, idx)| {
+            let w = &self.workers[idx as usize];
+            NearestWorker {
+                worker: w.worker,
+                location: w.location,
+                reliability: w.reliability,
+                distance: d,
+            }
+        }));
     }
 
     /// The nearest worker to `query` for which `skip` is false, with ties

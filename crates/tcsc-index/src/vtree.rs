@@ -627,6 +627,62 @@ impl VTree {
         best
     }
 
+    /// Admissible per-leaf *gain* upper bounds: for every leaf with candidate
+    /// slots, `(start, end, gain_ub)` such that the exact quality increment of
+    /// executing any unexecuted slot in `[start, end]` is at most `gain_ub`.
+    ///
+    /// This is the numerator of `VTree::node_bound` (the slot's own
+    /// partial-quality headroom plus the summed potential of every slot it
+    /// can influence), shared so a caller seeding a lazy structure keys its
+    /// entries with the *same* admissible bounds the best-first search prunes
+    /// with — dividing by each slot's own cost gives a per-slot heuristic
+    /// bound at least as tight as the search's per-node one.
+    pub fn leaf_bounds(&self) -> Vec<(SlotIndex, SlotIndex, f64)> {
+        let root = &self.nodes[self.root];
+        if root.candidates == 0 {
+            return Vec::new();
+        }
+        let reach = root.max_kth_dist;
+        let mut out = Vec::new();
+        self.collect_leaf_bounds(self.root, reach, &mut out);
+        out
+    }
+
+    fn collect_leaf_bounds(
+        &self,
+        idx: usize,
+        reach: usize,
+        out: &mut Vec<(SlotIndex, SlotIndex, f64)>,
+    ) {
+        let node = &self.nodes[idx];
+        if node.candidates == 0 {
+            return;
+        }
+        if node.is_leaf() {
+            out.push((node.start, node.end, self.node_gain_bound(idx, reach)));
+        } else {
+            self.collect_leaf_bounds(node.left.unwrap(), reach, out);
+            self.collect_leaf_bounds(node.right.unwrap(), reach, out);
+        }
+    }
+
+    /// The gain part of [`VTree::node_bound`]: own headroom + reachable
+    /// potential.
+    fn node_gain_bound(&self, idx: usize, reach: usize) -> f64 {
+        let node = &self.nodes[idx];
+        let m = self.num_slots as f64;
+        let own_ub = (Self::entropy_term(1.0 / m)
+            - if node.min_unexec_pq.is_finite() {
+                node.min_unexec_pq
+            } else {
+                0.0
+            })
+        .max(0.0);
+        let lo = node.start.saturating_sub(reach);
+        let hi = (node.end + reach).min(self.num_slots - 1);
+        own_ub + self.potential_in_range(self.root, lo, hi)
+    }
+
     /// Admissible upper bound on the heuristic value of any slot within the
     /// node:
     ///
@@ -641,19 +697,8 @@ impl VTree {
         if node.candidates == 0 || node.min_cost > max_cost {
             return 0.0;
         }
-        let m = self.num_slots as f64;
-        let own_ub = (Self::entropy_term(1.0 / m)
-            - if node.min_unexec_pq.is_finite() {
-                node.min_unexec_pq
-            } else {
-                0.0
-            })
-        .max(0.0);
-        let lo = node.start.saturating_sub(reach);
-        let hi = (node.end + reach).min(self.num_slots - 1);
-        let neighbor_ub = self.potential_in_range(self.root, lo, hi);
         let cost = node.min_cost.max(f64::MIN_POSITIVE);
-        (own_ub + neighbor_ub) / cost
+        self.node_gain_bound(idx, reach) / cost
     }
 
     /// Sum of stored potentials of slots within `[lo, hi]`, accumulated from

@@ -152,6 +152,9 @@ impl Component<NetMessage> for RegionNode {
                     "the master must never double-grant a (slot, worker)"
                 );
                 let owner = std::mem::take(&mut self.owner);
+                // Fold the owned states' commit-tail refresh accounting into
+                // the node's counters before shipping them to the dispatcher.
+                self.stats.absorb_refresh(&owner.refresh_stats());
                 let commitments: usize = self.ledger.values().map(WorkerLedger::len).sum();
                 ctx.send(
                     self.dispatcher,
