@@ -51,9 +51,9 @@ use tcsc_core::{
 use tcsc_index::{SpatialQuery, WorkerIndex};
 
 use crate::candidates::{SlotCandidates, WorkerLedger};
-use crate::engine::commit::{inline_wave, msqm_commit_loop, DenseBackend};
+use crate::engine::commit::{inline_wave, msqm_commit_loop, msqm_commit_loop_celf, DenseBackend};
 use crate::multi::sapprox::SpatioTemporalObjective;
-use crate::multi::{MultiOutcome, MultiTaskConfig, TaskState};
+use crate::multi::{ConflictAccounting, MultiOutcome, MultiTaskConfig, TaskState};
 pub use crate::multi::{RefreshStats, RefreshStrategy};
 
 /// Which aggregate objective a batch solve maximises.
@@ -104,6 +104,14 @@ pub struct CacheStats {
     pub incremental_patches: usize,
     /// Stale gain-ledger entries re-scored on pop (the lazy-greedy work).
     pub stale_pops: usize,
+    /// Per-task best-candidate re-scores the MSQM commit loop issued beyond
+    /// the warm start: under [`crate::multi::ConflictAccounting::V1`] every
+    /// eagerly refreshed task per grant, under
+    /// [`crate::multi::ConflictAccounting::V2`] only the tasks whose lazy
+    /// upper bound actually bound the selection.  Like the rest of the
+    /// refresh block this is measurement, not behaviour (excluded from
+    /// `PartialEq`).
+    pub commit_rescores: usize,
     /// Nanoseconds spent in commit-tail refresh work (searches beyond the
     /// warm start, ledger pops and patches).
     pub refresh_nanos: u64,
@@ -133,6 +141,7 @@ impl CacheStats {
         self.full_refreshes += other.full_refreshes;
         self.incremental_patches += other.incremental_patches;
         self.stale_pops += other.stale_pops;
+        self.commit_rescores += other.commit_rescores;
         self.refresh_nanos += other.refresh_nanos;
     }
 
@@ -369,6 +378,7 @@ pub(crate) fn msqm_greedy_core(
     index: &dyn SpatialQuery,
     cost_model: &dyn CostModel,
     ledger: &mut WorkerLedger,
+    accounting: ConflictAccounting,
     stats: &mut CacheStats,
 ) -> (usize, usize) {
     let mut backend = DenseBackend {
@@ -376,7 +386,14 @@ pub(crate) fn msqm_greedy_core(
         cost_model,
         ledger,
     };
-    msqm_commit_loop(states, budget, &mut backend, stats, &mut inline_wave)
+    match accounting {
+        ConflictAccounting::V1 => {
+            msqm_commit_loop(states, budget, &mut backend, stats, &mut inline_wave)
+        }
+        ConflictAccounting::V2 => {
+            msqm_commit_loop_celf(states, budget, &mut backend, stats, &mut inline_wave)
+        }
+    }
 }
 
 /// Long-lived batched / streaming multi-task assignment engine.
@@ -549,6 +566,7 @@ impl<'a> AssignmentEngine<'a> {
             self.index.as_ref(),
             self.cost_model,
             &mut self.ledger,
+            self.config.accounting,
             &mut stats,
         );
 

@@ -51,25 +51,30 @@ pub mod multi;
 pub mod single;
 
 pub use candidates::{SlotCandidates, WorkerLedger};
-pub use engine::concurrent::{ConcurrentAssignmentEngine, ShardedLedger};
+pub use engine::concurrent::{ConcurrentAssignmentEngine, DisjointDrainReport, ShardedLedger};
 pub use engine::{AssignmentEngine, CacheStats, CandidateCache, Objective};
 pub use multi::conflict::{independence_graph, IndependenceGraph};
 pub use multi::gain::GainLedger;
-pub use multi::group_parallel::{
-    msqm_group_parallel, msqm_group_parallel_cached, GroupParallelOutcome,
-};
+pub use multi::group_parallel::GroupParallelOutcome;
+#[allow(deprecated)]
+pub use multi::group_parallel::{msqm_group_parallel, msqm_group_parallel_cached};
+#[allow(deprecated)]
 pub use multi::mmqm::mmqm;
+#[allow(deprecated)]
 pub use multi::msqm::msqm_serial;
 pub use multi::protocol::{
     CommittedExecution, GrantPolicy, MasterCommand, TaskMaster, TaskOwner, WorkerEvent,
 };
-pub use multi::rebuild::{mmqm_rebuild, msqm_rebuild};
-pub use multi::sapprox::{sapprox, SpatioTemporalObjective};
-pub use multi::task_parallel::{
-    msqm_task_parallel, msqm_task_parallel_optimistic, TaskParallelOutcome,
-};
+pub use multi::rebuild::{mmqm_rebuild, msqm_rebuild, msqm_rebuild_v2};
+#[allow(deprecated)]
+pub use multi::sapprox::sapprox;
+pub use multi::sapprox::SpatioTemporalObjective;
+pub use multi::task_parallel::TaskParallelOutcome;
+#[allow(deprecated)]
+pub use multi::task_parallel::{msqm_task_parallel, msqm_task_parallel_optimistic};
 pub use multi::{
-    MultiOutcome, MultiTaskConfig, RefreshStats, RefreshStrategy, TaskCandidate, TaskState,
+    ConflictAccounting, MultiOutcome, MultiTaskConfig, RefreshStats, RefreshStrategy,
+    TaskCandidate, TaskState,
 };
 pub use single::baseline::{random_assignment, random_summary, RandSummary};
 pub use single::dual::{min_budget_for_quality, DualOutcome};

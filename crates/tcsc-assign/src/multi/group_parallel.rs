@@ -16,8 +16,8 @@ use tcsc_index::WorkerIndex;
 
 use crate::candidates::{SlotCandidates, WorkerLedger};
 use crate::engine::{msqm_greedy_core, CacheStats, CandidateCache};
+use crate::engine::{AssignmentEngine, Objective};
 use crate::multi::conflict::independence_graph;
-use crate::multi::msqm::msqm_serial;
 use crate::multi::{MultiOutcome, MultiTaskConfig, TaskState};
 
 /// Outcome of the group-level parallel run, with the grouping statistics.
@@ -35,6 +35,7 @@ pub struct GroupParallelOutcome {
 
 /// Runs MSQM with group-level parallelization over at most `threads`
 /// concurrent worker threads.
+#[deprecated(note = "use tcsc::solver::SolverBuilder with Runtime::GroupParallel")]
 pub fn msqm_group_parallel(
     tasks: &[Task],
     index: &WorkerIndex,
@@ -71,7 +72,8 @@ pub fn msqm_group_parallel(
                             budget: share,
                             ..*config
                         };
-                        let outcome = msqm_serial(&group_tasks, index, cost_model, &cfg);
+                        let outcome = AssignmentEngine::borrowed(index, cost_model, cfg)
+                            .assign_batch(&group_tasks, Objective::SumQuality);
                         (group, outcome)
                     })
                 })
@@ -131,6 +133,10 @@ pub fn msqm_group_parallel(
 /// The outcome is identical to [`msqm_group_parallel`] (same groups, same
 /// budget shares, same greedy over the same candidates); the equivalence is
 /// locked in by the tests below.
+#[deprecated(
+    note = "use tcsc::solver::SolverBuilder with Runtime::GroupParallel and \
+            with_group_cache(true)"
+)]
 pub fn msqm_group_parallel_cached(
     tasks: &[Task],
     index: &WorkerIndex,
@@ -197,6 +203,7 @@ pub fn msqm_group_parallel_cached(
                             index,
                             cost_model,
                             &mut ledger,
+                            cfg.accounting,
                             &mut group_stats,
                         );
                         let assignment = MultiAssignment::new(
@@ -254,6 +261,9 @@ pub fn msqm_group_parallel_cached(
 }
 
 #[cfg(test)]
+// The unit tests keep exercising the deprecated free-function wrappers on
+// purpose: they are the advertised migration shims and must stay correct.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::multi::test_support::small_instance;

@@ -24,6 +24,8 @@ use crate::engine::{AssignmentEngine, Objective};
 use crate::multi::{MultiOutcome, MultiTaskConfig};
 
 /// Runs the MMQM greedy (maximise the minimum task quality).
+#[deprecated(note = "use tcsc::solver::SolverBuilder with Runtime::Serial and \
+            SolveObjective::MinQuality, or AssignmentEngine directly")]
 pub fn mmqm(
     tasks: &[Task],
     index: &WorkerIndex,
@@ -35,6 +37,9 @@ pub fn mmqm(
 }
 
 #[cfg(test)]
+// The unit tests keep exercising the deprecated free-function wrappers on
+// purpose: they are the advertised migration shims and must stay correct.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::multi::msqm::msqm_serial;

@@ -27,6 +27,8 @@ use crate::engine::{AssignmentEngine, Objective};
 use crate::multi::{MultiOutcome, MultiTaskConfig};
 
 /// Runs the serial MSQM greedy.
+#[deprecated(note = "use tcsc::solver::SolverBuilder with Runtime::Serial and \
+            SolveObjective::SumQuality, or AssignmentEngine directly")]
 pub fn msqm_serial(
     tasks: &[Task],
     index: &WorkerIndex,
@@ -38,6 +40,9 @@ pub fn msqm_serial(
 }
 
 #[cfg(test)]
+// The unit tests keep exercising the deprecated free-function wrappers on
+// purpose: they are the advertised migration shims and must stay correct.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::multi::test_support::small_instance;

@@ -31,6 +31,10 @@ pub enum SpatioTemporalObjective {
 /// [`AssignmentEngine::assign_spatiotemporal`]; this entry point wraps a
 /// per-call engine around the caller's index so candidates route through the
 /// shared cache.
+#[deprecated(
+    note = "use tcsc::solver::SolverBuilder with SolveObjective::SpatioTemporal, \
+            or AssignmentEngine::assign_spatiotemporal directly"
+)]
 pub fn sapprox(
     tasks: &[Task],
     index: &WorkerIndex,
@@ -45,6 +49,9 @@ pub fn sapprox(
 }
 
 #[cfg(test)]
+// The unit tests keep exercising the deprecated free-function wrappers on
+// purpose: they are the advertised migration shims and must stay correct.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::multi::test_support::small_instance;

@@ -130,6 +130,10 @@ enum ThreadEvent {
 /// Runs MSQM with the task-level parallel framework on `threads` worker
 /// threads under the deterministic barrier master.  `use_priorities` toggles
 /// the dynamic priority ordering of recomputation requests (Fig. 9(f)).
+#[deprecated(
+    note = "use tcsc::solver::SolverBuilder with Runtime::TaskParallel and \
+            GrantPolicy::Barrier"
+)]
 pub fn msqm_task_parallel(
     tasks: &[Task],
     index: &WorkerIndex,
@@ -154,6 +158,10 @@ pub fn msqm_task_parallel(
 /// every outstanding heartbeat and rolled back when superseded.  The
 /// committed execution sequence (and hence the plans) is identical to
 /// [`msqm_task_parallel`].
+#[deprecated(
+    note = "use tcsc::solver::SolverBuilder with Runtime::TaskParallel and \
+            GrantPolicy::Optimistic"
+)]
 pub fn msqm_task_parallel_optimistic(
     tasks: &[Task],
     index: &WorkerIndex,
@@ -182,6 +190,13 @@ fn run_task_parallel(
     use_priorities: bool,
     policy: GrantPolicy,
 ) -> TaskParallelOutcome {
+    assert_eq!(
+        config.accounting,
+        crate::multi::ConflictAccounting::V1,
+        "the task-parallel master replays the V1 eager conflict contract \
+         (grant/deny protocol refreshes losers immediately); run it with \
+         ConflictAccounting::V1 or use the serial/concurrent engines for V2",
+    );
     let threads = threads.clamp(1, tasks.len().max(1));
     if tasks.is_empty() {
         return TaskParallelOutcome {
@@ -344,6 +359,9 @@ fn run_task_parallel(
 }
 
 #[cfg(test)]
+// The unit tests keep exercising the deprecated free-function wrappers on
+// purpose: they are the advertised migration shims and must stay correct.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::multi::msqm::msqm_serial;

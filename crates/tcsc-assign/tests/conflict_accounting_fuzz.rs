@@ -1,0 +1,219 @@
+//! Differential fuzz: [`ConflictAccounting::V2`] (the cross-task CELF lazy
+//! commit queue) against its in-tree oracle [`msqm_rebuild_v2`], and against
+//! [`ConflictAccounting::V1`] — the same playbook that locks
+//! `RefreshStrategy::Incremental` to its `Full` oracle in
+//! `incremental_gain_fuzz.rs`.
+//!
+//! ≥300 seeded cases across the suites below.  The contracts under test:
+//!
+//! * **V2 engine ≡ V2 oracle, bit-for-bit** — the CELF loop's lazy
+//!   upper-bound queue must commit exactly the plans, conflicts and
+//!   executions of the straightforward selection-time-only greedy
+//!   (`msqm_rebuild_v2` recomputes every stale candidate eagerly; the CELF
+//!   loop re-scores only the entries whose bounds bind — the results must
+//!   not differ in a single bit).
+//! * **V1 plans ≡ V2 plans** — the two accounting versions walk the same
+//!   greedy trajectory; only *when* a doomed candidate's conflict is
+//!   discovered differs, which an eventually-selected candidate always
+//!   resolves identically.  Conflict counts legitimately differ (V1 charges
+//!   losers eagerly even when they never re-bind), so only plans and
+//!   executions are compared.
+//! * **V2 re-scores ≤ V1 re-scores** — the point of the lazy queue,
+//!   measured by `CacheStats::commit_rescores`.
+//! * **concurrent ≡ serial under V2** — the sharded backend changes the
+//!   candidate routing, not the commit loop.
+//! * **disjoint drains are thread-invariant** — the region-overlapped V2
+//!   drain must produce one outcome (and one [`DisjointDrainReport`]) for
+//!   every thread count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use tcsc_assign::{
+    msqm_rebuild, msqm_rebuild_v2, AssignmentEngine, ConcurrentAssignmentEngine,
+    ConflictAccounting, MultiTaskConfig, Objective, RefreshStrategy,
+};
+use tcsc_core::{Domain, EuclideanCost, Task, WorkerPool};
+use tcsc_index::{ShardGridConfig, ShardedWorkerIndex, WorkerIndex};
+use tcsc_workload::{ScenarioConfig, SpatialDistribution, TaskPlacement};
+
+/// A random small scenario (same envelope as `incremental_gain_fuzz.rs`),
+/// returning the raw pool so both the dense and the sharded index can be
+/// built from it.
+fn random_instance(rng: &mut StdRng) -> (Vec<Task>, WorkerPool, Domain, f64, usize) {
+    let num_tasks = rng.gen_range(3..=10);
+    let num_slots = rng.gen_range(8..=32);
+    let num_workers = rng.gen_range(30..=160);
+    let budget = rng.gen_range(4.0..70.0);
+    let placement = match rng.gen_range(0..3) {
+        0 => SpatialDistribution::Uniform,
+        1 => SpatialDistribution::Gaussian,
+        _ => SpatialDistribution::zipf_default(),
+    };
+    let cfg = ScenarioConfig::small()
+        .with_num_tasks(num_tasks)
+        .with_num_slots(num_slots)
+        .with_num_workers(num_workers)
+        .with_placement(TaskPlacement::Synthetic(placement))
+        .with_seed(rng.next_u64());
+    let scenario = cfg.build();
+    (
+        scenario.tasks,
+        scenario.workers,
+        scenario.domain,
+        budget,
+        num_slots,
+    )
+}
+
+fn random_config(rng: &mut StdRng, budget: f64) -> MultiTaskConfig {
+    let refresh = if rng.gen_bool(0.5) {
+        RefreshStrategy::Full
+    } else {
+        RefreshStrategy::Incremental
+    };
+    MultiTaskConfig::new(budget)
+        .with_index(rng.gen_bool(0.7))
+        .with_refresh(refresh)
+}
+
+#[test]
+fn v2_engine_matches_the_v2_oracle_bit_for_bit() {
+    let cost = EuclideanCost::default();
+    let mut total_lazy_savings = 0usize;
+    for seed in 0..140u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (tasks, workers, domain, budget, num_slots) = random_instance(&mut rng);
+        let index = WorkerIndex::build(&workers, num_slots, &domain);
+        let cfg = random_config(&mut rng, budget);
+
+        let oracle = msqm_rebuild_v2(&tasks, &index, &cost, &cfg);
+        let celf =
+            AssignmentEngine::borrowed(&index, &cost, cfg.with_accounting(ConflictAccounting::V2))
+                .assign_batch(&tasks, Objective::SumQuality);
+
+        assert_eq!(
+            oracle.assignment, celf.assignment,
+            "plans diverged from the V2 oracle, seed {seed}"
+        );
+        assert_eq!(
+            oracle.conflicts, celf.conflicts,
+            "conflicts diverged from the V2 oracle, seed {seed}"
+        );
+        assert_eq!(
+            oracle.executions, celf.executions,
+            "executions diverged from the V2 oracle, seed {seed}"
+        );
+
+        // V1 on the same instance: identical plans, lazier accounting.
+        let v1 = AssignmentEngine::borrowed(&index, &cost, cfg)
+            .assign_batch(&tasks, Objective::SumQuality);
+        assert_eq!(
+            v1.assignment, celf.assignment,
+            "V1 and V2 plans diverged, seed {seed}"
+        );
+        assert_eq!(
+            v1.executions, celf.executions,
+            "V1 and V2 executions diverged, seed {seed}"
+        );
+        assert!(
+            celf.stats.commit_rescores <= v1.stats.commit_rescores,
+            "the lazy queue re-scored more than the eager loop, seed {seed}: \
+             V2 {} vs V1 {}",
+            celf.stats.commit_rescores,
+            v1.stats.commit_rescores,
+        );
+        total_lazy_savings += v1.stats.commit_rescores - celf.stats.commit_rescores;
+
+        // The V1 oracle must agree with V1's engine path on plans too (the
+        // cross-check that keeps the two oracles describing one greedy).
+        let v1_oracle = msqm_rebuild(&tasks, &index, &cost, &cfg);
+        assert_eq!(v1_oracle.assignment, v1.assignment, "seed {seed}");
+        assert_eq!(v1_oracle.conflicts, v1.conflicts, "seed {seed}");
+    }
+    assert!(
+        total_lazy_savings > 0,
+        "across the sweep V2 must actually skip eager re-scores"
+    );
+}
+
+#[test]
+fn v2_concurrent_batches_match_the_serial_engine() {
+    let cost = EuclideanCost::default();
+    for seed in 1000..1100u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (tasks, workers, domain, budget, num_slots) = random_instance(&mut rng);
+        let dense = WorkerIndex::build(&workers, num_slots, &domain);
+        let grid = match rng.gen_range(0..4) {
+            0 => ShardGridConfig::new(1, 1),
+            1 => ShardGridConfig::new(2, 2),
+            2 => ShardGridConfig::new(4, 3),
+            _ => ShardGridConfig::new(3, 3).with_time_splits(2),
+        };
+        let sharded = ShardedWorkerIndex::build(&workers, num_slots, &domain, grid);
+        let cfg = random_config(&mut rng, budget).with_accounting(ConflictAccounting::V2);
+        let threads = rng.gen_range(1..=6);
+
+        let serial = AssignmentEngine::borrowed(&dense, &cost, cfg)
+            .assign_batch(&tasks, Objective::SumQuality);
+        let mut engine = ConcurrentAssignmentEngine::new(sharded, &cost, cfg, threads);
+        let parallel = engine.assign_batch_parallel(&tasks, Objective::SumQuality);
+
+        assert_eq!(
+            serial.assignment, parallel.assignment,
+            "plans diverged, seed {seed}, threads {threads}"
+        );
+        assert_eq!(serial.conflicts, parallel.conflicts, "seed {seed}");
+        assert_eq!(serial.executions, parallel.executions, "seed {seed}");
+        assert_eq!(serial.stats, parallel.stats, "seed {seed}");
+    }
+}
+
+#[test]
+fn disjoint_drains_are_thread_invariant() {
+    let cost = EuclideanCost::default();
+    let mut overlapped_at_least_once = false;
+    for seed in 2000..2080u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (tasks, workers, domain, budget, num_slots) = random_instance(&mut rng);
+        let grid = match rng.gen_range(0..3) {
+            0 => ShardGridConfig::new(2, 2),
+            1 => ShardGridConfig::new(3, 3),
+            _ => ShardGridConfig::new(4, 2),
+        };
+        let sharded = ShardedWorkerIndex::build(&workers, num_slots, &domain, grid);
+        let cfg = random_config(&mut rng, budget).with_accounting(ConflictAccounting::V2);
+
+        let mut reference = None;
+        for threads in [1, rng.gen_range(2..=8)] {
+            let mut engine = ConcurrentAssignmentEngine::new(sharded.clone(), &cost, cfg, threads);
+            engine.submit(tasks.clone());
+            let outcome = engine.drain_parallel(Objective::SumQuality);
+            let report = engine
+                .last_drain_report()
+                .expect("a V2 multi-shard drain records a report, seed {seed}");
+            assert_eq!(
+                report.interior_tasks + report.boundary_tasks,
+                tasks.len(),
+                "seed {seed}"
+            );
+            assert!(
+                outcome.assignment.total_cost() <= budget + 1e-6,
+                "budget violated, seed {seed}"
+            );
+            if report.regions_used >= 2 {
+                overlapped_at_least_once = true;
+            }
+            match &reference {
+                None => reference = Some((outcome, report)),
+                Some((r_outcome, r_report)) => {
+                    assert_eq!(r_outcome, &outcome, "seed {seed}, threads {threads}");
+                    assert_eq!(r_report, &report, "seed {seed}, threads {threads}");
+                }
+            }
+        }
+    }
+    assert!(
+        overlapped_at_least_once,
+        "no sweep instance ever produced >=2 overlapped regions"
+    );
+}

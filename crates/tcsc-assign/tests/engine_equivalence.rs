@@ -4,6 +4,10 @@
 //! candidate-refresh counters must show the cache doing strictly less work
 //! than the rebuild-per-call baseline.
 
+// These suites pin the semantics of the deprecated free-function wrappers
+// against the engines; they call the wrappers on purpose.
+#![allow(deprecated)]
+
 use tcsc_assign::{
     mmqm, mmqm_rebuild, msqm_rebuild, msqm_serial, sapprox, AssignmentEngine, MultiOutcome,
     MultiTaskConfig, Objective, SpatioTemporalObjective,

@@ -9,6 +9,10 @@
 //! patch/un-patch protocol) returned a different argmax than the full
 //! search — the exact regression the `Full` oracle exists to catch.
 
+// These suites pin the semantics of the deprecated free-function wrappers
+// against the engines; they call the wrappers on purpose.
+#![allow(deprecated)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use tcsc_assign::{

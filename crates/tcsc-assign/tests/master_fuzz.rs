@@ -5,6 +5,10 @@
 //! command FIFO, arbitrary cross-owner event interleaving).  Every ordering
 //! must commit the barrier sequence with the barrier's conflict count.
 
+// These suites pin the semantics of the deprecated free-function wrappers
+// against the engines; they call the wrappers on purpose.
+#![allow(deprecated)]
+
 use std::collections::VecDeque;
 
 use rand::rngs::StdRng;

@@ -5,6 +5,10 @@
 //! must be identical.  Rolled-back speculation may differ run to run; the
 //! committed outcome may not.
 
+// These suites pin the semantics of the deprecated free-function wrappers
+// against the engines; they call the wrappers on purpose.
+#![allow(deprecated)]
+
 use tcsc_assign::{
     msqm_serial, msqm_task_parallel, msqm_task_parallel_optimistic, MultiTaskConfig,
 };

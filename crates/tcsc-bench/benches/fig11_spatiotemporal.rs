@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-use tcsc_assign::{sapprox, MultiTaskConfig, SpatioTemporalObjective};
+use tcsc::solver::{SolveObjective, SolverBuilder};
+use tcsc_assign::{MultiTaskConfig, SpatioTemporalObjective};
 use tcsc_bench::figures::{fig11a, fig11b, fig11c};
 use tcsc_bench::{prepare_multi, Scale};
 use tcsc_core::{EuclideanCost, InterpolationWeights};
@@ -30,28 +31,34 @@ fn bench_fig11(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     group.bench_function("sapprox_temporal_only", |b| {
         b.iter(|| {
-            sapprox(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost,
-                &prepared.scenario.domain,
-                InterpolationWeights::temporal_only(),
-                SpatioTemporalObjective::Sum,
-                &cfg,
-            )
+            SolverBuilder::new(cfg.budget)
+                .with_config(cfg)
+                .with_objective(SolveObjective::SpatioTemporal {
+                    weights: InterpolationWeights::temporal_only(),
+                    objective: SpatioTemporalObjective::Sum,
+                })
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost,
+                )
         })
     });
     group.bench_function("sapprox_weighted", |b| {
         b.iter(|| {
-            sapprox(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost,
-                &prepared.scenario.domain,
-                InterpolationWeights::paper_default(),
-                SpatioTemporalObjective::Sum,
-                &cfg,
-            )
+            SolverBuilder::new(cfg.budget)
+                .with_config(cfg)
+                .with_objective(SolveObjective::SpatioTemporal {
+                    weights: InterpolationWeights::paper_default(),
+                    objective: SpatioTemporalObjective::Sum,
+                })
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost,
+                )
         })
     });
     group.finish();

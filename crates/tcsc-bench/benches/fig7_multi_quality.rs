@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-use tcsc_assign::{mmqm, msqm_serial, MultiTaskConfig};
+use tcsc::solver::{SolveObjective, SolverBuilder};
+use tcsc_assign::MultiTaskConfig;
 use tcsc_bench::figures::{fig7a, fig7b, fig7c, fig7d};
 use tcsc_bench::{prepare_multi, Scale};
 use tcsc_core::EuclideanCost;
@@ -30,10 +31,29 @@ fn bench_fig7(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(2));
     group.bench_function("msqm_serial_6x40", |b| {
-        b.iter(|| msqm_serial(&prepared.scenario.tasks, &prepared.index, &cost, &cfg))
+        b.iter(|| {
+            SolverBuilder::new(cfg.budget)
+                .with_config(cfg)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost,
+                )
+        })
     });
     group.bench_function("mmqm_6x40", |b| {
-        b.iter(|| mmqm(&prepared.scenario.tasks, &prepared.index, &cost, &cfg))
+        b.iter(|| {
+            SolverBuilder::new(cfg.budget)
+                .with_config(cfg)
+                .with_objective(SolveObjective::MinQuality)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost,
+                )
+        })
     });
     group.finish();
 }

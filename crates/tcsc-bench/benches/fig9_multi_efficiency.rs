@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-use tcsc_assign::{msqm_group_parallel, msqm_serial, msqm_task_parallel, MultiTaskConfig};
+use tcsc::solver::{Runtime, SolverBuilder};
+use tcsc_assign::MultiTaskConfig;
 use tcsc_bench::figures::{fig9a, fig9b, fig9c, fig9d, fig9e, fig9f, fig9g, fig9h};
 use tcsc_bench::{prepare_multi, Scale};
 use tcsc_core::EuclideanCost;
@@ -38,21 +39,43 @@ fn bench_fig9(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(3));
     group.bench_function("serial", |b| {
-        b.iter(|| msqm_serial(&prepared.scenario.tasks, &prepared.index, &cost, &cfg))
+        b.iter(|| {
+            SolverBuilder::new(cfg.budget)
+                .with_config(cfg)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost,
+                )
+        })
     });
     group.bench_function("group_parallel_4", |b| {
-        b.iter(|| msqm_group_parallel(&prepared.scenario.tasks, &prepared.index, &cost, &cfg, 4))
+        b.iter(|| {
+            SolverBuilder::new(cfg.budget)
+                .with_config(cfg)
+                .with_runtime(Runtime::GroupParallel)
+                .with_threads(4)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost,
+                )
+        })
     });
     group.bench_function("task_parallel_4", |b| {
         b.iter(|| {
-            msqm_task_parallel(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost,
-                &cfg,
-                4,
-                true,
-            )
+            SolverBuilder::new(cfg.budget)
+                .with_config(cfg)
+                .with_runtime(Runtime::TaskParallel)
+                .with_threads(4)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost,
+                )
         })
     });
     group.finish();

@@ -8,12 +8,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use tcsc::solver::{Runtime, SolveObjective, SolverBuilder};
 use tcsc_assign::candidates::SlotCandidates;
 use tcsc_assign::{
-    approx, approx_star, independence_graph, mmqm, msqm_group_parallel, msqm_rebuild, msqm_serial,
-    msqm_task_parallel, optimal, random_summary, sapprox, AssignmentEngine,
-    ConcurrentAssignmentEngine, MultiTaskConfig, Objective, SingleTaskConfig,
-    SpatioTemporalObjective,
+    approx, approx_star, independence_graph, msqm_rebuild, optimal, random_summary,
+    AssignmentEngine, ConcurrentAssignmentEngine, ConflictAccounting, MultiTaskConfig, Objective,
+    SingleTaskConfig, SpatioTemporalObjective,
 };
 use tcsc_core::{EuclideanCost, InterpolationWeights};
 use tcsc_index::{ShardGridConfig, ShardedWorkerIndex, WorkerIndex};
@@ -22,6 +22,14 @@ use tcsc_workload::{
 };
 
 use crate::{prepare_multi, prepare_single, timed, Experiment, Row, Scale};
+
+/// Shorthand: a [`SolverBuilder`] seeded from a figure's `MultiTaskConfig`.
+///
+/// Every multi-task figure routes through the facade; the prebuilt dense
+/// index stays outside the timed regions via [`SolverBuilder::solve_indexed`].
+fn builder(cfg: &MultiTaskConfig) -> SolverBuilder {
+    SolverBuilder::new(cfg.budget).with_config(*cfg)
+}
 
 /// Workload sizes per scale.
 struct Params {
@@ -228,11 +236,11 @@ pub fn fig7a(scale: Scale) -> Experiment {
         let budget = budget_for_multi(&prepared, 0.25);
         let cfg = MultiTaskConfig::new(budget);
         let (rand_min, rand_max, _, _) = multi_rand_baseline(&prepared, &cfg, p.rand_runs.min(5));
-        let outcome = msqm_serial(
+        let outcome = builder(&cfg).solve_indexed(
             &prepared.scenario.tasks,
             &prepared.index,
+            &prepared.scenario.domain,
             &EuclideanCost::default(),
-            &cfg,
         );
         rows.push(Row::new(
             placement.label(),
@@ -276,11 +284,11 @@ pub fn fig7b(scale: Scale) -> Experiment {
         let cfg = MultiTaskConfig::new(budget);
         let (_, _, _, _) = (0.0, 0.0, 0.0, 0.0);
         let (rand_min, rand_max, _, _) = multi_rand_baseline(&prepared, &cfg, 3);
-        let outcome = msqm_serial(
+        let outcome = builder(&cfg).solve_indexed(
             &prepared.scenario.tasks,
             &prepared.index,
+            &prepared.scenario.domain,
             &EuclideanCost::default(),
-            &cfg,
         );
         rows.push(Row::new(
             format!("b={:.1}%", fraction * 100.0),
@@ -307,12 +315,14 @@ pub fn fig7c(scale: Scale) -> Experiment {
         let cfg = MultiTaskConfig::new(budget);
         let (_, _, rand_min_avg, rand_max_avg) =
             multi_rand_baseline(&prepared, &cfg, p.rand_runs.min(5));
-        let outcome = mmqm(
-            &prepared.scenario.tasks,
-            &prepared.index,
-            &EuclideanCost::default(),
-            &cfg,
-        );
+        let outcome = builder(&cfg)
+            .with_objective(SolveObjective::MinQuality)
+            .solve_indexed(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &prepared.scenario.domain,
+                &EuclideanCost::default(),
+            );
         rows.push(Row::new(
             placement.label(),
             vec![
@@ -341,12 +351,14 @@ pub fn fig7d(scale: Scale) -> Experiment {
         let budget = budget_for_multi(&prepared, fraction);
         let cfg = MultiTaskConfig::new(budget);
         let (_, _, rand_min_avg, _) = multi_rand_baseline(&prepared, &cfg, 3);
-        let outcome = mmqm(
-            &prepared.scenario.tasks,
-            &prepared.index,
-            &EuclideanCost::default(),
-            &cfg,
-        );
+        let outcome = builder(&cfg)
+            .with_objective(SolveObjective::MinQuality)
+            .solve_indexed(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &prepared.scenario.domain,
+                &EuclideanCost::default(),
+            );
         rows.push(Row::new(
             format!("b={:.1}%", fraction * 100.0),
             vec![
@@ -637,28 +649,38 @@ pub fn fig9a(scale: Scale) -> Experiment {
     let budget = budget_for_multi(&prepared, 0.25);
     let cfg = MultiTaskConfig::new(budget);
     let cost_model = EuclideanCost::default();
-    let (_, serial_ms) =
-        timed(|| msqm_serial(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg));
+    let (_, serial_ms) = timed(|| {
+        builder(&cfg).solve_indexed(
+            &prepared.scenario.tasks,
+            &prepared.index,
+            &prepared.scenario.domain,
+            &cost_model,
+        )
+    });
     let mut rows = Vec::new();
     for &cores in &p.cores {
         let (_, task_ms) = timed(|| {
-            msqm_task_parallel(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &cfg,
-                cores,
-                true,
-            )
+            builder(&cfg)
+                .with_runtime(Runtime::TaskParallel)
+                .with_threads(cores)
+                .with_priorities(true)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         let (_, group_ms) = timed(|| {
-            msqm_group_parallel(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &cfg,
-                cores,
-            )
+            builder(&cfg)
+                .with_runtime(Runtime::GroupParallel)
+                .with_threads(cores)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         rows.push(Row::new(
             format!("cores={cores}"),
@@ -687,33 +709,34 @@ pub fn fig9b(scale: Scale) -> Experiment {
         let budget = budget_for_multi(&prepared, 0.25);
         let cfg = MultiTaskConfig::new(budget);
         let (task_outcome, task_ms) = timed(|| {
-            msqm_task_parallel(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &cfg,
-                cores,
-                true,
-            )
+            builder(&cfg)
+                .with_runtime(Runtime::TaskParallel)
+                .with_threads(cores)
+                .with_priorities(true)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         let (_, group_ms) = timed(|| {
-            msqm_group_parallel(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &cfg,
-                cores,
-            )
+            builder(&cfg)
+                .with_runtime(Runtime::GroupParallel)
+                .with_threads(cores)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         rows.push(Row::new(
             placement.label(),
             vec![
                 ("TaskLevel".into(), task_ms),
                 ("GroupLevel".into(), group_ms),
-                (
-                    "WorkerConflicts".into(),
-                    task_outcome.outcome.conflicts as f64,
-                ),
+                ("WorkerConflicts".into(), task_outcome.conflicts as f64),
             ],
         ));
     }
@@ -735,7 +758,12 @@ pub fn fig9c(scale: Scale) -> Experiment {
             let prepared = prepare_multi(&multi_scenario(&p, placement.clone()).with_num_tasks(t));
             let budget = budget_for_multi(&prepared, 0.25);
             let cfg = MultiTaskConfig::new(budget);
-            let outcome = msqm_serial(&prepared.scenario.tasks, &prepared.index, &cost_model, &cfg);
+            let outcome = builder(&cfg).solve_indexed(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &prepared.scenario.domain,
+                &cost_model,
+            );
             let graph = independence_graph(&prepared.scenario.tasks, &prepared.index, 4);
             values.push((
                 placement.label().to_string(),
@@ -765,23 +793,27 @@ pub fn fig9d(scale: Scale) -> Experiment {
         let budget = budget_for_multi(&prepared, 0.25);
         let cfg = MultiTaskConfig::new(budget);
         let (_, task_ms) = timed(|| {
-            msqm_task_parallel(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &cfg,
-                cores,
-                true,
-            )
+            builder(&cfg)
+                .with_runtime(Runtime::TaskParallel)
+                .with_threads(cores)
+                .with_priorities(true)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         let (_, group_ms) = timed(|| {
-            msqm_group_parallel(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &cfg,
-                cores,
-            )
+            builder(&cfg)
+                .with_runtime(Runtime::GroupParallel)
+                .with_threads(cores)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         rows.push(Row::new(
             format!("|T|={t}"),
@@ -816,14 +848,16 @@ pub fn fig9e(scale: Scale) -> Experiment {
             let budget = budget_for_multi(&prepared, 0.25);
             let cfg = MultiTaskConfig::new(budget);
             let (_, ms) = timed(|| {
-                msqm_task_parallel(
-                    &prepared.scenario.tasks,
-                    &prepared.index,
-                    &cost_model,
-                    &cfg,
-                    cores,
-                    true,
-                )
+                builder(&cfg)
+                    .with_runtime(Runtime::TaskParallel)
+                    .with_threads(cores)
+                    .with_priorities(true)
+                    .solve_indexed(
+                        &prepared.scenario.tasks,
+                        &prepared.index,
+                        &prepared.scenario.domain,
+                        &cost_model,
+                    )
             });
             values.push((placement.label().to_string(), ms));
         }
@@ -849,24 +883,28 @@ pub fn fig9f(scale: Scale) -> Experiment {
     let mut rows = Vec::new();
     for &cores in &p.cores {
         let (_, with_ms) = timed(|| {
-            msqm_task_parallel(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &cfg,
-                cores,
-                true,
-            )
+            builder(&cfg)
+                .with_runtime(Runtime::TaskParallel)
+                .with_threads(cores)
+                .with_priorities(true)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         let (_, without_ms) = timed(|| {
-            msqm_task_parallel(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &cfg,
-                cores,
-                false,
-            )
+            builder(&cfg)
+                .with_runtime(Runtime::TaskParallel)
+                .with_threads(cores)
+                .with_priorities(false)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         rows.push(Row::new(
             format!("cores={cores}"),
@@ -892,20 +930,24 @@ pub fn fig9g(scale: Scale) -> Experiment {
         );
         let budget = budget_for_multi(&prepared, 0.25);
         let (_, plain_ms) = timed(|| {
-            mmqm(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &MultiTaskConfig::new(budget).with_index(false),
-            )
+            builder(&MultiTaskConfig::new(budget).with_index(false))
+                .with_objective(SolveObjective::MinQuality)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         let (_, fast_ms) = timed(|| {
-            mmqm(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &MultiTaskConfig::new(budget),
-            )
+            builder(&MultiTaskConfig::new(budget))
+                .with_objective(SolveObjective::MinQuality)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         rows.push(Row::new(
             format!("|T|={t}"),
@@ -931,20 +973,24 @@ pub fn fig9h(scale: Scale) -> Experiment {
         );
         let budget = budget_for_multi(&prepared, 0.25);
         let (_, plain_ms) = timed(|| {
-            mmqm(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &MultiTaskConfig::new(budget).with_index(false),
-            )
+            builder(&MultiTaskConfig::new(budget).with_index(false))
+                .with_objective(SolveObjective::MinQuality)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         let (_, fast_ms) = timed(|| {
-            mmqm(
-                &prepared.scenario.tasks,
-                &prepared.index,
-                &cost_model,
-                &MultiTaskConfig::new(budget),
-            )
+            builder(&MultiTaskConfig::new(budget))
+                .with_objective(SolveObjective::MinQuality)
+                .solve_indexed(
+                    &prepared.scenario.tasks,
+                    &prepared.index,
+                    &prepared.scenario.domain,
+                    &cost_model,
+                )
         });
         rows.push(Row::new(
             format!("m={m}"),
@@ -1442,6 +1488,285 @@ pub fn fig9p(scale: Scale) -> Experiment {
 }
 
 // ---------------------------------------------------------------------------
+// Figure 9celf (repo extension): the cross-task CELF lazy commit queue and
+// the disjoint-region overlapped drains
+// ---------------------------------------------------------------------------
+
+/// One thread-count cell of the fig9celf disjoint-drain sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9cThreadRow {
+    /// Worker threads of the concurrent engine.
+    pub threads: usize,
+    /// `drain_parallel` wall clock (ms, best-of).
+    pub drain_ms: f64,
+    /// Interior regions whose CELF commit loops ran overlapped.
+    pub regions_used: usize,
+    /// Tasks committed inside an interior region.
+    pub interior_tasks: usize,
+    /// Tasks reconciled by the serial boundary pass.
+    pub boundary_tasks: usize,
+    /// Interior conflict fallbacks dropped because the replacement fell
+    /// outside the tile interior bound.
+    pub deferred_slots: usize,
+    /// Share of the drain's worker conflicts charged by the boundary pass.
+    pub boundary_conflict_rate: f64,
+}
+
+/// The raw measurements behind [`fig9celf`]: the same batch committed under
+/// the eager [`ConflictAccounting::V1`] contract and the lazy CELF
+/// [`ConflictAccounting::V2`] queue, plus the disjoint-region
+/// `drain_parallel` thread sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9cMeasurements {
+    /// Scale label (`"quick"` / `"full"`).
+    pub scale: &'static str,
+    /// Number of tasks in the batch.
+    pub num_tasks: usize,
+    /// Global budget of the batch.
+    pub budget: f64,
+    /// Committed grants (identical across contracts).
+    pub executions: usize,
+    /// Commit-loop re-scores under the eager V1 contract (every refreshed
+    /// task per grant).
+    pub v1_commit_rescores: usize,
+    /// Commit-loop re-scores under the lazy V2 CELF queue (only the bounds
+    /// that actually bound a selection).
+    pub v2_commit_rescores: usize,
+    /// `v2_commit_rescores / v1_commit_rescores`.
+    pub lazy_rescore_ratio: f64,
+    /// Summed quality under V1.
+    pub v1_sum_quality: f64,
+    /// Summed quality under V2.
+    pub v2_sum_quality: f64,
+    /// `v1_sum_quality - v2_sum_quality` (zero: the contracts pick the same
+    /// plans and differ only in conflict bookkeeping).
+    pub quality_delta: f64,
+    /// CI gate: the concurrent engine under V1 committed the serial V1 plan
+    /// (FNV plan hash over the committed executions).
+    pub v1_plan_hash_match: bool,
+    /// CI gate: the CELF queue re-scored strictly fewer candidates than the
+    /// eager contract.
+    pub v2_lazy_below_eager: bool,
+    /// CI gate: every multi-thread drain overlapped at least two disjoint
+    /// interior regions.
+    pub regions_overlapped: bool,
+    /// The disjoint-drain thread sweep.
+    pub threads: Vec<Fig9cThreadRow>,
+}
+
+impl Fig9cMeasurements {
+    /// Renders the measurements as an [`Experiment`] table.
+    pub fn to_experiment(&self) -> Experiment {
+        let mut rows = vec![Row::new(
+            "contracts",
+            vec![
+                ("V1Rescores".into(), self.v1_commit_rescores as f64),
+                ("V2Rescores".into(), self.v2_commit_rescores as f64),
+                ("LazyRatio".into(), self.lazy_rescore_ratio),
+                ("QualityDelta".into(), self.quality_delta),
+                (
+                    "V1HashMatch".into(),
+                    f64::from(u8::from(self.v1_plan_hash_match)),
+                ),
+            ],
+        )];
+        for row in &self.threads {
+            rows.push(Row::new(
+                format!("t={}", row.threads),
+                vec![
+                    ("DrainMs".into(), row.drain_ms),
+                    ("Regions".into(), row.regions_used as f64),
+                    ("Interior".into(), row.interior_tasks as f64),
+                    ("Boundary".into(), row.boundary_tasks as f64),
+                    ("Deferred".into(), row.deferred_slots as f64),
+                    ("BoundaryConflictRate".into(), row.boundary_conflict_rate),
+                ],
+            ));
+        }
+        Experiment {
+            id: "fig9celf",
+            caption: "CELF lazy commit queue (V1 eager vs V2 lazy re-scores) and \
+                      disjoint-region overlapped drains per thread count",
+            rows,
+        }
+    }
+
+    /// Serialises the measurements as the `BENCH_fig9c.json` artifact tracked
+    /// across PRs (hand-rolled JSON; no serde in the hermetic build).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"figure\": \"fig9celf\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!("  \"num_tasks\": {},\n", self.num_tasks));
+        out.push_str(&format!("  \"budget\": {:.4},\n", self.budget));
+        out.push_str(&format!("  \"executions\": {},\n", self.executions));
+        out.push_str(&format!(
+            "  \"v1\": {{ \"commit_rescores\": {}, \"rescores_per_commit\": {:.4}, \
+             \"sum_quality\": {:.6} }},\n",
+            self.v1_commit_rescores,
+            self.v1_commit_rescores as f64 / self.executions.max(1) as f64,
+            self.v1_sum_quality
+        ));
+        out.push_str(&format!(
+            "  \"v2\": {{ \"commit_rescores\": {}, \"rescores_per_commit\": {:.4}, \
+             \"sum_quality\": {:.6} }},\n",
+            self.v2_commit_rescores,
+            self.v2_commit_rescores as f64 / self.executions.max(1) as f64,
+            self.v2_sum_quality
+        ));
+        out.push_str(&format!(
+            "  \"lazy_rescore_ratio\": {:.4},\n",
+            self.lazy_rescore_ratio
+        ));
+        out.push_str(&format!(
+            "  \"quality_delta\": {:.6},\n",
+            self.quality_delta
+        ));
+        out.push_str(&format!(
+            "  \"v1_plan_hash_match\": {},\n",
+            self.v1_plan_hash_match
+        ));
+        out.push_str(&format!(
+            "  \"v2_lazy_below_eager\": {},\n",
+            self.v2_lazy_below_eager
+        ));
+        out.push_str(&format!(
+            "  \"regions_overlapped\": {},\n",
+            self.regions_overlapped
+        ));
+        out.push_str("  \"threads\": [\n");
+        for (i, row) in self.threads.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"threads\": {}, \"drain_ms\": {:.4}, \"regions_used\": {}, \
+                 \"interior_tasks\": {}, \"boundary_tasks\": {}, \"deferred_slots\": {}, \
+                 \"boundary_conflict_rate\": {:.4} }}{}\n",
+                row.threads,
+                row.drain_ms,
+                row.regions_used,
+                row.interior_tasks,
+                row.boundary_tasks,
+                row.deferred_slots,
+                row.boundary_conflict_rate,
+                if i + 1 < self.threads.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Measures Fig. 9celf: the region-partitioned streaming preset (clustered
+/// arrivals, so interior regions exist) solved serially under both conflict
+/// contracts, the concurrent V1 plan-hash gate, and the V2 disjoint-region
+/// `drain_parallel` at increasing thread counts.
+pub fn fig9celf_measurements(scale: Scale) -> Fig9cMeasurements {
+    let (label, regions, rounds, per_round, slots, workers, cores, runs) = match scale {
+        Scale::Quick => (
+            "quick",
+            3usize,
+            6usize,
+            12usize,
+            64usize,
+            900usize,
+            vec![1, 2, 4],
+            3,
+        ),
+        Scale::Full => ("full", 4, 8, 24, 128, 2400, vec![1, 2, 4, 8], 3),
+    };
+    let base = ScenarioConfig::small()
+        .with_num_slots(slots)
+        .with_num_workers(workers);
+    let streaming = StreamingConfig::region_partitioned(base, regions, rounds, per_round).build();
+    let tasks = streaming.concatenated();
+    let grid = ShardGridConfig::new(regions, regions);
+    let dense = WorkerIndex::build(&streaming.workers, slots, &streaming.domain);
+    let sharded = ShardedWorkerIndex::build(&streaming.workers, slots, &streaming.domain, grid);
+    let cost = EuclideanCost::default();
+    let budget = tasks.len() as f64 * 1.1;
+
+    // Serial V1 vs V2: same batch, same budget — the plans agree, only the
+    // commit-loop re-score counters (and conflict bookkeeping) differ.
+    let solve_serial = |accounting: ConflictAccounting| {
+        let cfg = MultiTaskConfig::new(budget).with_accounting(accounting);
+        AssignmentEngine::borrowed(&dense, &cost, cfg).assign_batch(&tasks, Objective::SumQuality)
+    };
+    let v1 = solve_serial(ConflictAccounting::V1);
+    let v2 = solve_serial(ConflictAccounting::V2);
+
+    // Gate 1: the concurrent engine under the pinned V1 contract replays the
+    // serial V1 plan bit-for-bit (compared through the FNV plan hash the
+    // distributed runtime uses).
+    let concurrent_v1 = ConcurrentAssignmentEngine::new(
+        sharded.clone(),
+        &cost,
+        MultiTaskConfig::new(budget).with_accounting(ConflictAccounting::V1),
+        4,
+    )
+    .assign_batch_parallel(&tasks, Objective::SumQuality);
+    let v1_plan_hash_match =
+        tcsc_sim::plan_hash(&v1.assignment) == tcsc_sim::plan_hash(&concurrent_v1.assignment);
+
+    // Thread sweep: V2 disjoint-region drains.  The engine is rebuilt per
+    // run (drains consume the pending batch); the report is identical across
+    // runs and threads by construction, the wall clock is best-of.
+    let mut thread_rows = Vec::new();
+    let mut regions_overlapped = true;
+    for &threads in &cores {
+        let cfg = MultiTaskConfig::new(budget).with_accounting(ConflictAccounting::V2);
+        let mut best_ms = f64::INFINITY;
+        let mut captured = None;
+        for _ in 0..runs.max(1) {
+            let mut engine = ConcurrentAssignmentEngine::new(sharded.clone(), &cost, cfg, threads);
+            engine.submit(tasks.iter().cloned());
+            let (outcome, ms) = timed(|| engine.drain_parallel(Objective::SumQuality));
+            best_ms = best_ms.min(ms);
+            let report = engine
+                .last_drain_report()
+                .expect("V2 multi-shard drains take the disjoint-region path");
+            captured = Some((outcome, report));
+        }
+        let (outcome, report) = captured.expect("at least one run");
+        if report.regions_used < 2 {
+            regions_overlapped = false;
+        }
+        thread_rows.push(Fig9cThreadRow {
+            threads,
+            drain_ms: best_ms,
+            regions_used: report.regions_used,
+            interior_tasks: report.interior_tasks,
+            boundary_tasks: report.boundary_tasks,
+            deferred_slots: report.deferred_slots,
+            boundary_conflict_rate: report.boundary_conflicts as f64
+                / outcome.conflicts.max(1) as f64,
+        });
+    }
+
+    Fig9cMeasurements {
+        scale: label,
+        num_tasks: tasks.len(),
+        budget,
+        executions: v2.executions,
+        v1_commit_rescores: v1.stats.commit_rescores,
+        v2_commit_rescores: v2.stats.commit_rescores,
+        lazy_rescore_ratio: v2.stats.commit_rescores as f64
+            / v1.stats.commit_rescores.max(1) as f64,
+        v1_sum_quality: v1.sum_quality(),
+        v2_sum_quality: v2.sum_quality(),
+        quality_delta: v1.sum_quality() - v2.sum_quality(),
+        v1_plan_hash_match,
+        v2_lazy_below_eager: v2.stats.commit_rescores < v1.stats.commit_rescores,
+        regions_overlapped,
+        threads: thread_rows,
+    }
+}
+
+/// Fig. 9celf (repo extension): the CELF lazy commit queue and the
+/// disjoint-region overlapped drains.
+pub fn fig9celf(scale: Scale) -> Experiment {
+    fig9celf_measurements(scale).to_experiment()
+}
+
+// ---------------------------------------------------------------------------
 // Figure 9d (repo extension): the simulated distributed runtime
 // ---------------------------------------------------------------------------
 
@@ -1752,24 +2077,28 @@ pub fn fig11a(scale: Scale) -> Experiment {
         let budget = budget_for_multi(&prepared, 0.25);
         let cfg = MultiTaskConfig::new(budget);
         let (rand_min, rand_max, _, _) = multi_rand_baseline(&prepared, &cfg, 5);
-        let temporal = sapprox(
-            &prepared.scenario.tasks,
-            &prepared.index,
-            &cost_model,
-            &prepared.scenario.domain,
-            InterpolationWeights::temporal_only(),
-            SpatioTemporalObjective::Sum,
-            &cfg,
-        );
-        let spatiotemporal = sapprox(
-            &prepared.scenario.tasks,
-            &prepared.index,
-            &cost_model,
-            &prepared.scenario.domain,
-            InterpolationWeights::paper_default(),
-            SpatioTemporalObjective::Sum,
-            &cfg,
-        );
+        let temporal = builder(&cfg)
+            .with_objective(SolveObjective::SpatioTemporal {
+                weights: InterpolationWeights::temporal_only(),
+                objective: SpatioTemporalObjective::Sum,
+            })
+            .solve_indexed(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &prepared.scenario.domain,
+                &cost_model,
+            );
+        let spatiotemporal = builder(&cfg)
+            .with_objective(SolveObjective::SpatioTemporal {
+                weights: InterpolationWeights::paper_default(),
+                objective: SpatioTemporalObjective::Sum,
+            })
+            .solve_indexed(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &prepared.scenario.domain,
+                &cost_model,
+            );
         // Per-task OPT (temporal metric) with an even budget split serves as
         // the optimal yardstick of the appendix figure.
         let per_task_budget = budget / prepared.scenario.tasks.len() as f64;
@@ -1815,24 +2144,28 @@ pub fn fig11b(scale: Scale) -> Experiment {
         let cfg = MultiTaskConfig::new(budget);
         let (rand_min, rand_max, _, _) = multi_rand_baseline(&prepared, &cfg, 3);
         let n = prepared.scenario.tasks.len() as f64;
-        let temporal = sapprox(
-            &prepared.scenario.tasks,
-            &prepared.index,
-            &cost_model,
-            &prepared.scenario.domain,
-            InterpolationWeights::temporal_only(),
-            SpatioTemporalObjective::Sum,
-            &cfg,
-        );
-        let spatiotemporal = sapprox(
-            &prepared.scenario.tasks,
-            &prepared.index,
-            &cost_model,
-            &prepared.scenario.domain,
-            InterpolationWeights::paper_default(),
-            SpatioTemporalObjective::Sum,
-            &cfg,
-        );
+        let temporal = builder(&cfg)
+            .with_objective(SolveObjective::SpatioTemporal {
+                weights: InterpolationWeights::temporal_only(),
+                objective: SpatioTemporalObjective::Sum,
+            })
+            .solve_indexed(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &prepared.scenario.domain,
+                &cost_model,
+            );
+        let spatiotemporal = builder(&cfg)
+            .with_objective(SolveObjective::SpatioTemporal {
+                weights: InterpolationWeights::paper_default(),
+                objective: SpatioTemporalObjective::Sum,
+            })
+            .solve_indexed(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &prepared.scenario.domain,
+                &cost_model,
+            );
         rows.push(Row::new(
             format!("b={:.0}%", fraction * 100.0),
             vec![
@@ -1862,15 +2195,17 @@ pub fn fig11c(scale: Scale) -> Experiment {
     let n = prepared.scenario.tasks.len() as f64;
     let mut rows = Vec::new();
     for wt in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
-        let outcome = sapprox(
-            &prepared.scenario.tasks,
-            &prepared.index,
-            &cost_model,
-            &prepared.scenario.domain,
-            InterpolationWeights::from_temporal_ratio(wt),
-            SpatioTemporalObjective::Sum,
-            &cfg,
-        );
+        let outcome = builder(&cfg)
+            .with_objective(SolveObjective::SpatioTemporal {
+                weights: InterpolationWeights::from_temporal_ratio(wt),
+                objective: SpatioTemporalObjective::Sum,
+            })
+            .solve_indexed(
+                &prepared.scenario.tasks,
+                &prepared.index,
+                &prepared.scenario.domain,
+                &cost_model,
+            );
         rows.push(Row::new(
             format!("wt={wt:.1}"),
             vec![("SApprox".into(), outcome.sum_quality() / n)],
@@ -1888,7 +2223,8 @@ pub fn fig11c(scale: Scale) -> Experiment {
 pub const ALL_IDS: &[&str] = &[
     "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c", "fig8d",
     "fig8e", "fig8f", "fig8g", "fig8h", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
-    "fig9g", "fig9h", "fig9i", "fig9s", "fig9p", "fig9dist", "fig11a", "fig11b", "fig11c",
+    "fig9g", "fig9h", "fig9i", "fig9s", "fig9p", "fig9celf", "fig9dist", "fig11a", "fig11b",
+    "fig11c",
 ];
 
 /// Every experiment, in figure order (derived from [`ALL_IDS`] so the id
@@ -1925,6 +2261,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "fig9i" => fig9i(scale),
         "fig9s" => fig9s(scale),
         "fig9p" => fig9p(scale),
+        "fig9celf" => fig9celf(scale),
         "fig9dist" => fig9dist(scale),
         "fig11a" => fig11a(scale),
         "fig11b" => fig11b(scale),
@@ -1976,9 +2313,10 @@ mod tests {
         // check against the match arms is exercised by the binary smoke.)
         let unique: std::collections::HashSet<_> = ALL_IDS.iter().collect();
         assert_eq!(unique.len(), ALL_IDS.len());
-        assert_eq!(ALL_IDS.len(), 29);
+        assert_eq!(ALL_IDS.len(), 30);
         assert!(ALL_IDS.contains(&"fig9s"));
         assert!(ALL_IDS.contains(&"fig9p"));
+        assert!(ALL_IDS.contains(&"fig9celf"));
         assert!(ALL_IDS.contains(&"fig9dist"));
         assert!(by_id("nonexistent", Scale::Quick).is_none());
     }
@@ -2035,6 +2373,41 @@ mod tests {
         assert!(json.contains("\"plans_match\": true"));
         assert!(json.contains("\"refresh_speedup\": 6.2500"));
         assert!(json.contains("\"strategy\": \"incremental\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn fig9celf_json_is_well_formed() {
+        let m = Fig9cMeasurements {
+            scale: "quick",
+            num_tasks: 72,
+            budget: 43.2,
+            executions: 60,
+            v1_commit_rescores: 900,
+            v2_commit_rescores: 120,
+            lazy_rescore_ratio: 120.0 / 900.0,
+            v1_sum_quality: 12.5,
+            v2_sum_quality: 12.5,
+            quality_delta: 0.0,
+            v1_plan_hash_match: true,
+            v2_lazy_below_eager: true,
+            regions_overlapped: true,
+            threads: vec![Fig9cThreadRow {
+                threads: 4,
+                drain_ms: 7.5,
+                regions_used: 5,
+                interior_tasks: 60,
+                boundary_tasks: 12,
+                deferred_slots: 1,
+                boundary_conflict_rate: 0.25,
+            }],
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"figure\": \"fig9celf\""));
+        assert!(json.contains("\"v1_plan_hash_match\": true"));
+        assert!(json.contains("\"v2_lazy_below_eager\": true"));
+        assert!(json.contains("\"regions_overlapped\": true"));
+        assert!(json.contains("\"regions_used\": 5"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

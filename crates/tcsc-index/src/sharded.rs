@@ -58,6 +58,9 @@ struct KnnScratch {
     merged: Vec<NearestWorker>,
     /// Tile-interior `(distance, index)` working buffer.
     tile: Vec<(f64, u32)>,
+    /// Ring tiles ordered by ascending rectangle distance (the mid-ring
+    /// early-stop order): `(min distance, tx, ty)`.
+    ring: Vec<(f64, u32, u32)>,
 }
 
 /// Shard-grid layout: how many spatial tiles per axis and how many contiguous
@@ -335,6 +338,69 @@ impl ShardedWorkerIndex {
         (dx * dx + dy * dy).sqrt() * (1.0 - 1e-9)
     }
 
+    /// Distance from `query` to the nearest **interior** side of its home
+    /// tile: a strict lower bound on the distance to any worker stored in a
+    /// *different* spatial shard.
+    ///
+    /// Grid-border sides are ignored (`INFINITY` when the home tile is the
+    /// whole grid): out-of-domain workers clamp *into* border tiles
+    /// ([`ShardedWorkerIndex::tile_of`]), so a worker beyond a grid border is
+    /// stored in this tile's own bucket, never hidden across it.  Any worker
+    /// whose bucket is another tile therefore lies outside the home tile's
+    /// rectangle on at least one interior side, at Euclidean distance at
+    /// least this bound.  Out-of-domain queries yield a non-positive bound —
+    /// no interior guarantee.
+    ///
+    /// This is the concurrent engine's disjoint-region router check: a task
+    /// whose candidate distances all fall strictly below (a slightly shrunk
+    /// copy of) this bound provably resolves every nearest-worker query
+    /// inside its home tile, so its commits can proceed in parallel with
+    /// other tiles' without consulting any shared state.
+    pub fn tile_interior_bound(&self, query: &Location) -> f64 {
+        let (tx, ty) = self.tile_of(query);
+        let mut bound = f64::INFINITY;
+        if tx > 0 {
+            bound = bound.min(query.x - (self.origin.x + tx as f64 * self.tile_w));
+        }
+        if tx + 1 < self.config.tiles_x {
+            bound = bound.min(self.origin.x + (tx + 1) as f64 * self.tile_w - query.x);
+        }
+        if ty > 0 {
+            bound = bound.min(query.y - (self.origin.y + ty as f64 * self.tile_h));
+        }
+        if ty + 1 < self.config.tiles_y {
+            bound = bound.min(self.origin.y + (ty + 1) as f64 * self.tile_h - query.y);
+        }
+        bound
+    }
+
+    /// The nearest non-excluded worker to `query` during `slot` **within the
+    /// query's home tile only** (cell-level pruned, ties by ascending worker
+    /// id).  Agrees with the global
+    /// [`ShardedWorkerIndex::nearest_excluding_with`] whenever the returned
+    /// distance is strictly below [`ShardedWorkerIndex::tile_interior_bound`]
+    /// — every other tile's workers are at least that far away.  The
+    /// region-local search of the concurrent engine's disjoint-region drains.
+    pub fn nearest_in_home_tile(
+        &self,
+        slot: SlotIndex,
+        query: &Location,
+        mut excluded: impl FnMut(WorkerId) -> bool,
+    ) -> Option<NearestWorker> {
+        if slot >= self.num_slots || self.available[slot] == 0 {
+            return None;
+        }
+        let (tx, ty) = self.tile_of(query);
+        let grid = self.bucket(slot, tx, ty)?;
+        grid.nearest_filtered(query, &mut excluded)
+            .map(|(distance, w)| NearestWorker {
+                worker: w.worker,
+                location: w.location,
+                reliability: w.reliability,
+                distance,
+            })
+    }
+
     /// Visits the tiles whose exact Chebyshev distance from `(qx, qy)` equals
     /// `ring`, so every tile is visited exactly once across all rings (no
     /// border re-visits, no duplicate candidates to trip the stop bound).
@@ -359,6 +425,29 @@ impl ShardedWorkerIndex {
         }
     }
 
+    /// Fills `out` with one ring's tiles ordered by ascending
+    /// [`ShardedWorkerIndex::tile_min_distance`] (ties in the row-major visit
+    /// order, `(ty, tx)`): the mid-ring early-stop order.  Once the running
+    /// bound undercuts a tile's rectangle distance, every later tile of the
+    /// ring is at least as far, so the ring scan can stop mid-ring instead of
+    /// testing each remaining tile individually — the skip *predicate* is
+    /// unchanged, so the set of scanned tiles (and hence every answer) stays
+    /// bit-identical.
+    fn sorted_ring_tiles(
+        &self,
+        query: &Location,
+        qx: usize,
+        qy: usize,
+        ring: usize,
+        out: &mut Vec<(f64, u32, u32)>,
+    ) {
+        out.clear();
+        self.for_ring_tiles(qx, qy, ring, |tx, ty| {
+            out.push((self.tile_min_distance(query, tx, ty), tx as u32, ty as u32));
+        });
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)).then(a.1.cmp(&b.1)));
+    }
+
     /// The `count` nearest available workers to `query` during `slot`, sorted
     /// by `(distance, worker id)` — bit-identical to the dense index.
     pub fn k_nearest(&self, slot: SlotIndex, query: &Location, count: usize) -> Vec<NearestWorker> {
@@ -373,6 +462,7 @@ impl ShardedWorkerIndex {
             let scratch = &mut *scratch.borrow_mut();
             let found = &mut scratch.merged;
             let tile_buf = &mut scratch.tile;
+            let ring_buf = &mut scratch.ring;
             found.clear();
             let max_ring = self.config.tiles_x.max(self.config.tiles_y);
             // The count-th best distance seen so far (from the previous
@@ -380,11 +470,15 @@ impl ShardedWorkerIndex {
             // cannot contribute to the top-`count` and is skipped whole.
             let mut kth = f64::INFINITY;
             for ring in 0..=max_ring {
-                self.for_ring_tiles(qx, qy, ring, |tx, ty| {
-                    if self.tile_min_distance(query, tx, ty) > kth {
-                        return;
+                // Ascending-rectangle-distance visit: the first tile beyond
+                // the k-th bound ends the whole ring (same skip predicate as
+                // testing each tile, so the scanned set is unchanged).
+                self.sorted_ring_tiles(query, qx, qy, ring, ring_buf);
+                for &(min_dist, tx, ty) in ring_buf.iter() {
+                    if min_dist > kth {
+                        break;
                     }
-                    if let Some(grid) = self.bucket(slot, tx, ty) {
+                    if let Some(grid) = self.bucket(slot, tx as usize, ty as usize) {
                         // The tile's own top-`count` suffices: a worker beaten
                         // by `count` closer workers within its tile can never
                         // make the global top-`count`, so dropping it here
@@ -392,7 +486,7 @@ impl ShardedWorkerIndex {
                         // unchanged.
                         grid.nearest_append(query, count, tile_buf, found);
                     }
-                });
+                }
                 // Stop once the count-th best answer is provably closer than
                 // anything an unscanned tile could hold.
                 if found.len() >= count {
@@ -463,31 +557,52 @@ impl ShardedWorkerIndex {
         let (qx, qy) = self.tile_of(query);
         let mut best: Option<(f64, IndexedWorker)> = None;
         let max_ring = self.config.tiles_x.max(self.config.tiles_y);
-        for ring in 0..=max_ring {
-            self.for_ring_tiles(qx, qy, ring, |tx, ty| {
-                let shard = ty * self.config.tiles_x + tx;
-                let Some(grid) = self.bucket(slot, tx, ty) else {
-                    return;
-                };
-                // Per-tile filtered search: the grid prunes at cell level and
-                // only ever consults the occupancy of this tile's shard.
-                let Some((d, w)) = grid.nearest_filtered(query, |id| occupied(shard, id)) else {
-                    return;
-                };
-                let better = match &best {
-                    None => true,
-                    Some((bd, bw)) => d < *bd || (d == *bd && w.worker < bw.worker),
-                };
-                if better {
-                    best = Some((d, w));
+        // The sorted ring buffer is thread-local scratch shared with
+        // `k_nearest`; `occupied` callbacks must not re-enter this index's
+        // query methods (in-tree callers only consult ledger shards).
+        KNN_SCRATCH.with(|scratch| {
+            let ring_buf = &mut scratch.borrow_mut().ring;
+            for ring in 0..=max_ring {
+                // Mid-ring early stop: tiles in ascending rectangle distance;
+                // once the current answer undercuts a tile's rectangle, every
+                // remaining tile of the ring is at least as far.  A skipped
+                // tile's workers are all strictly farther than the answer
+                // (the relaxed rectangle bound still under-estimates their
+                // distance), so they cannot win even a worker-id tie.
+                self.sorted_ring_tiles(query, qx, qy, ring, ring_buf);
+                for &(min_dist, tx, ty) in ring_buf.iter() {
+                    if let Some((bd, _)) = &best {
+                        if min_dist > *bd {
+                            break;
+                        }
+                    }
+                    let (tx, ty) = (tx as usize, ty as usize);
+                    let shard = ty * self.config.tiles_x + tx;
+                    let Some(grid) = self.bucket(slot, tx, ty) else {
+                        continue;
+                    };
+                    // Per-tile filtered search: the grid prunes at cell level
+                    // and only ever consults the occupancy of this tile's
+                    // shard.
+                    let Some((d, w)) = grid.nearest_filtered(query, |id| occupied(shard, id))
+                    else {
+                        continue;
+                    };
+                    let better = match &best {
+                        None => true,
+                        Some((bd, bw)) => d < *bd || (d == *bd && w.worker < bw.worker),
+                    };
+                    if better {
+                        best = Some((d, w));
+                    }
                 }
-            });
-            if let Some((bd, _)) = &best {
-                if *bd < self.unscanned_bound(query, qx, qy, ring) {
-                    break;
+                if let Some((bd, _)) = &best {
+                    if *bd < self.unscanned_bound(query, qx, qy, ring) {
+                        break;
+                    }
                 }
             }
-        }
+        });
         best.map(|(d, w)| NearestWorker {
             worker: w.worker,
             location: w.location,

@@ -36,17 +36,30 @@ fn main() {
 
     // Serial reference.
     let start = Instant::now();
-    let serial = msqm_serial(&scenario.tasks, &index, &cost_model, &multi);
+    let serial = SolverBuilder::new(budget).with_config(multi).solve_indexed(
+        &scenario.tasks,
+        &index,
+        &scenario.domain,
+        &cost_model,
+    );
     let serial_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     // Group-level parallelization.
     let start = Instant::now();
-    let grouped = msqm_group_parallel(&scenario.tasks, &index, &cost_model, &multi, 4);
+    let grouped = SolverBuilder::new(budget)
+        .with_config(multi)
+        .with_runtime(Runtime::GroupParallel)
+        .with_threads(4)
+        .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost_model);
     let grouped_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     // Task-level parallelization (deterministic: same plan as the serial run).
     let start = Instant::now();
-    let task_level = msqm_task_parallel(&scenario.tasks, &index, &cost_model, &multi, 4, true);
+    let task_level = SolverBuilder::new(budget)
+        .with_config(multi)
+        .with_runtime(Runtime::TaskParallel)
+        .with_threads(4)
+        .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost_model);
     let task_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     println!();
@@ -65,28 +78,23 @@ fn main() {
     println!(
         "{:<22} {:>12.3} {:>12.3} {:>12} {:>10.1}",
         "group-level",
-        grouped.outcome.sum_quality(),
-        grouped.outcome.min_quality(),
-        grouped.outcome.conflicts,
+        grouped.sum_quality(),
+        grouped.min_quality(),
+        grouped.conflicts,
         grouped_ms
     );
     println!(
         "{:<22} {:>12.3} {:>12.3} {:>12} {:>10.1}",
         "task-level",
-        task_level.outcome.sum_quality(),
-        task_level.outcome.min_quality(),
-        task_level.outcome.conflicts,
+        task_level.sum_quality(),
+        task_level.min_quality(),
+        task_level.conflicts,
         task_ms
     );
 
     println!();
-    println!(
-        "task-level framework recorded {} conflict-table entries and {} log entries",
-        task_level.conflict_table.len(),
-        task_level.log.len()
-    );
     assert!(
-        (task_level.outcome.sum_quality() - serial.sum_quality()).abs() < 1e-9,
+        (task_level.sum_quality() - serial.sum_quality()).abs() < 1e-9,
         "the task-level framework is deterministic and matches the serial plan"
     );
 }

@@ -31,25 +31,21 @@ fn main() {
     let config = MultiTaskConfig::new(budget);
 
     // Temporal-only interpolation (the base TCSC metric) ...
-    let temporal = sapprox(
-        &tasks,
-        &index,
-        &cost_model,
-        &scenario.domain,
-        InterpolationWeights::temporal_only(),
-        SpatioTemporalObjective::Sum,
-        &config,
-    );
+    let temporal = SolverBuilder::new(budget)
+        .with_config(config)
+        .with_objective(SolveObjective::SpatioTemporal {
+            weights: InterpolationWeights::temporal_only(),
+            objective: SpatioTemporalObjective::Sum,
+        })
+        .solve_indexed(&tasks, &index, &scenario.domain, &cost_model);
     // ... versus the weighted spatiotemporal metric (w_t = 0.7, w_s = 0.3).
-    let spatiotemporal = sapprox(
-        &tasks,
-        &index,
-        &cost_model,
-        &scenario.domain,
-        InterpolationWeights::paper_default(),
-        SpatioTemporalObjective::Sum,
-        &config,
-    );
+    let spatiotemporal = SolverBuilder::new(budget)
+        .with_config(config)
+        .with_objective(SolveObjective::SpatioTemporal {
+            weights: InterpolationWeights::paper_default(),
+            objective: SpatioTemporalObjective::Sum,
+        })
+        .solve_indexed(&tasks, &index, &scenario.domain, &cost_model);
 
     println!("road segments        : {}", tasks.len());
     println!("budget               : {budget}");
@@ -71,15 +67,13 @@ fn main() {
     // Sweep the temporal weight, as in Fig. 11(c).
     println!("{:<8} {:>12}", "w_t", "sum quality");
     for wt in [0.0, 0.25, 0.5, 0.7, 0.9, 1.0] {
-        let outcome = sapprox(
-            &tasks,
-            &index,
-            &cost_model,
-            &scenario.domain,
-            InterpolationWeights::from_temporal_ratio(wt),
-            SpatioTemporalObjective::Sum,
-            &config,
-        );
+        let outcome = SolverBuilder::new(budget)
+            .with_config(config)
+            .with_objective(SolveObjective::SpatioTemporal {
+                weights: InterpolationWeights::from_temporal_ratio(wt),
+                objective: SpatioTemporalObjective::Sum,
+            })
+            .solve_indexed(&tasks, &index, &scenario.domain, &cost_model);
         println!("{wt:<8.2} {:>12.3}", outcome.sum_quality());
     }
 }

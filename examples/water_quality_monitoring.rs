@@ -43,7 +43,10 @@ fn main() {
     // is left unmonitored (MMQM), with worker reliability weighting.
     let budget = 120.0;
     let config = MultiTaskConfig::new(budget).with_reliability();
-    let outcome = mmqm(&tasks, &index, &cost_model, &config);
+    let outcome = SolverBuilder::new(budget)
+        .with_config(config)
+        .with_objective(SolveObjective::MinQuality)
+        .solve_indexed(&tasks, &index, &scenario.domain, &cost_model);
 
     println!("budget shared by {} sites : {budget}", tasks.len());
     println!("worker conflicts          : {}", outcome.conflicts);
@@ -68,7 +71,9 @@ fn main() {
 
     // For comparison: the sum-oriented objective concentrates probes on cheap
     // sites and can starve the weakest one.
-    let sum_outcome = msqm_serial(&tasks, &index, &cost_model, &config);
+    let sum_outcome = SolverBuilder::new(budget)
+        .with_config(config)
+        .solve_indexed(&tasks, &index, &scenario.domain, &cost_model);
     println!(
         "MSQM (sum-oriented)       : min {:.3}, sum {:.3}",
         sum_outcome.min_quality(),

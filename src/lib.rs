@@ -43,14 +43,22 @@ pub use tcsc_index as index;
 pub use tcsc_sim as sim;
 pub use tcsc_workload as workload;
 
+pub mod solver;
+
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
+    pub use crate::solver::{Runtime, SolveObjective, SolverBuilder};
     pub use tcsc_assign::{
-        approx, approx_star, independence_graph, min_budget_for_quality, mmqm, msqm_group_parallel,
-        msqm_group_parallel_cached, msqm_serial, msqm_task_parallel, optimal, random_assignment,
-        random_summary, sapprox, AssignmentEngine, CacheStats, CandidateCache,
-        ConcurrentAssignmentEngine, MultiTaskConfig, Objective, ShardedLedger, SingleTaskConfig,
-        SlotCandidates, SpatioTemporalObjective, WorkerLedger,
+        approx, approx_star, independence_graph, min_budget_for_quality, optimal,
+        random_assignment, random_summary, AssignmentEngine, CacheStats, CandidateCache,
+        ConcurrentAssignmentEngine, ConflictAccounting, DisjointDrainReport, MultiTaskConfig,
+        Objective, RefreshStrategy, ShardedLedger, SingleTaskConfig, SlotCandidates,
+        SpatioTemporalObjective, WorkerLedger,
+    };
+    #[allow(deprecated)]
+    pub use tcsc_assign::{
+        mmqm, msqm_group_parallel, msqm_group_parallel_cached, msqm_serial, msqm_task_parallel,
+        msqm_task_parallel_optimistic, sapprox,
     };
     pub use tcsc_core::{
         AssignmentPlan, Budget, CostModel, Domain, EuclideanCost, InterpolationWeights, Location,

@@ -1,0 +1,357 @@
+//! The unified [`SolverBuilder`] facade over the multi-task solver zoo.
+//!
+//! The repository grew one free function per (runtime × objective × policy)
+//! point — `msqm_serial`, `mmqm`, `sapprox`, `msqm_task_parallel`,
+//! `msqm_task_parallel_optimistic`, `msqm_group_parallel_cached`, plus the
+//! engine constructors.  The builder collapses that zoo into one declarative
+//! configuration surface:
+//!
+//! ```
+//! use tcsc::solver::{Runtime, SolveObjective, SolverBuilder};
+//! use tcsc::prelude::*;
+//!
+//! let scenario = ScenarioConfig::small().build();
+//! let outcome = SolverBuilder::new(30.0)
+//!     .with_runtime(Runtime::Concurrent)
+//!     .with_grid(ShardGridConfig::new(2, 2))
+//!     .with_threads(4)
+//!     .solve(
+//!         &scenario.tasks,
+//!         &scenario.workers,
+//!         scenario.config.num_slots,
+//!         &scenario.domain,
+//!         &EuclideanCost::default(),
+//!     );
+//! assert!(outcome.assignment.total_cost() <= 30.0 + 1e-6);
+//! ```
+//!
+//! Every runtime commits through the same greedy core, so for a fixed
+//! configuration the builder is **bit-identical** to the legacy free
+//! function it replaces (locked by `tests/builder_equivalence.rs`); the
+//! legacy functions remain available as `#[deprecated]` wrappers.
+
+use std::rc::Rc;
+
+use tcsc_assign::{
+    AssignmentEngine, ConcurrentAssignmentEngine, ConflictAccounting, GrantPolicy, MultiOutcome,
+    MultiTaskConfig, Objective, RefreshStrategy, SpatioTemporalObjective,
+};
+use tcsc_core::{CostModel, Domain, InterpolationWeights, Task, WorkerPool};
+use tcsc_index::{ShardGridConfig, ShardedWorkerIndex, WorkerIndex};
+use tcsc_sim::{run_cluster, LatencyModel, SimBatch, SimClusterConfig};
+
+/// Which execution substrate runs the greedy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Runtime {
+    /// The single-threaded [`AssignmentEngine`] (the `msqm_serial` / `mmqm` /
+    /// `sapprox` substrate).
+    #[default]
+    Serial,
+    /// The sharded [`ConcurrentAssignmentEngine`]: region-parallel checkout
+    /// and candidate waves, serial deterministic commit loop (and, under
+    /// [`ConflictAccounting::V2`] drains, disjoint-region commit overlap).
+    Concurrent,
+    /// The task-level parallel master/owner framework
+    /// (`msqm_task_parallel{,_optimistic}`; the grant policy picks the
+    /// barrier or optimistic master).  MSQM only, V1 accounting only.
+    TaskParallel,
+    /// The group-level parallel framework over the conflict-independence
+    /// graph (`msqm_group_parallel{,_cached}`).  MSQM only.
+    GroupParallel,
+    /// The deterministic discrete-event cluster simulation (`run_cluster`).
+    /// MSQM only, V1 accounting only.
+    Sim,
+}
+
+/// Which quality objective the greedy maximises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolveObjective {
+    /// Maximise the summation quality `q_sum` (MSQM, Problem 2).
+    SumQuality,
+    /// Maximise the minimum task quality `q_min` (MMQM, Problem 3).
+    MinQuality,
+    /// Maximise a spatiotemporally interpolated objective (`SApprox`,
+    /// Appendix C) under the given interpolation weights.
+    SpatioTemporal {
+        /// The temporal/spatial interpolation weights.
+        weights: InterpolationWeights,
+        /// The aggregate (sum or min) the interpolated metric feeds.
+        objective: SpatioTemporalObjective,
+    },
+}
+
+/// Declarative configuration of one multi-task solve: runtime, objective,
+/// assignment parameters, parallelism and shard layout.  See the
+/// [module docs](self) for the zoo it replaces.
+#[derive(Debug, Clone)]
+pub struct SolverBuilder {
+    config: MultiTaskConfig,
+    runtime: Runtime,
+    objective: SolveObjective,
+    threads: usize,
+    grid: ShardGridConfig,
+    policy: GrantPolicy,
+    use_priorities: bool,
+    group_cache: bool,
+    sim_nodes: usize,
+    sim_latency: LatencyModel,
+    sim_seed: u64,
+}
+
+impl SolverBuilder {
+    /// A serial MSQM solve under `budget`, with defaults everywhere else
+    /// (V1 accounting, full refresh, one thread, a 1×1 shard grid, the
+    /// barrier grant policy).
+    pub fn new(budget: f64) -> Self {
+        Self {
+            config: MultiTaskConfig::new(budget),
+            runtime: Runtime::Serial,
+            objective: SolveObjective::SumQuality,
+            threads: 1,
+            grid: ShardGridConfig::new(1, 1),
+            policy: GrantPolicy::Barrier,
+            use_priorities: true,
+            group_cache: false,
+            sim_nodes: 2,
+            sim_latency: LatencyModel::Zero,
+            sim_seed: 42,
+        }
+    }
+
+    /// Replaces the full assignment configuration (budget, `k`, `ts`,
+    /// V-tree, refresh strategy, conflict accounting).
+    pub fn with_config(mut self, config: MultiTaskConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The current assignment configuration.
+    pub fn config(&self) -> &MultiTaskConfig {
+        &self.config
+    }
+
+    /// Selects the execution substrate.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Selects the objective.
+    pub fn with_objective(mut self, objective: SolveObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Selects the conflict-accounting contract (V1 eager, V2 CELF lazy).
+    pub fn with_accounting(mut self, accounting: ConflictAccounting) -> Self {
+        self.config = self.config.with_accounting(accounting);
+        self
+    }
+
+    /// Selects the candidate refresh strategy.
+    pub fn with_refresh(mut self, refresh: RefreshStrategy) -> Self {
+        self.config = self.config.with_refresh(refresh);
+        self
+    }
+
+    /// Degree of parallelism of the parallel runtimes (ignored by
+    /// [`Runtime::Serial`]; never changes any outcome).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Shard grid of [`Runtime::Concurrent`] and [`Runtime::Sim`].
+    pub fn with_grid(mut self, grid: ShardGridConfig) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Grant policy of [`Runtime::TaskParallel`] and [`Runtime::Sim`]
+    /// (barrier = deterministic full barrier, optimistic = non-blocking with
+    /// rollback).
+    pub fn with_policy(mut self, policy: GrantPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Whether the task-parallel master uses the priority queue of pending
+    /// heartbeats (the paper's configuration) or plain FIFO arbitration.
+    pub fn with_priorities(mut self, use_priorities: bool) -> Self {
+        self.use_priorities = use_priorities;
+        self
+    }
+
+    /// Whether [`Runtime::GroupParallel`] shares the candidate cache across
+    /// groups (`msqm_group_parallel_cached`) or rebuilds per group.
+    pub fn with_group_cache(mut self, cached: bool) -> Self {
+        self.group_cache = cached;
+        self
+    }
+
+    /// Number of simulated region nodes of [`Runtime::Sim`].
+    pub fn with_sim_nodes(mut self, nodes: usize) -> Self {
+        self.sim_nodes = nodes.max(1);
+        self
+    }
+
+    /// Network latency model of [`Runtime::Sim`].
+    pub fn with_sim_latency(mut self, latency: LatencyModel) -> Self {
+        self.sim_latency = latency;
+        self
+    }
+
+    /// Latency-draw seed of [`Runtime::Sim`].
+    pub fn with_sim_seed(mut self, seed: u64) -> Self {
+        self.sim_seed = seed;
+        self
+    }
+
+    /// Runs the configured solve over one task batch.
+    ///
+    /// The worker index (dense or sharded, depending on the runtime) is
+    /// built internally from the pool.  Panics with a descriptive message on
+    /// unsupported combinations: a non-MSQM objective on a parallel
+    /// framework that only implements MSQM, or
+    /// [`ConflictAccounting::V2`] on the runtimes that replay the V1
+    /// eager-refresh protocol ([`Runtime::TaskParallel`], [`Runtime::Sim`]).
+    pub fn solve<C: CostModel + Sync + Clone + 'static>(
+        &self,
+        tasks: &[Task],
+        workers: &WorkerPool,
+        num_slots: usize,
+        domain: &Domain,
+        cost_model: &C,
+    ) -> MultiOutcome {
+        match self.runtime {
+            Runtime::Serial | Runtime::TaskParallel | Runtime::GroupParallel => {
+                let index = WorkerIndex::build(workers, num_slots, domain);
+                self.solve_indexed(tasks, &index, domain, cost_model)
+            }
+            Runtime::Concurrent => {
+                let objective = match self.objective {
+                    SolveObjective::SumQuality => Objective::SumQuality,
+                    SolveObjective::MinQuality => Objective::MinQuality,
+                    SolveObjective::SpatioTemporal { .. } => panic!(
+                        "Runtime::Concurrent does not implement the spatiotemporal \
+                         objective; use Runtime::Serial"
+                    ),
+                };
+                let sharded = ShardedWorkerIndex::build(workers, num_slots, domain, self.grid);
+                let mut engine =
+                    ConcurrentAssignmentEngine::new(sharded, cost_model, self.config, self.threads);
+                engine.assign_batch_parallel(tasks, objective)
+            }
+            Runtime::Sim => {
+                self.require_msqm("Runtime::Sim");
+                let mut config =
+                    SimClusterConfig::new(self.sim_nodes, 1, self.config.budget, self.sim_latency)
+                        .with_policy(self.policy)
+                        .with_seed(self.sim_seed);
+                config.grid = self.grid;
+                config.assignment = self.config;
+                let sim = run_cluster(
+                    workers,
+                    num_slots,
+                    domain,
+                    vec![SimBatch::immediate(tasks.to_vec())],
+                    Rc::new(cost_model.clone()),
+                    &config,
+                );
+                MultiOutcome {
+                    assignment: sim.assignment,
+                    conflicts: sim.conflicts,
+                    executions: sim.executions,
+                    stats: sim.stats,
+                }
+            }
+        }
+    }
+
+    /// Runs the configured solve over a caller-built dense index (the
+    /// timing-sensitive entry point: the index build stays outside the
+    /// measured region).  Only the dense-index runtimes are supported;
+    /// [`Runtime::Concurrent`] and [`Runtime::Sim`] build their own sharded
+    /// state from the pool and must go through [`SolverBuilder::solve`].
+    pub fn solve_indexed<C: CostModel + Sync>(
+        &self,
+        tasks: &[Task],
+        index: &WorkerIndex,
+        domain: &Domain,
+        cost_model: &C,
+    ) -> MultiOutcome {
+        match self.runtime {
+            Runtime::Serial => {
+                let mut engine = AssignmentEngine::borrowed(index, cost_model, self.config);
+                match self.objective {
+                    SolveObjective::SumQuality => engine.assign_batch(tasks, Objective::SumQuality),
+                    SolveObjective::MinQuality => engine.assign_batch(tasks, Objective::MinQuality),
+                    SolveObjective::SpatioTemporal { weights, objective } => {
+                        engine.assign_spatiotemporal(tasks, domain, weights, objective)
+                    }
+                }
+            }
+            Runtime::TaskParallel => {
+                self.require_msqm("Runtime::TaskParallel");
+                #[allow(deprecated)]
+                let result = match self.policy {
+                    GrantPolicy::Barrier => tcsc_assign::msqm_task_parallel(
+                        tasks,
+                        index,
+                        cost_model,
+                        &self.config,
+                        self.threads,
+                        self.use_priorities,
+                    ),
+                    GrantPolicy::Optimistic => tcsc_assign::msqm_task_parallel_optimistic(
+                        tasks,
+                        index,
+                        cost_model,
+                        &self.config,
+                        self.threads,
+                        self.use_priorities,
+                    ),
+                };
+                result.outcome
+            }
+            Runtime::GroupParallel => {
+                self.require_msqm("Runtime::GroupParallel");
+                #[allow(deprecated)]
+                let result = if self.group_cache {
+                    let mut cache = tcsc_assign::CandidateCache::new();
+                    tcsc_assign::msqm_group_parallel_cached(
+                        tasks,
+                        index,
+                        cost_model,
+                        &self.config,
+                        self.threads,
+                        &mut cache,
+                    )
+                } else {
+                    tcsc_assign::msqm_group_parallel(
+                        tasks,
+                        index,
+                        cost_model,
+                        &self.config,
+                        self.threads,
+                    )
+                };
+                result.outcome
+            }
+            Runtime::Concurrent | Runtime::Sim => panic!(
+                "{:?} builds its own sharded state from the worker pool; \
+                 use SolverBuilder::solve",
+                self.runtime
+            ),
+        }
+    }
+
+    fn require_msqm(&self, runtime: &str) {
+        assert!(
+            matches!(self.objective, SolveObjective::SumQuality),
+            "{runtime} only implements the MSQM (SumQuality) objective; \
+             use Runtime::Serial or Runtime::Concurrent for {:?}",
+            self.objective,
+        );
+    }
+}

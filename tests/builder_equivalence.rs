@@ -1,0 +1,228 @@
+//! Builder/legacy equivalence: [`SolverBuilder`] is a *facade*, not a fork —
+//! for every runtime it must reproduce the outcome of the deprecated free
+//! function it replaces **bit-for-bit** (plans, conflicts, executions, cache
+//! counters) on the seeded scenario presets.  These suites are the migration
+//! contract: as long as they pass, swapping a legacy call for the builder is
+//! a pure refactor.
+// The whole point of this file is to call the deprecated wrappers next to
+// the builder, so the lint is off for the file.
+#![allow(deprecated)]
+
+use tcsc::prelude::*;
+use tcsc_assign::CandidateCache;
+
+/// The scenario presets every equivalence assertion sweeps.
+fn presets() -> Vec<(&'static str, ScenarioConfig)> {
+    vec![
+        (
+            "small-uniform",
+            ScenarioConfig::small()
+                .with_num_tasks(8)
+                .with_num_slots(40)
+                .with_num_workers(500)
+                .with_seed(11),
+        ),
+        (
+            "small-gaussian",
+            ScenarioConfig::small()
+                .with_num_tasks(6)
+                .with_num_slots(32)
+                .with_num_workers(400)
+                .with_placement(TaskPlacement::Synthetic(SpatialDistribution::Gaussian))
+                .with_seed(12),
+        ),
+        (
+            "small-zipf",
+            ScenarioConfig::small()
+                .with_num_tasks(10)
+                .with_num_slots(24)
+                .with_num_workers(350)
+                .with_placement(TaskPlacement::Synthetic(SpatialDistribution::zipf_default()))
+                .with_seed(13),
+        ),
+    ]
+}
+
+fn prepare(config: &ScenarioConfig) -> (Scenario, WorkerIndex) {
+    let scenario = config.build();
+    let index = WorkerIndex::build(&scenario.workers, config.num_slots, &scenario.domain);
+    (scenario, index)
+}
+
+#[test]
+fn serial_builder_matches_msqm_serial() {
+    for (label, preset) in presets() {
+        let (scenario, index) = prepare(&preset);
+        let cost = EuclideanCost::default();
+        for budget in [20.0, 60.0] {
+            let cfg = MultiTaskConfig::new(budget);
+            let legacy = msqm_serial(&scenario.tasks, &index, &cost, &cfg);
+            let built = SolverBuilder::new(budget).with_config(cfg).solve_indexed(
+                &scenario.tasks,
+                &index,
+                &scenario.domain,
+                &cost,
+            );
+            assert_eq!(legacy, built, "{label} b={budget}");
+        }
+    }
+}
+
+#[test]
+fn min_quality_builder_matches_mmqm() {
+    for (label, preset) in presets() {
+        let (scenario, index) = prepare(&preset);
+        let cost = EuclideanCost::default();
+        let cfg = MultiTaskConfig::new(45.0);
+        let legacy = mmqm(&scenario.tasks, &index, &cost, &cfg);
+        let built = SolverBuilder::new(45.0)
+            .with_config(cfg)
+            .with_objective(SolveObjective::MinQuality)
+            .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost);
+        assert_eq!(legacy, built, "{label}");
+    }
+}
+
+#[test]
+fn task_parallel_builder_matches_both_masters() {
+    for (label, preset) in presets() {
+        let (scenario, index) = prepare(&preset);
+        let cost = EuclideanCost::default();
+        let cfg = MultiTaskConfig::new(50.0);
+        for threads in [1, 4] {
+            let barrier = msqm_task_parallel(&scenario.tasks, &index, &cost, &cfg, threads, true);
+            let built = SolverBuilder::new(50.0)
+                .with_config(cfg)
+                .with_runtime(Runtime::TaskParallel)
+                .with_threads(threads)
+                .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost);
+            assert_eq!(barrier.outcome, built, "{label} barrier t={threads}");
+
+            let optimistic =
+                msqm_task_parallel_optimistic(&scenario.tasks, &index, &cost, &cfg, threads, true);
+            let built = SolverBuilder::new(50.0)
+                .with_config(cfg)
+                .with_runtime(Runtime::TaskParallel)
+                .with_policy(tcsc_assign::GrantPolicy::Optimistic)
+                .with_threads(threads)
+                .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost);
+            assert_eq!(optimistic.outcome, built, "{label} optimistic t={threads}");
+        }
+    }
+}
+
+#[test]
+fn group_parallel_builder_matches_both_variants() {
+    for (label, preset) in presets() {
+        let (scenario, index) = prepare(&preset);
+        let cost = EuclideanCost::default();
+        let cfg = MultiTaskConfig::new(50.0);
+        let legacy = msqm_group_parallel(&scenario.tasks, &index, &cost, &cfg, 3);
+        let built = SolverBuilder::new(50.0)
+            .with_config(cfg)
+            .with_runtime(Runtime::GroupParallel)
+            .with_threads(3)
+            .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost);
+        assert_eq!(legacy.outcome, built, "{label} plain");
+
+        let mut cache = CandidateCache::new();
+        let cached =
+            msqm_group_parallel_cached(&scenario.tasks, &index, &cost, &cfg, 3, &mut cache);
+        let built = SolverBuilder::new(50.0)
+            .with_config(cfg)
+            .with_runtime(Runtime::GroupParallel)
+            .with_threads(3)
+            .with_group_cache(true)
+            .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost);
+        assert_eq!(cached.outcome, built, "{label} cached");
+    }
+}
+
+#[test]
+fn spatiotemporal_builder_matches_sapprox() {
+    for (label, preset) in presets() {
+        let (scenario, index) = prepare(&preset);
+        let cost = EuclideanCost::default();
+        let cfg = MultiTaskConfig::new(40.0);
+        for weights in [
+            InterpolationWeights::temporal_only(),
+            InterpolationWeights::paper_default(),
+        ] {
+            let legacy = sapprox(
+                &scenario.tasks,
+                &index,
+                &cost,
+                &scenario.domain,
+                weights,
+                SpatioTemporalObjective::Sum,
+                &cfg,
+            );
+            let built = SolverBuilder::new(40.0)
+                .with_config(cfg)
+                .with_objective(SolveObjective::SpatioTemporal {
+                    weights,
+                    objective: SpatioTemporalObjective::Sum,
+                })
+                .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost);
+            assert_eq!(legacy, built, "{label}");
+        }
+    }
+}
+
+#[test]
+fn concurrent_builder_matches_the_serial_plan() {
+    for (label, preset) in presets() {
+        let (scenario, index) = prepare(&preset);
+        let cost = EuclideanCost::default();
+        let cfg = MultiTaskConfig::new(55.0);
+        let serial = SolverBuilder::new(55.0).with_config(cfg).solve_indexed(
+            &scenario.tasks,
+            &index,
+            &scenario.domain,
+            &cost,
+        );
+        let concurrent = SolverBuilder::new(55.0)
+            .with_config(cfg)
+            .with_runtime(Runtime::Concurrent)
+            .with_grid(ShardGridConfig::new(2, 2))
+            .with_threads(4)
+            .solve(
+                &scenario.tasks,
+                &scenario.workers,
+                preset.num_slots,
+                &scenario.domain,
+                &cost,
+            );
+        assert_eq!(serial.assignment, concurrent.assignment, "{label}");
+        assert_eq!(serial.conflicts, concurrent.conflicts, "{label}");
+        assert_eq!(serial.executions, concurrent.executions, "{label}");
+    }
+}
+
+#[test]
+fn sim_builder_replays_the_serial_plan() {
+    let (scenario, index) = prepare(&presets()[0].1);
+    let cost = EuclideanCost::default();
+    let cfg = MultiTaskConfig::new(35.0);
+    let serial = SolverBuilder::new(35.0).with_config(cfg).solve_indexed(
+        &scenario.tasks,
+        &index,
+        &scenario.domain,
+        &cost,
+    );
+    let sim = SolverBuilder::new(35.0)
+        .with_config(cfg)
+        .with_runtime(Runtime::Sim)
+        .with_sim_nodes(3)
+        .with_sim_latency(LatencyModel::Fixed(250))
+        .solve(
+            &scenario.tasks,
+            &scenario.workers,
+            presets()[0].1.num_slots,
+            &scenario.domain,
+            &cost,
+        );
+    assert_eq!(plan_hash(&serial.assignment), plan_hash(&sim.assignment));
+    assert_eq!(serial.assignment, sim.assignment);
+    assert_eq!(serial.executions, sim.executions);
+}

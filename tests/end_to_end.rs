@@ -76,21 +76,34 @@ fn multi_task_frameworks_agree_and_respect_constraints() {
     let cost_model = EuclideanCost::default();
     let cfg = MultiTaskConfig::new(80.0);
 
-    let serial = msqm_serial(&scenario.tasks, &index, &cost_model, &cfg);
-    let task_level = msqm_task_parallel(&scenario.tasks, &index, &cost_model, &cfg, 3, true);
-    let grouped = msqm_group_parallel(&scenario.tasks, &index, &cost_model, &cfg, 3);
+    let serial = SolverBuilder::new(80.0).with_config(cfg).solve_indexed(
+        &scenario.tasks,
+        &index,
+        &scenario.domain,
+        &cost_model,
+    );
+    let task_level = SolverBuilder::new(80.0)
+        .with_config(cfg)
+        .with_runtime(Runtime::TaskParallel)
+        .with_threads(3)
+        .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost_model);
+    let grouped = SolverBuilder::new(80.0)
+        .with_config(cfg)
+        .with_runtime(Runtime::GroupParallel)
+        .with_threads(3)
+        .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost_model);
 
     // Determinism of the task-level framework.
-    assert!((serial.sum_quality() - task_level.outcome.sum_quality()).abs() < 1e-9);
-    assert_eq!(serial.executions, task_level.outcome.executions);
+    assert!((serial.sum_quality() - task_level.sum_quality()).abs() < 1e-9);
+    assert_eq!(serial.executions, task_level.executions);
 
     // Budgets are respected everywhere.
     assert!(serial.assignment.total_cost() <= 80.0 + 1e-6);
-    assert!(task_level.outcome.assignment.total_cost() <= 80.0 + 1e-6);
-    assert!(grouped.outcome.assignment.total_cost() <= 80.0 + 1e-6);
+    assert!(task_level.assignment.total_cost() <= 80.0 + 1e-6);
+    assert!(grouped.assignment.total_cost() <= 80.0 + 1e-6);
 
     // No worker is double-booked in the serial / task-level plans.
-    for outcome in [&serial, &task_level.outcome] {
+    for outcome in [&serial, &task_level] {
         let mut seen = std::collections::HashSet::new();
         for plan in &outcome.assignment.plans {
             for exec in &plan.executions {
@@ -105,8 +118,16 @@ fn mmqm_lifts_the_weakest_task() {
     let (scenario, index) = build_world(5, 6, 40, 500);
     let cost_model = EuclideanCost::default();
     let cfg = MultiTaskConfig::new(60.0);
-    let min_focused = mmqm(&scenario.tasks, &index, &cost_model, &cfg);
-    let sum_focused = msqm_serial(&scenario.tasks, &index, &cost_model, &cfg);
+    let min_focused = SolverBuilder::new(60.0)
+        .with_config(cfg)
+        .with_objective(SolveObjective::MinQuality)
+        .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost_model);
+    let sum_focused = SolverBuilder::new(60.0).with_config(cfg).solve_indexed(
+        &scenario.tasks,
+        &index,
+        &scenario.domain,
+        &cost_model,
+    );
     assert!(min_focused.min_quality() + 1e-9 >= sum_focused.min_quality());
 }
 
@@ -115,15 +136,13 @@ fn spatiotemporal_extension_runs_through_the_facade() {
     let (scenario, index) = build_world(6, 5, 30, 400);
     let cost_model = EuclideanCost::default();
     let cfg = MultiTaskConfig::new(50.0);
-    let outcome = sapprox(
-        &scenario.tasks,
-        &index,
-        &cost_model,
-        &scenario.domain,
-        InterpolationWeights::paper_default(),
-        SpatioTemporalObjective::Sum,
-        &cfg,
-    );
+    let outcome = SolverBuilder::new(50.0)
+        .with_config(cfg)
+        .with_objective(SolveObjective::SpatioTemporal {
+            weights: InterpolationWeights::paper_default(),
+            objective: SpatioTemporalObjective::Sum,
+        })
+        .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost_model);
     assert!(outcome.assignment.total_cost() <= 50.0 + 1e-6);
     assert!(outcome.sum_quality() > 0.0);
 }
