@@ -49,6 +49,7 @@ use tcsc_core::{
     SpatioTemporalEvaluator, Task, TaskId,
 };
 use tcsc_index::{SpatialQuery, WorkerIndex};
+use tcsc_obs::{NoopRecorder, Recorder, Stopwatch};
 
 use crate::candidates::{SlotCandidates, WorkerLedger};
 use crate::engine::commit::{inline_wave, msqm_commit_loop, msqm_commit_loop_celf, DenseBackend};
@@ -410,7 +411,12 @@ pub(crate) fn msqm_greedy_core(
 ///   `r + 1`.
 /// * [`AssignmentEngine::release_all`] frees every commitment (re-planning),
 ///   while the candidate cache keeps amortising index lookups.
-pub struct AssignmentEngine<'a> {
+///
+/// The engine is generic over a [`Recorder`]; the default
+/// [`NoopRecorder`] compiles every instrumentation site away
+/// (`R::IS_ENABLED` is a `const`), so observability is free unless a live
+/// session is attached via [`AssignmentEngine::with_recorder`].
+pub struct AssignmentEngine<'a, R: Recorder = NoopRecorder> {
     index: Cow<'a, WorkerIndex>,
     cost_model: &'a dyn CostModel,
     config: MultiTaskConfig,
@@ -418,6 +424,7 @@ pub struct AssignmentEngine<'a> {
     cache: CandidateCache,
     pending: Vec<Task>,
     lifetime_stats: CacheStats,
+    obs: R,
 }
 
 impl<'a> AssignmentEngine<'a> {
@@ -449,6 +456,62 @@ impl<'a> AssignmentEngine<'a> {
             cache: CandidateCache::new(),
             pending: Vec::new(),
             lifetime_stats: CacheStats::default(),
+            obs: NoopRecorder,
+        }
+    }
+}
+
+impl<'a, R: Recorder> AssignmentEngine<'a, R> {
+    /// Rebinds the engine to a live recorder (checkout/commit spans, cache
+    /// and refresh counters, batch-latency histograms).  The committed
+    /// plans/conflicts/executions are bit-identical with any recorder —
+    /// locked by `tests/obs_noop_equivalence.rs`.
+    pub fn with_recorder<R2: Recorder>(self, obs: R2) -> AssignmentEngine<'a, R2> {
+        AssignmentEngine {
+            index: self.index,
+            cost_model: self.cost_model,
+            config: self.config,
+            ledger: self.ledger,
+            cache: self.cache,
+            pending: self.pending,
+            lifetime_stats: self.lifetime_stats,
+            obs,
+        }
+    }
+
+    /// Publishes one solve's counters/latency into the attached recorder's
+    /// metrics registry — the registry view superseding ad-hoc
+    /// [`CacheStats`] plumbing for reporting (the struct itself remains the
+    /// equivalence-contract carrier).
+    fn publish_metrics(&self, outcome: &MultiOutcome, batch_nanos: u64) {
+        let stats = &outcome.stats;
+        self.obs.counter("cache.hits", stats.tasks_reused as u64);
+        self.obs
+            .counter("cache.misses", stats.tasks_computed as u64);
+        self.obs
+            .counter("engine.slot_computations", stats.slot_computations as u64);
+        self.obs
+            .counter("engine.slot_refreshes", stats.slot_refreshes as u64);
+        self.obs
+            .counter("engine.commit_rescores", stats.commit_rescores as u64);
+        self.obs
+            .counter("engine.full_refreshes", stats.full_refreshes as u64);
+        self.obs.counter(
+            "engine.incremental_patches",
+            stats.incremental_patches as u64,
+        );
+        self.obs
+            .counter("engine.stale_pops", stats.stale_pops as u64);
+        self.obs
+            .counter("engine.conflicts", outcome.conflicts as u64);
+        self.obs
+            .counter("engine.executions", outcome.executions as u64);
+        self.obs.value("engine.batch_ns", batch_nanos);
+        if outcome.executions > 0 {
+            self.obs.value(
+                "engine.grant_refresh_ns",
+                stats.refresh_nanos / outcome.executions as u64,
+            );
         }
     }
 
@@ -512,7 +575,13 @@ impl<'a> AssignmentEngine<'a> {
     /// the cache warm.)
     pub fn drain(&mut self, objective: Objective) -> MultiOutcome {
         let tasks = std::mem::take(&mut self.pending);
+        if R::IS_ENABLED {
+            self.obs.begin("engine.drain", tasks.len() as u64);
+        }
         let outcome = self.assign_batch(&tasks, objective);
+        if R::IS_ENABLED {
+            self.obs.end("engine.drain", tasks.len() as u64);
+        }
         for task in &tasks {
             self.cache.evict(task.id);
         }
@@ -530,11 +599,19 @@ impl<'a> AssignmentEngine<'a> {
     /// changes *how* candidates are obtained, never *which* candidates the
     /// greedy sees.
     pub fn assign_batch(&mut self, tasks: &[Task], objective: Objective) -> MultiOutcome {
+        if R::IS_ENABLED {
+            self.obs.begin("engine.assign_batch", tasks.len() as u64);
+        }
+        let sw = R::IS_ENABLED.then(Stopwatch::start);
         let outcome = match objective {
             Objective::SumQuality => self.run_msqm(tasks),
             Objective::MinQuality => self.run_mmqm(tasks),
         };
         self.lifetime_stats.merge(&outcome.stats);
+        if R::IS_ENABLED {
+            self.publish_metrics(&outcome, sw.map_or(0, |s| s.elapsed_nanos()));
+            self.obs.end("engine.assign_batch", tasks.len() as u64);
+        }
         outcome
     }
 
@@ -559,7 +636,14 @@ impl<'a> AssignmentEngine<'a> {
     /// replaces its `O(|T|)` invalidation scan).
     fn run_msqm(&mut self, tasks: &[Task]) -> MultiOutcome {
         let mut stats = CacheStats::default();
+        if R::IS_ENABLED {
+            self.obs.begin("engine.checkout", tasks.len() as u64);
+        }
         let mut states = self.checkout_states(tasks, &mut stats);
+        if R::IS_ENABLED {
+            self.obs.end("engine.checkout", tasks.len() as u64);
+            self.obs.begin("engine.commit", tasks.len() as u64);
+        }
         let (conflicts, executions) = msqm_greedy_core(
             &mut states,
             self.config.budget,
@@ -569,6 +653,9 @@ impl<'a> AssignmentEngine<'a> {
             self.config.accounting,
             &mut stats,
         );
+        if R::IS_ENABLED {
+            self.obs.end("engine.commit", tasks.len() as u64);
+        }
 
         let assignment =
             MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
@@ -584,7 +671,14 @@ impl<'a> AssignmentEngine<'a> {
     /// cache), committing through the shared lazy-heap loop.
     fn run_mmqm(&mut self, tasks: &[Task]) -> MultiOutcome {
         let mut stats = CacheStats::default();
+        if R::IS_ENABLED {
+            self.obs.begin("engine.checkout", tasks.len() as u64);
+        }
         let mut states = self.checkout_states(tasks, &mut stats);
+        if R::IS_ENABLED {
+            self.obs.end("engine.checkout", tasks.len() as u64);
+            self.obs.begin("engine.commit", tasks.len() as u64);
+        }
         let mut backend = DenseBackend {
             index: self.index.as_ref(),
             cost_model: self.cost_model,
@@ -592,6 +686,9 @@ impl<'a> AssignmentEngine<'a> {
         };
         let (conflicts, executions) =
             commit::mmqm_commit_loop(&mut states, self.config.budget, &mut backend, &mut stats);
+        if R::IS_ENABLED {
+            self.obs.end("engine.commit", tasks.len() as u64);
+        }
 
         let assignment =
             MultiAssignment::new(states.into_iter().map(TaskState::into_plan).collect());
@@ -616,8 +713,16 @@ impl<'a> AssignmentEngine<'a> {
         weights: InterpolationWeights,
         objective: SpatioTemporalObjective,
     ) -> MultiOutcome {
+        if R::IS_ENABLED {
+            self.obs.begin("engine.assign_batch", tasks.len() as u64);
+        }
+        let sw = R::IS_ENABLED.then(Stopwatch::start);
         let outcome = self.run_spatiotemporal(tasks, domain, weights, objective);
         self.lifetime_stats.merge(&outcome.stats);
+        if R::IS_ENABLED {
+            self.publish_metrics(&outcome, sw.map_or(0, |s| s.elapsed_nanos()));
+            self.obs.end("engine.assign_batch", tasks.len() as u64);
+        }
         outcome
     }
 
@@ -791,7 +896,7 @@ impl<'a> AssignmentEngine<'a> {
     }
 }
 
-impl std::fmt::Debug for AssignmentEngine<'_> {
+impl<R: Recorder> std::fmt::Debug for AssignmentEngine<'_, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AssignmentEngine")
             .field("config", &self.config)

@@ -53,6 +53,7 @@ use tcsc_core::{
     AssignmentPlan, CandidateAssignment, CostModel, MultiAssignment, SlotIndex, Task, WorkerId,
 };
 use tcsc_index::ShardedWorkerIndex;
+use tcsc_obs::{NoopRecorder, Recorder, Stopwatch};
 
 use crate::candidates::WorkerLedger;
 use crate::engine::commit::{
@@ -311,7 +312,7 @@ pub struct DisjointDrainReport {
 /// ledgers and candidate caches, parallel checkout/candidate phases, serial
 /// deterministic commit loop.  See the [module docs](self) for the shard
 /// routing and the bit-identity argument.
-pub struct ConcurrentAssignmentEngine<'a> {
+pub struct ConcurrentAssignmentEngine<'a, R: Recorder = NoopRecorder> {
     index: ShardedWorkerIndex,
     cost_model: &'a (dyn CostModel + Sync),
     config: MultiTaskConfig,
@@ -321,6 +322,9 @@ pub struct ConcurrentAssignmentEngine<'a> {
     threads: usize,
     lifetime_stats: CacheStats,
     last_disjoint: Option<DisjointDrainReport>,
+    /// Event recorder (statically dispatched; `NoopRecorder` by default
+    /// keeps the un-instrumented hot paths free of any recording code).
+    obs: R,
 }
 
 impl<'a> ConcurrentAssignmentEngine<'a> {
@@ -345,6 +349,27 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
             threads: threads.max(1),
             lifetime_stats: CacheStats::default(),
             last_disjoint: None,
+            obs: NoopRecorder,
+        }
+    }
+}
+
+impl<'a, R: Recorder> ConcurrentAssignmentEngine<'a, R> {
+    /// Rebinds the engine to a different recorder (typically from the
+    /// `NoopRecorder` default to a live `&ObsSession`), carrying over the
+    /// ledger, the shard caches and the lifetime counters unchanged.
+    pub fn with_recorder<R2: Recorder>(self, obs: R2) -> ConcurrentAssignmentEngine<'a, R2> {
+        ConcurrentAssignmentEngine {
+            index: self.index,
+            cost_model: self.cost_model,
+            config: self.config,
+            ledger: self.ledger,
+            caches: self.caches,
+            pending: self.pending,
+            threads: self.threads,
+            lifetime_stats: self.lifetime_stats,
+            last_disjoint: self.last_disjoint,
+            obs,
         }
     }
 
@@ -446,6 +471,10 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
     /// handed to the boundary pass.
     pub fn drain_parallel(&mut self, objective: Objective) -> MultiOutcome {
         let tasks = std::mem::take(&mut self.pending);
+        if R::IS_ENABLED {
+            self.obs.begin("cengine.drain", tasks.len() as u64);
+        }
+        let sw = R::IS_ENABLED.then(Stopwatch::start);
         let disjoint_eligible = self.config.accounting == ConflictAccounting::V2
             && matches!(objective, Objective::SumQuality)
             && self.index.num_spatial_shards() > 1
@@ -469,7 +498,38 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
                 .expect("shard cache lock poisoned")
                 .advance_round();
         }
+        if R::IS_ENABLED {
+            if let Some(sw) = sw {
+                self.obs.value("cengine.drain_ns", sw.elapsed_nanos());
+            }
+            self.publish_metrics(&outcome);
+            self.obs.end("cengine.drain", tasks.len() as u64);
+        }
         outcome
+    }
+
+    /// Publishes a finished drain/batch's counters into the recorder's
+    /// metrics registry (cache hit/miss, conflict/execution totals, and the
+    /// disjoint-region report when the overlapped path ran).
+    fn publish_metrics(&self, outcome: &MultiOutcome) {
+        self.obs
+            .counter("cache.hits", outcome.stats.tasks_reused as u64);
+        self.obs
+            .counter("cache.misses", outcome.stats.tasks_computed as u64);
+        self.obs
+            .counter("cengine.conflicts", outcome.conflicts as u64);
+        self.obs
+            .counter("cengine.executions", outcome.executions as u64);
+        if let Some(report) = self.last_disjoint {
+            self.obs
+                .counter("router.regions_used", report.regions_used as u64);
+            self.obs
+                .counter("router.interior_tasks", report.interior_tasks as u64);
+            self.obs
+                .counter("router.boundary_tasks", report.boundary_tasks as u64);
+            self.obs
+                .counter("router.deferred_slots", report.deferred_slots as u64);
+        }
     }
 
     /// Solves one task batch under the configured budget and objective,
@@ -568,11 +628,16 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
             jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
         let workers = self.threads.min(num_jobs).max(1);
         let next_job = AtomicUsize::new(0);
-        let collected: Vec<Vec<(usize, RegionResult)>> = thread::scope(|scope| {
+        type WorkerYield = (Vec<(usize, RegionResult)>, Option<tcsc_obs::ThreadBuffer>);
+        let collected: Vec<WorkerYield> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     let job_cells = &job_cells;
                     let next_job = &next_job;
+                    // Per-thread span buffer (buffer tid 0 is the session
+                    // owner, so worker w records as tid w + 1); drained back
+                    // into the session after the join.
+                    let mut buf = self.obs.thread_buffer(w as u32 + 1);
                     scope.spawn(move || {
                         let mut out: Vec<(usize, RegionResult)> = Vec::new();
                         loop {
@@ -585,6 +650,9 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
                                 .expect("region job cell poisoned")
                                 .take()
                                 .expect("every region job is taken exactly once");
+                            if let Some(b) = buf.as_mut() {
+                                b.begin("cengine.region_drain", shard as u64);
+                            }
                             let (orig, mut states): (Vec<usize>, Vec<TaskState>) =
                                 group.into_iter().unzip();
                             let mut local_stats = CacheStats::default();
@@ -612,6 +680,9 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
                                     (i, plan)
                                 })
                                 .collect();
+                            if let Some(b) = buf.as_mut() {
+                                b.end("cengine.region_drain", shard as u64);
+                            }
                             out.push((
                                 j,
                                 RegionResult {
@@ -624,7 +695,7 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
                                 },
                             ));
                         }
-                        out
+                        (out, buf)
                     })
                 })
                 .collect();
@@ -638,8 +709,13 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
         // independent of which thread ran which region.
         let mut results: Vec<Option<RegionResult>> = Vec::new();
         results.resize_with(num_jobs, || None);
-        for (j, result) in collected.into_iter().flatten() {
-            results[j] = Some(result);
+        for (chunk, buf) in collected {
+            if let Some(buf) = buf {
+                self.obs.absorb_events(buf.into_events());
+            }
+            for (j, result) in chunk {
+                results[j] = Some(result);
+            }
         }
         let mut plans: Vec<Option<AssignmentPlan>> = Vec::new();
         plans.resize_with(tasks.len(), || None);
@@ -663,6 +739,10 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
         // selection-time conflict path resolves exactly those.
         if !boundary.is_empty() {
             let boundary_budget = (self.config.budget - interior_total) + unspent;
+            if R::IS_ENABLED {
+                self.obs
+                    .begin("cengine.boundary_pass", boundary.len() as u64);
+            }
             let (orig, mut states): (Vec<usize>, Vec<TaskState>) = boundary.into_iter().unzip();
             let mut backend = ShardedBackend {
                 index: &self.index,
@@ -685,6 +765,9 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
             executions += b_executions;
             for (i, state) in orig.into_iter().zip(states) {
                 plans[i] = Some(state.into_plan());
+            }
+            if R::IS_ENABLED {
+                self.obs.end("cengine.boundary_pass", b_executions as u64);
             }
         }
 
@@ -724,6 +807,13 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
             .enumerate()
             .filter(|(_, idxs)| !idxs.is_empty())
             .collect();
+        if R::IS_ENABLED {
+            // Shard-router accounting: distinct tiles this batch touched and
+            // the tasks routed into them (counted here, at the phase
+            // boundary, so the k-NN hot path stays atomics-free).
+            self.obs.counter("router.tile_visits", jobs.len() as u64);
+            self.obs.counter("router.tasks_routed", tasks.len() as u64);
+        }
 
         let index = &self.index;
         let cost_model = self.cost_model;
@@ -910,7 +1000,7 @@ fn candidate_wave(
     })
 }
 
-impl std::fmt::Debug for ConcurrentAssignmentEngine<'_> {
+impl<R: Recorder> std::fmt::Debug for ConcurrentAssignmentEngine<'_, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConcurrentAssignmentEngine")
             .field("config", &self.config)

@@ -12,7 +12,7 @@ pub mod rebuild;
 pub mod sapprox;
 pub mod task_parallel;
 
-use std::time::Instant;
+use tcsc_obs::Stopwatch;
 
 use tcsc_core::{
     AssignmentPlan, CostModel, ExecutedSubtask, MultiAssignment, QualityEvaluator, QualityParams,
@@ -267,7 +267,7 @@ impl TaskState {
         // full path's initial search, the ledger's initial build); only the
         // commit tail beyond it is accounted as refresh work.
         let warm = self.searches == 1;
-        let start = (!warm).then(Instant::now);
+        let start = (!warm).then(Stopwatch::start);
         let result = match self.refresh {
             RefreshStrategy::Full => {
                 if !warm {
@@ -278,7 +278,7 @@ impl TaskState {
             RefreshStrategy::Incremental => self.best_candidate_incremental(max_cost),
         };
         if let Some(start) = start {
-            self.refresh_stats.refresh_nanos += start.elapsed().as_nanos() as u64;
+            self.refresh_stats.refresh_nanos += start.elapsed_nanos();
         }
         result
     }
@@ -466,14 +466,14 @@ impl TaskState {
             // Nothing installed yet; the initial build scores current state.
             return;
         }
-        let start = Instant::now();
+        let start = Stopwatch::start();
         ledger.invalidate_slot(slot);
         if let Some((gain, cost, heuristic, worker)) = score_slot(evaluator, tree, candidates, slot)
         {
             ledger.push_scored(slot, worker, gain, cost, heuristic);
         }
         refresh_stats.incremental_patches += 1;
-        refresh_stats.refresh_nanos += start.elapsed().as_nanos() as u64;
+        refresh_stats.refresh_nanos += start.elapsed_nanos();
     }
 
     /// Refreshes the candidate of one slot against the ledger (after a worker

@@ -58,6 +58,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use tcsc_core::{AssignmentPlan, CandidateAssignment, CostModel, SlotIndex, WorkerId};
 use tcsc_index::SpatialQuery;
+use tcsc_obs::{NoopRecorder, Recorder, Scope};
 
 use crate::candidates::WorkerLedger;
 use crate::multi::task_parallel::{ConflictRecord, LogEntry};
@@ -397,8 +398,7 @@ enum Step {
 /// [`WorkerEvent`]s via [`TaskMaster::handle`]; dispatch the returned
 /// [`MasterCommand`]s to the task owners; broadcast the finish signal when
 /// [`TaskMaster::is_done`] turns true.
-#[derive(Debug)]
-pub struct TaskMaster {
+pub struct TaskMaster<R: Recorder = NoopRecorder> {
     policy: GrantPolicy,
     use_priorities: bool,
     remaining: f64,
@@ -415,6 +415,10 @@ pub struct TaskMaster {
     conflicts: usize,
     executions: usize,
     rollbacks: usize,
+    /// Provisional grants rolled back because a late heartbeat won the serial
+    /// tie-break against them (a strict subset of `rollbacks`, which also
+    /// counts budget-staleness rollbacks).
+    supersedes: usize,
     committed: Vec<CommittedExecution>,
     conflict_table: Vec<ConflictRecord>,
     conflict_ranks: HashMap<(SlotIndex, WorkerId), usize>,
@@ -423,6 +427,24 @@ pub struct TaskMaster {
     /// step with the log so the sort never re-scans it.
     last_heuristic: Vec<Option<f64>>,
     done: bool,
+    /// Event recorder (statically dispatched; `NoopRecorder` by default, so
+    /// un-instrumented drivers pay nothing).
+    obs: R,
+}
+
+impl<R: Recorder> std::fmt::Debug for TaskMaster<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskMaster")
+            .field("policy", &self.policy)
+            .field("remaining", &self.remaining)
+            .field("pending", &self.pending)
+            .field("journal", &self.journal.len())
+            .field("executions", &self.executions)
+            .field("rollbacks", &self.rollbacks)
+            .field("supersedes", &self.supersedes)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TaskMaster {
@@ -450,12 +472,14 @@ impl TaskMaster {
             conflicts: 0,
             executions: 0,
             rollbacks: 0,
+            supersedes: 0,
             committed: Vec::new(),
             conflict_table: Vec::new(),
             conflict_ranks: HashMap::new(),
             log: Vec::new(),
             last_heuristic: vec![None; num_tasks],
             done: num_tasks == 0,
+            obs: NoopRecorder,
         };
         let commands = (0..num_tasks)
             .map(|task| MasterCommand::Compute {
@@ -465,6 +489,37 @@ impl TaskMaster {
             })
             .collect();
         (master, commands)
+    }
+}
+
+impl<R: Recorder> TaskMaster<R> {
+    /// Rebinds the master to a different recorder (typically from the
+    /// `NoopRecorder` default to a live session handle).  The machine state
+    /// is carried over unchanged, so this is free to call right after
+    /// [`TaskMaster::new`].
+    pub fn with_recorder<R2: Recorder>(self, obs: R2) -> TaskMaster<R2> {
+        TaskMaster {
+            policy: self.policy,
+            use_priorities: self.use_priorities,
+            remaining: self.remaining,
+            ledger: self.ledger,
+            versions: self.versions,
+            table: self.table,
+            issued_bound: self.issued_bound,
+            pending: self.pending,
+            journal: self.journal,
+            conflicts: self.conflicts,
+            executions: self.executions,
+            rollbacks: self.rollbacks,
+            supersedes: self.supersedes,
+            committed: self.committed,
+            conflict_table: self.conflict_table,
+            conflict_ranks: self.conflict_ranks,
+            log: self.log,
+            last_heuristic: self.last_heuristic,
+            done: self.done,
+            obs,
+        }
     }
 
     /// Whether every grant is committed and no reply is outstanding.
@@ -488,6 +543,12 @@ impl TaskMaster {
         self.rollbacks
     }
 
+    /// Number of provisional grants superseded by a late heartbeat winning
+    /// the serial tie-break (a subset of [`TaskMaster::rollbacks`]).
+    pub fn supersedes(&self) -> usize {
+        self.supersedes
+    }
+
     /// The committed execution sequence, in grant order.
     pub fn committed(&self) -> &[CommittedExecution] {
         &self.committed
@@ -499,7 +560,8 @@ impl TaskMaster {
     }
 
     /// Consumes the machine, returning its tables:
-    /// `(conflict_table, log, committed, conflicts, executions, rollbacks)`.
+    /// `(conflict_table, log, committed, conflicts, executions, rollbacks,
+    /// supersedes)`.
     #[allow(clippy::type_complexity)]
     pub fn into_tables(
         self,
@@ -507,6 +569,7 @@ impl TaskMaster {
         Vec<ConflictRecord>,
         Vec<LogEntry>,
         Vec<CommittedExecution>,
+        usize,
         usize,
         usize,
         usize,
@@ -518,6 +581,7 @@ impl TaskMaster {
             self.conflicts,
             self.executions,
             self.rollbacks,
+            self.supersedes,
         )
     }
 
@@ -533,6 +597,16 @@ impl TaskMaster {
                 planned_worker,
             } => {
                 self.pending -= 1;
+                if R::IS_ENABLED {
+                    let stale = u64::from(version != self.versions[task]);
+                    self.obs.instant(
+                        Scope::Policy,
+                        "master.heartbeat",
+                        task as u64,
+                        version,
+                        stale,
+                    );
+                }
                 if version != self.versions[task] {
                     // A reply from a rolled-back timeline; drop it.
                     return self.attempt(out);
@@ -566,6 +640,16 @@ impl TaskMaster {
                     cost,
                 });
                 self.executions += 1;
+                if R::IS_ENABLED {
+                    self.obs.instant(
+                        Scope::Policy,
+                        "master.executed",
+                        task as u64,
+                        slot as u64,
+                        u64::from(worker.0),
+                    );
+                    self.obs.counter("master.executions", 1);
+                }
             }
         }
         self.attempt(out)
@@ -642,6 +726,17 @@ impl TaskMaster {
                     // The late candidate wins the serial tie-break: the
                     // selection is superseded.  Roll back; the heartbeat is
                     // installed and the re-run selection picks the true max.
+                    self.supersedes += 1;
+                    if R::IS_ENABLED {
+                        self.obs.instant(
+                            Scope::Policy,
+                            "master.supersede",
+                            task as u64,
+                            sel_task as u64,
+                            0,
+                        );
+                        self.obs.counter("master.supersedes", 1);
+                    }
                     self.rollback_from(pos, out);
                     return true;
                 }
@@ -737,6 +832,16 @@ impl TaskMaster {
                     ..
                 } => {
                     self.rollbacks += 1;
+                    if R::IS_ENABLED {
+                        self.obs.instant(
+                            Scope::Policy,
+                            "master.rollback",
+                            task as u64,
+                            candidate.slot as u64,
+                            losers.len() as u64,
+                        );
+                        self.obs.counter("master.rollbacks", 1);
+                    }
                     for (loser, entry) in losers.into_iter().rev() {
                         out.push(MasterCommand::UndoRefresh {
                             task: loser,
@@ -972,6 +1077,16 @@ impl TaskMaster {
             // Provisional grant: apply budget and occupancy speculatively and
             // invalidate + refresh the conflict losers immediately; defer the
             // irreversible Execute to finalization.
+            if R::IS_ENABLED {
+                self.obs.instant(
+                    Scope::Policy,
+                    "master.grant",
+                    task as u64,
+                    candidate.slot as u64,
+                    u64::from(worker.0),
+                );
+                self.obs.counter("master.grants", 1);
+            }
             let budget_before = self.remaining;
             self.remaining -= candidate.cost;
             self.ledger.occupy(candidate.slot, worker);

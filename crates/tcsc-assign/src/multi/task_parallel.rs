@@ -108,6 +108,9 @@ pub struct TaskParallelOutcome {
     /// Number of provisional grants that were rolled back (always 0 under
     /// the barrier policy).
     pub rollbacks: usize,
+    /// Number of provisional grants superseded by a late heartbeat winning
+    /// the serial tie-break (a subset of `rollbacks`).
+    pub supersedes: usize,
     /// Number of worker threads used.
     pub threads: usize,
 }
@@ -210,6 +213,7 @@ fn run_task_parallel(
             log: Vec::new(),
             committed: Vec::new(),
             rollbacks: 0,
+            supersedes: 0,
             threads,
         };
     }
@@ -333,7 +337,7 @@ fn run_task_parallel(
             })
             .collect();
 
-        let (conflict_table, log, committed, conflicts, executions, rollbacks) =
+        let (conflict_table, log, committed, conflicts, executions, rollbacks, supersedes) =
             master.into_tables();
         // Each committed conflict (selection-time or loser) triggered exactly
         // one slot refresh on the owning thread; account them like the serial
@@ -353,6 +357,7 @@ fn run_task_parallel(
             log,
             committed,
             rollbacks,
+            supersedes,
             threads,
         }
     })

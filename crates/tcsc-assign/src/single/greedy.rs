@@ -13,7 +13,7 @@
 //! plain [`QualityEvaluator`], which is what the paper's efficiency plots call
 //! `Approx`.  The index-accelerated variant lives in [`super::indexed`].
 
-use std::time::Instant;
+use tcsc_obs::Stopwatch;
 
 use tcsc_core::{AssignmentPlan, Budget, ExecutedSubtask, QualityEvaluator, QualityParams, Task};
 
@@ -66,7 +66,7 @@ pub fn approx(
 
     loop {
         // Find the affordable subtask with the maximum heuristic value.
-        let heuristic_start = Instant::now();
+        let heuristic_start = Stopwatch::start();
         let mut best: Option<(usize, f64, f64)> = None; // (slot, gain, cost)
         for slot in 0..task.num_slots {
             if evaluator.is_executed(slot) {
@@ -104,7 +104,7 @@ pub fn approx(
                 best = Some((slot, gain, candidate.cost));
             }
         }
-        stats.heuristic_seconds += heuristic_start.elapsed().as_secs_f64();
+        stats.heuristic_seconds += heuristic_start.elapsed_secs();
 
         let Some((slot, _gain, cost)) = best else {
             break;

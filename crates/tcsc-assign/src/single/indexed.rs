@@ -16,7 +16,7 @@
 //! maintenance / best-first search) and the pruning statistics that feed
 //! Fig. 8(c)–(e).
 
-use std::time::Instant;
+use tcsc_obs::Stopwatch;
 
 use tcsc_core::{AssignmentPlan, Budget, ExecutedSubtask, QualityEvaluator, QualityParams, Task};
 use tcsc_index::{SearchStats, VTree, VTreeConfig};
@@ -75,16 +75,16 @@ pub fn approx_star(
     let mut stats = SearchStats::default();
     let mut timings = IndexedTimings::default();
 
-    let construction_start = Instant::now();
+    let construction_start = Stopwatch::start();
     let mut tree = VTree::build(&evaluator, candidates.costs(), VTreeConfig::new(config.ts));
-    timings.tree_construction = construction_start.elapsed().as_secs_f64();
+    timings.tree_construction = construction_start.elapsed_secs();
 
     let single_seed = best_single_slot(candidates, task.num_slots, config.budget);
 
     loop {
-        let search_start = Instant::now();
+        let search_start = Stopwatch::start();
         let best = tree.best_slot(&evaluator, budget.remaining(), &mut stats);
-        timings.search += search_start.elapsed().as_secs_f64();
+        timings.search += search_start.elapsed_secs();
 
         let Some(best) = best else { break };
         let candidate = candidates
@@ -99,9 +99,9 @@ pub fn approx_star(
             candidate.reliability,
             config.use_reliability,
         );
-        let maintain_start = Instant::now();
+        let maintain_start = Stopwatch::start();
         tree.notify_executed(&evaluator, best.slot);
-        timings.tree_maintenance += maintain_start.elapsed().as_secs_f64();
+        timings.tree_maintenance += maintain_start.elapsed_secs();
         executions.push(ExecutedSubtask {
             slot: best.slot,
             worker: candidate.worker,

@@ -106,7 +106,7 @@ fn run_interleaved(
         .flat_map(TaskOwner::into_plans)
         .map(|(_, plan)| plan.quality)
         .sum();
-    let (_, _, committed, conflicts, executions, rollbacks) = master.into_tables();
+    let (_, _, committed, conflicts, executions, rollbacks, _) = master.into_tables();
     FuzzOutcome {
         committed,
         conflicts,

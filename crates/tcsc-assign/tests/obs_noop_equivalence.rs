@@ -1,0 +1,179 @@
+//! Observability must be free and inert: attaching a live recorder to any
+//! runtime changes *nothing* about what is decided — plans, conflicts,
+//! executions and cache counters are bit-identical with the recorder on vs.
+//! the `NoopRecorder` default.  This is the acceptance bar of the `tcsc-obs`
+//! layer: instrumentation may observe the timeline, never perturb it.
+
+use tcsc_assign::{
+    AssignmentEngine, ConcurrentAssignmentEngine, GrantPolicy, MultiTaskConfig, Objective,
+    TaskMaster, WorkerLedger,
+};
+use tcsc_core::{EuclideanCost, Task};
+use tcsc_index::{ShardGridConfig, ShardedWorkerIndex, WorkerIndex};
+use tcsc_obs::ObsSession;
+use tcsc_workload::ScenarioConfig;
+
+fn prepare(config: &ScenarioConfig) -> (Vec<Task>, WorkerIndex, ShardedWorkerIndex) {
+    let scenario = config.build();
+    let dense = WorkerIndex::build(&scenario.workers, config.num_slots, &scenario.domain);
+    let sharded = ShardedWorkerIndex::build(
+        &scenario.workers,
+        config.num_slots,
+        &scenario.domain,
+        ShardGridConfig::new(4, 4),
+    );
+    (scenario.tasks, dense, sharded)
+}
+
+fn presets() -> Vec<ScenarioConfig> {
+    vec![
+        ScenarioConfig::small(),
+        // Scarce workers force conflicts, so the conflict-refresh paths are
+        // exercised with the recorder attached.
+        ScenarioConfig::small()
+            .with_seed(9)
+            .with_num_workers(60)
+            .with_budget(120.0),
+    ]
+}
+
+#[test]
+fn serial_engine_is_bit_identical_with_recorder_attached() {
+    let cost = EuclideanCost::default();
+    for config in presets() {
+        let (tasks, dense, _) = prepare(&config);
+        let cfg = MultiTaskConfig::new(config.budget);
+        for objective in [Objective::SumQuality, Objective::MinQuality] {
+            let plain =
+                AssignmentEngine::borrowed(&dense, &cost, cfg).assign_batch(&tasks, objective);
+            let session = ObsSession::wall();
+            let observed = AssignmentEngine::borrowed(&dense, &cost, cfg)
+                .with_recorder(&session)
+                .assign_batch(&tasks, objective);
+            assert_eq!(plain.assignment, observed.assignment);
+            assert_eq!(plain.conflicts, observed.conflicts);
+            assert_eq!(plain.executions, observed.executions);
+            assert_eq!(plain.stats, observed.stats);
+            assert!(
+                !session.merged_events().is_empty(),
+                "the attached recorder must actually have recorded"
+            );
+            assert!(session.metrics().counter_value("engine.executions") > 0);
+        }
+    }
+}
+
+#[test]
+fn concurrent_engine_is_bit_identical_with_recorder_attached() {
+    let cost = EuclideanCost::default();
+    for config in presets() {
+        let (tasks, _, sharded) = prepare(&config);
+        let cfg = MultiTaskConfig::new(config.budget);
+        let mut plain = ConcurrentAssignmentEngine::new(sharded.clone(), &cost, cfg, 4);
+        plain.submit(tasks.clone());
+        let reference = plain.drain_parallel(Objective::SumQuality);
+
+        let session = ObsSession::wall();
+        let mut observed =
+            ConcurrentAssignmentEngine::new(sharded.clone(), &cost, cfg, 4).with_recorder(&session);
+        observed.submit(tasks.clone());
+        let outcome = observed.drain_parallel(Objective::SumQuality);
+
+        assert_eq!(reference.assignment, outcome.assignment);
+        assert_eq!(reference.conflicts, outcome.conflicts);
+        assert_eq!(reference.executions, outcome.executions);
+        assert_eq!(reference.stats, outcome.stats);
+        let metrics = session.metrics();
+        assert!(metrics.counter_value("router.tile_visits") > 0);
+        assert!(metrics.counter_value("router.tasks_routed") >= tasks.len() as u64);
+    }
+}
+
+#[test]
+fn task_master_is_bit_identical_with_recorder_attached() {
+    // The pure state machine: replay identical event sequences into a plain
+    // and a recorded master and compare every table.  The driver-level check
+    // (threads + default recorder) rides in the test below.
+    let session = ObsSession::wall();
+    let (plain, commands_a) =
+        TaskMaster::new(3, 10.0, WorkerLedger::new(), GrantPolicy::Optimistic, false);
+    let (observed, commands_b) =
+        TaskMaster::new(3, 10.0, WorkerLedger::new(), GrantPolicy::Optimistic, false);
+    let mut plain = plain;
+    let mut observed = observed.with_recorder(&session);
+    assert_eq!(commands_a, commands_b);
+
+    use tcsc_assign::{TaskCandidate, WorkerEvent};
+    use tcsc_core::WorkerId;
+    let heartbeat = |task: usize, heuristic: f64, worker: u32| WorkerEvent::Heartbeat {
+        task,
+        version: 0,
+        candidate: Some(TaskCandidate {
+            slot: task,
+            gain: heuristic,
+            cost: 1.0,
+            heuristic,
+        }),
+        planned_worker: Some(WorkerId(worker)),
+    };
+    for event in [
+        heartbeat(0, 5.0, 1),
+        heartbeat(2, 9.0, 2),
+        heartbeat(1, 7.0, 3),
+    ] {
+        let a = plain.handle(event.clone());
+        let b = observed.handle(event);
+        assert_eq!(a, b, "identical commands with and without the recorder");
+    }
+    assert_eq!(plain.rollbacks(), observed.rollbacks());
+    assert_eq!(plain.supersedes(), observed.supersedes());
+    assert_eq!(plain.conflicts(), observed.conflicts());
+    assert_eq!(plain.committed(), observed.committed());
+    // The optimistic master granted provisionally on the first heartbeat and
+    // rolled back when a later one superseded it — both visible in metrics.
+    let metrics = session.metrics();
+    assert_eq!(
+        metrics.counter_value("master.supersedes"),
+        observed.supersedes() as u64
+    );
+    assert_eq!(
+        metrics.counter_value("master.rollbacks"),
+        observed.rollbacks() as u64
+    );
+    assert!(observed.supersedes() > 0, "the scenario must supersede");
+}
+
+#[test]
+fn task_parallel_driver_matches_with_and_without_priorities() {
+    // The thread driver keeps the NoopRecorder default; this locks that the
+    // refactor (generic master, supersede counter) left its committed
+    // behaviour untouched and that `supersedes <= rollbacks` always holds.
+    let cost = EuclideanCost::default();
+    let config = ScenarioConfig::small()
+        .with_seed(9)
+        .with_num_workers(60)
+        .with_budget(120.0);
+    let (tasks, dense, _) = prepare(&config);
+    let cfg = MultiTaskConfig::new(config.budget);
+    for policy in [GrantPolicy::Barrier, GrantPolicy::Optimistic] {
+        #[allow(deprecated)]
+        let outcome = match policy {
+            GrantPolicy::Barrier => {
+                tcsc_assign::msqm_task_parallel(&tasks, &dense, &cost, &cfg, 4, true)
+            }
+            GrantPolicy::Optimistic => {
+                tcsc_assign::msqm_task_parallel_optimistic(&tasks, &dense, &cost, &cfg, 4, true)
+            }
+        };
+        assert!(
+            outcome.supersedes <= outcome.rollbacks,
+            "supersedes ({}) is a subset of rollbacks ({})",
+            outcome.supersedes,
+            outcome.rollbacks
+        );
+        if policy == GrantPolicy::Barrier {
+            assert_eq!(outcome.rollbacks, 0);
+            assert_eq!(outcome.supersedes, 0);
+        }
+    }
+}

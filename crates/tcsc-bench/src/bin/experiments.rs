@@ -29,6 +29,12 @@
 //! sweep (node count × latency, barrier vs optimistic master) including the
 //! zero-latency-sim-vs-engine plan-hash gate, and **exits non-zero when the
 //! hashes disagree** so CI fails loudly.
+//! Running `fig9obs` writes `BENCH_obs.json`, a chrome://tracing dump
+//! (`TRACE_fig9obs.jsonl`, loadable in Perfetto) and a plain-text
+//! `OBS_SUMMARY.txt`, and **exits non-zero** when the logical digest differs
+//! across cluster layouts, when the exported trace fails to replay to the
+//! same digest, or when a live recorder costs more than noise over the
+//! statically-dispatched no-op baseline.
 
 use tcsc_bench::figures;
 use tcsc_bench::Scale;
@@ -104,6 +110,36 @@ fn run_figure(id: &str, scale: Scale) -> bool {
             "the zero-latency single-node simulation must reproduce the serial engine's plans \
              (sim {:#018x} vs engine {:#018x})",
             measurements.sim_plan_hash, measurements.engine_plan_hash
+        );
+        return true;
+    }
+    if id == "fig9obs" {
+        let measurements = figures::fig9obs_measurements(scale);
+        println!("{}", measurements.to_experiment().render());
+        for (path, contents) in [
+            ("BENCH_obs.json", measurements.to_json()),
+            ("TRACE_fig9obs.jsonl", measurements.trace_jsonl.clone()),
+            ("OBS_SUMMARY.txt", measurements.summary.clone()),
+        ] {
+            match std::fs::write(path, contents) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+        assert!(
+            measurements.digest_uniform,
+            "the logical-stream digest must be identical across node counts, latency models \
+             and grant policies (the trace equivalence lock)"
+        );
+        assert!(
+            measurements.digest_match,
+            "exporting the trace and replaying it through the parser must reproduce the digest"
+        );
+        assert!(
+            measurements.overhead_ok,
+            "a live recorder must stay within noise of the no-op baseline \
+             ({:.2}ms recorded vs {:.2}ms noop)",
+            measurements.recorded_ms, measurements.noop_ms
         );
         return true;
     }

@@ -21,7 +21,7 @@ use tcsc_workload::{
     PoiConfig, ScenarioConfig, SpatialDistribution, StreamingConfig, TaskPlacement,
 };
 
-use crate::{prepare_multi, prepare_single, timed, Experiment, Row, Scale};
+use crate::{best_of, prepare_multi, prepare_single, timed, Experiment, Row, Scale};
 
 /// Shorthand: a [`SolverBuilder`] seeded from a figure's `MultiTaskConfig`.
 ///
@@ -1171,13 +1171,6 @@ impl Fig9sMeasurements {
     }
 }
 
-/// The best-of-`runs` wall-clock time of a closure, in milliseconds.
-fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
-    (0..runs.max(1))
-        .map(|_| timed(&mut f).1)
-        .fold(f64::INFINITY, f64::min)
-}
-
 /// Measures Fig. 9s: dense-vs-sharded query time, then cold-cache batch
 /// assignment of the region-partitioned streaming preset through the serial
 /// engine and through the concurrent engine at increasing thread counts.
@@ -1789,6 +1782,9 @@ pub struct Fig9dRow {
     pub optimistic_events: u64,
     /// Rolled-back provisional grants of the optimistic run.
     pub optimistic_rollbacks: usize,
+    /// Serial-tie-break supersedes of the optimistic run (a subset of the
+    /// rollbacks: late heartbeats that beat an already-granted selection).
+    pub optimistic_supersedes: usize,
     /// Wall-clock time to simulate both runs (ms).
     pub wall_ms: f64,
 }
@@ -1815,6 +1811,10 @@ pub struct Fig9dMeasurements {
     pub engine_plan_hash: u64,
     /// Whether the two hashes agree (must be `true`; CI asserts it).
     pub plan_hash_matches: bool,
+    /// Speculation aggregates over the whole sweep, accumulated through the
+    /// `tcsc-obs` registry: total/per-cell rollback and supersede counts —
+    /// the baseline the speculation-tuning work starts from.
+    pub speculation: tcsc_obs::MetricsRegistry,
     /// The sweep cells.
     pub rows: Vec<Fig9dRow>,
 }
@@ -1838,6 +1838,7 @@ impl Fig9dMeasurements {
                     ("BarrierEvents".into(), row.barrier_events as f64),
                     ("OptimisticEvents".into(), row.optimistic_events as f64),
                     ("Rollbacks".into(), row.optimistic_rollbacks as f64),
+                    ("Supersedes".into(), row.optimistic_supersedes as f64),
                 ],
             ));
         }
@@ -1871,13 +1872,23 @@ impl Fig9dMeasurements {
             "  \"plan_hash_matches\": {},\n",
             self.plan_hash_matches
         ));
+        let rollback_hist = self.speculation.histogram("fig9d.cell_rollbacks");
+        out.push_str(&format!(
+            "  \"speculation\": {{ \"total_rollbacks\": {}, \"total_supersedes\": {}, \
+             \"max_cell_rollbacks\": {}, \"p50_cell_rollbacks\": {} }},\n",
+            self.speculation.counter_value("fig9d.rollbacks"),
+            self.speculation.counter_value("fig9d.supersedes"),
+            rollback_hist.map_or(0, |h| h.max()),
+            rollback_hist.map_or(0, |h| h.p50()),
+        ));
         out.push_str("  \"sweep\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             out.push_str(&format!(
                 "    {{ \"nodes\": {}, \"latency\": \"{}\", \"latency_mean_us\": {:.1}, \
                  \"barrier_virtual_ms\": {:.4}, \"optimistic_virtual_ms\": {:.4}, \
                  \"barrier_events\": {}, \"optimistic_events\": {}, \
-                 \"optimistic_rollbacks\": {}, \"wall_ms\": {:.4} }}{}\n",
+                 \"optimistic_rollbacks\": {}, \"optimistic_supersedes\": {}, \
+                 \"wall_ms\": {:.4} }}{}\n",
                 row.nodes,
                 row.latency,
                 row.latency_mean_us,
@@ -1886,6 +1897,7 @@ impl Fig9dMeasurements {
                 row.barrier_events,
                 row.optimistic_events,
                 row.optimistic_rollbacks,
+                row.optimistic_supersedes,
                 row.wall_ms,
                 if i + 1 < self.rows.len() { "," } else { "" }
             ));
@@ -1984,6 +1996,7 @@ pub fn fig9dist_measurements(scale: Scale) -> Fig9dMeasurements {
     let plan_hash_matches = sim_plan_hash == engine_plan_hash;
 
     let mut rows = Vec::new();
+    let mut speculation = tcsc_obs::MetricsRegistry::new();
     for &nodes in &node_sweep {
         for latency in &latencies {
             let ((barrier, optimistic), wall_ms) = timed(|| {
@@ -2021,6 +2034,9 @@ pub fn fig9dist_measurements(scale: Scale) -> Fig9dMeasurements {
                 engine_plan_hash,
                 "optimistic sim diverged from the engine at {nodes} nodes, {latency:?}"
             );
+            speculation.counter("fig9d.rollbacks", optimistic.rollbacks as u64);
+            speculation.counter("fig9d.supersedes", optimistic.supersedes as u64);
+            speculation.value("fig9d.cell_rollbacks", optimistic.rollbacks as u64);
             rows.push(Fig9dRow {
                 nodes,
                 latency: latency.describe(),
@@ -2030,6 +2046,7 @@ pub fn fig9dist_measurements(scale: Scale) -> Fig9dMeasurements {
                 barrier_events: barrier.delivered_events,
                 optimistic_events: optimistic.delivered_events,
                 optimistic_rollbacks: optimistic.rollbacks,
+                optimistic_supersedes: optimistic.supersedes,
                 wall_ms,
             });
         }
@@ -2044,6 +2061,7 @@ pub fn fig9dist_measurements(scale: Scale) -> Fig9dMeasurements {
         sim_plan_hash,
         engine_plan_hash,
         plan_hash_matches,
+        speculation,
         rows,
     }
 }
@@ -2052,6 +2070,279 @@ pub fn fig9dist_measurements(scale: Scale) -> Fig9dMeasurements {
 /// over node count × network latency, barrier vs optimistic master.
 pub fn fig9dist(scale: Scale) -> Experiment {
     fig9dist_measurements(scale).to_experiment()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9obs (repo extension): the observability layer itself — digest
+// stability across cluster layouts, trace export/replay, recorder overhead
+// ---------------------------------------------------------------------------
+
+/// One `(nodes, latency, policy)` cell of the fig9obs digest sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9oRow {
+    /// Region nodes in the cluster.
+    pub nodes: usize,
+    /// Latency-model label.
+    pub latency: String,
+    /// Grant-policy label.
+    pub policy: &'static str,
+    /// Logical-stream digest of the recorded run.
+    pub digest: u64,
+    /// Total recorded events (all scopes).
+    pub events: usize,
+}
+
+/// The raw measurements behind [`fig9obs`]: the trace digest swept over
+/// cluster layouts (must be uniform — the equivalence lock), the chrome
+/// export → replay round trip, and the recorder's overhead on the fig9p
+/// commit-tail workload against the static no-op baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9oMeasurements {
+    /// Scale label (`"quick"` / `"full"`).
+    pub scale: &'static str,
+    /// The digest sweep cells.
+    pub rows: Vec<Fig9oRow>,
+    /// Whether every cell produced the identical logical digest (CI gate).
+    pub digest_uniform: bool,
+    /// Whether exporting the trace and replaying it through the parser
+    /// reproduced the digest bit for bit (CI gate).
+    pub digest_match: bool,
+    /// fig9p-shaped batch wall clock with the `NoopRecorder` default (ms,
+    /// best-of).
+    pub noop_ms: f64,
+    /// The same batch with a live `ObsSession` attached (ms, best-of).
+    pub recorded_ms: f64,
+    /// `recorded_ms / noop_ms`.
+    pub overhead_ratio: f64,
+    /// Whether the live recorder stayed within noise of the no-op baseline
+    /// (generous bound — the gate guards order-of-magnitude regressions,
+    /// not scheduler jitter).
+    pub overhead_ok: bool,
+    /// chrome://tracing dump of one recorded run (the CI artifact).
+    pub trace_jsonl: String,
+    /// Plain-text summary of the same run (events + metrics registry).
+    pub summary: String,
+}
+
+impl Fig9oMeasurements {
+    /// Renders the measurements as an [`Experiment`] table.
+    pub fn to_experiment(&self) -> Experiment {
+        let reference = self.rows.first().map_or(0, |r| r.digest);
+        let mut rows = vec![
+            Row::new(
+                "locks",
+                vec![
+                    (
+                        "DigestUniform".into(),
+                        f64::from(u8::from(self.digest_uniform)),
+                    ),
+                    (
+                        "ReplayMatches".into(),
+                        f64::from(u8::from(self.digest_match)),
+                    ),
+                ],
+            ),
+            Row::new(
+                "overhead",
+                vec![
+                    ("NoopMs".into(), self.noop_ms),
+                    ("RecordedMs".into(), self.recorded_ms),
+                    ("Ratio".into(), self.overhead_ratio),
+                ],
+            ),
+        ];
+        for row in &self.rows {
+            rows.push(Row::new(
+                format!("n={} {} {}", row.nodes, row.latency, row.policy),
+                vec![
+                    ("Events".into(), row.events as f64),
+                    (
+                        "DigestOk".into(),
+                        f64::from(u8::from(row.digest == reference)),
+                    ),
+                ],
+            ));
+        }
+        Experiment {
+            id: "fig9obs",
+            caption: "Observability layer: logical digest across cluster layouts, \
+                      trace export/replay round trip, recorder overhead vs no-op",
+            rows,
+        }
+    }
+
+    /// Serialises the measurements as the `BENCH_obs.json` artifact
+    /// (hand-rolled JSON; no serde in the hermetic build).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"figure\": \"fig9obs\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!("  \"digest_uniform\": {},\n", self.digest_uniform));
+        out.push_str(&format!("  \"digest_match\": {},\n", self.digest_match));
+        out.push_str(&format!("  \"noop_ms\": {:.4},\n", self.noop_ms));
+        out.push_str(&format!("  \"recorded_ms\": {:.4},\n", self.recorded_ms));
+        out.push_str(&format!(
+            "  \"overhead_ratio\": {:.4},\n",
+            self.overhead_ratio
+        ));
+        out.push_str(&format!("  \"overhead_ok\": {},\n", self.overhead_ok));
+        out.push_str("  \"sweep\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"nodes\": {}, \"latency\": \"{}\", \"policy\": \"{}\", \
+                 \"digest\": \"{:#018x}\", \"events\": {} }}{}\n",
+                row.nodes,
+                row.latency,
+                row.policy,
+                row.digest,
+                row.events,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Measures fig9obs: records the seeded sim across node count × latency ×
+/// grant policy and checks the logical digest is layout-invariant, round-trips
+/// one trace through the chrome exporter/parser, then times the fig9p-shaped
+/// commit-tail batch with and without a live recorder.
+pub fn fig9obs_measurements(scale: Scale) -> Fig9oMeasurements {
+    use std::rc::Rc;
+
+    use tcsc_obs::{parse_chrome_trace_jsonl, replay_digest, ObsSession};
+    use tcsc_sim::{run_cluster, GrantPolicy, LatencyModel, SimBatch, SimClusterConfig};
+
+    let (label, node_sweep, latencies, overhead_tasks, overhead_workers, runs) = match scale {
+        Scale::Quick => (
+            "quick",
+            vec![1usize, 2, 4],
+            vec![
+                LatencyModel::Zero,
+                LatencyModel::Uniform { min: 20, max: 4000 },
+            ],
+            128usize,
+            4000usize,
+            3usize,
+        ),
+        Scale::Full => (
+            "full",
+            vec![1, 2, 4, 8],
+            vec![
+                LatencyModel::Zero,
+                LatencyModel::Fixed(250),
+                LatencyModel::Uniform { min: 20, max: 4000 },
+            ],
+            256,
+            10_357,
+            5,
+        ),
+    };
+
+    let cfg = ScenarioConfig::small()
+        .with_num_tasks(10)
+        .with_num_slots(30)
+        .with_num_workers(150)
+        .with_placement(TaskPlacement::Synthetic(SpatialDistribution::region_grid(
+            3,
+        )));
+    let scenario = cfg.build();
+    let slots = cfg.num_slots;
+
+    let mut rows = Vec::new();
+    let mut kept: Option<tcsc_obs::ObsReport> = None;
+    for &nodes in &node_sweep {
+        for latency in &latencies {
+            for policy in [GrantPolicy::Barrier, GrantPolicy::Optimistic] {
+                let config = SimClusterConfig::new(nodes, 3, 55.0, *latency)
+                    .with_policy(policy)
+                    .with_seed(7 + nodes as u64)
+                    .with_obs();
+                let outcome = run_cluster(
+                    &scenario.workers,
+                    slots,
+                    &scenario.domain,
+                    vec![SimBatch::immediate(scenario.tasks.clone())],
+                    Rc::new(EuclideanCost::default()),
+                    &config,
+                );
+                let report = outcome.obs.expect("with_obs() records");
+                rows.push(Fig9oRow {
+                    nodes,
+                    latency: latency.describe(),
+                    policy: match policy {
+                        GrantPolicy::Barrier => "barrier",
+                        GrantPolicy::Optimistic => "optimistic",
+                    },
+                    digest: report.digest,
+                    events: report.events.len(),
+                });
+                kept.get_or_insert(report);
+            }
+        }
+    }
+    let reference = rows.first().map_or(0, |r| r.digest);
+    let digest_uniform = rows.iter().all(|r| r.digest == reference);
+
+    let kept = kept.expect("at least one sweep cell");
+    let trace_jsonl = kept.chrome_trace();
+    let digest_match = replay_digest(&parse_chrome_trace_jsonl(&trace_jsonl)) == kept.digest;
+    let summary = format!(
+        "fig9obs ({label}): {} sweep cells, digest {:#018x} (uniform: {digest_uniform}, \
+         replay match: {digest_match})\n\n{}",
+        rows.len(),
+        reference,
+        kept.metrics.render()
+    );
+
+    // Recorder overhead on the fig9p commit-tail shape: the per-grant
+    // incremental-refresh batch, untimed instrumentation (NoopRecorder
+    // default) against a live wall-clock session.
+    let pcfg = ScenarioConfig::small()
+        .with_num_tasks(overhead_tasks)
+        .with_num_slots(96)
+        .with_num_workers(overhead_workers);
+    let prepared = prepare_multi(&pcfg);
+    let tasks = &prepared.scenario.tasks;
+    let cost = EuclideanCost::default();
+    let mcfg = MultiTaskConfig::new(overhead_tasks as f64 * 0.2)
+        .with_refresh(tcsc_assign::RefreshStrategy::Incremental);
+    let noop_ms = best_of(runs, || {
+        AssignmentEngine::borrowed(&prepared.index, &cost, mcfg)
+            .assign_batch(tasks, Objective::SumQuality)
+    });
+    let session = ObsSession::wall();
+    let recorded_ms = best_of(runs, || {
+        AssignmentEngine::borrowed(&prepared.index, &cost, mcfg)
+            .with_recorder(&session)
+            .assign_batch(tasks, Objective::SumQuality)
+    });
+    let overhead_ratio = recorded_ms / noop_ms.max(f64::MIN_POSITIVE);
+    // Within noise: a live session appends one buffered event per span —
+    // nanoseconds against a millisecond-scale batch.  The bound is generous
+    // (1.5x + 1ms) because CI machines preempt; it exists to catch a
+    // recorder that accidentally becomes O(events) per record.
+    let overhead_ok = recorded_ms <= noop_ms * 1.5 + 1.0;
+
+    Fig9oMeasurements {
+        scale: label,
+        rows,
+        digest_uniform,
+        digest_match,
+        noop_ms,
+        recorded_ms,
+        overhead_ratio,
+        overhead_ok,
+        trace_jsonl,
+        summary,
+    }
+}
+
+/// Fig. 9obs (repo extension): digest stability of the observability layer
+/// across cluster layouts, plus recorder overhead against the no-op default.
+pub fn fig9obs(scale: Scale) -> Experiment {
+    fig9obs_measurements(scale).to_experiment()
 }
 
 // ---------------------------------------------------------------------------
@@ -2223,8 +2514,8 @@ pub fn fig11c(scale: Scale) -> Experiment {
 pub const ALL_IDS: &[&str] = &[
     "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c", "fig8d",
     "fig8e", "fig8f", "fig8g", "fig8h", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
-    "fig9g", "fig9h", "fig9i", "fig9s", "fig9p", "fig9celf", "fig9dist", "fig11a", "fig11b",
-    "fig11c",
+    "fig9g", "fig9h", "fig9i", "fig9s", "fig9p", "fig9celf", "fig9dist", "fig9obs", "fig11a",
+    "fig11b", "fig11c",
 ];
 
 /// Every experiment, in figure order (derived from [`ALL_IDS`] so the id
@@ -2263,6 +2554,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "fig9p" => fig9p(scale),
         "fig9celf" => fig9celf(scale),
         "fig9dist" => fig9dist(scale),
+        "fig9obs" => fig9obs(scale),
         "fig11a" => fig11a(scale),
         "fig11b" => fig11b(scale),
         "fig11c" => fig11c(scale),
@@ -2313,11 +2605,12 @@ mod tests {
         // check against the match arms is exercised by the binary smoke.)
         let unique: std::collections::HashSet<_> = ALL_IDS.iter().collect();
         assert_eq!(unique.len(), ALL_IDS.len());
-        assert_eq!(ALL_IDS.len(), 30);
+        assert_eq!(ALL_IDS.len(), 31);
         assert!(ALL_IDS.contains(&"fig9s"));
         assert!(ALL_IDS.contains(&"fig9p"));
         assert!(ALL_IDS.contains(&"fig9celf"));
         assert!(ALL_IDS.contains(&"fig9dist"));
+        assert!(ALL_IDS.contains(&"fig9obs"));
         assert!(by_id("nonexistent", Scale::Quick).is_none());
     }
 
@@ -2422,6 +2715,13 @@ mod tests {
             sim_plan_hash: 0xabcd,
             engine_plan_hash: 0xabcd,
             plan_hash_matches: true,
+            speculation: {
+                let mut reg = tcsc_obs::MetricsRegistry::new();
+                reg.counter("fig9d.rollbacks", 7);
+                reg.counter("fig9d.supersedes", 3);
+                reg.value("fig9d.cell_rollbacks", 7);
+                reg
+            },
             rows: vec![Fig9dRow {
                 nodes: 2,
                 latency: "fixed:200us".into(),
@@ -2431,6 +2731,7 @@ mod tests {
                 barrier_events: 400,
                 optimistic_events: 450,
                 optimistic_rollbacks: 7,
+                optimistic_supersedes: 3,
                 wall_ms: 3.0,
             }],
         };
@@ -2438,7 +2739,41 @@ mod tests {
         assert!(json.contains("\"figure\": \"fig9d\""));
         assert!(json.contains("\"plan_hash_matches\": true"));
         assert!(json.contains("\"optimistic_rollbacks\": 7"));
+        assert!(json.contains("\"optimistic_supersedes\": 3"));
+        assert!(json.contains("\"speculation\": { \"total_rollbacks\": 7, \"total_supersedes\": 3"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn fig9obs_json_is_well_formed() {
+        let m = Fig9oMeasurements {
+            scale: "quick",
+            rows: vec![Fig9oRow {
+                nodes: 2,
+                latency: "zero".into(),
+                policy: "optimistic",
+                digest: 0xabcd,
+                events: 321,
+            }],
+            digest_uniform: true,
+            digest_match: true,
+            noop_ms: 10.0,
+            recorded_ms: 10.2,
+            overhead_ratio: 1.02,
+            overhead_ok: true,
+            trace_jsonl: "[\n]\n".into(),
+            summary: "fig9obs".into(),
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"figure\": \"fig9obs\""));
+        assert!(json.contains("\"digest_uniform\": true"));
+        assert!(json.contains("\"digest_match\": true"));
+        assert!(json.contains("\"overhead_ok\": true"));
+        assert!(json.contains("\"policy\": \"optimistic\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let exp = m.to_experiment();
+        assert_eq!(exp.id, "fig9obs");
+        assert!(exp.rows.len() >= 3);
     }
 
     #[test]

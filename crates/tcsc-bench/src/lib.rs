@@ -17,8 +17,6 @@
 
 pub mod figures;
 
-use std::time::Instant;
-
 use tcsc_assign::candidates::SlotCandidates;
 use tcsc_core::{EuclideanCost, Task};
 use tcsc_index::WorkerIndex;
@@ -98,10 +96,22 @@ impl Experiment {
 }
 
 /// Times a closure, returning (result, elapsed milliseconds).
+///
+/// The single wall-clock timing path of the harness — a thin alias of
+/// [`tcsc_obs::time_closure`] so every fig driver, bench and example reads
+/// the same [`tcsc_obs::Stopwatch`] clock.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let result = f();
-    (result, start.elapsed().as_secs_f64() * 1000.0)
+    tcsc_obs::time_closure(f)
+}
+
+/// The best-of-`runs` wall-clock time of a closure, in milliseconds.
+///
+/// Min (not mean) because the drivers report *capability* numbers: the
+/// fastest observed run is the one least perturbed by scheduler noise.
+pub fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..runs.max(1))
+        .map(|_| timed(&mut f).1)
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// A prepared single-task instance: the scenario, its worker index and the

@@ -1,0 +1,434 @@
+//! # tcsc-obs
+//!
+//! Zero-dependency tracing and metrics for the TCSC runtimes.  The build
+//! environment is hermetic (no `tracing` / `metrics` crates), so this crate
+//! reimplements the minimal subset the repository needs:
+//!
+//! * a clock abstraction over **wall time** (a monotonic [`Stopwatch`]
+//!   epoch) and **virtual time** (the discrete-event simulator's clock,
+//!   driven externally via [`ObsSession::set_virtual_nanos`]);
+//! * lightweight **spans and events** ([`TraceEvent`]) recorded into
+//!   per-thread buffers ([`ThreadBuffer`]) and merged deterministically by
+//!   `(time, thread, seq)` ([`ObsSession::merged_events`]);
+//! * a [`MetricsRegistry`] of named counters and fixed-bucket power-of-two
+//!   [`Histogram`]s (p50/p99 assignment latency, per-grant refresh cost,
+//!   rollback/supersede counts, shard-router tile visits, cache hit/miss);
+//! * exporters: a chrome://tracing-compatible JSONL dump
+//!   ([`chrome_trace_jsonl`]), a plain-text summary table
+//!   ([`ObsSession::summary`]), and a stable [`obs_digest`] hash over the
+//!   **logical** (policy- and transport-invariant) projection of the
+//!   virtual-time event stream.
+//!
+//! ## The `Recorder` trait and the no-op default
+//!
+//! Every instrumented runtime is generic over `R:`[`Recorder`] with a
+//! [`NoopRecorder`] default.  `Recorder::IS_ENABLED` is an associated
+//! `const`, so instrumentation sites are written
+//!
+//! ```ignore
+//! if R::IS_ENABLED {
+//!     self.obs.begin("commit", tasks as u64);
+//! }
+//! ```
+//!
+//! and compile to **nothing** under the default — the disabled overhead is
+//! not a branch but dead code, which is what keeps the fig9p per-grant
+//! refresh cost identical with observability compiled in.  The bit-identity
+//! of plans/conflicts/executions with observability *on vs. off* is locked
+//! by `tcsc-assign/tests/obs_noop_equivalence.rs`.
+//!
+//! ## The digest as an equivalence lock
+//!
+//! Virtual-time transport events (message send/recv) depend on the node
+//! layout and latency model, and policy events (grants, rollbacks,
+//! supersedes) depend on the grant policy.  The **logical** events — the
+//! committed executions and the conflict totals — are bit-identical across
+//! all of those by the engine-equivalence guarantees, so [`obs_digest`]
+//! hashes only [`Scope::Logical`] events: same seed ⇒ identical digest
+//! across node counts, latency models and grant policies.  Locked by
+//! `tcsc-sim/tests/obs_trace.rs` and gated in CI by the `fig9obs` driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod session;
+
+pub use export::{
+    chrome_trace_jsonl, obs_digest, obs_digest_parts, parse_chrome_trace_jsonl, replay_digest,
+    ReplayedEvent,
+};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use session::{ObsReport, ObsSession, ThreadBuffer};
+
+use std::time::Instant;
+
+/// Which projection of the stream an event belongs to.
+///
+/// The [`obs_digest`] equivalence lock hashes only [`Scope::Logical`]
+/// events; the other scopes legitimately differ across node layouts,
+/// latency models and grant policies and are "modulo"-ed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// Policy- and layout-invariant protocol outcomes (committed executions,
+    /// conflict totals).  The digest hashes exactly these.
+    Logical,
+    /// Grant-policy-dependent events: provisional grants, rollbacks,
+    /// supersedes, heartbeat arbitration.
+    Policy,
+    /// Network/transport events: message send/recv, node hops.
+    Transport,
+    /// Pure measurement (span timings, wave sizes); never part of any
+    /// equivalence comparison.
+    Perf,
+}
+
+impl Scope {
+    /// Stable short name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scope::Logical => "logical",
+            Scope::Policy => "policy",
+            Scope::Transport => "transport",
+            Scope::Perf => "perf",
+        }
+    }
+
+    /// Parses [`Scope::name`] back (trace replay).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "logical" => Some(Scope::Logical),
+            "policy" => Some(Scope::Policy),
+            "transport" => Some(Scope::Transport),
+            "perf" => Some(Scope::Perf),
+            _ => None,
+        }
+    }
+}
+
+/// Span/event phase, mirroring the chrome://tracing `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Span begin (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Instantaneous event (`"i"`).
+    Instant,
+}
+
+impl Phase {
+    /// The chrome://tracing phase letter.
+    pub fn letter(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        }
+    }
+
+    /// Parses [`Phase::letter`] back (trace replay).
+    pub fn from_letter(letter: &str) -> Option<Self> {
+        match letter {
+            "B" => Some(Phase::Begin),
+            "E" => Some(Phase::End),
+            "i" => Some(Phase::Instant),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded trace event.
+///
+/// `time` is nanoseconds — since the session epoch under the wall clock,
+/// or virtual-simulation nanoseconds under the virtual clock.  `seq` is the
+/// per-buffer record sequence; the deterministic merge key is
+/// `(time, tid, seq)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event time in nanoseconds (wall-since-epoch or virtual).
+    pub time: u64,
+    /// Per-buffer monotone sequence number.
+    pub seq: u64,
+    /// Logical thread id of the recording buffer (0 = session owner).
+    pub tid: u32,
+    /// Stream projection (see [`Scope`]).
+    pub scope: Scope,
+    /// Span phase.
+    pub phase: Phase,
+    /// Event label (static: recording never allocates for the name).
+    pub label: &'static str,
+    /// First payload word (meaning is per-label).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word (e.g. an `f64::to_bits` cost).
+    pub c: u64,
+}
+
+/// The recording interface every instrumented runtime is generic over.
+///
+/// All methods take `&self` (the live implementations use interior
+/// mutability) so a shared `&ObsSession` handle can be held by several
+/// runtimes at once.  The [`NoopRecorder`] default has
+/// [`Recorder::IS_ENABLED`]` == false` and empty bodies; instrumentation
+/// sites guard on the const so the disabled path compiles away entirely.
+pub trait Recorder {
+    /// Statically-known enablement: `false` compiles instrumentation out.
+    const IS_ENABLED: bool;
+
+    /// Records a span begin at the current clock reading.
+    fn begin(&self, label: &'static str, a: u64);
+    /// Records a span end at the current clock reading.
+    fn end(&self, label: &'static str, a: u64);
+    /// Records an instantaneous event.
+    fn instant(&self, scope: Scope, label: &'static str, a: u64, b: u64, c: u64);
+    /// Adds `delta` to the named counter.
+    fn counter(&self, name: &'static str, delta: u64);
+    /// Records one observation into the named histogram.
+    fn value(&self, name: &'static str, value: u64);
+    /// Merges a drained per-thread buffer into the session stream.
+    fn absorb_events(&self, events: Vec<TraceEvent>);
+    /// A per-thread buffer sharing this recorder's wall epoch, or `None`
+    /// when recording is disabled.  Created on the coordinating thread and
+    /// moved into workers; the drained events come back through
+    /// [`Recorder::absorb_events`].
+    fn thread_buffer(&self, tid: u32) -> Option<ThreadBuffer>;
+}
+
+/// The statically-dispatched disabled recorder: every instrumented runtime
+/// defaults to it, and every method body is empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const IS_ENABLED: bool = false;
+
+    #[inline(always)]
+    fn begin(&self, _label: &'static str, _a: u64) {}
+    #[inline(always)]
+    fn end(&self, _label: &'static str, _a: u64) {}
+    #[inline(always)]
+    fn instant(&self, _scope: Scope, _label: &'static str, _a: u64, _b: u64, _c: u64) {}
+    #[inline(always)]
+    fn counter(&self, _name: &'static str, _delta: u64) {}
+    #[inline(always)]
+    fn value(&self, _name: &'static str, _value: u64) {}
+    #[inline(always)]
+    fn absorb_events(&self, _events: Vec<TraceEvent>) {}
+    #[inline(always)]
+    fn thread_buffer(&self, _tid: u32) -> Option<ThreadBuffer> {
+        None
+    }
+}
+
+/// Shared references record through the referent, so runtimes can hold
+/// `&ObsSession` while the caller keeps the session.
+impl<R: Recorder> Recorder for &R {
+    const IS_ENABLED: bool = R::IS_ENABLED;
+
+    #[inline]
+    fn begin(&self, label: &'static str, a: u64) {
+        (**self).begin(label, a)
+    }
+    #[inline]
+    fn end(&self, label: &'static str, a: u64) {
+        (**self).end(label, a)
+    }
+    #[inline]
+    fn instant(&self, scope: Scope, label: &'static str, a: u64, b: u64, c: u64) {
+        (**self).instant(scope, label, a, b, c)
+    }
+    #[inline]
+    fn counter(&self, name: &'static str, delta: u64) {
+        (**self).counter(name, delta)
+    }
+    #[inline]
+    fn value(&self, name: &'static str, value: u64) {
+        (**self).value(name, value)
+    }
+    #[inline]
+    fn absorb_events(&self, events: Vec<TraceEvent>) {
+        (**self).absorb_events(events)
+    }
+    #[inline]
+    fn thread_buffer(&self, tid: u32) -> Option<ThreadBuffer> {
+        (**self).thread_buffer(tid)
+    }
+}
+
+/// `Option<Rc<ObsSession>>`-style dynamic recorders: `Some` records, `None`
+/// is a cheap branch.  Used where a generic parameter cannot reach (the
+/// simulation components share one `Rc` session); the hot solver paths use
+/// the statically-dispatched generic instead.
+impl<R: Recorder> Recorder for Option<R> {
+    const IS_ENABLED: bool = true;
+
+    #[inline]
+    fn begin(&self, label: &'static str, a: u64) {
+        if let Some(r) = self {
+            r.begin(label, a)
+        }
+    }
+    #[inline]
+    fn end(&self, label: &'static str, a: u64) {
+        if let Some(r) = self {
+            r.end(label, a)
+        }
+    }
+    #[inline]
+    fn instant(&self, scope: Scope, label: &'static str, a: u64, b: u64, c: u64) {
+        if let Some(r) = self {
+            r.instant(scope, label, a, b, c)
+        }
+    }
+    #[inline]
+    fn counter(&self, name: &'static str, delta: u64) {
+        if let Some(r) = self {
+            r.counter(name, delta)
+        }
+    }
+    #[inline]
+    fn value(&self, name: &'static str, value: u64) {
+        if let Some(r) = self {
+            r.value(name, value)
+        }
+    }
+    #[inline]
+    fn absorb_events(&self, events: Vec<TraceEvent>) {
+        if let Some(r) = self {
+            r.absorb_events(events)
+        }
+    }
+    #[inline]
+    fn thread_buffer(&self, tid: u32) -> Option<ThreadBuffer> {
+        self.as_ref().and_then(|r| r.thread_buffer(tid))
+    }
+}
+
+/// RAII span: begins on creation, ends on drop.  Convenient where no `&mut
+/// self` borrows overlap the span; the engines' commit loops use explicit
+/// `begin`/`end` pairs instead.
+pub struct SpanGuard<'r, R: Recorder> {
+    obs: &'r R,
+    label: &'static str,
+    a: u64,
+}
+
+impl<'r, R: Recorder> SpanGuard<'r, R> {
+    /// Opens the span.
+    pub fn enter(obs: &'r R, label: &'static str, a: u64) -> Self {
+        if R::IS_ENABLED {
+            obs.begin(label, a);
+        }
+        Self { obs, label, a }
+    }
+}
+
+impl<R: Recorder> Drop for SpanGuard<'_, R> {
+    fn drop(&mut self) {
+        if R::IS_ENABLED {
+            self.obs.end(self.label, self.a);
+        }
+    }
+}
+
+/// The one wall-clock timing primitive of the repository: a monotonic
+/// stopwatch.  Every hand-rolled `Instant::now()` pair (the bench drivers'
+/// `timed`, the single-task solvers' phase timings, the gain ledger's
+/// `refresh_nanos`) routes through it, so there is exactly one timing path.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed nanoseconds (saturating at `u64::MAX`).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed milliseconds as a float.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// Elapsed seconds as a float.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// The underlying epoch instant (shared with [`ThreadBuffer`]s).
+    pub fn epoch(&self) -> Instant {
+        self.start
+    }
+}
+
+/// Times a closure on the wall clock, returning `(result, elapsed ms)`.
+pub fn time_closure<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let sw = Stopwatch::start();
+    let result = f();
+    (result, sw.elapsed_ms())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The IS_ENABLED consts are checked at compile time — a non-constant
+    // assert would trip clippy::assertions_on_constants.
+    const _: () = assert!(!NoopRecorder::IS_ENABLED);
+    const _: () = assert!(!<&NoopRecorder as Recorder>::IS_ENABLED);
+
+    #[test]
+    fn noop_is_statically_disabled() {
+        let noop = NoopRecorder;
+        noop.begin("x", 0);
+        noop.end("x", 0);
+        noop.counter("c", 1);
+        assert!(noop.thread_buffer(1).is_none());
+    }
+
+    #[test]
+    fn scope_and_phase_round_trip() {
+        for scope in [Scope::Logical, Scope::Policy, Scope::Transport, Scope::Perf] {
+            assert_eq!(Scope::from_name(scope.name()), Some(scope));
+        }
+        for phase in [Phase::Begin, Phase::End, Phase::Instant] {
+            assert_eq!(Phase::from_letter(phase.letter()), Some(phase));
+        }
+        assert_eq!(Scope::from_name("bogus"), None);
+        assert_eq!(Phase::from_letter("X"), None);
+    }
+
+    #[test]
+    fn stopwatch_measures_and_time_closure_returns_result() {
+        let sw = Stopwatch::start();
+        let (value, ms) = time_closure(|| 41 + 1);
+        assert_eq!(value, 42);
+        assert!(ms >= 0.0);
+        assert!(sw.elapsed_nanos() > 0 || sw.elapsed_ms() >= 0.0);
+    }
+
+    #[test]
+    fn span_guard_brackets_events() {
+        let session = ObsSession::wall();
+        {
+            let _span = SpanGuard::enter(&session, "work", 7);
+        }
+        let events = session.merged_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].phase, Phase::Begin);
+        assert_eq!(events[1].phase, Phase::End);
+        assert_eq!(events[0].label, "work");
+        assert_eq!(events[0].a, 7);
+    }
+}

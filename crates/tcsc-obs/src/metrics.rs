@@ -1,0 +1,273 @@
+//! Counters and fixed-bucket histograms.
+//!
+//! The registry is deliberately tiny: names are `&'static str`, storage is a
+//! sorted association list (the workspace records a few dozen distinct
+//! names), and histograms use 64 fixed power-of-two buckets so recording is
+//! one index computation and one increment — no allocation after the first
+//! observation of a name.
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Bucket `i` holds values whose bit length is `i` (i.e. value 0 → bucket 0,
+/// value `v > 0` → bucket `64 - v.leading_zeros()`), so percentile queries
+/// resolve to a power-of-two band; `min`/`max`/`sum` are tracked exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`), clamped to the exact observed `max`.  Exact values
+    /// are not retained, so this is a power-of-two-resolution estimate —
+    /// plenty for p50/p99 latency reporting.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
+                return upper.min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Named counters plus named histograms, in deterministic (sorted-name)
+/// order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, u64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at 0).
+    pub fn counter(&mut self, name: &'static str, delta: u64) {
+        match self.counters.binary_search_by_key(&name, |(n, _)| n) {
+            Ok(i) => self.counters[i].1 += delta,
+            Err(i) => self.counters.insert(i, (name, delta)),
+        }
+    }
+
+    /// Records one observation into the named histogram (creating it empty).
+    pub fn value(&mut self, name: &'static str, value: u64) {
+        match self.histograms.binary_search_by_key(&name, |(n, _)| n) {
+            Ok(i) => self.histograms[i].1.record(value),
+            Err(i) => {
+                let mut h = Histogram::default();
+                h.record(value);
+                self.histograms.insert(i, (name, h));
+            }
+        }
+    }
+
+    /// The named counter's value (0 when never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// All counters in sorted-name order.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// All histograms in sorted-name order.
+    pub fn histograms(&self) -> &[(&'static str, Histogram)] {
+        &self.histograms
+    }
+
+    /// Merges another registry into this one.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, delta) in &other.counters {
+            self.counter(name, *delta);
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.binary_search_by_key(name, |(n, _)| n) {
+                Ok(i) => self.histograms[i].1.merge(hist),
+                Err(i) => self.histograms.insert(i, (name, hist.clone())),
+            }
+        }
+    }
+
+    /// The plain-text summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  counter {name:<34} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "  hist    {name:<34} n={} mean={:.0} p50<={} p99<={} max={}\n",
+                h.count(),
+                h.mean(),
+                h.p50(),
+                h.p99(),
+                h.max()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_the_data() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        // p50 of 1..=1000 is 500; the bucket upper bound 511 brackets it.
+        assert!(h.p50() >= 500 && h.p50() <= 1023, "p50={}", h.p50());
+        assert!(h.p99() >= 990, "p99={}", h.p99());
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_zero_and_empty() {
+        let mut h = Histogram::default();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn registry_counters_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.counter("z", 1);
+        a.counter("a", 2);
+        a.counter("z", 1);
+        a.value("lat", 10);
+        let mut b = MetricsRegistry::new();
+        b.counter("z", 5);
+        b.value("lat", 20);
+        b.value("other", 1);
+        a.merge(&b);
+        assert_eq!(a.counter_value("z"), 7);
+        assert_eq!(a.counter_value("a"), 2);
+        assert_eq!(a.counter_value("missing"), 0);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.histogram("other").unwrap().count(), 1);
+        // Sorted-name order is deterministic.
+        let names: Vec<_> = a.counters().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["a", "z"]);
+        assert!(a.render().contains("counter a"));
+        assert!(a.render().contains("hist    lat"));
+    }
+}

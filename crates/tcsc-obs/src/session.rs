@@ -1,0 +1,340 @@
+//! The live recorder: a session owning the clock, the event buffers and the
+//! metrics registry.
+
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+use crate::metrics::MetricsRegistry;
+use crate::{chrome_trace_jsonl, obs_digest, Phase, Recorder, Scope, TraceEvent};
+
+/// Which clock stamps the events.
+#[derive(Debug)]
+enum ClockKind {
+    /// Monotonic wall time, nanoseconds since the session epoch.
+    Wall,
+    /// Externally-driven virtual time (the simulation kernel sets it via
+    /// [`ObsSession::set_virtual_nanos`] before delivering each event).
+    Virtual(Cell<u64>),
+}
+
+/// A live observability session: one clock, one merged event stream, one
+/// metrics registry.  Implements [`Recorder`]; runtimes hold it by shared
+/// reference (`&ObsSession`) or `Rc` and the caller extracts the
+/// [`ObsReport`] when the run finishes.
+#[derive(Debug)]
+pub struct ObsSession {
+    epoch: Instant,
+    clock: ClockKind,
+    seq: Cell<u64>,
+    events: RefCell<Vec<TraceEvent>>,
+    metrics: RefCell<MetricsRegistry>,
+}
+
+impl ObsSession {
+    /// A wall-clock session (the bench drivers and in-process engines).
+    pub fn wall() -> Self {
+        Self::with_clock(ClockKind::Wall)
+    }
+
+    /// A virtual-time session (the discrete-event simulation): time stands
+    /// at 0 until [`ObsSession::set_virtual_nanos`] advances it.
+    pub fn virtual_time() -> Self {
+        Self::with_clock(ClockKind::Virtual(Cell::new(0)))
+    }
+
+    fn with_clock(clock: ClockKind) -> Self {
+        Self {
+            epoch: Instant::now(),
+            clock,
+            seq: Cell::new(0),
+            events: RefCell::new(Vec::new()),
+            metrics: RefCell::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// Advances the virtual clock (no-op on wall-clock sessions).  The
+    /// simulation kernel calls this with the event-queue time before any
+    /// component runs, so every event recorded while handling a message is
+    /// stamped with the message's virtual delivery time.
+    pub fn set_virtual_nanos(&self, nanos: u64) {
+        if let ClockKind::Virtual(cell) = &self.clock {
+            cell.set(nanos);
+        }
+    }
+
+    /// The current clock reading in nanoseconds.
+    pub fn now_nanos(&self) -> u64 {
+        match &self.clock {
+            ClockKind::Wall => u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            ClockKind::Virtual(cell) => cell.get(),
+        }
+    }
+
+    fn push(&self, scope: Scope, phase: Phase, label: &'static str, a: u64, b: u64, c: u64) {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        self.events.borrow_mut().push(TraceEvent {
+            time: self.now_nanos(),
+            seq,
+            tid: 0,
+            scope,
+            phase,
+            label,
+            a,
+            b,
+            c,
+        });
+    }
+
+    /// The merged event stream, sorted deterministically by
+    /// `(time, tid, seq)` — session-owner events and absorbed per-thread
+    /// buffers interleave in one total order.
+    pub fn merged_events(&self) -> Vec<TraceEvent> {
+        let mut events = self.events.borrow().clone();
+        events.sort_by_key(|e| (e.time, e.tid, e.seq));
+        events
+    }
+
+    /// Snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.borrow().clone()
+    }
+
+    /// The stable digest over the logical projection of the merged stream
+    /// (see [`obs_digest`]).
+    pub fn digest(&self) -> u64 {
+        obs_digest(&self.merged_events())
+    }
+
+    /// The chrome://tracing JSONL dump of the merged stream.
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_jsonl(&self.merged_events())
+    }
+
+    /// The plain-text summary table: counters, histogram percentiles and the
+    /// digest.
+    pub fn summary(&self) -> String {
+        let events = self.merged_events();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "obs summary: {} events, digest {:#018x}\n",
+            events.len(),
+            obs_digest(&events)
+        ));
+        out.push_str(&self.metrics.borrow().render());
+        out
+    }
+
+    /// Everything a caller keeps after the run: the merged stream, its
+    /// digest and the metrics snapshot.
+    pub fn report(&self) -> ObsReport {
+        let events = self.merged_events();
+        let digest = obs_digest(&events);
+        ObsReport {
+            events,
+            digest,
+            metrics: self.metrics.borrow().clone(),
+        }
+    }
+}
+
+impl Recorder for ObsSession {
+    const IS_ENABLED: bool = true;
+
+    #[inline]
+    fn begin(&self, label: &'static str, a: u64) {
+        self.push(Scope::Perf, Phase::Begin, label, a, 0, 0);
+    }
+
+    #[inline]
+    fn end(&self, label: &'static str, a: u64) {
+        self.push(Scope::Perf, Phase::End, label, a, 0, 0);
+    }
+
+    #[inline]
+    fn instant(&self, scope: Scope, label: &'static str, a: u64, b: u64, c: u64) {
+        self.push(scope, Phase::Instant, label, a, b, c);
+    }
+
+    #[inline]
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.metrics.borrow_mut().counter(name, delta);
+    }
+
+    #[inline]
+    fn value(&self, name: &'static str, value: u64) {
+        self.metrics.borrow_mut().value(name, value);
+    }
+
+    fn absorb_events(&self, events: Vec<TraceEvent>) {
+        self.events.borrow_mut().extend(events);
+    }
+
+    fn thread_buffer(&self, tid: u32) -> Option<ThreadBuffer> {
+        Some(ThreadBuffer::new(self.epoch, tid))
+    }
+}
+
+/// `Rc` handles record through the shared session (the simulation
+/// components all hold one).
+impl Recorder for std::rc::Rc<ObsSession> {
+    const IS_ENABLED: bool = true;
+
+    #[inline]
+    fn begin(&self, label: &'static str, a: u64) {
+        (**self).begin(label, a)
+    }
+    #[inline]
+    fn end(&self, label: &'static str, a: u64) {
+        (**self).end(label, a)
+    }
+    #[inline]
+    fn instant(&self, scope: Scope, label: &'static str, a: u64, b: u64, c: u64) {
+        (**self).instant(scope, label, a, b, c)
+    }
+    #[inline]
+    fn counter(&self, name: &'static str, delta: u64) {
+        (**self).counter(name, delta)
+    }
+    #[inline]
+    fn value(&self, name: &'static str, value: u64) {
+        (**self).value(name, value)
+    }
+    #[inline]
+    fn absorb_events(&self, events: Vec<TraceEvent>) {
+        (**self).absorb_events(events)
+    }
+    #[inline]
+    fn thread_buffer(&self, tid: u32) -> Option<ThreadBuffer> {
+        (**self).thread_buffer(tid)
+    }
+}
+
+/// A per-thread wall-clock event buffer: created on the coordinating thread
+/// via [`Recorder::thread_buffer`], moved into a worker (it is `Send`),
+/// recorded into without any synchronisation, and drained back into the
+/// session with [`Recorder::absorb_events`] after the join.
+#[derive(Debug)]
+pub struct ThreadBuffer {
+    epoch: Instant,
+    tid: u32,
+    seq: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl ThreadBuffer {
+    /// A buffer stamping times against `epoch` and tagging events `tid`.
+    pub fn new(epoch: Instant, tid: u32) -> Self {
+        Self {
+            epoch,
+            tid,
+            seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, scope: Scope, phase: Phase, label: &'static str, a: u64, b: u64, c: u64) {
+        let time = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(TraceEvent {
+            time,
+            seq,
+            tid: self.tid,
+            scope,
+            phase,
+            label,
+            a,
+            b,
+            c,
+        });
+    }
+
+    /// Records a span begin.
+    pub fn begin(&mut self, label: &'static str, a: u64) {
+        self.push(Scope::Perf, Phase::Begin, label, a, 0, 0);
+    }
+
+    /// Records a span end.
+    pub fn end(&mut self, label: &'static str, a: u64) {
+        self.push(Scope::Perf, Phase::End, label, a, 0, 0);
+    }
+
+    /// Records an instantaneous event.
+    pub fn instant(&mut self, scope: Scope, label: &'static str, a: u64, b: u64, c: u64) {
+        self.push(scope, Phase::Instant, label, a, b, c);
+    }
+
+    /// Drains the recorded events for [`Recorder::absorb_events`].
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+/// The keepable output of a session: merged events, digest, metrics.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// The merged `(time, tid, seq)`-ordered event stream.
+    pub events: Vec<TraceEvent>,
+    /// [`obs_digest`] over the stream's logical projection.
+    pub digest: u64,
+    /// The metrics snapshot.
+    pub metrics: MetricsRegistry,
+}
+
+impl ObsReport {
+    /// The chrome://tracing JSONL dump of the stream.
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_jsonl(&self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_stamps_events() {
+        let session = ObsSession::virtual_time();
+        session.set_virtual_nanos(5_000);
+        session.instant(Scope::Transport, "send", 1, 2, 0);
+        session.set_virtual_nanos(9_000);
+        session.instant(Scope::Transport, "recv", 1, 2, 0);
+        let events = session.merged_events();
+        assert_eq!(events[0].time, 5_000);
+        assert_eq!(events[1].time, 9_000);
+    }
+
+    #[test]
+    fn thread_buffers_merge_deterministically() {
+        let session = ObsSession::wall();
+        let mut buf1 = session.thread_buffer(1).unwrap();
+        let mut buf2 = session.thread_buffer(2).unwrap();
+        buf1.begin("region", 0);
+        buf1.end("region", 0);
+        buf2.begin("region", 1);
+        buf2.end("region", 1);
+        session.absorb_events(buf1.into_events());
+        session.absorb_events(buf2.into_events());
+        let merged = session.merged_events();
+        assert_eq!(merged.len(), 4);
+        // The merge is a total order: re-merging yields the same sequence.
+        let again = session.merged_events();
+        assert_eq!(merged, again);
+        // Within one thread, seq order is preserved.
+        let t1: Vec<_> = merged.iter().filter(|e| e.tid == 1).collect();
+        assert!(t1[0].seq < t1[1].seq);
+    }
+
+    #[test]
+    fn counters_and_values_land_in_metrics() {
+        let session = ObsSession::wall();
+        session.counter("engine.conflicts", 3);
+        session.counter("engine.conflicts", 2);
+        session.value("engine.batch_ns", 1_000);
+        let metrics = session.metrics();
+        assert_eq!(metrics.counter_value("engine.conflicts"), 5);
+        assert_eq!(metrics.histogram("engine.batch_ns").unwrap().count(), 1);
+        assert!(session.summary().contains("engine.conflicts"));
+    }
+}

@@ -8,6 +8,7 @@ use std::rc::Rc;
 use tcsc_assign::{CacheStats, CommittedExecution, GrantPolicy, MultiTaskConfig};
 use tcsc_core::{CostModel, Domain, MultiAssignment, Task, WorkerPool as CoreWorkerPool};
 use tcsc_index::{ShardGridConfig, ShardedWorkerIndex};
+use tcsc_obs::{ObsReport, ObsSession, Recorder, Scope};
 
 use crate::dispatcher::{Dispatcher, DispatcherReport};
 use crate::kernel::{SimTime, Simulation, TraceRecord};
@@ -39,6 +40,11 @@ pub struct SimClusterConfig {
     pub seed: u64,
     /// Whether to retain the full delivery trace (determinism tests).
     pub record_trace: bool,
+    /// Whether to record a virtual-time observability trace: a shared
+    /// [`ObsSession`] is driven by the kernel clock, the dispatcher's master
+    /// records its policy events through it, and the outcome carries the
+    /// [`ObsReport`] (merged events, metrics, and the logical digest).
+    pub record_obs: bool,
 }
 
 impl SimClusterConfig {
@@ -56,6 +62,7 @@ impl SimClusterConfig {
             max_pings: 0,
             seed: 42,
             record_trace: false,
+            record_obs: false,
         }
     }
 
@@ -81,6 +88,13 @@ impl SimClusterConfig {
     /// Enables trace recording.
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Enables virtual-time observability recording (see
+    /// [`SimClusterConfig::record_obs`]).
+    pub fn with_obs(mut self) -> Self {
+        self.record_obs = true;
         self
     }
 
@@ -118,6 +132,9 @@ pub struct SimOutcome {
     pub executions: usize,
     /// Rolled-back provisional grants (0 under the barrier policy).
     pub rollbacks: usize,
+    /// Provisional grants superseded by a late heartbeat winning the serial
+    /// tie-break (a subset of `rollbacks`; 0 under the barrier policy).
+    pub supersedes: usize,
     /// Candidate-cache counters (comparable to the engines').
     pub stats: CacheStats,
     /// Committed executions in grant order (global task indices).
@@ -133,6 +150,11 @@ pub struct SimOutcome {
     pub shard_commitments: usize,
     /// The full delivery trace (empty unless trace recording was enabled).
     pub trace: Vec<TraceRecord>,
+    /// The observability report (`None` unless `record_obs` was enabled):
+    /// the merged virtual-time event stream, the metrics snapshot and the
+    /// logical digest — same seed ⇒ same digest across node counts, latency
+    /// models and grant policies.
+    pub obs: Option<ObsReport>,
 }
 
 impl SimOutcome {
@@ -198,6 +220,7 @@ pub fn run_cluster(
             conflicts: 0,
             executions: 0,
             rollbacks: 0,
+            supersedes: 0,
             stats: tcsc_assign::CacheStats::default(),
             committed: Vec::new(),
             finish_time_us: 0,
@@ -205,6 +228,7 @@ pub fn run_cluster(
             worker_pings: 0,
             shard_commitments: 0,
             trace: Vec::new(),
+            obs: None,
         };
     }
     let index = Rc::new(ShardedWorkerIndex::build(
@@ -215,6 +239,10 @@ pub fn run_cluster(
     ));
     let mut sim: Simulation<NetMessage> =
         Simulation::new(config.latency, config.seed, config.record_trace);
+    let obs_session = config
+        .record_obs
+        .then(|| Rc::new(ObsSession::virtual_time()));
+    sim.set_obs(obs_session.clone());
 
     // Component wiring: the dispatcher's id is allocated first so the nodes
     // can address it; its construction needs the node ids, so it is
@@ -252,6 +280,7 @@ pub fn run_cluster(
         pool_ids.clone(),
         batches.len(),
         outbox.clone(),
+        obs_session.clone(),
     )));
     assert_eq!(
         actual_dispatcher, dispatcher_id,
@@ -291,11 +320,44 @@ pub fn run_cluster(
     let trace = sim.into_trace();
 
     let plans = report.plans.into_iter().map(|(_, plan)| plan).collect();
+    let assignment = MultiAssignment::new(plans);
+
+    // Emit the logical projection the digest hashes: the committed execution
+    // sequence (in grant order), the run totals and the plan hash.  These
+    // are bit-identical across node counts, latency models and grant
+    // policies by the sim-equivalence locks, so the digest is too — while
+    // the transport/policy events recorded above legitimately differ.
+    let obs = obs_session.map(|session| {
+        session.set_virtual_nanos(report.finish_time_us.saturating_mul(1_000));
+        for c in &report.committed {
+            session.instant(
+                Scope::Logical,
+                "logical.execute",
+                c.task as u64,
+                ((u64::from(c.worker.0)) << 32) | c.slot as u64,
+                c.cost.to_bits(),
+            );
+        }
+        session.instant(
+            Scope::Logical,
+            "logical.totals",
+            report.executions as u64,
+            report.conflicts as u64,
+            plan_hash(&assignment),
+        );
+        session.counter("sim.rollbacks", report.rollbacks as u64);
+        session.counter("sim.supersedes", report.supersedes as u64);
+        session.counter("sim.delivered_events", delivered_events);
+        session.value("sim.finish_time_us", report.finish_time_us);
+        session.report()
+    });
+
     SimOutcome {
-        assignment: MultiAssignment::new(plans),
+        assignment,
         conflicts: report.conflicts,
         executions: report.executions,
         rollbacks: report.rollbacks,
+        supersedes: report.supersedes,
         stats: report.stats,
         committed: report.committed,
         finish_time_us: report.finish_time_us,
@@ -303,5 +365,6 @@ pub fn run_cluster(
         worker_pings: report.worker_pings,
         shard_commitments: report.shard_commitments,
         trace,
+        obs,
     }
 }

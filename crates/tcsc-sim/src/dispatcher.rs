@@ -18,13 +18,16 @@ use tcsc_assign::{
 };
 use tcsc_core::{AssignmentPlan, Task};
 use tcsc_index::ShardedWorkerIndex;
+use tcsc_obs::ObsSession;
 
 use crate::kernel::{Component, ComponentId, Context, SimTime};
 use crate::messages::NetMessage;
 
 /// One in-flight batch: the master machine plus the local↔global index maps.
+/// The master carries the sim's shared recorder handle (`None` when trace
+/// recording is off — one predictable branch per event).
 struct Batch {
-    master: TaskMaster,
+    master: TaskMaster<Option<Rc<ObsSession>>>,
     global: Vec<usize>,
     /// Global → batch-local index (events arrive with global indices).
     local_of: HashMap<usize, usize>,
@@ -43,6 +46,9 @@ pub struct DispatcherReport {
     pub executions: usize,
     /// Rolled-back provisional grants (0 under the barrier policy).
     pub rollbacks: usize,
+    /// Provisional grants superseded by a late heartbeat winning the serial
+    /// tie-break (a subset of `rollbacks`; 0 under the barrier policy).
+    pub supersedes: usize,
     /// Candidate-cache counters summed over the nodes, plus the
     /// conflict-refresh accounting (matches the engines' convention).
     pub stats: CacheStats,
@@ -79,6 +85,9 @@ pub struct Dispatcher {
     plans_outstanding: usize,
     /// Shared slot the harness reads the report from after the run.
     outbox: Rc<RefCell<Option<DispatcherReport>>>,
+    /// Shared trace/metrics session handed to every batch master (`None`
+    /// when the harness did not request a trace).
+    obs: Option<Rc<ObsSession>>,
 }
 
 impl Dispatcher {
@@ -93,6 +102,7 @@ impl Dispatcher {
         pools: Vec<ComponentId>,
         batches_expected: usize,
         outbox: Rc<RefCell<Option<DispatcherReport>>>,
+        obs: Option<Rc<ObsSession>>,
     ) -> Self {
         Self {
             index,
@@ -109,6 +119,7 @@ impl Dispatcher {
             report: DispatcherReport::default(),
             plans_outstanding: 0,
             outbox,
+            obs,
         }
     }
 
@@ -207,6 +218,7 @@ impl Dispatcher {
             self.policy,
             true,
         );
+        let master = master.with_recorder(self.obs.clone());
         self.dispatch(initial, &global, ctx);
         let local_of = global.iter().enumerate().map(|(l, &g)| (g, l)).collect();
         self.current = Some(Batch {
@@ -246,10 +258,12 @@ impl Dispatcher {
     /// Folds a finished batch's tables into the run report.
     fn finish_batch(&mut self, batch: Batch) {
         let global = batch.global;
-        let (_, _, committed, conflicts, executions, rollbacks) = batch.master.into_tables();
+        let (_, _, committed, conflicts, executions, rollbacks, supersedes) =
+            batch.master.into_tables();
         self.report.conflicts += conflicts;
         self.report.executions += executions;
         self.report.rollbacks += rollbacks;
+        self.report.supersedes += supersedes;
         self.report
             .committed
             .extend(committed.into_iter().map(|c| CommittedExecution {

@@ -19,9 +19,11 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tcsc_obs::{ObsSession, Recorder, Scope};
 
 use crate::latency::LatencyModel;
 
@@ -141,6 +143,12 @@ pub struct Simulation<M: Message> {
     delivered: u64,
     record_trace: bool,
     trace: Vec<TraceRecord>,
+    /// Optional shared observability session.  The kernel drives its virtual
+    /// clock (`set_virtual_nanos` before every delivery) and emits
+    /// transport-scope send/recv events plus an execute span per delivery;
+    /// components holding the same `Rc` record their own events against the
+    /// already-advanced clock.  One predictable branch per event when `None`.
+    obs: Option<Rc<ObsSession>>,
 }
 
 impl<M: Message> Simulation<M> {
@@ -160,7 +168,15 @@ impl<M: Message> Simulation<M> {
             delivered: 0,
             record_trace,
             trace: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches a shared observability session (see the `obs` field docs).
+    /// Call before [`Simulation::run`]; the session should be created with
+    /// `ObsSession::virtual_time()` so events carry simulation timestamps.
+    pub fn set_obs(&mut self, obs: Option<Rc<ObsSession>>) {
+        self.obs = obs;
     }
 
     /// Registers a component, returning its id.
@@ -198,6 +214,18 @@ impl<M: Message> Simulation<M> {
                     label: event.message.label(),
                 });
             }
+            if let Some(obs) = &self.obs {
+                // SimTime is microseconds; the session clock is nanoseconds.
+                obs.set_virtual_nanos(event.time.saturating_mul(1_000));
+                obs.instant(
+                    Scope::Transport,
+                    event.message.label(),
+                    event.src as u64,
+                    event.dst as u64,
+                    1, // direction: recv
+                );
+                obs.begin("sim.execute", event.dst as u64);
+            }
             let mut component = self.components[event.dst]
                 .take()
                 .expect("components never send to themselves re-entrantly");
@@ -208,6 +236,9 @@ impl<M: Message> Simulation<M> {
             };
             component.on_message(event.src, event.message, &mut ctx);
             self.components[event.dst] = Some(component);
+            if let Some(obs) = &self.obs {
+                obs.end("sim.execute", event.dst as u64);
+            }
             for (dst, message, extra) in outbox.drain(..) {
                 // Self-sends are local timers, not network messages: they pay
                 // the requested delay only (no latency draw is consumed, so a
@@ -226,6 +257,15 @@ impl<M: Message> Simulation<M> {
                     deliver_at = deliver_at.max(*last);
                 }
                 self.last_delivery.insert(link, deliver_at);
+                if let Some(obs) = &self.obs {
+                    obs.instant(
+                        Scope::Transport,
+                        message.label(),
+                        event.dst as u64,
+                        dst as u64,
+                        0, // direction: send
+                    );
+                }
                 let seq = self.seq;
                 self.seq += 1;
                 self.queue.push(Scheduled {

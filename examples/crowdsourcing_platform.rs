@@ -5,8 +5,6 @@
 //!
 //! Run with `cargo run --example crowdsourcing_platform`.
 
-use std::time::Instant;
-
 use tcsc::prelude::*;
 
 fn main() {
@@ -35,32 +33,32 @@ fn main() {
     let multi = MultiTaskConfig::new(budget);
 
     // Serial reference.
-    let start = Instant::now();
+    let sw = Stopwatch::start();
     let serial = SolverBuilder::new(budget).with_config(multi).solve_indexed(
         &scenario.tasks,
         &index,
         &scenario.domain,
         &cost_model,
     );
-    let serial_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let serial_ms = sw.elapsed_ms();
 
     // Group-level parallelization.
-    let start = Instant::now();
+    let sw = Stopwatch::start();
     let grouped = SolverBuilder::new(budget)
         .with_config(multi)
         .with_runtime(Runtime::GroupParallel)
         .with_threads(4)
         .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost_model);
-    let grouped_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let grouped_ms = sw.elapsed_ms();
 
     // Task-level parallelization (deterministic: same plan as the serial run).
-    let start = Instant::now();
+    let sw = Stopwatch::start();
     let task_level = SolverBuilder::new(budget)
         .with_config(multi)
         .with_runtime(Runtime::TaskParallel)
         .with_threads(4)
         .solve_indexed(&scenario.tasks, &index, &scenario.domain, &cost_model);
-    let task_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let task_ms = sw.elapsed_ms();
 
     println!();
     println!(

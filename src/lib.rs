@@ -17,7 +17,11 @@
 //! * [`sim`] — the deterministic discrete-event simulation of the
 //!   distributed runtime: dispatcher / region-node components over a
 //!   virtual network, driving the (barrier or optimistic non-blocking)
-//!   task-parallel master.
+//!   task-parallel master;
+//! * [`obs`] — zero-dependency tracing and metrics: the [`obs::Recorder`]
+//!   trait every runtime is generic over (no-op by default), wall/virtual
+//!   clocks, counter/histogram registry, chrome://tracing export and the
+//!   stable logical-stream digest used as an equivalence lock.
 //!
 //! See the `examples/` directory for end-to-end usage and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the mapping to the paper.
@@ -40,6 +44,7 @@
 pub use tcsc_assign as assign;
 pub use tcsc_core as core;
 pub use tcsc_index as index;
+pub use tcsc_obs as obs;
 pub use tcsc_sim as sim;
 pub use tcsc_workload as workload;
 
@@ -68,6 +73,10 @@ pub mod prelude {
     pub use tcsc_index::{
         OrderKVoronoi, ShardGridConfig, ShardedWorkerIndex, SpatialQuery, VTree, VTreeConfig,
         WorkerIndex,
+    };
+    pub use tcsc_obs::{
+        obs_digest, replay_digest, MetricsRegistry, NoopRecorder, ObsReport, ObsSession, Recorder,
+        Stopwatch,
     };
     pub use tcsc_sim::{
         plan_hash, run_cluster, LatencyModel, SimBatch, SimClusterConfig, SimOutcome,
