@@ -552,9 +552,33 @@ impl<'a, R: Recorder> AssignmentEngine<'a, R> {
         self.ledger.clear();
     }
 
+    /// Releases one committed plan's worker occupancies — the retired-task
+    /// GC of a long-running service: once a task's subtasks have finished
+    /// executing, its workers return to the pool and the persistent ledger
+    /// stays proportional to the *live* commitments instead of growing with
+    /// every task ever served.  Returns the number of occupancies released
+    /// (executions whose worker was still held).
+    pub fn release_plan(&mut self, plan: &tcsc_core::AssignmentPlan) -> usize {
+        let released = plan
+            .executions
+            .iter()
+            .filter(|exec| self.ledger.release(exec.slot, exec.worker))
+            .count();
+        if R::IS_ENABLED && released > 0 {
+            self.obs.counter("engine.released", released as u64);
+            self.obs
+                .gauge("engine.ledger_size", self.ledger.len() as u64);
+        }
+        released
+    }
+
     /// Queues task arrivals for the next [`AssignmentEngine::drain`].
     pub fn submit(&mut self, tasks: impl IntoIterator<Item = Task>) {
         self.pending.extend(tasks);
+        if R::IS_ENABLED {
+            self.obs
+                .gauge("engine.queue_depth", self.pending.len() as u64);
+        }
     }
 
     /// Number of submitted-but-not-yet-drained tasks.
@@ -586,6 +610,16 @@ impl<'a, R: Recorder> AssignmentEngine<'a, R> {
             self.cache.evict(task.id);
         }
         self.cache.advance_round();
+        if R::IS_ENABLED {
+            // Post-drain service levels: what is queued, held and cached
+            // *now* — the SLO gauges a live dashboard samples per drain.
+            self.obs
+                .gauge("engine.queue_depth", self.pending.len() as u64);
+            self.obs
+                .gauge("engine.ledger_size", self.ledger.len() as u64);
+            self.obs
+                .gauge("engine.cache_entries", self.cache.len() as u64);
+        }
         outcome
     }
 
@@ -1125,6 +1159,29 @@ mod tests {
         let mut engine = AssignmentEngine::new(index, &cost, MultiTaskConfig::new(25.0));
         let outcome = engine.assign_batch(&tasks, Objective::MinQuality);
         assert!(outcome.assignment.total_cost() <= 25.0 + 1e-6);
+    }
+
+    #[test]
+    fn release_plan_returns_workers_to_the_pool() {
+        let (tasks, index, cost) = small_instance(85, 6, 20, 120);
+        let mut engine = AssignmentEngine::borrowed(&index, &cost, MultiTaskConfig::new(60.0));
+        engine.submit(tasks.clone());
+        let outcome = engine.drain(Objective::SumQuality);
+        assert_eq!(engine.ledger().len(), outcome.executions);
+        // Retire every plan: the ledger must drain back to empty, releasing
+        // exactly the committed executions.
+        let mut released = 0;
+        for plan in &outcome.assignment.plans {
+            released += engine.release_plan(plan);
+        }
+        assert_eq!(released, outcome.executions);
+        assert!(engine.ledger().is_empty());
+        // Releasing an already-retired plan is a no-op.
+        assert_eq!(engine.release_plan(&outcome.assignment.plans[0]), 0);
+        // With the pool restored, the same arrivals get the same plans.
+        engine.submit(tasks);
+        let again = engine.drain(Objective::SumQuality);
+        assert_eq!(again.assignment, outcome.assignment);
     }
 
     #[test]

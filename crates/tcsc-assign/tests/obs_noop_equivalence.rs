@@ -64,6 +64,80 @@ fn serial_engine_is_bit_identical_with_recorder_attached() {
 }
 
 #[test]
+fn streaming_service_mode_is_bit_identical_with_recorder_attached() {
+    // The service loop: submit / drain rounds with retired-plan GC between
+    // them — the fig9svc driver's shape.  The recorded engine must produce
+    // bit-identical plans while its gauges and windows observe the stream.
+    let cost = EuclideanCost::default();
+    let config = ScenarioConfig::small()
+        .with_seed(21)
+        .with_num_workers(80)
+        .with_budget(200.0);
+    let (tasks, dense, _) = prepare(&config);
+    let cfg = MultiTaskConfig::new(config.budget);
+
+    fn run<R: tcsc_obs::Recorder>(
+        engine: &mut AssignmentEngine<'_, R>,
+        tasks: &[Task],
+    ) -> (Vec<tcsc_core::AssignmentPlan>, usize, usize) {
+        let mut plans = Vec::new();
+        let mut conflicts = 0usize;
+        let mut executions = 0usize;
+        let mut retired: Vec<tcsc_core::AssignmentPlan> = Vec::new();
+        for (r, round) in tasks.chunks(4).enumerate() {
+            engine.submit(round.to_vec());
+            let outcome = engine.drain(Objective::SumQuality);
+            conflicts += outcome.conflicts;
+            executions += outcome.executions;
+            // Retire every second round's plans one round later — the
+            // service GC cadence, interleaved with live commitments.
+            if r % 2 == 0 {
+                retired.extend(outcome.assignment.plans.iter().cloned());
+            }
+            if r % 2 == 1 {
+                for plan in retired.drain(..) {
+                    engine.release_plan(&plan);
+                }
+            }
+            plans.extend(outcome.assignment.plans);
+        }
+        (plans, conflicts, executions)
+    }
+
+    let mut plain = AssignmentEngine::borrowed(&dense, &cost, cfg);
+    let reference = run(&mut plain, &tasks);
+
+    let session = ObsSession::wall();
+    session.install_window("engine.batch_ns", u64::MAX / 8, 4);
+    let mut observed = AssignmentEngine::borrowed(&dense, &cost, cfg).with_recorder(&session);
+    let outcome = run(&mut observed, &tasks);
+
+    assert_eq!(reference.0, outcome.0, "plans must be bit-identical");
+    assert_eq!(reference.1, outcome.1);
+    assert_eq!(reference.2, outcome.2);
+    assert_eq!(plain.ledger().len(), observed.ledger().len());
+
+    // The recorder actually observed the service: gauges sampled per drain,
+    // the installed window fed by the batch-latency values, releases
+    // counted.
+    let metrics = session.metrics();
+    let depth = metrics.gauge("engine.queue_depth").unwrap();
+    assert!(depth.samples > 0);
+    assert!(metrics.gauge("engine.ledger_size").is_some());
+    assert!(metrics.gauge("engine.cache_entries").is_some());
+    assert!(metrics.counter_value("engine.released") > 0);
+    let window = metrics.window("engine.batch_ns").unwrap();
+    assert_eq!(window.lifetime_count(), tasks.chunks(4).count() as u64);
+    assert!(
+        session
+            .merged_events()
+            .iter()
+            .any(|e| e.phase == tcsc_obs::Phase::Counter),
+        "gauges must emit chrome counter events"
+    );
+}
+
+#[test]
 fn concurrent_engine_is_bit_identical_with_recorder_attached() {
     let cost = EuclideanCost::default();
     for config in presets() {

@@ -35,6 +35,15 @@
 //! across cluster layouts, when the exported trace fails to replay to the
 //! same digest, or when a live recorder costs more than noise over the
 //! statically-dispatched no-op baseline.
+//! Running `fig9svc` writes `BENCH_svc.json` (per-phase windowed latency
+//! SLOs of the streaming service driver), `TRACE_fig9svc.jsonl` (the engine
+//! wall-clock spans and gauge tracks), `PROFILE_fig9svc.txt` (collapsed
+//! stacks, pipe into flamegraph.pl) and `SVC_SUMMARY.txt`, and **exits
+//! non-zero** when any phase's p99 is missing, when any phase's committed
+//! throughput is zero, when the obs-on plan hash diverges from the
+//! unobserved pass, when the retired-task GC fails to bound the occupancy
+//! ledger, or when the span-tree profile's self-time disagrees with the
+//! measured drain wall clock by more than 5%.
 
 use tcsc_bench::figures;
 use tcsc_bench::Scale;
@@ -140,6 +149,52 @@ fn run_figure(id: &str, scale: Scale) -> bool {
             "a live recorder must stay within noise of the no-op baseline \
              ({:.2}ms recorded vs {:.2}ms noop)",
             measurements.recorded_ms, measurements.noop_ms
+        );
+        return true;
+    }
+    if id == "fig9svc" {
+        let measurements = figures::fig9svc_measurements(scale);
+        println!("{}", measurements.to_experiment().render());
+        for (path, contents) in [
+            ("BENCH_svc.json", measurements.to_json()),
+            ("TRACE_fig9svc.jsonl", measurements.trace_jsonl.clone()),
+            ("PROFILE_fig9svc.txt", measurements.collapsed.clone()),
+            ("SVC_SUMMARY.txt", measurements.summary.clone()),
+        ] {
+            match std::fs::write(path, contents) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+        assert!(
+            measurements.p99_finite,
+            "every service phase must commit tasks and report a finite, positive p99 latency"
+        );
+        assert!(
+            measurements.throughput_positive,
+            "every service phase must sustain positive committed throughput"
+        );
+        assert!(
+            measurements.plan_hash_match,
+            "the observed service pass must decide bit-identical plans to the unobserved pass \
+             (obs {:#018x} vs noop {:#018x})",
+            measurements.obs_plan_hash, measurements.noop_plan_hash
+        );
+        assert!(
+            measurements.ledger_bounded,
+            "the retired-task GC must bound the occupancy ledger (peak {} of {} workers, \
+             released {} of {} executions, final {})",
+            measurements.peak_ledger,
+            measurements.workers,
+            measurements.released,
+            measurements.executions,
+            measurements.final_ledger
+        );
+        assert!(
+            measurements.profile_within_bound,
+            "the span-tree profile's self-time must reconcile with the measured drain wall \
+             clock within 5% ({:.2}ms profiled vs {:.2}ms measured)",
+            measurements.profile_self_ms, measurements.drain_wall_ms
         );
         return true;
     }

@@ -2346,6 +2346,543 @@ pub fn fig9obs(scale: Scale) -> Experiment {
 }
 
 // ---------------------------------------------------------------------------
+// Figure 9svc (repo extension): service-mode SLOs — the streaming engine fed
+// by a heavy-tailed arrival process with rush-hour bursts, windowed latency
+// percentiles per phase, span-tree profile and retired-task GC
+// ---------------------------------------------------------------------------
+
+/// Slots per service task (kept small: the service figure measures latency
+/// under load, not assignment quality).
+const SVC_NUM_SLOTS: usize = 2;
+/// The service drains its queue every `DRAIN` microseconds of virtual time.
+const SVC_DRAIN_EVERY_US: u64 = 5_000;
+/// A committed plan occupies its workers for this long before the
+/// retired-task GC releases them back to the pool.
+const SVC_SERVICE_US: u64 = 20_000;
+/// Per-phase submit→commit latency windows installed on the virtual-clock
+/// session (indexed by phase position in the rush-hour schedule).
+const SVC_WINDOWS: [&str; 3] = [
+    "svc.latency_us.calm",
+    "svc.latency_us.rush",
+    "svc.latency_us.recovery",
+];
+/// Window slice width (virtual nanoseconds): two drain ticks per slice.
+const SVC_WINDOW_SLICE_NANOS: u64 = 2 * SVC_DRAIN_EVERY_US * 1_000;
+/// Slices per window: the windowed SLO spans the last 16 drain ticks.
+const SVC_WINDOW_SLICES: usize = 8;
+
+/// One phase of the fig9svc SLO table: submit→commit latency (virtual
+/// microseconds) for tasks that *arrived* during the phase, plus committed
+/// throughput per virtual second of phase time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9svcPhaseRow {
+    /// Phase label (`calm` / `rush` / `recovery`).
+    pub label: &'static str,
+    /// Tasks that arrived while the phase was active (all cycles).
+    pub arrivals: u64,
+    /// Tasks committed whose arrival fell in the phase.
+    pub commits: u64,
+    /// Median submit→commit latency, virtual µs.
+    pub p50_us: u64,
+    /// 99th-percentile submit→commit latency, virtual µs.
+    pub p99_us: u64,
+    /// Worst submit→commit latency, virtual µs.
+    pub max_us: u64,
+    /// p99 of the *sliding window* at stream end (the recent-SLO view; 0
+    /// when the window has fully rotated past the phase's last samples).
+    pub window_p99_us: u64,
+    /// Commits per virtual second of phase time.
+    pub throughput_per_s: f64,
+}
+
+/// The raw measurements behind [`fig9svc`]: a long task stream served by the
+/// batched engine under a rush-hour arrival schedule, with per-phase latency
+/// SLOs, the obs-on/obs-off plan-hash identity, the retired-task-GC memory
+/// bound and the span-tree profile reconciliation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9svcMeasurements {
+    /// Scale label (`"quick"` / `"full"`).
+    pub scale: &'static str,
+    /// Tasks streamed through the service (per pass).
+    pub tasks_streamed: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Per-drain submission capacity (the modelled server drain rate).
+    pub capacity: usize,
+    /// Total committed executions (slot grants) in the observed pass.
+    pub executions: u64,
+    /// Drain rounds executed.
+    pub drains: u64,
+    /// Virtual time at stream end, µs.
+    pub virtual_end_us: u64,
+    /// The per-phase SLO rows.
+    pub phases: Vec<Fig9svcPhaseRow>,
+    /// Gate: every phase committed tasks and reports a finite, positive p99.
+    pub p99_finite: bool,
+    /// Gate: every phase sustained positive committed throughput.
+    pub throughput_positive: bool,
+    /// Folded per-drain plan hash of the unobserved (NoopRecorder) pass.
+    pub noop_plan_hash: u64,
+    /// Folded per-drain plan hash of the recorded pass.
+    pub obs_plan_hash: u64,
+    /// Gate: the two passes decided bit-identical plans.
+    pub plan_hash_match: bool,
+    /// Peak engine queue depth sampled by the `engine.queue_depth` gauge.
+    pub peak_queue_depth: u64,
+    /// Peak driver-side backlog (arrivals waiting for drain capacity).
+    pub peak_backlog: u64,
+    /// Peak occupancy-ledger size across the stream.
+    pub peak_ledger: u64,
+    /// Occupancies returned to the pool by the retired-task GC.
+    pub released: u64,
+    /// Ledger size after the final GC flush (must be 0).
+    pub final_ledger: usize,
+    /// Gate: the ledger stayed proportional to live commitments (peak below
+    /// the worker pool and the lifetime execution count, empty at the end,
+    /// every execution released).
+    pub ledger_bounded: bool,
+    /// Wall-clock milliseconds measured around every `drain` call.
+    pub drain_wall_ms: f64,
+    /// Span-tree profile self-time total over the same drains, ms.
+    pub profile_self_ms: f64,
+    /// Gate: profile self-time reconciles with the measured drain wall
+    /// clock within 5%.
+    pub profile_within_bound: bool,
+    /// Collapsed-stack (flamegraph.pl) rendering of the span-tree profile.
+    pub collapsed: String,
+    /// chrome://tracing dump of the engine's wall-clock session.
+    pub trace_jsonl: String,
+    /// Plain-text summary (phase table + gates + metrics registries).
+    pub summary: String,
+}
+
+impl Fig9svcMeasurements {
+    /// Renders the measurements as an [`Experiment`] table.
+    pub fn to_experiment(&self) -> Experiment {
+        let mut rows = vec![
+            Row::new(
+                "locks",
+                vec![
+                    (
+                        "PlanHashMatch".into(),
+                        f64::from(u8::from(self.plan_hash_match)),
+                    ),
+                    (
+                        "LedgerBounded".into(),
+                        f64::from(u8::from(self.ledger_bounded)),
+                    ),
+                    (
+                        "ProfileWithin5".into(),
+                        f64::from(u8::from(self.profile_within_bound)),
+                    ),
+                    ("P99Finite".into(), f64::from(u8::from(self.p99_finite))),
+                    (
+                        "ThroughputPos".into(),
+                        f64::from(u8::from(self.throughput_positive)),
+                    ),
+                ],
+            ),
+            Row::new(
+                "service",
+                vec![
+                    ("Tasks".into(), self.tasks_streamed as f64),
+                    ("Drains".into(), self.drains as f64),
+                    ("Execs".into(), self.executions as f64),
+                    ("PeakLedger".into(), self.peak_ledger as f64),
+                    ("PeakBacklog".into(), self.peak_backlog as f64),
+                ],
+            ),
+            Row::new(
+                "profile",
+                vec![
+                    ("DrainMs".into(), self.drain_wall_ms),
+                    ("SelfMs".into(), self.profile_self_ms),
+                ],
+            ),
+        ];
+        for phase in &self.phases {
+            rows.push(Row::new(
+                phase.label,
+                vec![
+                    ("Arrivals".into(), phase.arrivals as f64),
+                    ("P50us".into(), phase.p50_us as f64),
+                    ("P99us".into(), phase.p99_us as f64),
+                    ("WinP99us".into(), phase.window_p99_us as f64),
+                    ("PerSec".into(), phase.throughput_per_s),
+                ],
+            ));
+        }
+        Experiment {
+            id: "fig9svc",
+            caption: "Service-mode SLOs: streaming engine under rush-hour bursts — \
+                      windowed latency percentiles per phase, retired-task GC, \
+                      span profile vs measured drain time",
+            rows,
+        }
+    }
+
+    /// Serialises the measurements as the `BENCH_svc.json` artifact
+    /// (hand-rolled JSON; no serde in the hermetic build).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"figure\": \"fig9svc\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!(
+            "  \"tasks_streamed\": {},\n  \"workers\": {},\n  \"capacity\": {},\n",
+            self.tasks_streamed, self.workers, self.capacity
+        ));
+        out.push_str(&format!(
+            "  \"executions\": {},\n  \"drains\": {},\n  \"virtual_end_us\": {},\n",
+            self.executions, self.drains, self.virtual_end_us
+        ));
+        out.push_str(&format!(
+            "  \"noop_plan_hash\": \"{:#018x}\",\n  \"obs_plan_hash\": \"{:#018x}\",\n",
+            self.noop_plan_hash, self.obs_plan_hash
+        ));
+        out.push_str(&format!(
+            "  \"plan_hash_match\": {},\n  \"p99_finite\": {},\n  \
+             \"throughput_positive\": {},\n  \"ledger_bounded\": {},\n  \
+             \"profile_within_bound\": {},\n",
+            self.plan_hash_match,
+            self.p99_finite,
+            self.throughput_positive,
+            self.ledger_bounded,
+            self.profile_within_bound
+        ));
+        out.push_str(&format!(
+            "  \"peak_queue_depth\": {},\n  \"peak_backlog\": {},\n  \
+             \"peak_ledger\": {},\n  \"released\": {},\n  \"final_ledger\": {},\n",
+            self.peak_queue_depth,
+            self.peak_backlog,
+            self.peak_ledger,
+            self.released,
+            self.final_ledger
+        ));
+        out.push_str(&format!(
+            "  \"drain_wall_ms\": {:.4},\n  \"profile_self_ms\": {:.4},\n",
+            self.drain_wall_ms, self.profile_self_ms
+        ));
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"label\": \"{}\", \"arrivals\": {}, \"commits\": {}, \
+                 \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
+                 \"window_p99_us\": {}, \"throughput_per_s\": {:.4} }}{}\n",
+                p.label,
+                p.arrivals,
+                p.commits,
+                p.p50_us,
+                p.p99_us,
+                p.max_us,
+                p.window_p99_us,
+                p.throughput_per_s,
+                if i + 1 < self.phases.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The outcome of one service pass (shared by the obs-off and obs-on runs).
+struct SvcRun {
+    plan_hash: u64,
+    commits: u64,
+    executions: u64,
+    drains: u64,
+    drain_wall_ms: f64,
+    peak_backlog: usize,
+    peak_ledger: usize,
+    released: u64,
+    final_ledger: usize,
+    virtual_end_us: u64,
+    phase_arrivals: Vec<u64>,
+    phase_commits: Vec<u64>,
+    phase_time_us: Vec<u64>,
+    phase_hist: Vec<tcsc_obs::Histogram>,
+}
+
+/// Folds one drain's plan hash into the running stream hash (order matters:
+/// the same plans in a different drain order must produce a different fold).
+fn fold_plan_hash(acc: u64, h: u64) -> u64 {
+    (acc.rotate_left(7) ^ h).wrapping_mul(0x0100_0000_01b3)
+}
+
+/// Drives one full service pass: a virtual clock ticking every
+/// [`SVC_DRAIN_EVERY_US`], arrivals pulled from the heavy-tailed sampler
+/// into a driver-side backlog, at most `capacity` tasks submitted per tick
+/// (the modelled drain rate — rush-hour arrivals outpace it, so the backlog
+/// and the latency tail grow), and committed plans retired back to the pool
+/// [`SVC_SERVICE_US`] later.  Submit→commit latency is the virtual time from
+/// arrival to the end of the drain that served the task; when a virtual
+/// session is supplied, every latency feeds its phase's sliding window and
+/// the backlog depth is emitted as a counter track.
+fn fig9svc_service_run<R: tcsc_obs::Recorder>(
+    engine: &mut AssignmentEngine<'_, R>,
+    arrivals: &tcsc_workload::HeavyTailedArrivals,
+    total_tasks: usize,
+    capacity: usize,
+    latency: Option<&tcsc_obs::ObsSession>,
+) -> SvcRun {
+    use std::collections::VecDeque;
+
+    use tcsc_obs::Recorder as _;
+
+    let nphases = arrivals.schedule.phases().len();
+    let mut run = SvcRun {
+        plan_hash: 0xcbf2_9ce4_8422_2325,
+        commits: 0,
+        executions: 0,
+        drains: 0,
+        drain_wall_ms: 0.0,
+        peak_backlog: 0,
+        peak_ledger: 0,
+        released: 0,
+        final_ledger: 0,
+        virtual_end_us: 0,
+        phase_arrivals: vec![0; nphases],
+        phase_commits: vec![0; nphases],
+        phase_time_us: vec![0; nphases],
+        phase_hist: vec![tcsc_obs::Histogram::default(); nphases],
+    };
+    let mut sampler = arrivals.sampler();
+    let mut next = sampler.next_arrival();
+    let mut backlog: VecDeque<(u64, usize, tcsc_core::Task)> = VecDeque::new();
+    let mut retire: VecDeque<(u64, tcsc_core::AssignmentPlan)> = VecDeque::new();
+    let mut streamed = 0usize;
+    let mut tick_us = 0u64;
+
+    while streamed < total_tasks || !backlog.is_empty() || !retire.is_empty() {
+        tick_us += SVC_DRAIN_EVERY_US;
+
+        // Arrivals up to the tick join the backlog (O(1) memory upstream:
+        // the sampler is an infinite iterator, nothing is materialised).
+        while streamed < total_tasks && next.at_us < tick_us {
+            let arrival = std::mem::replace(&mut next, sampler.next_arrival());
+            let phase = arrival.round % nphases;
+            run.phase_arrivals[phase] += 1;
+            backlog.push_back((arrival.at_us, phase, arrival.task));
+            streamed += 1;
+        }
+        run.peak_backlog = run.peak_backlog.max(backlog.len());
+
+        // Retired-task GC: plans whose service window elapsed release their
+        // workers, keeping the ledger proportional to live commitments.
+        while retire.front().is_some_and(|(at, _)| *at <= tick_us) {
+            let (_, plan) = retire.pop_front().expect("front checked");
+            run.released += engine.release_plan(&plan) as u64;
+        }
+
+        // Serve up to `capacity` backlog tasks this tick.
+        let take = backlog.len().min(capacity);
+        if take > 0 {
+            let mut meta = Vec::with_capacity(take);
+            let mut batch = Vec::with_capacity(take);
+            for _ in 0..take {
+                let (at, phase, task) = backlog.pop_front().expect("take <= len");
+                meta.push((at, phase));
+                batch.push(task);
+            }
+            engine.submit(batch);
+            let (outcome, ms) = timed(|| engine.drain(Objective::SumQuality));
+            run.drain_wall_ms += ms;
+            run.drains += 1;
+            run.commits += take as u64;
+            run.executions += outcome.executions as u64;
+            run.plan_hash = fold_plan_hash(run.plan_hash, tcsc_sim::plan_hash(&outcome.assignment));
+            if let Some(session) = latency {
+                session.set_virtual_nanos(tick_us.saturating_mul(1_000));
+                session.gauge("svc.backlog", backlog.len() as u64);
+            }
+            for (at, phase) in meta {
+                let lat_us = tick_us - at;
+                run.phase_hist[phase].record(lat_us);
+                run.phase_commits[phase] += 1;
+                if let Some(session) = latency {
+                    session.value(SVC_WINDOWS[phase.min(SVC_WINDOWS.len() - 1)], lat_us);
+                }
+            }
+            for plan in outcome.assignment.plans {
+                if !plan.executions.is_empty() {
+                    retire.push_back((tick_us + SVC_SERVICE_US, plan));
+                }
+            }
+        }
+
+        let (segment, _) = arrivals.schedule.segment_at(tick_us - SVC_DRAIN_EVERY_US);
+        run.phase_time_us[segment % nphases] += SVC_DRAIN_EVERY_US;
+        run.peak_ledger = run.peak_ledger.max(engine.ledger().len());
+    }
+    run.final_ledger = engine.ledger().len();
+    run.virtual_end_us = tick_us;
+    run
+}
+
+/// Measures fig9svc: streams the heavy-tailed rush-hour workload through the
+/// batched engine twice — once unobserved (NoopRecorder), once with a
+/// wall-clock session on the engine plus a virtual-clock session holding the
+/// per-phase latency windows — then reconciles the span-tree profile against
+/// the measured drain wall clock and checks every service gate.
+pub fn fig9svc_measurements(scale: Scale) -> Fig9svcMeasurements {
+    use tcsc_obs::{profile_spans, ObsSession};
+    use tcsc_workload::{BoundedPareto, HeavyTailedArrivals, PhaseSchedule};
+
+    let (label, total_tasks, workers) = match scale {
+        Scale::Quick => ("quick", 30_000usize, 800usize),
+        Scale::Full => ("full", 1_000_000, 2_000),
+    };
+
+    let cfg = ScenarioConfig::small()
+        .with_num_slots(SVC_NUM_SLOTS)
+        .with_num_workers(workers);
+    let scenario = cfg.build();
+    let index = WorkerIndex::build(&scenario.workers, SVC_NUM_SLOTS, &scenario.domain);
+    let cost = EuclideanCost::default();
+
+    // Bounded-Pareto inter-arrivals (mean ≈ 57 µs) under the canonical
+    // calm → rush(×4) → recovery schedule.  The per-tick capacity sits
+    // between the calm and rush arrival rates, so the backlog — and the
+    // latency tail — grows during every rush and drains during recovery.
+    let inter = BoundedPareto::new(1.5, 20.0, 10_000.0);
+    let arrivals = HeavyTailedArrivals {
+        seed: 4242,
+        inter_arrival_us: inter,
+        schedule: PhaseSchedule::rush_hour(200_000, 50_000, 4.0),
+        num_slots: SVC_NUM_SLOTS,
+        distribution: SpatialDistribution::Uniform,
+        domain: scenario.domain,
+    };
+    let capacity = ((SVC_DRAIN_EVERY_US as f64 / inter.mean()) * 1.7).ceil() as usize;
+    let mcfg = MultiTaskConfig::new(capacity as f64 * 2.0);
+
+    // Pass 1: unobserved — the NoopRecorder default compiles every hook away.
+    let mut plain = AssignmentEngine::borrowed(&index, &cost, mcfg);
+    let off = fig9svc_service_run(&mut plain, &arrivals, total_tasks, capacity, None);
+
+    // Pass 2: observed — wall-clock session on the engine (spans, gauges),
+    // virtual-clock session owning the per-phase latency windows.
+    let wall = ObsSession::wall();
+    let virt = ObsSession::virtual_time();
+    for name in SVC_WINDOWS {
+        virt.install_window(name, SVC_WINDOW_SLICE_NANOS, SVC_WINDOW_SLICES);
+    }
+    let mut engine = AssignmentEngine::borrowed(&index, &cost, mcfg).with_recorder(&wall);
+    let on = fig9svc_service_run(&mut engine, &arrivals, total_tasks, capacity, Some(&virt));
+
+    let plan_hash_match = off.plan_hash == on.plan_hash;
+
+    // Span-tree profile over the engine's wall session: every root span is
+    // an `engine.drain`, so total self-time telescopes to the summed drain
+    // time and must reconcile with the stopwatch around the same calls.
+    let events = wall.merged_events();
+    let profile = profile_spans(&events);
+    let profile_self_ms = profile.total_self_nanos() as f64 / 1e6;
+    let drain_wall_ms = on.drain_wall_ms;
+    let profile_within_bound = (profile_self_ms - drain_wall_ms).abs() <= drain_wall_ms * 0.05;
+
+    let virt_metrics = virt.metrics();
+    let phases = arrivals.schedule.phases();
+    let mut phase_rows = Vec::new();
+    for (i, phase) in phases.iter().enumerate() {
+        let hist = &on.phase_hist[i];
+        let window_p99 = virt_metrics
+            .window(SVC_WINDOWS[i])
+            .map_or(0, |w| w.windowed().quantile(0.99));
+        phase_rows.push(Fig9svcPhaseRow {
+            label: phase.label,
+            arrivals: on.phase_arrivals[i],
+            commits: on.phase_commits[i],
+            p50_us: hist.quantile(0.50),
+            p99_us: hist.quantile(0.99),
+            max_us: hist.max(),
+            window_p99_us: window_p99,
+            throughput_per_s: on.phase_commits[i] as f64 * 1e6 / on.phase_time_us[i].max(1) as f64,
+        });
+    }
+    let p99_finite = phase_rows
+        .iter()
+        .all(|r| r.commits > 0 && (r.p99_us as f64).is_finite() && r.p99_us > 0);
+    let throughput_positive = phase_rows.iter().all(|r| r.throughput_per_s > 0.0);
+    let ledger_bounded = on.final_ledger == 0
+        && on.released == on.executions
+        && on.peak_ledger <= workers
+        && (on.peak_ledger as u64) < on.executions;
+
+    let peak_queue_depth = wall.metrics().gauge_peak("engine.queue_depth");
+    let collapsed = profile.collapsed_stacks();
+    let trace_jsonl = wall.chrome_trace();
+    let mut summary = format!(
+        "fig9svc ({label}): {} tasks over {} drains, {:.1} virtual s, \
+         plan hash {:#018x} (obs-off match: {plan_hash_match})\n\
+         drain wall {:.2} ms vs profile self {:.2} ms (within 5%: \
+         {profile_within_bound}); peak ledger {} of {} workers, released {} \
+         of {} executions (bounded: {ledger_bounded})\n\nphases:\n",
+        on.commits,
+        on.drains,
+        on.virtual_end_us as f64 / 1e6,
+        on.plan_hash,
+        drain_wall_ms,
+        profile_self_ms,
+        on.peak_ledger,
+        workers,
+        on.released,
+        on.executions,
+    );
+    for row in &phase_rows {
+        summary.push_str(&format!(
+            "  {:<9} arrivals={:<8} p50={:<7} p99={:<7} max={:<8} winP99={:<7} \
+             {:.0}/s\n",
+            row.label,
+            row.arrivals,
+            row.p50_us,
+            row.p99_us,
+            row.max_us,
+            row.window_p99_us,
+            row.throughput_per_s,
+        ));
+    }
+    summary.push_str("\nspan-tree profile:\n");
+    summary.push_str(&profile.render());
+    summary.push_str("\nvirtual-session registry (latency windows):\n");
+    summary.push_str(&virt_metrics.render());
+
+    Fig9svcMeasurements {
+        scale: label,
+        tasks_streamed: total_tasks,
+        workers,
+        capacity,
+        executions: on.executions,
+        drains: on.drains,
+        virtual_end_us: on.virtual_end_us,
+        phases: phase_rows,
+        p99_finite,
+        throughput_positive,
+        noop_plan_hash: off.plan_hash,
+        obs_plan_hash: on.plan_hash,
+        plan_hash_match,
+        peak_queue_depth,
+        peak_backlog: on.peak_backlog as u64,
+        peak_ledger: on.peak_ledger as u64,
+        released: on.released,
+        final_ledger: on.final_ledger,
+        ledger_bounded,
+        drain_wall_ms,
+        profile_self_ms,
+        profile_within_bound,
+        collapsed,
+        trace_jsonl,
+        summary,
+    }
+}
+
+/// Fig. 9svc (repo extension): service-mode SLO observability — the
+/// streaming engine under heavy-tailed rush-hour arrivals with windowed
+/// latency percentiles, retired-task GC and the span-tree profile.
+pub fn fig9svc(scale: Scale) -> Experiment {
+    fig9svc_measurements(scale).to_experiment()
+}
+
+// ---------------------------------------------------------------------------
 // Figure 11: spatiotemporal interpolation (appendix)
 // ---------------------------------------------------------------------------
 
@@ -2514,8 +3051,8 @@ pub fn fig11c(scale: Scale) -> Experiment {
 pub const ALL_IDS: &[&str] = &[
     "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c", "fig8d",
     "fig8e", "fig8f", "fig8g", "fig8h", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
-    "fig9g", "fig9h", "fig9i", "fig9s", "fig9p", "fig9celf", "fig9dist", "fig9obs", "fig11a",
-    "fig11b", "fig11c",
+    "fig9g", "fig9h", "fig9i", "fig9s", "fig9p", "fig9celf", "fig9dist", "fig9obs", "fig9svc",
+    "fig11a", "fig11b", "fig11c",
 ];
 
 /// Every experiment, in figure order (derived from [`ALL_IDS`] so the id
@@ -2555,6 +3092,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "fig9celf" => fig9celf(scale),
         "fig9dist" => fig9dist(scale),
         "fig9obs" => fig9obs(scale),
+        "fig9svc" => fig9svc(scale),
         "fig11a" => fig11a(scale),
         "fig11b" => fig11b(scale),
         "fig11c" => fig11c(scale),
@@ -2605,12 +3143,13 @@ mod tests {
         // check against the match arms is exercised by the binary smoke.)
         let unique: std::collections::HashSet<_> = ALL_IDS.iter().collect();
         assert_eq!(unique.len(), ALL_IDS.len());
-        assert_eq!(ALL_IDS.len(), 31);
+        assert_eq!(ALL_IDS.len(), 32);
         assert!(ALL_IDS.contains(&"fig9s"));
         assert!(ALL_IDS.contains(&"fig9p"));
         assert!(ALL_IDS.contains(&"fig9celf"));
         assert!(ALL_IDS.contains(&"fig9dist"));
         assert!(ALL_IDS.contains(&"fig9obs"));
+        assert!(ALL_IDS.contains(&"fig9svc"));
         assert!(by_id("nonexistent", Scale::Quick).is_none());
     }
 
@@ -2774,6 +3313,117 @@ mod tests {
         let exp = m.to_experiment();
         assert_eq!(exp.id, "fig9obs");
         assert!(exp.rows.len() >= 3);
+    }
+
+    #[test]
+    fn fig9svc_json_is_well_formed() {
+        let phase = |label: &'static str, p99: u64| Fig9svcPhaseRow {
+            label,
+            arrivals: 1000,
+            commits: 1000,
+            p50_us: 2500,
+            p99_us: p99,
+            max_us: p99 * 2,
+            window_p99_us: p99,
+            throughput_per_s: 17_000.0,
+        };
+        let m = Fig9svcMeasurements {
+            scale: "quick",
+            tasks_streamed: 3000,
+            workers: 800,
+            capacity: 148,
+            executions: 5600,
+            drains: 40,
+            virtual_end_us: 400_000,
+            phases: vec![phase("calm", 8191), phase("rush", 65_535)],
+            p99_finite: true,
+            throughput_positive: true,
+            noop_plan_hash: 0xabcd,
+            obs_plan_hash: 0xabcd,
+            plan_hash_match: true,
+            peak_queue_depth: 148,
+            peak_backlog: 2048,
+            peak_ledger: 700,
+            released: 5600,
+            final_ledger: 0,
+            ledger_bounded: true,
+            drain_wall_ms: 120.0,
+            profile_self_ms: 118.5,
+            profile_within_bound: true,
+            collapsed: "engine.drain 100\n".into(),
+            trace_jsonl: "[\n]\n".into(),
+            summary: "fig9svc".into(),
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"figure\": \"fig9svc\""));
+        assert!(json.contains("\"plan_hash_match\": true"));
+        assert!(json.contains("\"ledger_bounded\": true"));
+        assert!(json.contains("\"profile_within_bound\": true"));
+        assert!(json.contains("\"p99_finite\": true"));
+        assert!(json.contains("\"throughput_positive\": true"));
+        assert!(json.contains("\"label\": \"rush\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let exp = m.to_experiment();
+        assert_eq!(exp.id, "fig9svc");
+        assert_eq!(exp.rows.len(), 3 + 2);
+    }
+
+    #[test]
+    fn fig9svc_service_run_is_deterministic_and_gc_empties_the_ledger() {
+        // A miniature stream (short phases, ~1.2k tasks) through the real
+        // service loop: two unobserved passes must fold the identical plan
+        // hash, the retired-task GC must release every execution, and the
+        // rush phase must see a worse latency tail than calm.
+        use tcsc_workload::{BoundedPareto, HeavyTailedArrivals, PhaseSchedule};
+        let cfg = ScenarioConfig::small()
+            .with_num_slots(SVC_NUM_SLOTS)
+            .with_num_workers(300);
+        let scenario = cfg.build();
+        let index = WorkerIndex::build(&scenario.workers, SVC_NUM_SLOTS, &scenario.domain);
+        let cost = EuclideanCost::default();
+        let inter = BoundedPareto::new(1.5, 20.0, 10_000.0);
+        let arrivals = HeavyTailedArrivals {
+            seed: 7,
+            inter_arrival_us: inter,
+            schedule: PhaseSchedule::rush_hour(40_000, 15_000, 4.0),
+            num_slots: SVC_NUM_SLOTS,
+            distribution: SpatialDistribution::Uniform,
+            domain: scenario.domain,
+        };
+        let capacity = ((SVC_DRAIN_EVERY_US as f64 / inter.mean()) * 1.7).ceil() as usize;
+        let mcfg = MultiTaskConfig::new(capacity as f64 * 2.0);
+
+        let mut a = AssignmentEngine::borrowed(&index, &cost, mcfg);
+        let run_a = fig9svc_service_run(&mut a, &arrivals, 1200, capacity, None);
+        let mut b = AssignmentEngine::borrowed(&index, &cost, mcfg);
+        let run_b = fig9svc_service_run(&mut b, &arrivals, 1200, capacity, None);
+
+        assert_eq!(
+            run_a.plan_hash, run_b.plan_hash,
+            "the service loop is seeded"
+        );
+        assert_eq!(run_a.commits, 1200);
+        assert_eq!(run_a.commits, run_b.commits);
+        assert_eq!(run_a.executions, run_b.executions);
+        assert!(run_a.executions > 0);
+        assert_eq!(
+            run_a.released, run_a.executions,
+            "the GC must return every committed occupancy"
+        );
+        assert_eq!(run_a.final_ledger, 0, "the ledger drains to empty");
+        assert!(run_a.peak_ledger > 0);
+        assert!(
+            (run_a.peak_ledger as u64) < run_a.executions,
+            "GC keeps the peak ledger below the lifetime execution count"
+        );
+        // The rush backlog stretches the tail: rush-arrived tasks wait
+        // longer than calm-arrived ones at the 99th percentile.
+        let calm_p99 = run_a.phase_hist[0].quantile(0.99);
+        let rush_p99 = run_a.phase_hist[1].quantile(0.99);
+        assert!(
+            rush_p99 > calm_p99,
+            "rush p99 ({rush_p99}us) must exceed calm p99 ({calm_p99}us)"
+        );
     }
 
     #[test]

@@ -63,24 +63,42 @@ fn escape(label: &str) -> String {
 /// one event object per line, wrapped in `[` ... `]` so the file loads
 /// directly in `chrome://tracing` / Perfetto.  `ts` is microseconds (the
 /// tool's native unit); sub-microsecond precision is kept as a fraction.
+///
+/// [`Phase::Counter`] samples (gauges, rates) use the tool's counter-event
+/// convention: the sampled value is the sole `args` series (`"value"`), so
+/// chrome://tracing plots the event name as a counter track.  The value is
+/// written as an exact integer — the same no-`f64`-round-trip discipline the
+/// payload words follow.
 pub fn chrome_trace_jsonl(events: &[TraceEvent]) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 2);
     out.push_str("[\n");
     for (i, e) in events.iter().enumerate() {
         let ts = e.time as f64 / 1000.0;
-        out.push_str(&format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{ts:.3},\"pid\":0,\
-             \"tid\":{},\"args\":{{\"seq\":{},\"a\":{},\"b\":{},\"c\":{}}}}}{}\n",
-            escape(e.label),
-            e.scope.name(),
-            e.phase.letter(),
-            e.tid,
-            e.seq,
-            e.a,
-            e.b,
-            e.c,
-            if i + 1 == events.len() { "" } else { "," }
-        ));
+        let comma = if i + 1 == events.len() { "" } else { "," };
+        if e.phase == Phase::Counter {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{ts:.3},\"pid\":0,\
+                 \"tid\":{},\"args\":{{\"seq\":{},\"value\":{}}}}}{comma}\n",
+                escape(e.label),
+                e.scope.name(),
+                e.tid,
+                e.seq,
+                e.a,
+            ));
+        } else {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{ts:.3},\"pid\":0,\
+                 \"tid\":{},\"args\":{{\"seq\":{},\"a\":{},\"b\":{},\"c\":{}}}}}{comma}\n",
+                escape(e.label),
+                e.scope.name(),
+                e.phase.letter(),
+                e.tid,
+                e.seq,
+                e.a,
+                e.b,
+                e.c,
+            ));
+        }
     }
     out.push_str("]\n");
     out
@@ -166,6 +184,17 @@ pub fn parse_chrome_trace_jsonl(dump: &str) -> Vec<ReplayedEvent> {
             continue;
         };
         let ts = num_field(line, "ts").unwrap_or(0.0);
+        // Counter events carry their sample in the "value" series; all other
+        // phases use the three payload words.
+        let (a, b, c) = if phase == Phase::Counter {
+            (int_field(line, "value").unwrap_or(0), 0, 0)
+        } else {
+            (
+                int_field(line, "a").unwrap_or(0),
+                int_field(line, "b").unwrap_or(0),
+                int_field(line, "c").unwrap_or(0),
+            )
+        };
         events.push(ReplayedEvent {
             time: (ts * 1000.0).round() as u64,
             seq: int_field(line, "seq").unwrap_or(0),
@@ -173,9 +202,9 @@ pub fn parse_chrome_trace_jsonl(dump: &str) -> Vec<ReplayedEvent> {
             scope,
             phase,
             label: label.replace("\\\"", "\"").replace("\\\\", "\\"),
-            a: int_field(line, "a").unwrap_or(0),
-            b: int_field(line, "b").unwrap_or(0),
-            c: int_field(line, "c").unwrap_or(0),
+            a,
+            b,
+            c,
         });
     }
     events
@@ -263,6 +292,27 @@ mod tests {
         assert_eq!(replayed[0].b, e.b);
         assert_eq!(replayed[0].c, e.c);
         assert_eq!(replay_digest(&replayed), obs_digest(&[e]));
+    }
+
+    #[test]
+    fn counter_events_round_trip_with_exact_values() {
+        let mut e = event(Scope::Perf, "engine.queue_depth", 0);
+        e.phase = Phase::Counter;
+        // A value above 2^53 must survive exactly (no f64 round trip).
+        e.a = (1u64 << 60) + 7;
+        e.b = 0;
+        e.c = 0;
+        let dump = chrome_trace_jsonl(&[e]);
+        assert!(dump.contains("\"ph\":\"C\""));
+        assert!(dump.contains(&format!("\"value\":{}", e.a)));
+        // Counter lines carry a value series, not payload words.
+        assert!(!dump.contains("\"a\":"));
+        let replayed = parse_chrome_trace_jsonl(&dump);
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].phase, Phase::Counter);
+        assert_eq!(replayed[0].label, "engine.queue_depth");
+        assert_eq!(replayed[0].a, e.a);
+        assert_eq!(replayed[0].time, e.time);
     }
 
     #[test]

@@ -53,14 +53,18 @@
 
 mod export;
 mod metrics;
+mod profile;
 mod session;
+mod slo;
 
 pub use export::{
     chrome_trace_jsonl, obs_digest, obs_digest_parts, parse_chrome_trace_jsonl, replay_digest,
     ReplayedEvent,
 };
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{Gauge, Histogram, MetricsRegistry};
+pub use profile::{profile_spans, PathStat, SpanProfile};
 pub use session::{ObsReport, ObsSession, ThreadBuffer};
+pub use slo::SlidingWindow;
 
 use std::time::Instant;
 
@@ -116,6 +120,9 @@ pub enum Phase {
     End,
     /// Instantaneous event (`"i"`).
     Instant,
+    /// Counter sample (`"C"`): a gauge or rate reading whose `a` payload is
+    /// the sampled value.  chrome://tracing plots these as counter tracks.
+    Counter,
 }
 
 impl Phase {
@@ -125,6 +132,7 @@ impl Phase {
             Phase::Begin => "B",
             Phase::End => "E",
             Phase::Instant => "i",
+            Phase::Counter => "C",
         }
     }
 
@@ -134,6 +142,7 @@ impl Phase {
             "B" => Some(Phase::Begin),
             "E" => Some(Phase::End),
             "i" => Some(Phase::Instant),
+            "C" => Some(Phase::Counter),
             _ => None,
         }
     }
@@ -186,6 +195,10 @@ pub trait Recorder {
     fn instant(&self, scope: Scope, label: &'static str, a: u64, b: u64, c: u64);
     /// Adds `delta` to the named counter.
     fn counter(&self, name: &'static str, delta: u64);
+    /// Sets the named gauge to `value` (a point-in-time level: queue depth,
+    /// ledger size, live cache entries).  Live implementations also emit a
+    /// [`Phase::Counter`] trace event so the level is plottable over time.
+    fn gauge(&self, name: &'static str, value: u64);
     /// Records one observation into the named histogram.
     fn value(&self, name: &'static str, value: u64);
     /// Merges a drained per-thread buffer into the session stream.
@@ -213,6 +226,8 @@ impl Recorder for NoopRecorder {
     fn instant(&self, _scope: Scope, _label: &'static str, _a: u64, _b: u64, _c: u64) {}
     #[inline(always)]
     fn counter(&self, _name: &'static str, _delta: u64) {}
+    #[inline(always)]
+    fn gauge(&self, _name: &'static str, _value: u64) {}
     #[inline(always)]
     fn value(&self, _name: &'static str, _value: u64) {}
     #[inline(always)]
@@ -243,6 +258,10 @@ impl<R: Recorder> Recorder for &R {
     #[inline]
     fn counter(&self, name: &'static str, delta: u64) {
         (**self).counter(name, delta)
+    }
+    #[inline]
+    fn gauge(&self, name: &'static str, value: u64) {
+        (**self).gauge(name, value)
     }
     #[inline]
     fn value(&self, name: &'static str, value: u64) {
@@ -287,6 +306,12 @@ impl<R: Recorder> Recorder for Option<R> {
     fn counter(&self, name: &'static str, delta: u64) {
         if let Some(r) = self {
             r.counter(name, delta)
+        }
+    }
+    #[inline]
+    fn gauge(&self, name: &'static str, value: u64) {
+        if let Some(r) = self {
+            r.gauge(name, value)
         }
     }
     #[inline]
@@ -402,7 +427,7 @@ mod tests {
         for scope in [Scope::Logical, Scope::Policy, Scope::Transport, Scope::Perf] {
             assert_eq!(Scope::from_name(scope.name()), Some(scope));
         }
-        for phase in [Phase::Begin, Phase::End, Phase::Instant] {
+        for phase in [Phase::Begin, Phase::End, Phase::Instant, Phase::Counter] {
             assert_eq!(Phase::from_letter(phase.letter()), Some(phase));
         }
         assert_eq!(Scope::from_name("bogus"), None);

@@ -1,10 +1,25 @@
-//! Counters and fixed-bucket histograms.
+//! Counters, gauges, fixed-bucket histograms and sliding SLO windows.
 //!
 //! The registry is deliberately tiny: names are `&'static str`, storage is a
 //! sorted association list (the workspace records a few dozen distinct
 //! names), and histograms use 64 fixed power-of-two buckets so recording is
 //! one index computation and one increment — no allocation after the first
 //! observation of a name.
+//!
+//! # Quantile error bound
+//!
+//! Histograms retain bucket counts, not samples, so quantiles resolve to the
+//! power-of-two bucket containing the rank: [`Histogram::quantile`] returns
+//! the bucket's upper bound, clamped to the exact observed `min`/`max`.  The
+//! true `q`-quantile `x` lives in the same bucket `(2^(i-1), 2^i]`, so the
+//! reported value overestimates by **strictly less than 2×** (and never
+//! underestimates): `x <= reported < 2x` for `x > 1`, exact for `x <= 1` and
+//! whenever the rank falls in the min or max bucket ends clamped.  That is
+//! plenty for p50/p99 SLO reporting, where the question is "which latency
+//! band", not "which nanosecond" — the bound is locked by the exact-vs-
+//! bucketed property test in `tests/quantile_error.rs`.
+
+use crate::slo::SlidingWindow;
 
 /// A fixed-bucket histogram over `u64` observations.
 ///
@@ -80,9 +95,12 @@ impl Histogram {
     }
 
     /// The upper bound of the bucket containing the `q`-quantile
-    /// (`0.0 ..= 1.0`), clamped to the exact observed `max`.  Exact values
-    /// are not retained, so this is a power-of-two-resolution estimate —
-    /// plenty for p50/p99 latency reporting.
+    /// (`0.0 ..= 1.0`), clamped to the exact observed `min`/`max`.  Exact
+    /// values are not retained, so this is a power-of-two-resolution
+    /// estimate: the true quantile `x` satisfies `x <= quantile(q) < 2 * x`
+    /// (never an underestimate, less than 2× over — see the module docs for
+    /// the derivation and `tests/quantile_error.rs` for the property lock).
+    /// Plenty for p50/p99 latency reporting.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -92,11 +110,10 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                let upper = if i == 0 {
-                    0
-                } else {
-                    (1u64 << i).saturating_sub(1)
-                };
+                // Bucket i > 0 holds bit-length-i values, upper bound
+                // 2^i - 1; bucket 64 (values >= 2^63) tops out at u64::MAX,
+                // which `1 << 64` would overflow.
+                let upper = if i == 0 { 0 } else { u64::MAX >> (64 - i) };
                 return upper.min(self.max).max(self.min());
             }
         }
@@ -125,12 +142,26 @@ impl Histogram {
     }
 }
 
-/// Named counters plus named histograms, in deterministic (sorted-name)
-/// order.
+/// One gauge: the latest set value plus the observed peak (the peak is what
+/// bounded-memory gates read — "what did the retired ledger grow to").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    /// Most recently set value.
+    pub last: u64,
+    /// Largest value ever set.
+    pub max: u64,
+    /// Number of samples set.
+    pub samples: u64,
+}
+
+/// Named counters, gauges, histograms and sliding SLO windows, each in
+/// deterministic (sorted-name) order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
     counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, Gauge)>,
     histograms: Vec<(&'static str, Histogram)>,
+    windows: Vec<(&'static str, SlidingWindow)>,
 }
 
 impl MetricsRegistry {
@@ -159,6 +190,99 @@ impl MetricsRegistry {
         }
     }
 
+    /// Sets the named gauge to `value` (tracking the peak alongside).
+    pub fn gauge_set(&mut self, name: &'static str, value: u64) {
+        match self.gauges.binary_search_by_key(&name, |(n, _)| n) {
+            Ok(i) => {
+                let g = &mut self.gauges[i].1;
+                g.last = value;
+                g.max = g.max.max(value);
+                g.samples += 1;
+            }
+            Err(i) => self.gauges.insert(
+                i,
+                (
+                    name,
+                    Gauge {
+                        last: value,
+                        max: value,
+                        samples: 1,
+                    },
+                ),
+            ),
+        }
+    }
+
+    /// The named gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<&Gauge> {
+        self.gauges.iter().find(|(n, _)| *n == name).map(|(_, g)| g)
+    }
+
+    /// The named gauge's latest value (0 when never set).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.gauge(name).map_or(0, |g| g.last)
+    }
+
+    /// The named gauge's peak value (0 when never set).
+    pub fn gauge_peak(&self, name: &str) -> u64 {
+        self.gauge(name).map_or(0, |g| g.max)
+    }
+
+    /// All gauges in sorted-name order.
+    pub fn gauges(&self) -> &[(&'static str, Gauge)] {
+        &self.gauges
+    }
+
+    /// Installs a sliding SLO window under `name`: `slices` ring slices of
+    /// `slice_nanos` each.  Re-installing an existing name resets it to the
+    /// new (empty) spec.  Once installed, [`MetricsRegistry::window_record`]
+    /// feeds it — and [`Recorder::value`](crate::Recorder::value) on an
+    /// [`ObsSession`](crate::ObsSession) routes same-named
+    /// histogram observations into it automatically.
+    pub fn install_window(&mut self, name: &'static str, slice_nanos: u64, slices: usize) {
+        let window = SlidingWindow::new(slice_nanos, slices);
+        match self.windows.binary_search_by_key(&name, |(n, _)| n) {
+            Ok(i) => self.windows[i].1 = window,
+            Err(i) => self.windows.insert(i, (name, window)),
+        }
+    }
+
+    /// Records one observation at `now` into the named window.  Returns
+    /// `false` (and records nothing) when no window of that name is
+    /// installed, so callers can share one code path with plain histograms.
+    pub fn window_record(&mut self, name: &str, now: u64, value: u64) -> bool {
+        match self.windows.binary_search_by_key(&name, |(n, _)| n) {
+            Ok(i) => {
+                self.windows[i].1.record(now, value);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Rotates every installed window to `now` (evicting expired slices).
+    /// The virtual clock calls this from
+    /// [`crate::ObsSession::set_virtual_nanos`] so simulated time advances
+    /// windows even between observations.
+    pub fn advance_windows(&mut self, now: u64) {
+        for (_, w) in &mut self.windows {
+            w.advance(now);
+        }
+    }
+
+    /// The named sliding window, if installed.
+    pub fn window(&self, name: &str) -> Option<&SlidingWindow> {
+        self.windows
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, w)| w)
+    }
+
+    /// All sliding windows in sorted-name order.
+    pub fn windows(&self) -> &[(&'static str, SlidingWindow)] {
+        &self.windows
+    }
+
     /// The named counter's value (0 when never touched).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.counters
@@ -185,7 +309,11 @@ impl MetricsRegistry {
         &self.histograms
     }
 
-    /// Merges another registry into this one.
+    /// Merges another registry into this one.  Counters add, histograms
+    /// merge bucket-wise, gauges keep the larger peak (and the other's last
+    /// value, it being the newer write), and windows merge slice-wise when
+    /// their specs match — a mismatched spec keeps this registry's window
+    /// (merging rings of different granularity has no meaningful result).
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (name, delta) in &other.counters {
             self.counter(name, *delta);
@@ -196,6 +324,28 @@ impl MetricsRegistry {
                 Err(i) => self.histograms.insert(i, (name, hist.clone())),
             }
         }
+        for (name, gauge) in &other.gauges {
+            match self.gauges.binary_search_by_key(name, |(n, _)| n) {
+                Ok(i) => {
+                    let g = &mut self.gauges[i].1;
+                    g.last = gauge.last;
+                    g.max = g.max.max(gauge.max);
+                    g.samples += gauge.samples;
+                }
+                Err(i) => self.gauges.insert(i, (name, *gauge)),
+            }
+        }
+        for (name, window) in &other.windows {
+            match self.windows.binary_search_by_key(name, |(n, _)| n) {
+                Ok(i) => {
+                    let w = &mut self.windows[i].1;
+                    if w.slice_nanos() == window.slice_nanos() && w.slices() == window.slices() {
+                        w.merge(window);
+                    }
+                }
+                Err(i) => self.windows.insert(i, (name, window.clone())),
+            }
+        }
     }
 
     /// The plain-text summary table.
@@ -203,6 +353,12 @@ impl MetricsRegistry {
         let mut out = String::new();
         for (name, value) in &self.counters {
             out.push_str(&format!("  counter {name:<34} {value}\n"));
+        }
+        for (name, g) in &self.gauges {
+            out.push_str(&format!(
+                "  gauge   {name:<34} last={} peak={}\n",
+                g.last, g.max
+            ));
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
@@ -212,6 +368,17 @@ impl MetricsRegistry {
                 h.p50(),
                 h.p99(),
                 h.max()
+            ));
+        }
+        for (name, w) in &self.windows {
+            let h = w.windowed();
+            out.push_str(&format!(
+                "  window  {name:<34} n={} p50<={} p99<={} max={} rate={:.1}/s\n",
+                h.count(),
+                h.p50(),
+                h.p99(),
+                h.max(),
+                w.rate_per_sec()
             ));
         }
         out
@@ -269,5 +436,65 @@ mod tests {
         assert_eq!(names, vec!["a", "z"]);
         assert!(a.render().contains("counter a"));
         assert!(a.render().contains("hist    lat"));
+    }
+
+    #[test]
+    fn registry_gauges_track_last_and_peak_across_merge() {
+        let mut a = MetricsRegistry::new();
+        a.gauge_set("depth", 5);
+        a.gauge_set("depth", 2);
+        assert_eq!(a.gauge_value("depth"), 2);
+        assert_eq!(a.gauge_peak("depth"), 5);
+        assert_eq!(a.gauge_value("missing"), 0);
+        let mut b = MetricsRegistry::new();
+        b.gauge_set("depth", 9);
+        b.gauge_set("other", 1);
+        a.merge(&b);
+        let g = a.gauge("depth").unwrap();
+        assert_eq!(g.last, 9, "merge takes the newer write");
+        assert_eq!(g.max, 9);
+        assert_eq!(g.samples, 3);
+        assert_eq!(a.gauge_peak("other"), 1);
+        assert!(a.render().contains("gauge   depth"));
+    }
+
+    #[test]
+    fn registry_windows_install_record_and_merge() {
+        let mut a = MetricsRegistry::new();
+        assert!(!a.window_record("lat", 0, 1), "uninstalled window rejects");
+        a.install_window("lat", 1_000, 4);
+        assert!(a.window_record("lat", 100, 7));
+        assert_eq!(a.window("lat").unwrap().windowed_count(), 1);
+        // Re-install resets.
+        a.install_window("lat", 1_000, 4);
+        assert_eq!(a.window("lat").unwrap().windowed_count(), 0);
+        a.window_record("lat", 100, 7);
+        let mut b = MetricsRegistry::new();
+        b.install_window("lat", 1_000, 4);
+        b.window_record("lat", 200, 9);
+        b.install_window("fresh", 500, 2);
+        b.window_record("fresh", 10, 3);
+        a.merge(&b);
+        assert_eq!(a.window("lat").unwrap().windowed_count(), 2);
+        assert_eq!(a.window("fresh").unwrap().windowed_count(), 1);
+        assert!(a.render().contains("window  lat"));
+        // advance_windows rotates every installed window.
+        a.advance_windows(10_000_000);
+        assert_eq!(a.window("lat").unwrap().windowed_count(), 0);
+        assert_eq!(a.window("fresh").unwrap().windowed_count(), 0);
+    }
+
+    #[test]
+    fn mismatched_window_specs_survive_merge_unchanged() {
+        let mut a = MetricsRegistry::new();
+        a.install_window("lat", 1_000, 4);
+        a.window_record("lat", 100, 7);
+        let mut b = MetricsRegistry::new();
+        b.install_window("lat", 2_000, 4);
+        b.window_record("lat", 100, 9);
+        a.merge(&b);
+        let w = a.window("lat").unwrap();
+        assert_eq!(w.slice_nanos(), 1_000);
+        assert_eq!(w.windowed_count(), 1);
     }
 }

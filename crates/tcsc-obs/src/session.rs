@@ -55,11 +55,24 @@ impl ObsSession {
     /// Advances the virtual clock (no-op on wall-clock sessions).  The
     /// simulation kernel calls this with the event-queue time before any
     /// component runs, so every event recorded while handling a message is
-    /// stamped with the message's virtual delivery time.
+    /// stamped with the message's virtual delivery time.  Installed sliding
+    /// windows rotate with the clock, so windowed SLOs evict on virtual
+    /// time exactly as wall-clock windows evict on wall time.
     pub fn set_virtual_nanos(&self, nanos: u64) {
         if let ClockKind::Virtual(cell) = &self.clock {
             cell.set(nanos);
+            self.metrics.borrow_mut().advance_windows(nanos);
         }
+    }
+
+    /// Installs (or resets) a sliding window on the named series: subsequent
+    /// [`Recorder::value`] observations with this name also land in the
+    /// window at the session's current clock reading, giving windowed
+    /// p50/p99/rate next to the lifetime histogram.
+    pub fn install_window(&self, name: &'static str, slice_nanos: u64, slices: usize) {
+        self.metrics
+            .borrow_mut()
+            .install_window(name, slice_nanos, slices);
     }
 
     /// The current clock reading in nanoseconds.
@@ -161,9 +174,17 @@ impl Recorder for ObsSession {
         self.metrics.borrow_mut().counter(name, delta);
     }
 
+    fn gauge(&self, name: &'static str, value: u64) {
+        self.push(Scope::Perf, Phase::Counter, name, value, 0, 0);
+        self.metrics.borrow_mut().gauge_set(name, value);
+    }
+
     #[inline]
     fn value(&self, name: &'static str, value: u64) {
-        self.metrics.borrow_mut().value(name, value);
+        let now = self.now_nanos();
+        let mut metrics = self.metrics.borrow_mut();
+        metrics.value(name, value);
+        metrics.window_record(name, now, value);
     }
 
     fn absorb_events(&self, events: Vec<TraceEvent>) {
@@ -195,6 +216,10 @@ impl Recorder for std::rc::Rc<ObsSession> {
     #[inline]
     fn counter(&self, name: &'static str, delta: u64) {
         (**self).counter(name, delta)
+    }
+    #[inline]
+    fn gauge(&self, name: &'static str, value: u64) {
+        (**self).gauge(name, value)
     }
     #[inline]
     fn value(&self, name: &'static str, value: u64) {
@@ -336,5 +361,51 @@ mod tests {
         assert_eq!(metrics.counter_value("engine.conflicts"), 5);
         assert_eq!(metrics.histogram("engine.batch_ns").unwrap().count(), 1);
         assert!(session.summary().contains("engine.conflicts"));
+    }
+
+    #[test]
+    fn gauges_emit_counter_events_and_track_peaks() {
+        let session = ObsSession::virtual_time();
+        session.set_virtual_nanos(10);
+        session.gauge("engine.queue_depth", 4);
+        session.set_virtual_nanos(20);
+        session.gauge("engine.queue_depth", 9);
+        session.set_virtual_nanos(30);
+        session.gauge("engine.queue_depth", 2);
+        let metrics = session.metrics();
+        let g = metrics.gauge("engine.queue_depth").unwrap();
+        assert_eq!(g.last, 2);
+        assert_eq!(g.max, 9);
+        assert_eq!(g.samples, 3);
+        let events = session.merged_events();
+        let samples: Vec<_> = events
+            .iter()
+            .filter(|e| e.phase == Phase::Counter)
+            .collect();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[1].a, 9);
+        assert_eq!(samples[1].time, 20);
+    }
+
+    #[test]
+    fn values_feed_installed_windows_on_the_virtual_clock() {
+        let session = ObsSession::virtual_time();
+        session.install_window("svc.latency_ns", 1_000, 4);
+        session.set_virtual_nanos(100);
+        session.value("svc.latency_ns", 50);
+        session.set_virtual_nanos(1_100);
+        session.value("svc.latency_ns", 70);
+        let metrics = session.metrics();
+        let w = metrics.window("svc.latency_ns").unwrap();
+        assert_eq!(w.windowed_count(), 2);
+        // Jumping the virtual clock past the window span evicts everything,
+        // while the lifetime histogram keeps both observations.
+        session.set_virtual_nanos(1_000_000);
+        let metrics = session.metrics();
+        assert_eq!(
+            metrics.window("svc.latency_ns").unwrap().windowed_count(),
+            0
+        );
+        assert_eq!(metrics.histogram("svc.latency_ns").unwrap().count(), 2);
     }
 }

@@ -1,0 +1,112 @@
+//! Property lock for the power-of-two histogram quantile error bound.
+//!
+//! [`tcsc_obs::Histogram`] keeps bucket counts, not samples, so quantiles
+//! resolve to the upper bound of the power-of-two bucket containing the
+//! rank.  The documented bound on `MetricsRegistry`'s quantile surface is:
+//! the true `q`-quantile `x` satisfies `x <= quantile(q) < 2 * x` for
+//! `x >= 1` (never an underestimate, strictly less than 2× over), and
+//! `quantile(q) == 0` exactly when `x == 0`.  This test checks the bound
+//! against exact quantiles computed from the retained samples, across
+//! seeded distributions spanning the bucket range.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcsc_obs::Histogram;
+
+/// The exact `q`-quantile under the same rank convention the histogram
+/// uses: the `ceil(q * n)`-th smallest sample (1-based, floor of 1).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+fn assert_bound(samples: &[u64], context: &str) {
+    let mut h = Histogram::default();
+    for &v in samples {
+        h.record(v);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    for q in [0.0, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+        let exact = exact_quantile(&sorted, q);
+        let bucketed = h.quantile(q);
+        assert!(
+            bucketed >= exact,
+            "{context}: q={q} underestimated: exact {exact}, bucketed {bucketed}"
+        );
+        if exact == 0 {
+            assert_eq!(
+                bucketed, 0,
+                "{context}: q={q} nonzero estimate for a zero quantile"
+            );
+        } else {
+            assert!(
+                bucketed < 2 * exact,
+                "{context}: q={q} over 2x: exact {exact}, bucketed {bucketed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bucketed_quantiles_never_underestimate_and_stay_under_2x() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Small values exercise the exact low buckets (0, 1, 2, 3).
+        let small: Vec<u64> = (0..500).map(|_| rng.gen_range(0..8u64)).collect();
+        assert_bound(&small, "small uniform");
+
+        // Wide uniform range crosses many buckets.
+        let wide: Vec<u64> = (0..500).map(|_| rng.gen_range(1..1_000_000u64)).collect();
+        assert_bound(&wide, "wide uniform");
+
+        // Heavy tail: most samples tiny, a few enormous — the shape the
+        // latency windows actually see.
+        let tailed: Vec<u64> = (0..500)
+            .map(|_| {
+                if rng.gen_bool(0.05) {
+                    rng.gen_range(1_000_000..1_000_000_000u64)
+                } else {
+                    rng.gen_range(100..10_000u64)
+                }
+            })
+            .collect();
+        assert_bound(&tailed, "heavy tail");
+    }
+}
+
+#[test]
+fn degenerate_distributions_hit_the_bound_exactly() {
+    // A constant distribution clamps to min == max: zero error.
+    for value in [0u64, 1, 7, 1 << 40, u64::MAX] {
+        let mut h = Histogram::default();
+        for _ in 0..10 {
+            h.record(value);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), value, "constant {value} q={q}");
+        }
+    }
+    // A single sample is its own every-quantile.
+    let mut h = Histogram::default();
+    h.record(12_345);
+    assert_eq!(h.p50(), 12_345);
+    assert_eq!(h.p99(), 12_345);
+}
+
+#[test]
+fn worst_case_error_approaches_but_never_reaches_2x() {
+    // 2^k is the first value of its bucket; with a larger max present the
+    // reported upper bound 2^(k+1)-1 is the worst case: ratio (2 - 2^-k)x.
+    let mut h = Histogram::default();
+    for _ in 0..99 {
+        h.record(1 << 20); // bucket 21 lower edge
+    }
+    h.record(u64::MAX); // keeps the max clamp out of the way
+    let reported = h.quantile(0.5);
+    let exact = 1u64 << 20;
+    assert_eq!(reported, (1 << 21) - 1);
+    assert!(reported >= exact && reported < 2 * exact);
+}

@@ -1,0 +1,157 @@
+//! Property lock for sliding-window eviction: advancing the window by
+//! exactly one slice drops precisely the oldest slice's samples — no more,
+//! no fewer — and the windowed count/total stay conserved across the
+//! eviction.  Checked on the clock-agnostic [`SlidingWindow`] driven by
+//! explicit nanos (the wall clock's code path), and end-to-end through
+//! [`ObsSession`]'s virtual clock and wall clock.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcsc_obs::{ObsSession, Recorder, SlidingWindow};
+
+#[test]
+fn one_slice_advance_evicts_exactly_the_oldest_slice() {
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slice_nanos = rng.gen_range(100..10_000u64);
+        let slices = rng.gen_range(2..12usize);
+        let mut w = SlidingWindow::new(slice_nanos, slices);
+
+        // Fill a random number of slices with random sample counts at
+        // monotone times, shadow-tracking per-slice sums and counts.
+        let filled = rng.gen_range(slices..slices * 3);
+        let mut per_slice_sum = vec![0u64; filled];
+        let mut per_slice_count = vec![0u64; filled];
+        for s in 0..filled {
+            let base = s as u64 * slice_nanos;
+            for _ in 0..rng.gen_range(0..6u32) {
+                let v = rng.gen_range(1..1_000u64);
+                w.record(base + rng.gen_range(0..slice_nanos), v);
+                per_slice_sum[s] += v;
+                per_slice_count[s] += 1;
+            }
+        }
+        // Pin the clock to the last filled slice (the fill may have left
+        // trailing slices empty, in which case no record advanced into
+        // them), then the live slices are the last `slices` filled ones.
+        w.advance((filled as u64 - 1) * slice_nanos);
+        let lo = filled - slices;
+        let before_counts = w.slice_counts();
+        assert_eq!(before_counts, per_slice_count[lo..], "seed {seed}");
+        assert_eq!(
+            w.windowed_sum(),
+            per_slice_sum[lo..].iter().sum::<u64>(),
+            "seed {seed}"
+        );
+        let before_lifetime = w.lifetime_count();
+
+        // Advance to the start of the next slice: exactly one rotation.
+        w.advance(filled as u64 * slice_nanos);
+
+        // The oldest live slice fell out; everything else shifted intact
+        // and the incoming slice starts empty.
+        let after_counts = w.slice_counts();
+        assert_eq!(&after_counts[..slices - 1], &before_counts[1..]);
+        assert_eq!(after_counts[slices - 1], 0, "the new slice starts empty");
+        assert_eq!(
+            w.windowed_count(),
+            per_slice_count[lo + 1..].iter().sum::<u64>(),
+            "seed {seed}: count must drop by exactly the oldest slice"
+        );
+        assert_eq!(
+            w.windowed_sum(),
+            per_slice_sum[lo + 1..].iter().sum::<u64>(),
+            "seed {seed}: sum must drop by exactly the oldest slice"
+        );
+        assert_eq!(w.lifetime_count(), before_lifetime, "lifetime never evicts");
+    }
+}
+
+#[test]
+fn windowed_totals_are_conserved_across_single_slice_advances() {
+    // Stronger conservation property: walking the clock slice by slice,
+    // each advance removes exactly the per-slice recorded sum of the slice
+    // that fell out (tracked independently here).
+    for seed in 100..110u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slice_nanos = 1_000u64;
+        let slices = 4usize;
+        let mut w = SlidingWindow::new(slice_nanos, slices);
+        let total_slices = 20u64;
+        let mut per_slice_sum = vec![0u64; total_slices as usize];
+        let mut per_slice_count = vec![0u64; total_slices as usize];
+
+        for s in 0..total_slices {
+            // Advance to the slice boundary first (also exercises advances
+            // with no interleaved records).
+            w.advance(s * slice_nanos);
+            if s >= slices as u64 {
+                // Everything inside the window now is the last `slices`
+                // slices' worth, exactly.
+                let lo = (s + 1 - slices as u64) as usize;
+                let expect_sum: u64 = per_slice_sum[lo..=s as usize - 1].iter().sum();
+                let expect_count: u64 = per_slice_count[lo..=s as usize - 1].iter().sum();
+                assert_eq!(w.windowed_sum(), expect_sum, "seed {seed} slice {s}");
+                assert_eq!(w.windowed_count(), expect_count, "seed {seed} slice {s}");
+            }
+            for _ in 0..rng.gen_range(0..5u32) {
+                let at = s * slice_nanos + rng.gen_range(0..slice_nanos);
+                let v = rng.gen_range(1..100u64);
+                w.record(at, v);
+                per_slice_sum[s as usize] += v;
+                per_slice_count[s as usize] += 1;
+            }
+        }
+        let total: u64 = per_slice_count.iter().sum();
+        assert_eq!(w.lifetime_count(), total);
+    }
+}
+
+#[test]
+fn virtual_clock_sessions_evict_one_slice_at_a_time() {
+    let session = ObsSession::virtual_time();
+    session.install_window("svc.latency_ns", 1_000, 3);
+    // One sample per slice, slices 0..=2.
+    for s in 0..3u64 {
+        session.set_virtual_nanos(s * 1_000 + 500);
+        session.value("svc.latency_ns", 10 + s);
+    }
+    let full = session.metrics();
+    assert_eq!(full.window("svc.latency_ns").unwrap().windowed_count(), 3);
+    // Advancing the virtual clock into slice 3 — with no new observation —
+    // must evict exactly the slice-0 sample.
+    session.set_virtual_nanos(3_000);
+    let after = session.metrics();
+    let w = after.window("svc.latency_ns").unwrap();
+    assert_eq!(w.windowed_count(), 2);
+    assert_eq!(w.windowed_sum(), 11 + 12);
+    assert_eq!(w.lifetime_count(), 3);
+    // One more slice: the slice-1 sample goes too.
+    session.set_virtual_nanos(4_000);
+    let after = session.metrics();
+    assert_eq!(
+        after.window("svc.latency_ns").unwrap().windowed_sum(),
+        12,
+        "second advance evicts the second slice"
+    );
+}
+
+#[test]
+fn wall_clock_sessions_window_at_wall_time() {
+    // Wall time cannot be forced across slice boundaries deterministically,
+    // so the wall-path check uses slices far wider than the test runtime:
+    // every observation must stay live, proving records land in the window
+    // at the session's wall reading without spurious eviction.
+    let session = ObsSession::wall();
+    session.install_window("svc.latency_ns", u64::MAX / 8, 4);
+    for v in 1..=50u64 {
+        session.value("svc.latency_ns", v);
+    }
+    let metrics = session.metrics();
+    let w = metrics.window("svc.latency_ns").unwrap();
+    assert_eq!(w.windowed_count(), 50);
+    assert_eq!(w.windowed_sum(), (1..=50).sum::<u64>());
+    assert_eq!(w.lifetime_count(), 50);
+    // The lifetime histogram saw the same stream.
+    assert_eq!(metrics.histogram("svc.latency_ns").unwrap().count(), 50);
+}

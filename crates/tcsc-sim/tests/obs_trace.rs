@@ -175,3 +175,70 @@ fn recorded_metrics_mirror_the_outcome_counters() {
     let summary = obs.metrics.render();
     assert!(summary.contains("sim.delivered_events"));
 }
+
+#[test]
+fn kernel_clock_rotates_session_windows_on_virtual_time() {
+    // The kernel advances the shared session's virtual clock before every
+    // delivery, and `set_virtual_nanos` rotates installed sliding windows —
+    // so windowed SLOs evict on *simulation* time exactly as wall-clock
+    // windows evict on wall time.  A fixed-latency ping-pong makes the
+    // schedule exact: one 250 µs hop per window slice.
+    use tcsc_obs::{ObsSession, Recorder};
+    use tcsc_sim::{Component, ComponentId, Context, Message, Simulation};
+
+    #[derive(Clone, Debug)]
+    struct Tick(u64);
+    impl Message for Tick {
+        fn label(&self) -> &'static str {
+            "tick"
+        }
+    }
+
+    struct Bouncer {
+        peer: ComponentId,
+        session: Rc<ObsSession>,
+        hops: u64,
+    }
+    impl Component<Tick> for Bouncer {
+        fn on_message(&mut self, _: ComponentId, message: Tick, ctx: &mut Context<'_, Tick>) {
+            let Tick(n) = message;
+            // The kernel already advanced the virtual clock to this
+            // delivery's time; the observation lands in the live slice.
+            self.session.value("sim.hop_us", 10 + n);
+            if n < self.hops {
+                ctx.send(self.peer, Tick(n + 1));
+            }
+        }
+    }
+
+    let session = Rc::new(ObsSession::virtual_time());
+    // Four live slices of 250 µs: samples older than 1 ms of virtual time
+    // must have been evicted by the kernel's clock advances alone.
+    session.install_window("sim.hop_us", 250_000, 4);
+    let mut sim: Simulation<Tick> = Simulation::new(LatencyModel::Fixed(250), 5, false);
+    sim.set_obs(Some(session.clone()));
+    let a = sim.add_component(Box::new(Bouncer {
+        peer: 1,
+        session: session.clone(),
+        hops: 12,
+    }));
+    let _b = sim.add_component(Box::new(Bouncer {
+        peer: 0,
+        session: session.clone(),
+        hops: 12,
+    }));
+    sim.schedule(a, Tick(0), 0);
+    sim.run();
+
+    // Deliveries at 0, 250 µs, ..., 3000 µs record values 10..=22; the final
+    // clock sits in slice 12, so slices 9..=12 (values 19..=22) are live.
+    assert_eq!(sim.time(), 3_000, "12 fixed 250us hops");
+    let metrics = session.metrics();
+    let window = metrics.window("sim.hop_us").expect("window installed");
+    assert_eq!(window.lifetime_count(), 13, "every hop was recorded");
+    assert_eq!(window.windowed_count(), 4, "only the last 1ms stays live");
+    assert_eq!(window.windowed_sum(), 19 + 20 + 21 + 22);
+    assert_eq!(window.windowed().max(), 22);
+    // The lifetime histogram fed by the same `value` calls never evicts.
+    assert_eq!(metrics.histogram("sim.hop_us").unwrap().count(), 13);
+}

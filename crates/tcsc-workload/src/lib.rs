@@ -14,7 +14,10 @@
 //! * [`streaming`] — task batches arriving over rounds, for the batched /
 //!   streaming assignment engine;
 //! * [`events`] — scenario → event-trace conversion: timed task-arrival
-//!   traces for the discrete-event distributed runtime (`tcsc-sim`).
+//!   traces for the discrete-event distributed runtime (`tcsc-sim`), plus
+//!   heavy-tailed service streams (bounded-Pareto inter-arrivals under a
+//!   cyclic rush-hour [`PhaseSchedule`], sampled one arrival at a time by
+//!   the O(1)-memory [`ArrivalSampler`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +31,10 @@ pub mod tasks;
 pub mod trajectory;
 
 pub use distribution::SpatialDistribution;
-pub use events::{ArrivalTrace, TaskArrival};
+pub use events::{
+    ArrivalPhase, ArrivalSampler, ArrivalTrace, BoundedPareto, HeavyTailedArrivals, PhaseSchedule,
+    TaskArrival,
+};
 pub use poi::{PoiConfig, PoiDataset};
 pub use scenario::{Scenario, ScenarioConfig, TaskPlacement};
 pub use streaming::{StreamingConfig, StreamingScenario};

@@ -13,14 +13,19 @@
 //!   `AssignmentEngine` with its shared incremental candidate cache;
 //! * [`workload`] — synthetic workload generators (task distributions,
 //!   worker trajectories, POIs) and reproducible scenarios, including
-//!   streaming task arrivals and their event-trace conversion;
+//!   streaming task arrivals, their event-trace conversion and heavy-tailed
+//!   service streams (bounded-Pareto inter-arrivals under a cyclic
+//!   rush-hour phase schedule);
 //! * [`sim`] — the deterministic discrete-event simulation of the
 //!   distributed runtime: dispatcher / region-node components over a
 //!   virtual network, driving the (barrier or optimistic non-blocking)
 //!   task-parallel master;
 //! * [`obs`] — zero-dependency tracing and metrics: the [`obs::Recorder`]
 //!   trait every runtime is generic over (no-op by default), wall/virtual
-//!   clocks, counter/histogram registry, chrome://tracing export and the
+//!   clocks, a counter/gauge/histogram registry with sliding-window SLOs
+//!   (windowed p50/p99 over wall or virtual time), the span-tree profiler
+//!   ([`obs::profile_spans`] → per-path self/total time, collapsed-stack
+//!   export), chrome://tracing export (spans and counter tracks) and the
 //!   stable logical-stream digest used as an equivalence lock.
 //!
 //! See the `examples/` directory for end-to-end usage and `DESIGN.md` /
@@ -75,14 +80,15 @@ pub mod prelude {
         WorkerIndex,
     };
     pub use tcsc_obs::{
-        obs_digest, replay_digest, MetricsRegistry, NoopRecorder, ObsReport, ObsSession, Recorder,
-        Stopwatch,
+        obs_digest, profile_spans, replay_digest, Gauge, Histogram, MetricsRegistry, NoopRecorder,
+        ObsReport, ObsSession, PathStat, Recorder, SlidingWindow, SpanProfile, Stopwatch,
     };
     pub use tcsc_sim::{
         plan_hash, run_cluster, LatencyModel, SimBatch, SimClusterConfig, SimOutcome,
     };
     pub use tcsc_workload::{
-        ArrivalTrace, PoiConfig, PoiDataset, Scenario, ScenarioConfig, SpatialDistribution,
+        ArrivalPhase, ArrivalSampler, ArrivalTrace, BoundedPareto, HeavyTailedArrivals,
+        PhaseSchedule, PoiConfig, PoiDataset, Scenario, ScenarioConfig, SpatialDistribution,
         StreamingConfig, StreamingScenario, TaskPlacement, TrajectoryConfig,
     };
 }
