@@ -188,6 +188,19 @@ impl WorkerLedger {
         removed
     }
 
+    /// Every `(slot, worker)` commitment, in ascending `(slot, worker)`
+    /// order (the deterministic enumeration used when a ledger is re-routed
+    /// after an index swap).
+    pub fn commitments(&self) -> Vec<(SlotIndex, WorkerId)> {
+        let mut out: Vec<(SlotIndex, WorkerId)> = self
+            .occupied
+            .iter()
+            .flat_map(|(slot, set)| set.iter().map(move |w| (*slot, *w)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Total number of (slot, worker) commitments.
     pub fn len(&self) -> usize {
         self.commitments

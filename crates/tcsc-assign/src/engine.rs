@@ -14,8 +14,11 @@
 //!
 //! * The cache stores, per task, the *base* per-slot candidates — the nearest
 //!   worker per slot under an **empty** ledger.  The base depends only on the
-//!   (immutable) index, so it never goes stale and can be reused by every
-//!   later call.
+//!   index, and the index only changes through the engine's own mutation API
+//!   ([`AssignmentEngine::insert_worker`] / [`AssignmentEngine::remove_worker`]
+//!   / [`AssignmentEngine::move_worker`]), which invalidates exactly the
+//!   affected cached slots through a persistent **worker → holder-tasks map**
+//!   — so the base is always exact with respect to the current index.
 //! * At checkout the base is cloned and reconciled with the engine's current
 //!   ledger: only slots whose base candidate is occupied are recomputed
 //!   (invalidation-driven refresh); every other slot is served without
@@ -42,13 +45,13 @@ pub(crate) mod commit;
 pub mod concurrent;
 
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use tcsc_core::{
-    CostModel, Domain, ExecutedSubtask, InterpolationWeights, MultiAssignment, QualityParams,
-    SpatioTemporalEvaluator, Task, TaskId,
+    CostModel, Domain, ExecutedSubtask, InterpolationWeights, Location, MultiAssignment,
+    QualityParams, SpatioTemporalEvaluator, Task, TaskId, Worker, WorkerId,
 };
-use tcsc_index::{SpatialQuery, WorkerIndex};
+use tcsc_index::{IndexMutation, MutableSpatialIndex, SpatialQuery, WorkerIndex, WorkerProfile};
 use tcsc_obs::{NoopRecorder, Recorder, Stopwatch};
 
 use crate::candidates::{SlotCandidates, WorkerLedger};
@@ -171,6 +174,45 @@ impl CacheStats {
     }
 }
 
+/// Per-drain index-churn accounting of the mutable-index service mode:
+/// what the engine's worker mutations cost since the last drain, and what a
+/// rebuild-per-mutation strategy would have paid instead.  Published into the
+/// recorder's metrics registry on every drain and then reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnCounters {
+    /// Worker mutations (insert/remove/move) applied since the last drain.
+    pub ops: u64,
+    /// Index entries actually re-gridded by those mutations (the tile-local
+    /// splice cost).
+    pub entries_touched: u64,
+    /// Index entries a from-scratch rebuild after each mutation would have
+    /// re-gridded (the cost the in-place mutations avoided).
+    pub rebuild_equiv: u64,
+    /// Cached candidate slots refreshed by worker-scoped invalidation.
+    pub cache_refreshes: u64,
+}
+
+impl ChurnCounters {
+    fn note(&mut self, mutation: &IndexMutation, cache_refreshes: usize) {
+        self.ops += 1;
+        self.entries_touched += mutation.entries_touched as u64;
+        self.rebuild_equiv += mutation.rebuild_equiv_entries as u64;
+        self.cache_refreshes += cache_refreshes as u64;
+    }
+
+    /// Publishes the counters (plus the index's current bucket-imbalance
+    /// gauge) into a recorder and resets them.  Emitted even when zero, so a
+    /// service dashboard always sees the churn keys.
+    fn publish_and_reset(&mut self, obs: &impl Recorder, imbalance_milli: u64) {
+        obs.counter("index.moves", self.ops);
+        obs.counter("index.entries_spliced", self.entries_touched);
+        obs.counter("index.rebuild_equiv_cost", self.rebuild_equiv);
+        obs.counter("index.cache_refreshes", self.cache_refreshes);
+        obs.gauge("index.occupancy_imbalance_milli", imbalance_milli);
+        *self = Self::default();
+    }
+}
+
 /// One cached task: the task identity (to detect id reuse), its base
 /// candidates and the LRU stamp of its last checkout.
 #[derive(Debug, Clone)]
@@ -186,9 +228,31 @@ struct CacheEntry {
 /// Incremental per-task candidate cache.
 ///
 /// Maps a task to its *base* [`SlotCandidates`] — the per-slot nearest
-/// workers under an empty ledger.  Because the worker index is immutable, the
-/// base never goes stale; occupancy is reconciled at checkout by refreshing
-/// only the slots whose base candidate is currently occupied.
+/// workers under an empty ledger.  Occupancy is reconciled at checkout by
+/// refreshing only the slots whose base candidate is currently occupied.
+///
+/// # Worker-scoped invalidation
+///
+/// The cache maintains a reverse **worker → holder-tasks** map: which cached
+/// tasks currently hold a given worker as a base candidate of at least one
+/// slot.  When the index mutates underneath the cache
+/// ([`MutableSpatialIndex`]), the engine calls the matching invalidation:
+///
+/// * [`CandidateCache::invalidate_removed`] — only the holder tasks of the
+///   removed worker can lose a candidate; exactly their holding slots are
+///   recomputed.
+/// * [`CandidateCache::invalidate_inserted`] — a new worker can only *win* a
+///   slot, so a cached slot is recomputed iff it is empty or the new worker's
+///   distance beats (or ties) the current candidate's — a cheap arithmetic
+///   ring bound per slot, no index query unless the slot can actually change.
+/// * [`CandidateCache::invalidate_moved`] — the union of both rules: every
+///   holding slot (the worker may have moved away, or just needs its cached
+///   location refreshed) plus every slot the new location can now win.
+///
+/// Every refresh recomputes the slot with the same empty-ledger
+/// `candidate_for_slot` a cold computation uses, so an invalidated cache is
+/// bit-identical to a cache rebuilt from scratch against the mutated index —
+/// locked in by `tests/mutation_equivalence.rs`.
 ///
 /// # Eviction
 ///
@@ -203,9 +267,46 @@ struct CacheEntry {
 #[derive(Debug, Default)]
 pub struct CandidateCache {
     base: HashMap<TaskId, CacheEntry>,
+    /// Reverse map: worker -> cached tasks holding it as a base candidate of
+    /// at least one slot.  Kept exactly in sync with `base` (registered on
+    /// insert/refresh, unregistered on evict/replace), it turns a worker
+    /// removal into an `O(|holders|)` refresh instead of a full-cache scan.
+    holders: HashMap<WorkerId, BTreeSet<TaskId>>,
     capacity: Option<usize>,
     round: u64,
     tick: u64,
+}
+
+/// Registers every base-candidate worker of `base` as held by `task`.
+fn register_holders(
+    holders: &mut HashMap<WorkerId, BTreeSet<TaskId>>,
+    task: TaskId,
+    base: &SlotCandidates,
+) {
+    for slot in 0..base.len() {
+        if let Some(c) = base.get(slot) {
+            holders.entry(c.worker).or_default().insert(task);
+        }
+    }
+}
+
+/// Removes `task` from the holder sets of every base-candidate worker of
+/// `base`, dropping sets that become empty.
+fn unregister_holders(
+    holders: &mut HashMap<WorkerId, BTreeSet<TaskId>>,
+    task: TaskId,
+    base: &SlotCandidates,
+) {
+    for slot in 0..base.len() {
+        if let Some(c) = base.get(slot) {
+            if let Some(set) = holders.get_mut(&c.worker) {
+                set.remove(&task);
+                if set.is_empty() {
+                    holders.remove(&c.worker);
+                }
+            }
+        }
+    }
 }
 
 impl CandidateCache {
@@ -268,11 +369,25 @@ impl CandidateCache {
     /// Drops every cached entry (e.g. after swapping the worker index).
     pub fn clear(&mut self) {
         self.base.clear();
+        self.holders.clear();
     }
 
     /// Evicts one task's entry, returning whether it was present.
     pub fn evict(&mut self, task: TaskId) -> bool {
-        self.base.remove(&task).is_some()
+        match self.base.remove(&task) {
+            Some(entry) => {
+                unregister_holders(&mut self.holders, task, &entry.base);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of cached tasks currently holding `worker` as a base candidate
+    /// of at least one slot (the invalidation fan-out of removing or moving
+    /// that worker).
+    pub fn holding_tasks(&self, worker: WorkerId) -> usize {
+        self.holders.get(&worker).map_or(0, BTreeSet::len)
     }
 
     /// Evicts least-recently-used entries until the capacity bound holds.
@@ -287,8 +402,134 @@ impl CandidateCache {
                 .min_by_key(|(id, e)| (e.last_used, id.0))
                 .map(|(id, _)| *id)
                 .expect("a non-empty cache has an LRU entry");
-            self.base.remove(&lru);
+            self.evict(lru);
         }
+    }
+
+    /// Refreshes the cache after `id` was **removed** from the index: every
+    /// slot whose base candidate was the removed worker is recomputed with
+    /// empty-ledger semantics.  Only the holder tasks of `id` are touched.
+    /// Returns the number of slot refreshes performed.
+    pub fn invalidate_removed(
+        &mut self,
+        id: WorkerId,
+        index: &dyn SpatialQuery,
+        cost_model: &dyn CostModel,
+    ) -> usize {
+        let Some(tasks) = self.holders.get(&id) else {
+            return 0;
+        };
+        let tasks: Vec<TaskId> = tasks.iter().copied().collect();
+        let empty = WorkerLedger::new();
+        let mut refreshed = 0;
+        for tid in tasks {
+            let Some(entry) = self.base.get_mut(&tid) else {
+                continue;
+            };
+            unregister_holders(&mut self.holders, tid, &entry.base);
+            for slot in 0..entry.base.len() {
+                if entry.base.get(slot).is_some_and(|c| c.worker == id) {
+                    entry
+                        .base
+                        .refresh_slot(&entry.task, slot, index, cost_model, &empty);
+                    refreshed += 1;
+                }
+            }
+            register_holders(&mut self.holders, tid, &entry.base);
+        }
+        refreshed
+    }
+
+    /// Refreshes the cache after a worker was **inserted** into the index at
+    /// `profile`'s locations.  A fresh worker can only *win* a slot, so a
+    /// cached slot is recomputed iff it has no candidate, or the new worker's
+    /// distance beats (or ties) the current candidate's distance — checked by
+    /// arithmetic alone, with an index query only for slots that can change.
+    /// Returns the number of slot refreshes performed.
+    pub fn invalidate_inserted(
+        &mut self,
+        id: WorkerId,
+        profile: &WorkerProfile,
+        index: &dyn SpatialQuery,
+        cost_model: &dyn CostModel,
+    ) -> usize {
+        self.invalidate_upsert(id, profile, false, index, cost_model)
+    }
+
+    /// Refreshes the cache after a worker **moved** to `profile`'s (new)
+    /// locations: the union of the removal rule (every slot holding the
+    /// worker — it may have moved away, and its cached location must stay
+    /// current) and the insertion rule (every slot the new location can now
+    /// win).  Returns the number of slot refreshes performed.
+    pub fn invalidate_moved(
+        &mut self,
+        id: WorkerId,
+        profile: &WorkerProfile,
+        index: &dyn SpatialQuery,
+        cost_model: &dyn CostModel,
+    ) -> usize {
+        self.invalidate_upsert(id, profile, true, index, cost_model)
+    }
+
+    fn invalidate_upsert(
+        &mut self,
+        id: WorkerId,
+        profile: &WorkerProfile,
+        include_holding_slots: bool,
+        index: &dyn SpatialQuery,
+        cost_model: &dyn CostModel,
+    ) -> usize {
+        let empty = WorkerLedger::new();
+        let mut refreshed = 0;
+        // The win check scans every cached task, but it is pure arithmetic
+        // (two distances per in-horizon profile entry); the expensive index
+        // query runs only for slots that can actually change.
+        let ids: Vec<TaskId> = self.base.keys().copied().collect();
+        for tid in ids {
+            let entry = self.base.get_mut(&tid).expect("the id was just listed");
+            let mut slots: BTreeSet<usize> = BTreeSet::new();
+            if include_holding_slots {
+                for slot in 0..entry.base.len() {
+                    if entry.base.get(slot).is_some_and(|c| c.worker == id) {
+                        slots.insert(slot);
+                    }
+                }
+            }
+            for (slot, loc) in &profile.entries {
+                if *slot >= entry.base.len() {
+                    continue;
+                }
+                let wins = match entry.base.get(*slot) {
+                    // An empty slot gains its first candidate.
+                    None => true,
+                    // Already covered by the holding-slot rule above.
+                    Some(cur) if cur.worker == id => false,
+                    // Recompute on a tie as well: the index's own tie-break
+                    // decides, and a spurious refresh is merely redundant
+                    // work, never a wrong candidate.
+                    Some(cur) => {
+                        let d_new = entry.task.location.distance(loc);
+                        let d_cur = entry.task.location.distance(&cur.worker_location);
+                        d_new <= d_cur
+                    }
+                };
+                if wins {
+                    slots.insert(*slot);
+                }
+            }
+            if slots.is_empty() {
+                continue;
+            }
+            unregister_holders(&mut self.holders, tid, &entry.base);
+            for slot in slots {
+                entry
+                    .base
+                    .refresh_slot(&entry.task, slot, index, cost_model, &empty);
+                refreshed += 1;
+            }
+            register_holders(&mut self.holders, tid, &entry.base);
+        }
+        refreshed
     }
 
     /// Checks a task's *base* candidates out of the cache: a clone of the
@@ -309,7 +550,14 @@ impl CandidateCache {
         if !hit {
             stats.tasks_computed += 1;
             stats.slot_computations += task.num_slots;
+            // Id reuse across different task identities: the stale entry's
+            // holder registrations must leave *before* the new ones arrive
+            // (the two bases may share workers).
+            if let Some(old) = self.base.remove(&task.id) {
+                unregister_holders(&mut self.holders, task.id, &old.base);
+            }
             let base = SlotCandidates::compute(task, index, cost_model);
+            register_holders(&mut self.holders, task.id, &base);
             self.base.insert(
                 task.id,
                 CacheEntry {
@@ -424,6 +672,7 @@ pub struct AssignmentEngine<'a, R: Recorder = NoopRecorder> {
     cache: CandidateCache,
     pending: Vec<Task>,
     lifetime_stats: CacheStats,
+    churn: ChurnCounters,
     obs: R,
 }
 
@@ -456,6 +705,7 @@ impl<'a> AssignmentEngine<'a> {
             cache: CandidateCache::new(),
             pending: Vec::new(),
             lifetime_stats: CacheStats::default(),
+            churn: ChurnCounters::default(),
             obs: NoopRecorder,
         }
     }
@@ -475,6 +725,7 @@ impl<'a, R: Recorder> AssignmentEngine<'a, R> {
             cache: self.cache,
             pending: self.pending,
             lifetime_stats: self.lifetime_stats,
+            churn: self.churn,
             obs,
         }
     }
@@ -572,6 +823,100 @@ impl<'a, R: Recorder> AssignmentEngine<'a, R> {
         released
     }
 
+    /// Inserts a worker into the engine's index (an offline worker coming
+    /// online), invalidating exactly the cached candidate slots the new
+    /// worker can win.  Rejected (`applied == false`) and a no-op when a
+    /// worker with the same id is already registered.
+    pub fn insert_worker(&mut self, worker: &Worker) -> IndexMutation {
+        let mutation = self.index.to_mut().insert_worker(worker);
+        if mutation.applied {
+            let profile = self
+                .index
+                .worker_profile(worker.id)
+                .expect("the worker was just inserted");
+            let refreshed = self.cache.invalidate_inserted(
+                worker.id,
+                &profile,
+                self.index.as_ref(),
+                self.cost_model,
+            );
+            self.churn.note(&mutation, refreshed);
+        }
+        mutation
+    }
+
+    /// Removes a worker from the engine's index (going offline), releasing
+    /// its ledger commitments at every in-horizon slot and refreshing exactly
+    /// the cached tasks that held it as a candidate.  Rejected and a no-op
+    /// for an unknown id.
+    pub fn remove_worker(&mut self, id: WorkerId) -> IndexMutation {
+        let profile = self.index.worker_profile(id);
+        let mutation = self.index.to_mut().remove_worker(id);
+        if mutation.applied {
+            if let Some(profile) = &profile {
+                for (slot, _) in &profile.entries {
+                    self.ledger.release(*slot, id);
+                }
+            }
+            let refreshed = self
+                .cache
+                .invalidate_removed(id, self.index.as_ref(), self.cost_model);
+            self.churn.note(&mutation, refreshed);
+        }
+        mutation
+    }
+
+    /// Moves a worker: every availability entry relocates to `to` inside the
+    /// index (a tile-local splice, not a rebuild), and the cache refreshes
+    /// the slots that held the worker plus the slots its new position can
+    /// win.  Ledger commitments are unaffected — the dense ledger keys on
+    /// `(slot, worker)` only.  Rejected and a no-op for an unknown id.
+    pub fn move_worker(&mut self, id: WorkerId, to: Location) -> IndexMutation {
+        let mutation = self.index.to_mut().move_worker(id, to);
+        if mutation.applied {
+            let profile = self
+                .index
+                .worker_profile(id)
+                .expect("a moved worker stays registered");
+            let refreshed =
+                self.cache
+                    .invalidate_moved(id, &profile, self.index.as_ref(), self.cost_model);
+            self.churn.note(&mutation, refreshed);
+        }
+        mutation
+    }
+
+    /// Swaps in a freshly built index — the rebuild-per-drain baseline the
+    /// mutation API above replaces.  The candidate cache is dropped cold, and
+    /// ledger commitments the new index no longer supports (worker absent, or
+    /// no longer available at the slot) are released, matching what the
+    /// in-place path's `remove_worker` releases.  (An id removed and later
+    /// re-registered *with the same slot* is indistinguishable from one that
+    /// never left — avoid recycling worker ids across a rebuild.)
+    pub fn replace_index(&mut self, index: WorkerIndex) {
+        self.index = Cow::Owned(index);
+        self.cache.clear();
+        let retained: Vec<(usize, WorkerId)> = self
+            .ledger
+            .commitments()
+            .into_iter()
+            .filter(|(slot, worker)| {
+                self.index
+                    .worker_profile(*worker)
+                    .is_some_and(|p| p.entries.iter().any(|(s, _)| s == slot))
+            })
+            .collect();
+        self.ledger.clear();
+        for (slot, worker) in retained {
+            self.ledger.occupy(slot, worker);
+        }
+    }
+
+    /// The index-churn counters accumulated since the last drain.
+    pub fn churn(&self) -> ChurnCounters {
+        self.churn
+    }
+
     /// Queues task arrivals for the next [`AssignmentEngine::drain`].
     pub fn submit(&mut self, tasks: impl IntoIterator<Item = Task>) {
         self.pending.extend(tasks);
@@ -619,6 +964,10 @@ impl<'a, R: Recorder> AssignmentEngine<'a, R> {
                 .gauge("engine.ledger_size", self.ledger.len() as u64);
             self.obs
                 .gauge("engine.cache_entries", self.cache.len() as u64);
+            let imbalance = self.index.occupancy_imbalance_milli();
+            self.churn.publish_and_reset(&self.obs, imbalance);
+        } else {
+            self.churn = ChurnCounters::default();
         }
         outcome
     }
@@ -1182,6 +1531,198 @@ mod tests {
         engine.submit(tasks);
         let again = engine.drain(Objective::SumQuality);
         assert_eq!(again.assignment, outcome.assignment);
+    }
+
+    /// Asserts that every cached base is bit-identical to a from-scratch
+    /// computation against the current index.
+    fn assert_cache_exact(
+        cache: &mut CandidateCache,
+        tasks: &[Task],
+        index: &WorkerIndex,
+        cost: &EuclideanCost,
+    ) {
+        for t in tasks {
+            let mut probe = CacheStats::default();
+            let cached = cache.checkout_base(t, index, cost, &mut probe);
+            assert_eq!(probe.tasks_reused, 1, "task {:?} must stay cached", t.id);
+            let fresh = SlotCandidates::compute(t, index, cost);
+            for slot in 0..cached.len() {
+                let (a, b) = (cached.get(slot), fresh.get(slot));
+                assert_eq!(
+                    a.map(|c| c.worker),
+                    b.map(|c| c.worker),
+                    "task {:?} slot {slot}",
+                    t.id
+                );
+                assert_eq!(a.map(|c| c.cost.to_bits()), b.map(|c| c.cost.to_bits()));
+                assert_eq!(
+                    a.map(|c| (c.worker_location.x.to_bits(), c.worker_location.y.to_bits())),
+                    b.map(|c| (c.worker_location.x.to_bits(), c.worker_location.y.to_bits())),
+                    "cached worker locations must track moves (task {:?} slot {slot})",
+                    t.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_mutations_keep_cached_bases_exact() {
+        use tcsc_core::{Location, Worker, WorkerId, WorkerSlot};
+        let (tasks, index, cost) = small_instance(86, 6, 12, 60);
+        let mut index = index;
+        let mut cache = CandidateCache::new();
+        let mut stats = CacheStats::default();
+        for t in &tasks {
+            cache.checkout_base(t, &index, &cost, &mut stats);
+        }
+
+        // Move a worker right onto a task: it must win that task's slots.
+        let moved = WorkerId(3);
+        assert!(index.move_worker(moved, tasks[0].location).applied);
+        let profile = index.worker_profile(moved).unwrap();
+        cache.invalidate_moved(moved, &profile, &index, &cost);
+        assert_cache_exact(&mut cache, &tasks, &index, &cost);
+
+        // Insert a fresh worker between two tasks.
+        let newcomer = Worker::new(
+            WorkerId(1000),
+            [0usize, 3, 7]
+                .into_iter()
+                .map(|slot| WorkerSlot {
+                    slot,
+                    location: Location::new(tasks[1].location.x + 0.5, tasks[1].location.y),
+                })
+                .collect(),
+        );
+        assert!(index.insert_worker(&newcomer).applied);
+        let profile = index.worker_profile(newcomer.id).unwrap();
+        cache.invalidate_inserted(newcomer.id, &profile, &index, &cost);
+        assert_cache_exact(&mut cache, &tasks, &index, &cost);
+
+        // Remove workers until some cached slot actually loses its holder.
+        for id in [WorkerId(3), WorkerId(1000), WorkerId(0), WorkerId(7)] {
+            if index.remove_worker(id).applied {
+                cache.invalidate_removed(id, &index, &cost);
+                assert_cache_exact(&mut cache, &tasks, &index, &cost);
+            }
+        }
+
+        // Move a worker far away: holder slots must fall back correctly.
+        let far = WorkerId(11);
+        assert!(index.move_worker(far, Location::new(250.0, -40.0)).applied);
+        let profile = index.worker_profile(far).unwrap();
+        cache.invalidate_moved(far, &profile, &index, &cost);
+        assert_cache_exact(&mut cache, &tasks, &index, &cost);
+    }
+
+    #[test]
+    fn holder_map_follows_evictions_and_clears() {
+        let (tasks, index, cost) = small_instance(87, 4, 10, 50);
+        let mut cache = CandidateCache::new();
+        let mut stats = CacheStats::default();
+        for t in &tasks {
+            cache.checkout_base(t, &index, &cost, &mut stats);
+        }
+        let base = SlotCandidates::compute(&tasks[0], &index, &cost);
+        let held = base.get(0).expect("slot 0 has a candidate").worker;
+        assert!(cache.holding_tasks(held) >= 1);
+        // Evicting every task must leave no registration behind.
+        for t in &tasks {
+            cache.evict(t.id);
+        }
+        assert_eq!(cache.holding_tasks(held), 0);
+        // Re-checkout and clear: same outcome.
+        for t in &tasks {
+            cache.checkout_base(t, &index, &cost, &mut stats);
+        }
+        assert!(cache.holding_tasks(held) >= 1);
+        cache.clear();
+        assert_eq!(cache.holding_tasks(held), 0);
+    }
+
+    #[test]
+    fn remove_worker_releases_its_ledger_commitments() {
+        use tcsc_index::MutableSpatialIndex;
+        let (tasks, index, cost) = small_instance(88, 6, 20, 50);
+        let mut engine = AssignmentEngine::new(index, &cost, MultiTaskConfig::new(60.0));
+        let outcome = engine.assign_batch(&tasks, Objective::SumQuality);
+        let exec = *outcome
+            .assignment
+            .plans
+            .iter()
+            .flat_map(|p| &p.executions)
+            .next()
+            .expect("the batch committed at least one execution");
+        assert!(engine.ledger().is_occupied(exec.slot, exec.worker));
+        let before = engine.ledger().len();
+        assert!(engine.remove_worker(exec.worker).applied);
+        assert!(!engine.ledger().is_occupied(exec.slot, exec.worker));
+        assert!(engine.ledger().len() < before);
+        assert!(engine.index().worker_profile(exec.worker).is_none());
+    }
+
+    #[test]
+    fn churn_counters_accumulate_and_reset_on_drain() {
+        use tcsc_core::{Location, Worker, WorkerId, WorkerSlot};
+        let (tasks, index, cost) = small_instance(89, 4, 10, 40);
+        let mut engine = AssignmentEngine::new(index, &cost, MultiTaskConfig::new(25.0));
+        assert!(
+            engine
+                .move_worker(WorkerId(1), Location::new(10.0, 10.0))
+                .applied
+        );
+        let fresh = Worker::new(
+            WorkerId(500),
+            vec![WorkerSlot {
+                slot: 0,
+                location: Location::new(1.0, 1.0),
+            }],
+        );
+        assert!(engine.insert_worker(&fresh).applied);
+        assert!(engine.remove_worker(WorkerId(2)).applied);
+        // Rejected mutations leave the counters alone.
+        assert!(!engine.remove_worker(WorkerId(2)).applied);
+        let churn = engine.churn();
+        assert_eq!(churn.ops, 3);
+        assert!(churn.entries_touched > 0);
+        assert!(churn.rebuild_equiv >= churn.entries_touched);
+        engine.submit(tasks);
+        engine.drain(Objective::SumQuality);
+        assert_eq!(engine.churn(), ChurnCounters::default());
+    }
+
+    #[test]
+    fn replace_index_prunes_unsupported_commitments() {
+        use tcsc_core::WorkerPool;
+        use tcsc_index::MutableSpatialIndex;
+        let (tasks, workers, domain) = crate::multi::test_support::small_world(90, 6, 15, 60);
+        let index = WorkerIndex::build(&workers, 15, &domain);
+        let cost = EuclideanCost::default();
+        let mut engine = AssignmentEngine::new(index, &cost, MultiTaskConfig::new(60.0));
+        let outcome = engine.assign_batch(&tasks, Objective::SumQuality);
+        let victim = outcome
+            .assignment
+            .plans
+            .iter()
+            .flat_map(|p| &p.executions)
+            .next()
+            .expect("at least one execution")
+            .worker;
+        let before = engine.ledger().len();
+        // Rebuild from a pool without the victim: its commitments must go.
+        let pruned: Vec<_> = workers
+            .workers()
+            .iter()
+            .filter(|w| w.id != victim)
+            .cloned()
+            .collect();
+        engine.replace_index(WorkerIndex::build(&WorkerPool::new(pruned), 15, &domain));
+        assert!(engine.ledger().len() < before);
+        assert!(engine.index().worker_profile(victim).is_none());
+        assert!(
+            engine.cache().is_empty(),
+            "replace_index drops the cache cold"
+        );
     }
 
     #[test]

@@ -24,9 +24,11 @@
 //! engine; only *pure computations* are parallelised:
 //!
 //! * checkout and refresh of a task's candidates depend on the task, the
-//!   immutable index and the ledger state at a phase boundary — computing
-//!   them on any thread gives the same result the serial engine computes
-//!   inline;
+//!   index state at the phase boundary (the index only mutates *between*
+//!   solves, through the engine's own insert/remove/move API, which keeps
+//!   the shard caches exact) and the ledger state at that boundary —
+//!   computing them on any thread gives the same result the serial engine
+//!   computes inline;
 //! * budget arithmetic happens only in the commit loop, in commit order, so
 //!   every affordability comparison sees the exact `f64` the serial engine
 //!   sees.
@@ -50,16 +52,17 @@ use std::sync::{Mutex, RwLock, RwLockReadGuard};
 use std::thread;
 
 use tcsc_core::{
-    AssignmentPlan, CandidateAssignment, CostModel, MultiAssignment, SlotIndex, Task, WorkerId,
+    AssignmentPlan, CandidateAssignment, CostModel, Location, MultiAssignment, SlotIndex, Task,
+    Worker, WorkerId,
 };
-use tcsc_index::ShardedWorkerIndex;
+use tcsc_index::{IndexMutation, MutableSpatialIndex, ShardedWorkerIndex};
 use tcsc_obs::{NoopRecorder, Recorder, Stopwatch};
 
 use crate::candidates::WorkerLedger;
 use crate::engine::commit::{
     inline_wave, mmqm_commit_loop, msqm_commit_loop, msqm_commit_loop_celf, CommitBackend,
 };
-use crate::engine::{CacheStats, CandidateCache, Objective};
+use crate::engine::{CacheStats, CandidateCache, ChurnCounters, Objective};
 use crate::multi::{ConflictAccounting, MultiOutcome, MultiTaskConfig, TaskCandidate, TaskState};
 
 /// Minimum number of simultaneously invalidated tasks before an in-loop
@@ -124,6 +127,30 @@ impl ShardedLedger {
             .read()
             .expect("ledger shard lock poisoned")
             .is_occupied(slot, worker)
+    }
+
+    /// Releases one commitment within a shard, returning whether it was held
+    /// (the migration path of a cross-tile worker move, and the release path
+    /// of a worker going offline).
+    pub fn release(&self, shard: usize, slot: SlotIndex, worker: WorkerId) -> bool {
+        self.shards[shard]
+            .write()
+            .expect("ledger shard lock poisoned")
+            .release(slot, worker)
+    }
+
+    /// Every `(shard, slot, worker)` commitment, in ascending order — the
+    /// deterministic enumeration used when the ledger is re-routed through a
+    /// freshly built index.
+    pub fn commitments(&self) -> Vec<(usize, SlotIndex, WorkerId)> {
+        let mut out = Vec::new();
+        for (shard, lock) in self.shards.iter().enumerate() {
+            let ledger = lock.read().expect("ledger shard lock poisoned");
+            for (slot, worker) in ledger.commitments() {
+                out.push((shard, slot, worker));
+            }
+        }
+        out
     }
 
     /// Releases every commitment of every shard.
@@ -322,6 +349,7 @@ pub struct ConcurrentAssignmentEngine<'a, R: Recorder = NoopRecorder> {
     threads: usize,
     lifetime_stats: CacheStats,
     last_disjoint: Option<DisjointDrainReport>,
+    churn: ChurnCounters,
     /// Event recorder (statically dispatched; `NoopRecorder` by default
     /// keeps the un-instrumented hot paths free of any recording code).
     obs: R,
@@ -349,6 +377,7 @@ impl<'a> ConcurrentAssignmentEngine<'a> {
             threads: threads.max(1),
             lifetime_stats: CacheStats::default(),
             last_disjoint: None,
+            churn: ChurnCounters::default(),
             obs: NoopRecorder,
         }
     }
@@ -369,6 +398,7 @@ impl<'a, R: Recorder> ConcurrentAssignmentEngine<'a, R> {
             threads: self.threads,
             lifetime_stats: self.lifetime_stats,
             last_disjoint: self.last_disjoint,
+            churn: self.churn,
             obs,
         }
     }
@@ -431,6 +461,129 @@ impl<'a, R: Recorder> ConcurrentAssignmentEngine<'a, R> {
     /// warm.
     pub fn release_all(&mut self) {
         self.ledger.clear();
+    }
+
+    /// Inserts a worker into the sharded index (an offline worker coming
+    /// online): a tile-local bucket splice, followed by worker-scoped
+    /// invalidation across every shard cache (a task homed in tile A may
+    /// hold a candidate of tile B).  Rejected and a no-op for a duplicate id.
+    pub fn insert_worker(&mut self, worker: &Worker) -> IndexMutation {
+        let mutation = self.index.insert_worker(worker);
+        if mutation.applied {
+            let profile = self
+                .index
+                .worker_profile(worker.id)
+                .expect("the worker was just inserted");
+            let refreshed = self.invalidate_caches(|cache| {
+                cache.invalidate_inserted(worker.id, &profile, &self.index, self.cost_model)
+            });
+            self.churn.note(&mutation, refreshed);
+        }
+        mutation
+    }
+
+    /// Removes a worker (going offline): its ledger commitments are released
+    /// from the shards owning its in-horizon locations, and the holder tasks
+    /// of every shard cache refresh their affected slots.  Rejected and a
+    /// no-op for an unknown id.
+    pub fn remove_worker(&mut self, id: WorkerId) -> IndexMutation {
+        let profile = self.index.worker_profile(id);
+        let mutation = self.index.remove_worker(id);
+        if mutation.applied {
+            if let Some(profile) = &profile {
+                for (slot, loc) in &profile.entries {
+                    let shard = self.index.spatial_shard_of(loc);
+                    self.ledger.release(shard, *slot, id);
+                }
+            }
+            let refreshed = self.invalidate_caches(|cache| {
+                cache.invalidate_removed(id, &self.index, self.cost_model)
+            });
+            self.churn.note(&mutation, refreshed);
+        }
+        mutation
+    }
+
+    /// Moves a worker: the index splices only the affected tile buckets, the
+    /// shard caches refresh only the slots the move can change, and — unlike
+    /// the dense engine, whose ledger is location-blind — any ledger
+    /// commitment of the worker **migrates** to the shard owning its new
+    /// location when the move crossed a tile, keeping the
+    /// shard-owns-its-workers'-occupancy routing invariant intact.  Rejected
+    /// and a no-op for an unknown id.
+    pub fn move_worker(&mut self, id: WorkerId, to: Location) -> IndexMutation {
+        let before = self.index.worker_profile(id);
+        let mutation = self.index.move_worker(id, to);
+        if mutation.applied {
+            let after = self
+                .index
+                .worker_profile(id)
+                .expect("a moved worker stays registered");
+            let before = before.expect("the move applied, so the worker was registered");
+            for ((slot, old_loc), (slot_after, new_loc)) in
+                before.entries.iter().zip(&after.entries)
+            {
+                debug_assert_eq!(slot, slot_after, "a move never changes the slot set");
+                let old_shard = self.index.spatial_shard_of(old_loc);
+                let new_shard = self.index.spatial_shard_of(new_loc);
+                if old_shard != new_shard && self.ledger.release(old_shard, *slot, id) {
+                    self.ledger.occupy(new_shard, *slot, id);
+                }
+            }
+            let refreshed = self.invalidate_caches(|cache| {
+                cache.invalidate_moved(id, &after, &self.index, self.cost_model)
+            });
+            self.churn.note(&mutation, refreshed);
+        }
+        mutation
+    }
+
+    /// Runs a worker-scoped invalidation over every shard cache, summing the
+    /// slot refreshes.
+    fn invalidate_caches(&self, mut invalidate: impl FnMut(&mut CandidateCache) -> usize) -> usize {
+        self.caches
+            .iter()
+            .map(|cache| invalidate(&mut cache.lock().expect("shard cache lock poisoned")))
+            .sum()
+    }
+
+    /// Swaps in a freshly built sharded index — the rebuild-per-drain
+    /// baseline the mutation API above replaces.  The shard caches come back
+    /// cold (sized to the new grid), and every surviving ledger commitment is
+    /// re-routed through the new index's registry: a commitment is kept iff
+    /// the new index holds its worker at its slot, and it lands in the shard
+    /// owning the worker's (possibly new) location.
+    pub fn rebuild_index(&mut self, index: ShardedWorkerIndex) {
+        let commitments = self.ledger.commitments();
+        let cache_capacity = self
+            .caches
+            .first()
+            .and_then(|c| c.lock().expect("shard cache lock poisoned").capacity());
+        self.index = index;
+        let num_shards = self.index.num_spatial_shards();
+        self.ledger = ShardedLedger::new(num_shards);
+        self.caches = (0..num_shards)
+            .map(|_| {
+                let mut cache = CandidateCache::new();
+                cache.set_capacity(cache_capacity);
+                Mutex::new(cache)
+            })
+            .collect();
+        for (_, slot, worker) in commitments {
+            let Some(profile) = self.index.worker_profile(worker) else {
+                continue;
+            };
+            let Some((_, loc)) = profile.entries.iter().find(|(s, _)| *s == slot) else {
+                continue;
+            };
+            let shard = self.index.spatial_shard_of(loc);
+            self.ledger.occupy(shard, slot, worker);
+        }
+    }
+
+    /// The index-churn counters accumulated since the last drain.
+    pub fn churn(&self) -> ChurnCounters {
+        self.churn
     }
 
     /// Queues task arrivals for the next
@@ -503,7 +656,11 @@ impl<'a, R: Recorder> ConcurrentAssignmentEngine<'a, R> {
                 self.obs.value("cengine.drain_ns", sw.elapsed_nanos());
             }
             self.publish_metrics(&outcome);
+            let imbalance = self.index.occupancy_imbalance_milli();
+            self.churn.publish_and_reset(&self.obs, imbalance);
             self.obs.end("cengine.drain", tasks.len() as u64);
+        } else {
+            self.churn = ChurnCounters::default();
         }
         outcome
     }
@@ -1174,6 +1331,109 @@ mod tests {
         engine.submit(tasks);
         let _ = engine.drain_parallel(Objective::SumQuality);
         assert_eq!(engine.last_drain_report(), None);
+    }
+
+    #[test]
+    fn mutations_keep_matching_the_serial_engine() {
+        use tcsc_core::{Location, Worker, WorkerSlot};
+        for (seed, grid, threads) in [
+            (98u64, ShardGridConfig::new(3, 3), 4),
+            (99, ShardGridConfig::new(2, 4).with_time_splits(2), 2),
+        ] {
+            let (tasks, dense, sharded, cost) = build(seed, grid);
+            let cfg = MultiTaskConfig::new(55.0);
+            let mut serial = AssignmentEngine::new(dense, &cost, cfg);
+            let mut conc = ConcurrentAssignmentEngine::new(sharded, &cost, cfg, threads);
+            let (b1, b2) = tasks.split_at(4);
+            let s1 = serial.assign_batch(b1, Objective::SumQuality);
+            let c1 = conc.assign_batch_parallel(b1, Objective::SumQuality);
+            assert_eq!(s1.assignment, c1.assignment, "{grid:?}");
+
+            // The same mutation tape on both engines: a fresh worker comes
+            // online, a committed worker crosses the domain (ledger
+            // migration on the sharded side), one goes offline.
+            let fresh = Worker::new(
+                WorkerId(9000),
+                (0..20)
+                    .map(|slot| WorkerSlot {
+                        slot,
+                        location: Location::new(52.0, 48.0),
+                    })
+                    .collect(),
+            );
+            let committed = s1
+                .assignment
+                .plans
+                .iter()
+                .flat_map(|p| &p.executions)
+                .next()
+                .expect("batch 1 committed something")
+                .worker;
+            for (ms, mc) in [
+                (serial.insert_worker(&fresh), conc.insert_worker(&fresh)),
+                (
+                    serial.move_worker(committed, Location::new(97.0, 3.0)),
+                    conc.move_worker(committed, Location::new(97.0, 3.0)),
+                ),
+                (
+                    serial.remove_worker(WorkerId(17)),
+                    conc.remove_worker(WorkerId(17)),
+                ),
+                (
+                    serial.move_worker(WorkerId(5), Location::new(-10.0, 120.0)),
+                    conc.move_worker(WorkerId(5), Location::new(-10.0, 120.0)),
+                ),
+            ] {
+                assert!(ms.applied && mc.applied);
+                assert_eq!(ms.applied, mc.applied);
+            }
+            assert_eq!(
+                serial.ledger().len(),
+                conc.ledger().len(),
+                "dense and sharded ledgers must hold the same commitments"
+            );
+
+            let s2 = serial.assign_batch(b2, Objective::SumQuality);
+            let c2 = conc.assign_batch_parallel(b2, Objective::SumQuality);
+            assert_eq!(s2.assignment, c2.assignment, "{grid:?} after mutations");
+            assert_eq!(s2.conflicts, c2.conflicts);
+            assert_eq!(s2.executions, c2.executions);
+        }
+    }
+
+    #[test]
+    fn cross_tile_move_migrates_ledger_occupancy() {
+        let (tasks, _, sharded, cost) = build(100, ShardGridConfig::new(4, 4));
+        let mut engine =
+            ConcurrentAssignmentEngine::new(sharded, &cost, MultiTaskConfig::new(80.0), 2);
+        let outcome = engine.assign_batch_parallel(&tasks, Objective::SumQuality);
+        let exec = *outcome
+            .assignment
+            .plans
+            .iter()
+            .flat_map(|p| &p.executions)
+            .next()
+            .expect("at least one execution");
+        let before = engine.ledger().commitments();
+        // Push the worker into the far corner: every one of its commitments
+        // must land in the shard owning its new location.
+        let to = tcsc_core::Location::new(99.5, 99.5);
+        assert!(engine.move_worker(exec.worker, to).applied);
+        let target = engine.index().spatial_shard_of(&to);
+        let after = engine.ledger().commitments();
+        assert_eq!(before.len(), after.len(), "migration never loses entries");
+        for (shard, _, worker) in &after {
+            if *worker == exec.worker {
+                assert_eq!(*shard, target, "occupancy must follow the move");
+            }
+        }
+        // And removal drops them entirely.
+        assert!(engine.remove_worker(exec.worker).applied);
+        assert!(engine
+            .ledger()
+            .commitments()
+            .iter()
+            .all(|(_, _, w)| *w != exec.worker));
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod single;
 
 pub use candidates::{SlotCandidates, WorkerLedger};
 pub use engine::concurrent::{ConcurrentAssignmentEngine, DisjointDrainReport, ShardedLedger};
-pub use engine::{AssignmentEngine, CacheStats, CandidateCache, Objective};
+pub use engine::{AssignmentEngine, CacheStats, CandidateCache, ChurnCounters, Objective};
 pub use multi::conflict::{independence_graph, IndependenceGraph};
 pub use multi::gain::GainLedger;
 pub use multi::group_parallel::GroupParallelOutcome;

@@ -44,6 +44,11 @@
 //! unobserved pass, when the retired-task GC fails to bound the occupancy
 //! ledger, or when the span-tree profile's self-time disagrees with the
 //! measured drain wall clock by more than 5%.
+//! Running `fig9mob` writes `BENCH_fig9m.json` (mobile-worker service loop:
+//! mutate-in-place index maintenance vs rebuild-per-drain) and **exits
+//! non-zero** when the two passes' folded plan hashes diverge or when
+//! in-place maintenance fails to be at least 5× cheaper than the rebuild
+//! baseline at the current scale.
 
 use tcsc_bench::figures;
 use tcsc_bench::Scale;
@@ -195,6 +200,29 @@ fn run_figure(id: &str, scale: Scale) -> bool {
             "the span-tree profile's self-time must reconcile with the measured drain wall \
              clock within 5% ({:.2}ms profiled vs {:.2}ms measured)",
             measurements.profile_self_ms, measurements.drain_wall_ms
+        );
+        return true;
+    }
+    if id == "fig9mob" {
+        let measurements = figures::fig9mob_measurements(scale);
+        println!("{}", measurements.to_experiment().render());
+        match std::fs::write("BENCH_fig9m.json", measurements.to_json()) {
+            Ok(()) => eprintln!("wrote BENCH_fig9m.json"),
+            Err(e) => eprintln!("could not write BENCH_fig9m.json: {e}"),
+        }
+        assert!(
+            measurements.plan_hash_match,
+            "the mutate-in-place pass must decide bit-identical plans to rebuild-per-drain \
+             (mutate {:#018x} vs rebuild {:#018x})",
+            measurements.mutate_plan_hash, measurements.rebuild_plan_hash
+        );
+        assert!(
+            measurements.speedup_ok,
+            "in-place index maintenance must be at least 5x cheaper than rebuild-per-drain \
+             ({:.2}ms mutate vs {:.2}ms rebuild, {:.1}x)",
+            measurements.mutate_maintenance_ms,
+            measurements.rebuild_maintenance_ms,
+            measurements.maintenance_speedup
         );
         return true;
     }

@@ -1545,6 +1545,26 @@ pub struct Fig9cMeasurements {
     pub regions_overlapped: bool,
     /// The disjoint-drain thread sweep.
     pub threads: Vec<Fig9cThreadRow>,
+    /// The per-drain interior/boundary split (one streaming round per
+    /// drain, top thread count) — the tracked baseline for the "widen
+    /// interior classification" follow-up.
+    pub drains: Vec<Fig9cDrainRow>,
+}
+
+/// One drain of the round-by-round disjoint-drain pass: how the region
+/// classifier split that drain's tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9cDrainRow {
+    /// Drain index (one streaming round per drain).
+    pub drain: usize,
+    /// Disjoint regions overlapped in the drain.
+    pub regions_used: usize,
+    /// Tasks committed inside an interior region.
+    pub interior_tasks: usize,
+    /// Tasks reconciled by the serial boundary pass.
+    pub boundary_tasks: usize,
+    /// Interior conflict fallbacks deferred past the tile interior bound.
+    pub deferred_slots: usize,
 }
 
 impl Fig9cMeasurements {
@@ -1643,6 +1663,20 @@ impl Fig9cMeasurements {
                 if i + 1 < self.threads.len() { "," } else { "" }
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"drains\": [\n");
+        for (i, row) in self.drains.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"drain\": {}, \"regions_used\": {}, \"interior_tasks\": {}, \
+                 \"boundary_tasks\": {}, \"deferred_slots\": {} }}{}\n",
+                row.drain,
+                row.regions_used,
+                row.interior_tasks,
+                row.boundary_tasks,
+                row.deferred_slots,
+                if i + 1 < self.drains.len() { "," } else { "" }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -1734,6 +1768,33 @@ pub fn fig9celf_measurements(scale: Scale) -> Fig9cMeasurements {
         });
     }
 
+    // Per-drain split: the streaming rounds drained one at a time at the
+    // top thread count, so the interior/boundary classification gets a
+    // tracked per-drain baseline (previously only the one-off report of the
+    // final drain was visible).
+    let top_threads = *cores.last().expect("at least one thread count");
+    let mut round_engine = ConcurrentAssignmentEngine::new(
+        sharded.clone(),
+        &cost,
+        MultiTaskConfig::new(budget).with_accounting(ConflictAccounting::V2),
+        top_threads,
+    );
+    let mut drain_rows = Vec::new();
+    for (round, batch) in streaming.rounds.iter().enumerate() {
+        round_engine.submit(batch.iter().cloned());
+        let _ = round_engine.drain_parallel(Objective::SumQuality);
+        let report = round_engine
+            .last_drain_report()
+            .expect("V2 multi-shard drains take the disjoint-region path");
+        drain_rows.push(Fig9cDrainRow {
+            drain: round,
+            regions_used: report.regions_used,
+            interior_tasks: report.interior_tasks,
+            boundary_tasks: report.boundary_tasks,
+            deferred_slots: report.deferred_slots,
+        });
+    }
+
     Fig9cMeasurements {
         scale: label,
         num_tasks: tasks.len(),
@@ -1750,6 +1811,7 @@ pub fn fig9celf_measurements(scale: Scale) -> Fig9cMeasurements {
         v2_lazy_below_eager: v2.stats.commit_rescores < v1.stats.commit_rescores,
         regions_overlapped,
         threads: thread_rows,
+        drains: drain_rows,
     }
 }
 
@@ -2845,6 +2907,8 @@ pub fn fig9svc_measurements(scale: Scale) -> Fig9svcMeasurements {
     summary.push_str(&profile.render());
     summary.push_str("\nvirtual-session registry (latency windows):\n");
     summary.push_str(&virt_metrics.render());
+    summary.push_str("\nengine-session registry (index churn counters, gauges):\n");
+    summary.push_str(&wall.metrics().render());
 
     Fig9svcMeasurements {
         scale: label,
@@ -2880,6 +2944,458 @@ pub fn fig9svc_measurements(scale: Scale) -> Fig9svcMeasurements {
 /// latency percentiles, retired-task GC and the span-tree profile.
 pub fn fig9svc(scale: Scale) -> Experiment {
     fig9svc_measurements(scale).to_experiment()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9mob (repo extension): mobile workers on the mutable sharded index
+// ---------------------------------------------------------------------------
+
+/// Drain interval of the mobile-worker service loop, virtual µs (one motion
+/// tick per drain tick).
+const MOB_DRAIN_EVERY_US: u64 = 5_000;
+
+/// How the mobile-worker pass keeps its index current between drains.
+enum MobMaintenance {
+    /// Apply each motion event through the engine's mutation API
+    /// (tile-local splice + worker-scoped cache invalidation).
+    Mutate,
+    /// Track the fleet in a mirror pool and rebuild the sharded index from
+    /// scratch before every drain that saw motion — the pre-mutable-index
+    /// baseline.
+    Rebuild,
+}
+
+/// One pass of the fig9mob service loop.
+struct MobRun {
+    plan_hash: u64,
+    executions: u64,
+    drains: u64,
+    maintenance_ms: f64,
+    rebuilds: u64,
+    moves: u64,
+    offline: u64,
+    online: u64,
+    entries_spliced: u64,
+    rebuild_equiv: u64,
+    final_ledger: usize,
+    final_imbalance_milli: u64,
+}
+
+/// The raw measurements behind [`fig9mob`]: the fig9svc-style service loop
+/// with per-tick worker motion, run twice over identical arrival and motion
+/// tapes — mutate-in-place vs rebuild-per-drain — comparing index
+/// maintenance cost under the identical-plans gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9mMeasurements {
+    /// Scale label (`"quick"` / `"full"`).
+    pub scale: &'static str,
+    /// Tasks streamed through the service (per pass).
+    pub tasks_streamed: usize,
+    /// Initial worker-pool size (churn keeps it stable).
+    pub workers: usize,
+    /// Per-drain submission capacity.
+    pub capacity: usize,
+    /// Drain rounds executed (identical across passes).
+    pub drains: u64,
+    /// Committed executions of the mutate pass.
+    pub executions: u64,
+    /// Motion events applied: waypoint-drift moves.
+    pub moves: u64,
+    /// Motion events applied: sessions retired.
+    pub offline: u64,
+    /// Motion events applied: fresh sessions admitted.
+    pub online: u64,
+    /// Index entries spliced by the mutate pass (sum of
+    /// `IndexMutation::entries_touched`).
+    pub entries_spliced: u64,
+    /// Entries a rebuild would have re-inserted per mutation, summed — the
+    /// work the mutate pass avoided.
+    pub rebuild_equiv: u64,
+    /// Index rebuilds performed by the rebuild pass.
+    pub rebuilds: u64,
+    /// Total index-maintenance wall time of the mutate pass, ms.
+    pub mutate_maintenance_ms: f64,
+    /// Total index-maintenance wall time of the rebuild pass, ms.
+    pub rebuild_maintenance_ms: f64,
+    /// `rebuild_maintenance_ms / mutate_maintenance_ms`.
+    pub maintenance_speedup: f64,
+    /// Gate: in-place maintenance is ≥5× cheaper than rebuild-per-drain.
+    pub speedup_ok: bool,
+    /// Folded per-drain plan hash of the mutate pass.
+    pub mutate_plan_hash: u64,
+    /// Folded per-drain plan hash of the rebuild pass.
+    pub rebuild_plan_hash: u64,
+    /// Gate: the two passes decided bit-identical plans in every drain.
+    pub plan_hash_match: bool,
+    /// Occupancy-ledger size at stream end (identical across passes).
+    pub final_ledger: usize,
+    /// Tile-occupancy imbalance (max/mean bucket length ×1000) at stream
+    /// end.
+    pub final_imbalance_milli: u64,
+}
+
+impl Fig9mMeasurements {
+    /// Renders the measurements as an [`Experiment`] table.
+    pub fn to_experiment(&self) -> Experiment {
+        Experiment {
+            id: "fig9mob",
+            caption: "Mobile workers: mutate-in-place sharded index vs rebuild-per-drain \
+                      — maintenance cost under the identical-plans gate",
+            rows: vec![
+                Row::new(
+                    "locks",
+                    vec![
+                        (
+                            "PlanHashMatch".into(),
+                            f64::from(u8::from(self.plan_hash_match)),
+                        ),
+                        ("SpeedupOk".into(), f64::from(u8::from(self.speedup_ok))),
+                    ],
+                ),
+                Row::new(
+                    "maintenance",
+                    vec![
+                        ("MutateMs".into(), self.mutate_maintenance_ms),
+                        ("RebuildMs".into(), self.rebuild_maintenance_ms),
+                        ("Speedup".into(), self.maintenance_speedup),
+                        ("Rebuilds".into(), self.rebuilds as f64),
+                    ],
+                ),
+                Row::new(
+                    "motion",
+                    vec![
+                        ("Moves".into(), self.moves as f64),
+                        ("Offline".into(), self.offline as f64),
+                        ("Online".into(), self.online as f64),
+                        ("Spliced".into(), self.entries_spliced as f64),
+                        ("RebuildEquiv".into(), self.rebuild_equiv as f64),
+                    ],
+                ),
+                Row::new(
+                    "service",
+                    vec![
+                        ("Tasks".into(), self.tasks_streamed as f64),
+                        ("Drains".into(), self.drains as f64),
+                        ("Execs".into(), self.executions as f64),
+                        ("ImbalanceMilli".into(), self.final_imbalance_milli as f64),
+                    ],
+                ),
+            ],
+        }
+    }
+
+    /// Serialises the measurements as the `BENCH_fig9m.json` artifact
+    /// (hand-rolled JSON; no serde in the hermetic build).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"figure\": \"fig9mob\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!(
+            "  \"tasks_streamed\": {},\n  \"workers\": {},\n  \"capacity\": {},\n",
+            self.tasks_streamed, self.workers, self.capacity
+        ));
+        out.push_str(&format!(
+            "  \"drains\": {},\n  \"executions\": {},\n",
+            self.drains, self.executions
+        ));
+        out.push_str(&format!(
+            "  \"moves\": {},\n  \"offline\": {},\n  \"online\": {},\n",
+            self.moves, self.offline, self.online
+        ));
+        out.push_str(&format!(
+            "  \"entries_spliced\": {},\n  \"rebuild_equiv\": {},\n  \"rebuilds\": {},\n",
+            self.entries_spliced, self.rebuild_equiv, self.rebuilds
+        ));
+        out.push_str(&format!(
+            "  \"mutate_maintenance_ms\": {:.4},\n  \"rebuild_maintenance_ms\": {:.4},\n  \
+             \"maintenance_speedup\": {:.4},\n  \"maintenance_speedup_ok\": {},\n",
+            self.mutate_maintenance_ms,
+            self.rebuild_maintenance_ms,
+            self.maintenance_speedup,
+            self.speedup_ok
+        ));
+        out.push_str(&format!(
+            "  \"mutate_plan_hash\": \"{:#018x}\",\n  \"rebuild_plan_hash\": \"{:#018x}\",\n  \
+             \"plan_hash_match\": {},\n",
+            self.mutate_plan_hash, self.rebuild_plan_hash, self.plan_hash_match
+        ));
+        out.push_str(&format!(
+            "  \"final_ledger\": {},\n  \"final_imbalance_milli\": {}\n",
+            self.final_ledger, self.final_imbalance_milli
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Drives one mobile-worker service pass.  Arrivals join a backlog per tick
+/// and at most `capacity` are drained; motion events with `at_us` up to the
+/// tick are applied first (fleet state precedes planning, matching
+/// [`tcsc_workload::interleave`]'s tie order).  Under
+/// [`MobMaintenance::Mutate`] each event goes through the engine's mutation
+/// API as it arrives; under [`MobMaintenance::Rebuild`] events update a
+/// mirror pool and the sharded index is rebuilt before the next drain — so
+/// both passes plan every drain against the same fleet state, and the timed
+/// maintenance regions are exactly the work each strategy does to get there.
+#[allow(clippy::too_many_arguments)]
+fn fig9mob_service_run(
+    mode: MobMaintenance,
+    pool: &tcsc_core::WorkerPool,
+    arrivals: &tcsc_workload::HeavyTailedArrivals,
+    tape: &tcsc_workload::MotionTape,
+    total_tasks: usize,
+    capacity: usize,
+    grid: ShardGridConfig,
+    threads: usize,
+) -> MobRun {
+    use std::collections::VecDeque;
+
+    use tcsc_index::MutableSpatialIndex as _;
+    use tcsc_workload::WorkerMotion;
+
+    let cost = EuclideanCost::default();
+    let domain = arrivals.domain;
+    let num_slots = arrivals.num_slots;
+    let cfg = MultiTaskConfig::new(capacity as f64 * 2.0).with_accounting(ConflictAccounting::V1);
+    let mut engine = ConcurrentAssignmentEngine::new(
+        ShardedWorkerIndex::build(pool, num_slots, &domain, grid),
+        &cost,
+        cfg,
+        threads,
+    );
+    // Service tasks are one-shot: cap each shard cache at roughly two
+    // drains' per-shard share so worker-scoped invalidation scans stay
+    // proportional to live tasks instead of growing with the whole stream.
+    let shards = engine.index().num_spatial_shards().max(1);
+    engine.set_cache_capacity(Some((2 * capacity / shards).max(16)));
+    let mut mirror: Vec<tcsc_core::Worker> = pool.workers().to_vec();
+
+    let mut run = MobRun {
+        plan_hash: 0xcbf2_9ce4_8422_2325,
+        executions: 0,
+        drains: 0,
+        maintenance_ms: 0.0,
+        rebuilds: 0,
+        moves: 0,
+        offline: 0,
+        online: 0,
+        entries_spliced: 0,
+        rebuild_equiv: 0,
+        final_ledger: 0,
+        final_imbalance_milli: 0,
+    };
+    let mut sampler = arrivals.sampler();
+    let mut next = sampler.next_arrival();
+    let mut events = tape.events.iter().peekable();
+    let mut backlog: VecDeque<tcsc_core::Task> = VecDeque::new();
+    let mut streamed = 0usize;
+    let mut tick_us = 0u64;
+    let mut stale = false;
+
+    while streamed < total_tasks || !backlog.is_empty() {
+        tick_us += MOB_DRAIN_EVERY_US;
+        while streamed < total_tasks && next.at_us < tick_us {
+            let arrival = std::mem::replace(&mut next, sampler.next_arrival());
+            backlog.push_back(arrival.task);
+            streamed += 1;
+        }
+
+        // Fleet motion up to the tick.
+        let mut due = Vec::new();
+        while events.peek().is_some_and(|e| e.at_us <= tick_us) {
+            due.push(&events.next().expect("peeked").motion);
+        }
+        for motion in &due {
+            match motion {
+                WorkerMotion::Move { .. } => run.moves += 1,
+                WorkerMotion::Offline { .. } => run.offline += 1,
+                WorkerMotion::Online { .. } => run.online += 1,
+            }
+        }
+        match mode {
+            MobMaintenance::Mutate => {
+                let (mutations, ms) = timed(|| {
+                    due.iter()
+                        .map(|motion| match motion {
+                            WorkerMotion::Move { id, to } => engine.move_worker(*id, *to),
+                            WorkerMotion::Offline { id } => engine.remove_worker(*id),
+                            WorkerMotion::Online { worker } => engine.insert_worker(worker),
+                        })
+                        .collect::<Vec<_>>()
+                });
+                run.maintenance_ms += ms;
+                for m in mutations {
+                    assert!(m.applied, "motion tapes only target live sessions");
+                    run.entries_spliced += m.entries_touched as u64;
+                    run.rebuild_equiv += m.rebuild_equiv_entries as u64;
+                }
+            }
+            MobMaintenance::Rebuild => {
+                let (_, ms) = timed(|| {
+                    for motion in &due {
+                        match motion {
+                            WorkerMotion::Move { id, to } => {
+                                let at = mirror
+                                    .iter()
+                                    .position(|w| w.id == *id)
+                                    .expect("move targets a live session");
+                                let old = &mirror[at];
+                                let slots = old
+                                    .availability()
+                                    .iter()
+                                    .map(|ws| tcsc_core::WorkerSlot {
+                                        slot: ws.slot,
+                                        location: *to,
+                                    })
+                                    .collect();
+                                mirror[at] = tcsc_core::Worker::with_reliability(
+                                    *id,
+                                    slots,
+                                    old.reliability,
+                                );
+                            }
+                            WorkerMotion::Offline { id } => {
+                                mirror.retain(|w| w.id != *id);
+                            }
+                            WorkerMotion::Online { worker } => mirror.push((*worker).clone()),
+                        }
+                    }
+                });
+                run.maintenance_ms += ms;
+                stale = stale || !due.is_empty();
+            }
+        }
+
+        let take = backlog.len().min(capacity);
+        if take > 0 {
+            if let (MobMaintenance::Rebuild, true) = (&mode, stale) {
+                let (_, ms) = timed(|| {
+                    let rebuilt = tcsc_core::WorkerPool::new(mirror.clone());
+                    engine.rebuild_index(ShardedWorkerIndex::build(
+                        &rebuilt, num_slots, &domain, grid,
+                    ));
+                });
+                run.maintenance_ms += ms;
+                run.rebuilds += 1;
+                stale = false;
+            }
+            engine.submit(backlog.drain(..take));
+            let outcome = engine.drain_parallel(Objective::SumQuality);
+            run.drains += 1;
+            run.executions += outcome.executions as u64;
+            run.plan_hash = fold_plan_hash(run.plan_hash, tcsc_sim::plan_hash(&outcome.assignment));
+        }
+    }
+    run.final_ledger = engine.ledger().len();
+    run.final_imbalance_milli = engine.index().occupancy_imbalance_milli();
+    run
+}
+
+/// Measures fig9mob: the heavy-tailed service stream with per-tick worker
+/// motion (waypoint drift + session churn), served by the concurrent sharded
+/// engine twice over identical tapes — mutate-in-place vs rebuild-per-drain
+/// — with the plan-hash identity and the ≥5× maintenance-speedup gate.
+pub fn fig9mob_measurements(scale: Scale) -> Fig9mMeasurements {
+    use tcsc_workload::{
+        BoundedPareto, HeavyTailedArrivals, MotionTape, PhaseSchedule, WorkerChurnConfig,
+    };
+
+    // The worker pool is deliberately large relative to the task stream:
+    // the rebuild baseline pays O(workers) per drain while a tile-local
+    // splice pays O(bucket), so the fleet size is what separates the two
+    // maintenance strategies (mobile fleets are big; drains are frequent).
+    let (label, total_tasks, workers, grid, threads) = match scale {
+        Scale::Quick => (
+            "quick",
+            6_000usize,
+            2_400usize,
+            ShardGridConfig::new(5, 5),
+            4,
+        ),
+        Scale::Full => ("full", 200_000, 10_000, ShardGridConfig::new(8, 8), 8),
+    };
+
+    let cfg = ScenarioConfig::small()
+        .with_num_slots(SVC_NUM_SLOTS)
+        .with_num_workers(workers);
+    let scenario = cfg.build();
+    let inter = BoundedPareto::new(1.5, 20.0, 10_000.0);
+    let arrivals = HeavyTailedArrivals {
+        seed: 4242,
+        inter_arrival_us: inter,
+        schedule: PhaseSchedule::rush_hour(200_000, 50_000, 4.0),
+        num_slots: SVC_NUM_SLOTS,
+        distribution: SpatialDistribution::Uniform,
+        domain: scenario.domain,
+    };
+    let capacity = ((MOB_DRAIN_EVERY_US as f64 / inter.mean()) * 1.7).ceil() as usize;
+
+    // One motion tick per drain tick, generously over-provisioned past the
+    // expected stream duration (leftover events are simply never due).
+    let churn = WorkerChurnConfig {
+        seed: 77,
+        tick_us: MOB_DRAIN_EVERY_US,
+        moves_per_tick: 6,
+        churn_prob: 0.3,
+        drift_fraction: 0.25,
+        num_slots: SVC_NUM_SLOTS,
+        domain: scenario.domain,
+    };
+    let ticks = (total_tasks as f64 * inter.mean() / MOB_DRAIN_EVERY_US as f64 * 2.0) as usize + 50;
+    let tape = MotionTape::generate(&churn, &scenario.workers, ticks);
+
+    let mutate = fig9mob_service_run(
+        MobMaintenance::Mutate,
+        &scenario.workers,
+        &arrivals,
+        &tape,
+        total_tasks,
+        capacity,
+        grid,
+        threads,
+    );
+    let rebuild = fig9mob_service_run(
+        MobMaintenance::Rebuild,
+        &scenario.workers,
+        &arrivals,
+        &tape,
+        total_tasks,
+        capacity,
+        grid,
+        threads,
+    );
+
+    let maintenance_speedup = rebuild.maintenance_ms / mutate.maintenance_ms.max(1e-9);
+    Fig9mMeasurements {
+        scale: label,
+        tasks_streamed: total_tasks,
+        workers,
+        capacity,
+        drains: mutate.drains,
+        executions: mutate.executions,
+        moves: mutate.moves,
+        offline: mutate.offline,
+        online: mutate.online,
+        entries_spliced: mutate.entries_spliced,
+        rebuild_equiv: mutate.rebuild_equiv,
+        rebuilds: rebuild.rebuilds,
+        mutate_maintenance_ms: mutate.maintenance_ms,
+        rebuild_maintenance_ms: rebuild.maintenance_ms,
+        maintenance_speedup,
+        speedup_ok: maintenance_speedup >= 5.0,
+        mutate_plan_hash: mutate.plan_hash,
+        rebuild_plan_hash: rebuild.plan_hash,
+        plan_hash_match: mutate.plan_hash == rebuild.plan_hash
+            && mutate.final_ledger == rebuild.final_ledger,
+        final_ledger: mutate.final_ledger,
+        final_imbalance_milli: mutate.final_imbalance_milli,
+    }
+}
+
+/// Fig. 9mob (repo extension): mobile workers on the mutable sharded index —
+/// in-place move/insert/remove vs rebuild-per-drain.
+pub fn fig9mob(scale: Scale) -> Experiment {
+    fig9mob_measurements(scale).to_experiment()
 }
 
 // ---------------------------------------------------------------------------
@@ -3052,7 +3568,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c", "fig8d",
     "fig8e", "fig8f", "fig8g", "fig8h", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
     "fig9g", "fig9h", "fig9i", "fig9s", "fig9p", "fig9celf", "fig9dist", "fig9obs", "fig9svc",
-    "fig11a", "fig11b", "fig11c",
+    "fig9mob", "fig11a", "fig11b", "fig11c",
 ];
 
 /// Every experiment, in figure order (derived from [`ALL_IDS`] so the id
@@ -3093,6 +3609,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Experiment> {
         "fig9dist" => fig9dist(scale),
         "fig9obs" => fig9obs(scale),
         "fig9svc" => fig9svc(scale),
+        "fig9mob" => fig9mob(scale),
         "fig11a" => fig11a(scale),
         "fig11b" => fig11b(scale),
         "fig11c" => fig11c(scale),
@@ -3143,13 +3660,14 @@ mod tests {
         // check against the match arms is exercised by the binary smoke.)
         let unique: std::collections::HashSet<_> = ALL_IDS.iter().collect();
         assert_eq!(unique.len(), ALL_IDS.len());
-        assert_eq!(ALL_IDS.len(), 32);
+        assert_eq!(ALL_IDS.len(), 33);
         assert!(ALL_IDS.contains(&"fig9s"));
         assert!(ALL_IDS.contains(&"fig9p"));
         assert!(ALL_IDS.contains(&"fig9celf"));
         assert!(ALL_IDS.contains(&"fig9dist"));
         assert!(ALL_IDS.contains(&"fig9obs"));
         assert!(ALL_IDS.contains(&"fig9svc"));
+        assert!(ALL_IDS.contains(&"fig9mob"));
         assert!(by_id("nonexistent", Scale::Quick).is_none());
     }
 
@@ -3233,6 +3751,13 @@ mod tests {
                 deferred_slots: 1,
                 boundary_conflict_rate: 0.25,
             }],
+            drains: vec![Fig9cDrainRow {
+                drain: 0,
+                regions_used: 3,
+                interior_tasks: 9,
+                boundary_tasks: 3,
+                deferred_slots: 0,
+            }],
         };
         let json = m.to_json();
         assert!(json.contains("\"figure\": \"fig9celf\""));
@@ -3240,6 +3765,41 @@ mod tests {
         assert!(json.contains("\"v2_lazy_below_eager\": true"));
         assert!(json.contains("\"regions_overlapped\": true"));
         assert!(json.contains("\"regions_used\": 5"));
+        assert!(json.contains("\"drains\": ["));
+        assert!(json.contains("\"interior_tasks\": 9"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn fig9mob_json_is_well_formed() {
+        let m = Fig9mMeasurements {
+            scale: "quick",
+            tasks_streamed: 6_000,
+            workers: 800,
+            capacity: 100,
+            drains: 70,
+            executions: 9_000,
+            moves: 700,
+            offline: 20,
+            online: 20,
+            entries_spliced: 1_500,
+            rebuild_equiv: 60_000,
+            rebuilds: 68,
+            mutate_maintenance_ms: 3.0,
+            rebuild_maintenance_ms: 45.0,
+            maintenance_speedup: 15.0,
+            speedup_ok: true,
+            mutate_plan_hash: 0x1234,
+            rebuild_plan_hash: 0x1234,
+            plan_hash_match: true,
+            final_ledger: 320,
+            final_imbalance_milli: 2_400,
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"figure\": \"fig9mob\""));
+        assert!(json.contains("\"plan_hash_match\": true"));
+        assert!(json.contains("\"maintenance_speedup_ok\": true"));
+        assert!(json.contains("\"maintenance_speedup\": 15.0000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

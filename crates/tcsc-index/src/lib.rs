@@ -11,10 +11,13 @@
 //!   used by the `Approx*` algorithm;
 //! * [`spatial`] — a per-time-slot uniform grid over worker locations for
 //!   nearest-available-worker queries (worker cost retrieval), and the
-//!   [`SpatialQuery`] trait shared by every worker index;
+//!   [`SpatialQuery`] / [`MutableSpatialIndex`] traits shared by every worker
+//!   index;
 //! * [`sharded`] — the domain partitioned into spatial-tile shards (plus an
 //!   optional time-range split) behind a neighbour-ring router, answering the
-//!   same queries bit-identically while keeping shards independently owned.
+//!   same queries bit-identically while keeping shards independently owned;
+//!   worker insert/remove/move mutate single tile buckets in place, staying
+//!   bit-identical to a from-scratch rebuild.
 //!
 //! These indexes are consumed by the assignment algorithms in `tcsc-assign`.
 
@@ -27,6 +30,9 @@ pub mod voronoi;
 pub mod vtree;
 
 pub use sharded::{ShardGridConfig, ShardedWorkerIndex};
-pub use spatial::{IndexedWorker, NearestWorker, SpatialQuery, WorkerIndex};
+pub use spatial::{
+    IndexMutation, IndexedWorker, MutableSpatialIndex, NearestWorker, SpatialQuery, WorkerIndex,
+    WorkerProfile,
+};
 pub use voronoi::{site_knn_set, OrderKVoronoi, VoronoiCell};
 pub use vtree::{BestSlot, SearchStats, VTree, VTreeConfig};

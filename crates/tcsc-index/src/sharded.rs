@@ -37,9 +37,12 @@
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 
-use tcsc_core::{Domain, Location, SlotIndex, WorkerId, WorkerPool};
+use tcsc_core::{Domain, Location, SlotIndex, Worker, WorkerId, WorkerPool};
 
-use crate::spatial::{IndexedWorker, NearestWorker, SlotGrid, SpatialQuery};
+use crate::spatial::{
+    imbalance_milli, IndexMutation, IndexedWorker, MutableSpatialIndex, NearestWorker, SlotGrid,
+    SpatialQuery, WorkerProfile, WorkerRegistry,
+};
 
 thread_local! {
     /// Per-thread scratch of the sharded k-NN path, reused across queries:
@@ -133,9 +136,20 @@ pub struct ShardedWorkerIndex {
     /// Slots per time range (`ceil(num_slots / time_splits)`).
     slots_per_split: usize,
     num_slots: usize,
-    total_workers: usize,
     /// Per-slot availability counts (across all shards).
     available: Vec<usize>,
+    /// Who is indexed where: the lookup that makes remove/move tile-local.
+    registry: WorkerRegistry,
+    /// Per-spatial-tile mutation counters: `tile_versions[tile]` bumps every
+    /// time one of the tile's buckets is spliced.  Pure-geometry bounds
+    /// ([`ShardedWorkerIndex::tile_interior_bound`], the k-th-distance tile
+    /// pruning) never change under mutation — the versions let cache layers
+    /// detect *content* churn per tile without diffing buckets.
+    tile_versions: Vec<u64>,
+    /// Global mutation counter (total bucket splices over the index's life).
+    version: u64,
+    /// Total indexed `(worker, slot)` entries.
+    indexed_entries: usize,
 }
 
 impl ShardedWorkerIndex {
@@ -166,8 +180,11 @@ impl ShardedWorkerIndex {
             tile_h,
             slots_per_split,
             num_slots,
-            total_workers: pool.len(),
             available: Vec::new(),
+            registry: WorkerRegistry::from_pool(pool, num_slots),
+            tile_versions: vec![0; config.num_tiles()],
+            version: 0,
+            indexed_entries: 0,
         };
         // Pool iteration is worker-id ascending, so every per-slot bucket
         // ends up in id order — the tie-break order of the dense index.
@@ -213,6 +230,7 @@ impl ShardedWorkerIndex {
                 }
             })
             .collect();
+        index.indexed_entries = index.shards.iter().map(|s| s.entries).sum();
         index.available = available;
         index
     }
@@ -243,14 +261,30 @@ impl ShardedWorkerIndex {
         self.config.num_tiles()
     }
 
-    /// The tile coordinates of a location (clamped into the grid, so
-    /// out-of-domain points route to the nearest boundary tile).
+    /// Clamps one axis of a location into the tile grid: the **border-clamp
+    /// invariant**.  Out-of-domain coordinates route to the nearest border
+    /// tile (negative offsets to tile 0, offsets at or beyond the domain edge
+    /// to the last tile).  This is the *single* routing rule of the index —
+    /// [`ShardedWorkerIndex::build`] and every [`MutableSpatialIndex`] op
+    /// place workers through [`ShardedWorkerIndex::tile_of`], which calls
+    /// this helper for both axes — so a worker moved out of the domain lands
+    /// in exactly the tile a from-scratch rebuild would place it in
+    /// (regression-locked in `tests/sharded_properties.rs`).  The query-side
+    /// consequence: border tiles are unbounded on their grid-edge sides, so
+    /// [`ShardedWorkerIndex::tile_min_distance`] must not (and does not)
+    /// bound them there.
+    fn clamp_tile_axis(offset: f64, tile_extent: f64, tiles: usize) -> usize {
+        let tile = (offset / tile_extent).floor().max(0.0) as usize;
+        tile.min(tiles - 1)
+    }
+
+    /// The tile coordinates of a location (clamped into the grid per the
+    /// border-clamp invariant of `clamp_tile_axis`, so out-of-domain points
+    /// route to the nearest boundary tile).
     pub fn tile_of(&self, loc: &Location) -> (usize, usize) {
-        let tx = ((loc.x - self.origin.x) / self.tile_w).floor().max(0.0) as usize;
-        let ty = ((loc.y - self.origin.y) / self.tile_h).floor().max(0.0) as usize;
         (
-            tx.min(self.config.tiles_x - 1),
-            ty.min(self.config.tiles_y - 1),
+            Self::clamp_tile_axis(loc.x - self.origin.x, self.tile_w, self.config.tiles_x),
+            Self::clamp_tile_axis(loc.y - self.origin.y, self.tile_h, self.config.tiles_y),
         )
     }
 
@@ -282,6 +316,62 @@ impl ShardedWorkerIndex {
             &self.shards[time_range * self.config.num_tiles() + ty * self.config.tiles_x + tx];
         let local = slot - time_range * self.slots_per_split;
         shard.slots.get(local).and_then(Option::as_ref)
+    }
+
+    /// Splices the bucket owning `(slot, loc)` — routed through the same
+    /// [`ShardedWorkerIndex::tile_of`] border clamp as
+    /// [`ShardedWorkerIndex::build`] — and rebuilds its tile-interior grid
+    /// from the edited, id-ordered worker list: the tile-local unit of
+    /// mutation, `O(bucket)` instead of `O(workers)`.  Rebuilding the bucket
+    /// grid whole (rather than editing cells in place) is what keeps the
+    /// mutated index bit-identical to a fresh build: grid geometry depends on
+    /// the bucket's worker count.  Returns the bucket length after the edit.
+    fn splice_bucket(
+        &mut self,
+        slot: SlotIndex,
+        loc: &Location,
+        edit: impl FnOnce(&mut Vec<IndexedWorker>),
+    ) -> usize {
+        let shard_id = self.shard_of(slot, loc);
+        let tile = shard_id % self.config.num_tiles();
+        let tile_domain = self.tile_domain(tile);
+        let range_start = (slot / self.slots_per_split) * self.slots_per_split;
+        let local = slot - range_start;
+        let (before, after) = {
+            let shard = &mut self.shards[shard_id];
+            if shard.slots.len() <= local {
+                shard.slots.resize_with(local + 1, || None);
+            }
+            let mut workers = shard.slots[local]
+                .take()
+                .map(|mut grid| grid.take_workers())
+                .unwrap_or_default();
+            let before = workers.len();
+            edit(&mut workers);
+            let after = workers.len();
+            shard.entries = shard.entries + after - before;
+            shard.slots[local] =
+                (!workers.is_empty()).then(|| SlotGrid::build(workers, &tile_domain));
+            (before, after)
+        };
+        self.available[slot] = self.available[slot] + after - before;
+        self.indexed_entries = self.indexed_entries + after - before;
+        self.tile_versions[tile] += 1;
+        self.version += 1;
+        after
+    }
+
+    /// The mutation counter of one spatial tile: bumps on every splice of
+    /// one of the tile's buckets (any time range).  See the `tile_versions`
+    /// field for why the geometric pruning bounds need no such counter.
+    pub fn tile_version(&self, tile: usize) -> u64 {
+        self.tile_versions.get(tile).copied().unwrap_or(0)
+    }
+
+    /// Global mutation counter: total bucket splices over the index's life
+    /// (0 for a freshly built index).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Lower bound on the distance from `query` to any worker in a tile NOT
@@ -612,13 +702,125 @@ impl ShardedWorkerIndex {
     }
 }
 
+impl MutableSpatialIndex for ShardedWorkerIndex {
+    fn insert_worker(&mut self, worker: &Worker) -> IndexMutation {
+        let Some(entries) = self.registry.insert(worker, self.num_slots) else {
+            return IndexMutation::default();
+        };
+        let mut entries_touched = 0;
+        for (slot, location) in entries {
+            entries_touched += self.splice_bucket(slot, &location, |workers| {
+                let at = workers.partition_point(|w| w.worker < worker.id);
+                workers.insert(
+                    at,
+                    IndexedWorker {
+                        worker: worker.id,
+                        location,
+                        reliability: worker.reliability,
+                    },
+                );
+            });
+        }
+        IndexMutation {
+            applied: true,
+            entries_touched,
+            rebuild_equiv_entries: self.indexed_entries,
+        }
+    }
+
+    fn remove_worker(&mut self, id: WorkerId) -> IndexMutation {
+        let Some(reg) = self.registry.remove(id) else {
+            return IndexMutation::default();
+        };
+        let mut entries_touched = 0;
+        for &(slot, loc) in reg.slots() {
+            entries_touched += self.splice_bucket(slot, &loc, |workers| {
+                workers.retain(|w| w.worker != id);
+            });
+        }
+        IndexMutation {
+            applied: true,
+            entries_touched,
+            rebuild_equiv_entries: self.indexed_entries,
+        }
+    }
+
+    fn move_worker(&mut self, id: WorkerId, new_loc: Location) -> IndexMutation {
+        let Some(reliability) = self.registry.get(id).map(|r| r.reliability()) else {
+            return IndexMutation::default();
+        };
+        let old = self
+            .registry
+            .relocate(id, new_loc)
+            .expect("registry entry checked above");
+        let mut entries_touched = 0;
+        for (slot, old_loc) in old {
+            // Same bucket (the common case for waypoint drift): one splice
+            // updates the location in place.  Cross-tile: remove from the old
+            // bucket, id-ordered insert into the new one — both routed
+            // through the shared border clamp, so an out-of-domain target
+            // lands exactly where a rebuild would put it.
+            if self.shard_of(slot, &old_loc) == self.shard_of(slot, &new_loc) {
+                entries_touched += self.splice_bucket(slot, &old_loc, |workers| {
+                    if let Some(w) = workers.iter_mut().find(|w| w.worker == id) {
+                        w.location = new_loc;
+                    }
+                });
+            } else {
+                entries_touched += self.splice_bucket(slot, &old_loc, |workers| {
+                    workers.retain(|w| w.worker != id);
+                });
+                entries_touched += self.splice_bucket(slot, &new_loc, |workers| {
+                    let at = workers.partition_point(|w| w.worker < id);
+                    workers.insert(
+                        at,
+                        IndexedWorker {
+                            worker: id,
+                            location: new_loc,
+                            reliability,
+                        },
+                    );
+                });
+            }
+        }
+        IndexMutation {
+            applied: true,
+            entries_touched,
+            rebuild_equiv_entries: self.indexed_entries,
+        }
+    }
+
+    fn worker_profile(&self, id: WorkerId) -> Option<WorkerProfile> {
+        self.registry.profile(id)
+    }
+
+    fn indexed_entries(&self) -> usize {
+        self.indexed_entries
+    }
+
+    fn occupancy_imbalance_milli(&self) -> u64 {
+        let mut max = 0usize;
+        let mut buckets = 0usize;
+        let mut total = 0usize;
+        for shard in &self.shards {
+            for grid in shard.slots.iter().flatten() {
+                let len = grid.workers().len();
+                max = max.max(len);
+                buckets += 1;
+                total += len;
+            }
+        }
+        imbalance_milli(max, buckets, total)
+    }
+}
+
 impl SpatialQuery for ShardedWorkerIndex {
     fn num_slots(&self) -> usize {
         self.num_slots
     }
 
     fn total_workers(&self) -> usize {
-        self.total_workers
+        self.registry.len()
     }
 
     fn available_count(&self, slot: SlotIndex) -> usize {
@@ -809,6 +1011,87 @@ mod tests {
                 assert_eq!(d, s, "query {q}, count {count}");
             }
         }
+    }
+
+    #[test]
+    fn mutations_track_registry_counts_and_availability() {
+        let pool = pool_of(&[(0, 1.0, 1.0), (0, 8.0, 8.0), (1, 4.0, 4.0)]);
+        let mut index =
+            ShardedWorkerIndex::build(&pool, 2, &Domain::square(10.0), ShardGridConfig::new(2, 2));
+        assert_eq!(index.total_workers(), 3);
+        assert_eq!(index.indexed_entries(), 3);
+        assert_eq!(index.version(), 0);
+
+        // Insert: a new worker becomes queryable; duplicates are rejected.
+        let w = Worker::new(
+            WorkerId(9),
+            vec![WorkerSlot {
+                slot: 0,
+                location: Location::new(2.0, 2.0),
+            }],
+        );
+        let m = index.insert_worker(&w);
+        assert!(m.applied);
+        assert_eq!(m.entries_touched, 2, "splice re-gridded the whole bucket");
+        assert_eq!(m.rebuild_equiv_entries, 4);
+        assert_eq!(index.available_count(0), 3);
+        assert!(!index.insert_worker(&w).applied, "duplicate id rejected");
+
+        // Move: availability unchanged, the entry relocates.
+        let m = index.move_worker(WorkerId(9), Location::new(9.0, 9.0));
+        assert!(m.applied);
+        assert_eq!(index.available_count(0), 3);
+        assert_eq!(
+            index.nearest(0, &Location::new(9.5, 9.5)).unwrap().worker,
+            WorkerId(9)
+        );
+        let profile = index.worker_profile(WorkerId(9)).unwrap();
+        assert_eq!(profile.entries, vec![(0, Location::new(9.0, 9.0))]);
+
+        // Remove: gone from every query path; unknown ids are rejected.
+        let m = index.remove_worker(WorkerId(9));
+        assert!(m.applied);
+        assert_eq!(index.total_workers(), 3);
+        assert_eq!(index.available_count(0), 2);
+        assert!(index.worker_profile(WorkerId(9)).is_none());
+        assert!(!index.remove_worker(WorkerId(9)).applied);
+        assert!(
+            !index
+                .move_worker(WorkerId(9), Location::new(1.0, 1.0))
+                .applied
+        );
+    }
+
+    #[test]
+    fn tile_versions_bump_only_on_touched_tiles() {
+        let pool = pool_of(&[(0, 1.0, 1.0), (0, 9.0, 9.0)]);
+        let mut index =
+            ShardedWorkerIndex::build(&pool, 1, &Domain::square(10.0), ShardGridConfig::new(2, 2));
+        let home = index.spatial_shard_of(&Location::new(1.0, 1.0));
+        let far = index.spatial_shard_of(&Location::new(9.0, 9.0));
+        // In-tile drift: only the home tile's version bumps.
+        index.move_worker(WorkerId(0), Location::new(2.0, 2.0));
+        assert_eq!(index.tile_version(home), 1);
+        assert_eq!(index.tile_version(far), 0);
+        // Cross-tile move: both the source and destination tiles bump.
+        index.move_worker(WorkerId(0), Location::new(8.0, 8.0));
+        assert_eq!(index.tile_version(home), 2);
+        assert_eq!(index.tile_version(far), 1);
+        assert_eq!(index.version(), 3);
+    }
+
+    #[test]
+    fn occupancy_imbalance_reflects_bucket_skew() {
+        // Perfectly balanced: every bucket holds one worker.
+        let pool = pool_of(&[(0, 1.0, 1.0), (0, 9.0, 9.0)]);
+        let index =
+            ShardedWorkerIndex::build(&pool, 1, &Domain::square(10.0), ShardGridConfig::new(2, 2));
+        assert_eq!(index.occupancy_imbalance_milli(), 1000);
+        // Skewed: 3 workers in one bucket, 1 in another -> max/mean = 3/2.
+        let pool = pool_of(&[(0, 1.0, 1.0), (0, 1.2, 1.2), (0, 1.4, 1.4), (0, 9.0, 9.0)]);
+        let index =
+            ShardedWorkerIndex::build(&pool, 1, &Domain::square(10.0), ShardGridConfig::new(2, 2));
+        assert_eq!(index.occupancy_imbalance_milli(), 1500);
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! neighbour search.  A brute-force path is kept both as a correctness oracle
 //! for the tests and for very small pools.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
-use tcsc_core::{Domain, Location, SlotIndex, WorkerId, WorkerPool};
+use tcsc_core::{Domain, Location, SlotIndex, Worker, WorkerId, WorkerPool};
 
 /// Nearest-available-worker queries over a per-slot worker index.
 ///
@@ -45,6 +45,172 @@ pub trait SpatialQuery {
         query: &Location,
         excluded: &BTreeSet<WorkerId>,
     ) -> Option<NearestWorker>;
+}
+
+/// Point mutations over a per-slot spatial index: insert, remove and move a
+/// worker without rebuilding the whole structure.
+///
+/// Implemented by the dense [`WorkerIndex`] (the oracle: each touched slot
+/// grid is rebuilt whole) and by [`crate::sharded::ShardedWorkerIndex`]
+/// (tile-local: only the affected tile bucket(s) are spliced and re-gridded).
+/// Both uphold the **rebuild equivalence invariant**: after any sequence of
+/// mutations, every [`SpatialQuery`] method answers bit-identically to an
+/// index freshly built from the equivalently mutated worker pool — same
+/// workers, same order, same `f64` distances.  This holds because each
+/// mutation keeps the affected per-slot worker list in ascending-id order
+/// (the pool iteration order a fresh build would produce) and rebuilds the
+/// affected grid from that list with the same deterministic constructor a
+/// fresh build uses.  `tests/mutable_index_fuzz.rs` locks the invariant in
+/// over hundreds of seeded mutation tapes.
+pub trait MutableSpatialIndex: SpatialQuery {
+    /// Inserts a new worker (all in-horizon availability entries).  Rejected
+    /// (`applied == false`) when a worker with the same id is already
+    /// registered.
+    fn insert_worker(&mut self, worker: &Worker) -> IndexMutation;
+
+    /// Removes a worker and all its availability entries.  Rejected when the
+    /// id is not registered.
+    fn remove_worker(&mut self, id: WorkerId) -> IndexMutation;
+
+    /// Moves a worker: every in-horizon availability entry is relocated to
+    /// `new_loc` (the mobile-worker model — one physical position at a time).
+    /// Rejected when the id is not registered.
+    fn move_worker(&mut self, id: WorkerId, new_loc: Location) -> IndexMutation;
+
+    /// The registered state of a worker: reliability plus its in-horizon
+    /// `(slot, location)` entries (ascending slot).  `None` for unknown ids.
+    /// Workers whose availability lies entirely beyond the slot horizon are
+    /// registered with an empty entry list.
+    fn worker_profile(&self, id: WorkerId) -> Option<WorkerProfile>;
+
+    /// Total number of indexed `(worker, slot)` entries — the work a
+    /// from-scratch rebuild would re-grid.
+    fn indexed_entries(&self) -> usize;
+
+    /// Bucket-occupancy imbalance as `max_len * 1000 / mean_len` over the
+    /// index's non-empty buckets (milli-scaled; `1000` = perfectly balanced,
+    /// `0` = no buckets).  The service drivers export this as a gauge.
+    fn occupancy_imbalance_milli(&self) -> u64;
+}
+
+/// Outcome of one [`MutableSpatialIndex`] operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexMutation {
+    /// Whether the operation applied (`false`: duplicate id on insert,
+    /// unknown id on remove/move — the index is unchanged).
+    pub applied: bool,
+    /// Number of `(worker, slot)` entries re-gridded by the splice — the
+    /// actual maintenance cost paid.
+    pub entries_touched: usize,
+    /// What a from-scratch rebuild at the resulting state would re-grid
+    /// (the total indexed entries): the cost the in-place mutation avoided.
+    pub rebuild_equiv_entries: usize,
+}
+
+/// A registered worker's indexed state, as returned by
+/// [`MutableSpatialIndex::worker_profile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerProfile {
+    /// The worker's reliability score.
+    pub reliability: f64,
+    /// In-horizon `(slot, location)` entries, ascending slot.
+    pub entries: Vec<(SlotIndex, Location)>,
+}
+
+/// Registry of the workers an index currently holds: the lookup that makes
+/// `remove`/`move` local (which buckets hold this worker?) without consulting
+/// the original pool.  Shared by the dense and sharded indexes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WorkerRegistry {
+    entries: HashMap<WorkerId, RegisteredWorker>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RegisteredWorker {
+    reliability: f64,
+    /// In-horizon `(slot, location)` entries, ascending slot.
+    slots: Vec<(SlotIndex, Location)>,
+}
+
+impl WorkerRegistry {
+    pub(crate) fn from_pool(pool: &WorkerPool, num_slots: usize) -> Self {
+        let mut registry = Self::default();
+        for worker in pool.workers() {
+            registry.insert(worker, num_slots);
+        }
+        registry
+    }
+
+    /// Registers a worker; returns its in-horizon entries, or `None` when the
+    /// id is already present (the registry is unchanged).
+    pub(crate) fn insert(
+        &mut self,
+        worker: &Worker,
+        num_slots: usize,
+    ) -> Option<Vec<(SlotIndex, Location)>> {
+        if self.entries.contains_key(&worker.id) {
+            return None;
+        }
+        let slots: Vec<(SlotIndex, Location)> = worker
+            .availability()
+            .iter()
+            .filter(|ws| ws.slot < num_slots)
+            .map(|ws| (ws.slot, ws.location))
+            .collect();
+        self.entries.insert(
+            worker.id,
+            RegisteredWorker {
+                reliability: worker.reliability,
+                slots: slots.clone(),
+            },
+        );
+        Some(slots)
+    }
+
+    /// Unregisters a worker, returning its entries (`None` for unknown ids).
+    pub(crate) fn remove(&mut self, id: WorkerId) -> Option<RegisteredWorker> {
+        self.entries.remove(&id)
+    }
+
+    /// Relocates every entry of a worker to `new_loc`, returning the
+    /// *previous* `(slot, location)` entries (`None` for unknown ids).
+    pub(crate) fn relocate(
+        &mut self,
+        id: WorkerId,
+        new_loc: Location,
+    ) -> Option<Vec<(SlotIndex, Location)>> {
+        let reg = self.entries.get_mut(&id)?;
+        let old = reg.slots.clone();
+        for (_, loc) in &mut reg.slots {
+            *loc = new_loc;
+        }
+        Some(old)
+    }
+
+    pub(crate) fn get(&self, id: WorkerId) -> Option<&RegisteredWorker> {
+        self.entries.get(&id)
+    }
+
+    pub(crate) fn profile(&self, id: WorkerId) -> Option<WorkerProfile> {
+        self.entries.get(&id).map(|reg| WorkerProfile {
+            reliability: reg.reliability,
+            entries: reg.slots.clone(),
+        })
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl RegisteredWorker {
+    pub(crate) fn reliability(&self) -> f64 {
+        self.reliability
+    }
+
+    pub(crate) fn slots(&self) -> &[(SlotIndex, Location)] {
+        &self.slots
+    }
 }
 
 /// One indexed worker position: a worker available at the slot of the
@@ -113,6 +279,38 @@ impl SlotGrid {
             cell_size,
             origin,
         }
+    }
+
+    /// The indexed workers in ascending-id (build) order.
+    pub(crate) fn workers(&self) -> &[IndexedWorker] {
+        &self.workers
+    }
+
+    /// Takes the worker list out of the grid for a splice-and-rebuild
+    /// mutation.  The grid is left with dangling cell indices and MUST be
+    /// replaced by a fresh [`SlotGrid::build`] before the next query — the
+    /// mutable-index ops do exactly that, which is what keeps a mutated grid
+    /// bit-identical to a freshly built one (grid geometry depends on the
+    /// worker count, so in-place cell edits could not be).
+    pub(crate) fn take_workers(&mut self) -> Vec<IndexedWorker> {
+        std::mem::take(&mut self.workers)
+    }
+
+    /// `(max_len, non_empty_cells, total_entries)` over the grid's cells —
+    /// the building block of the occupancy-imbalance gauge.
+    pub(crate) fn cell_stats(&self) -> (usize, usize, usize) {
+        let mut max = 0usize;
+        let mut non_empty = 0usize;
+        let mut total = 0usize;
+        for cell in &self.cells {
+            if cell.is_empty() {
+                continue;
+            }
+            max = max.max(cell.len());
+            non_empty += 1;
+            total += cell.len();
+        }
+        (max, non_empty, total)
     }
 
     fn cell_coords(
@@ -310,7 +508,10 @@ impl SlotGrid {
 #[derive(Debug, Clone)]
 pub struct WorkerIndex {
     slots: Vec<SlotGrid>,
-    total_workers: usize,
+    /// The build domain, kept so mutations can re-grid a slot identically.
+    domain: Domain,
+    registry: WorkerRegistry,
+    indexed_entries: usize,
 }
 
 impl WorkerIndex {
@@ -329,14 +530,36 @@ impl WorkerIndex {
                 }
             }
         }
+        let indexed_entries = per_slot.iter().map(Vec::len).sum();
         let slots = per_slot
             .into_iter()
             .map(|workers| SlotGrid::build(workers, domain))
             .collect();
         Self {
             slots,
-            total_workers: pool.len(),
+            domain: *domain,
+            registry: WorkerRegistry::from_pool(pool, num_slots),
+            indexed_entries,
         }
+    }
+
+    /// Splices one slot's worker list and rebuilds its grid whole — the dense
+    /// index's (deliberately coarse) unit of mutation, and the reason it is
+    /// the rebuild-equivalence oracle: the rebuilt grid is *by construction*
+    /// the grid a fresh [`WorkerIndex::build`] would produce for the slot.
+    /// Returns the number of entries re-gridded.
+    fn regrid_slot(
+        &mut self,
+        slot: SlotIndex,
+        edit: impl FnOnce(&mut Vec<IndexedWorker>),
+    ) -> usize {
+        let mut workers = self.slots[slot].take_workers();
+        let before = workers.len();
+        edit(&mut workers);
+        let after = workers.len();
+        self.indexed_entries = self.indexed_entries + after - before;
+        self.slots[slot] = SlotGrid::build(workers, &self.domain);
+        after
     }
 
     /// Number of time slots covered by the index.
@@ -346,7 +569,7 @@ impl WorkerIndex {
 
     /// Number of workers in the indexed pool.
     pub fn total_workers(&self) -> usize {
-        self.total_workers
+        self.registry.len()
     }
 
     /// Number of workers available during `slot`.
@@ -428,6 +651,99 @@ impl WorkerIndex {
                     .then(a.worker.cmp(&b.worker))
             })
     }
+}
+
+impl MutableSpatialIndex for WorkerIndex {
+    fn insert_worker(&mut self, worker: &Worker) -> IndexMutation {
+        let Some(entries) = self.registry.insert(worker, self.slots.len()) else {
+            return IndexMutation::default();
+        };
+        let mut entries_touched = 0;
+        for (slot, location) in entries {
+            entries_touched += self.regrid_slot(slot, |workers| {
+                let at = workers.partition_point(|w| w.worker < worker.id);
+                workers.insert(
+                    at,
+                    IndexedWorker {
+                        worker: worker.id,
+                        location,
+                        reliability: worker.reliability,
+                    },
+                );
+            });
+        }
+        IndexMutation {
+            applied: true,
+            entries_touched,
+            rebuild_equiv_entries: self.indexed_entries,
+        }
+    }
+
+    fn remove_worker(&mut self, id: WorkerId) -> IndexMutation {
+        let Some(reg) = self.registry.remove(id) else {
+            return IndexMutation::default();
+        };
+        let mut entries_touched = 0;
+        for &(slot, _) in reg.slots() {
+            entries_touched += self.regrid_slot(slot, |workers| {
+                workers.retain(|w| w.worker != id);
+            });
+        }
+        IndexMutation {
+            applied: true,
+            entries_touched,
+            rebuild_equiv_entries: self.indexed_entries,
+        }
+    }
+
+    fn move_worker(&mut self, id: WorkerId, new_loc: Location) -> IndexMutation {
+        let Some(old) = self.registry.relocate(id, new_loc) else {
+            return IndexMutation::default();
+        };
+        let mut entries_touched = 0;
+        for (slot, _) in old {
+            entries_touched += self.regrid_slot(slot, |workers| {
+                if let Some(w) = workers.iter_mut().find(|w| w.worker == id) {
+                    w.location = new_loc;
+                }
+            });
+        }
+        IndexMutation {
+            applied: true,
+            entries_touched,
+            rebuild_equiv_entries: self.indexed_entries,
+        }
+    }
+
+    fn worker_profile(&self, id: WorkerId) -> Option<WorkerProfile> {
+        self.registry.profile(id)
+    }
+
+    fn indexed_entries(&self) -> usize {
+        self.indexed_entries
+    }
+
+    fn occupancy_imbalance_milli(&self) -> u64 {
+        let mut max = 0usize;
+        let mut non_empty = 0usize;
+        let mut total = 0usize;
+        for grid in &self.slots {
+            let (m, n, t) = grid.cell_stats();
+            max = max.max(m);
+            non_empty += n;
+            total += t;
+        }
+        imbalance_milli(max, non_empty, total)
+    }
+}
+
+/// `max * 1000 / (total / buckets)` in integer arithmetic: the milli-scaled
+/// max-over-mean bucket-occupancy ratio (0 when there are no buckets).
+pub(crate) fn imbalance_milli(max: usize, buckets: usize, total: usize) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    (max as u64 * 1000 * buckets as u64) / total as u64
 }
 
 impl SpatialQuery for WorkerIndex {

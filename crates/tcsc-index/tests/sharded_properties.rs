@@ -10,7 +10,9 @@ use std::collections::BTreeSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tcsc_core::{Domain, Location, Worker, WorkerId, WorkerPool, WorkerSlot};
-use tcsc_index::{ShardGridConfig, ShardedWorkerIndex, SpatialQuery, WorkerIndex};
+use tcsc_index::{
+    MutableSpatialIndex, ShardGridConfig, ShardedWorkerIndex, SpatialQuery, WorkerIndex,
+};
 
 /// A seeded pool of workers with 1–4 availability slots each.
 fn random_pool(seed: u64, num_workers: usize, num_slots: usize, domain: &Domain) -> WorkerPool {
@@ -287,6 +289,172 @@ fn interior_grid_filtered_search_survives_heavy_occupancy() {
                 via_dense.map(|w| (w.worker, w.distance.to_bits())),
                 via_filter.map(|w| (w.worker, w.distance.to_bits())),
                 "excluding the {take} nearest at query {q}"
+            );
+        }
+    }
+}
+
+/// Asserts a *mutated* sharded index agrees bit-for-bit with a dense index
+/// rebuilt from the mirror pool — the pruning-exactness check after a
+/// mutation tape: `tile_min_distance` skips and `unscanned_bound` stops must
+/// not lose any relocated (possibly out-of-domain, border-clamped) worker —
+/// and that the `tile_interior_bound` guarantee still holds: a home-tile
+/// answer strictly inside the bound *is* the global answer.
+fn assert_mutated_exact(
+    mutated: &ShardedWorkerIndex,
+    mirror: &[Worker],
+    num_slots: usize,
+    domain: &Domain,
+    queries: &[Location],
+    ctx: &str,
+) {
+    let pool = WorkerPool::new(mirror.to_vec());
+    let dense = WorkerIndex::build(&pool, num_slots, domain);
+    for slot in 0..num_slots {
+        assert_eq!(
+            SpatialQuery::available_count(mutated, slot),
+            dense.available_count(slot),
+            "{ctx}: availability at slot {slot}"
+        );
+        for q in queries {
+            for count in [1, 4, 13] {
+                assert_eq!(
+                    mutated.k_nearest(slot, q, count),
+                    dense.k_nearest(slot, q, count),
+                    "{ctx}: {count}-nearest at slot {slot}, query {q}"
+                );
+            }
+            let bound = mutated.tile_interior_bound(q);
+            if let Some(home) = mutated.nearest_in_home_tile(slot, q, |_| false) {
+                if home.distance < bound {
+                    assert_eq!(
+                        Some(home),
+                        dense.nearest(slot, q),
+                        "{ctx}: interior-bound guarantee at slot {slot}, query {q}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mutation_tapes_keep_pruning_and_interior_bounds_exact() {
+    // Arbitrary move/remove sequences — with moves drifting workers across
+    // tiles and beyond the domain edges — must leave every distance bound
+    // exact: the mutated index answers like a fresh dense rebuild, and
+    // home-tile answers inside `tile_interior_bound` stay globally correct.
+    let domain = Domain::square(80.0);
+    for seed in [5u64, 29, 71, 113] {
+        for config in [
+            ShardGridConfig::new(4, 4),
+            ShardGridConfig::new(3, 5).with_time_splits(2),
+        ] {
+            let pool = random_pool(seed, 80, 6, &domain);
+            let mut mirror: Vec<Worker> = pool.workers().to_vec();
+            let mut sharded = ShardedWorkerIndex::build(&pool, 6, &domain, config);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x7a9e);
+            let queries = query_points(seed ^ 0x51, 8, &domain);
+            for step in 0..30 {
+                if rng.gen_range(0..10) < 7 || mirror.len() < 10 {
+                    // Move: up to 35% beyond the domain on either axis.
+                    let at = rng.gen_range(0..mirror.len());
+                    let to = Location::new(
+                        rng.gen_range(domain.min.x - 28.0..domain.max.x + 28.0),
+                        rng.gen_range(domain.min.y - 28.0..domain.max.y + 28.0),
+                    );
+                    let old = &mirror[at];
+                    let id = old.id;
+                    let slots = old
+                        .availability()
+                        .iter()
+                        .map(|ws| WorkerSlot {
+                            slot: ws.slot,
+                            location: to,
+                        })
+                        .collect();
+                    mirror[at] = Worker::with_reliability(id, slots, old.reliability);
+                    assert!(sharded.move_worker(id, to).applied);
+                } else {
+                    let at = rng.gen_range(0..mirror.len());
+                    let id = mirror.remove(at).id;
+                    assert!(sharded.remove_worker(id).applied);
+                }
+                if step % 10 == 9 {
+                    let ctx = format!("seed {seed}, step {step}, {config:?}");
+                    assert_mutated_exact(&sharded, &mirror, 6, &domain, &queries, &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn worker_moved_out_of_domain_lands_in_the_rebuild_tile() {
+    // The border-clamp invariant regression: a worker moved beyond any
+    // domain edge must land in exactly the border tile a from-scratch
+    // rebuild places it in — same per-shard entry counts, same answers.
+    let domain = Domain::square(40.0);
+    let config = ShardGridConfig::new(4, 4);
+    let pool: WorkerPool = [(5.0, 5.0), (22.0, 13.0), (35.0, 30.0)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| {
+            Worker::new(
+                WorkerId(i as u32),
+                vec![WorkerSlot {
+                    slot: 0,
+                    location: Location::new(x, y),
+                }],
+            )
+        })
+        .collect();
+    for target in [
+        Location::new(-5.0, -5.0),
+        Location::new(45.0, 20.0),
+        Location::new(20.0, 47.0),
+        Location::new(-3.0, 44.0),
+        Location::new(41.0, -2.0),
+        Location::new(2000.0, 2000.0),
+    ] {
+        let mut mutated = ShardedWorkerIndex::build(&pool, 1, &domain, config);
+        assert!(mutated.move_worker(WorkerId(0), target).applied);
+
+        let mut mirror: Vec<Worker> = pool.workers().to_vec();
+        mirror[0] = Worker::new(
+            WorkerId(0),
+            vec![WorkerSlot {
+                slot: 0,
+                location: target,
+            }],
+        );
+        let rebuilt = ShardedWorkerIndex::build(&WorkerPool::new(mirror), 1, &domain, config);
+
+        // Same bucket placement, clamped into a border tile.
+        for shard in 0..rebuilt.num_shards() {
+            assert_eq!(
+                mutated.shard_entries(shard),
+                rebuilt.shard_entries(shard),
+                "target {target}: shard {shard} entries"
+            );
+        }
+        let (tx, ty) = mutated.tile_of(&target);
+        assert!(
+            tx == 0 || tx == 3 || ty == 0 || ty == 3,
+            "target {target}: expected a border tile, got ({tx}, {ty})"
+        );
+        // And the clamped worker is still found from everywhere, never
+        // pruned by the border-tile distance bounds.
+        for q in [
+            Location::new(0.0, 0.0),
+            Location::new(39.0, 39.0),
+            target,
+            Location::new(20.0, 0.0),
+        ] {
+            assert_eq!(
+                mutated.k_nearest(0, &q, 3),
+                rebuilt.k_nearest(0, &q, 3),
+                "target {target}, query {q}"
             );
         }
     }

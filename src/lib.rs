@@ -6,16 +6,20 @@
 //!   and the entropy-based quality metric with its reliability and
 //!   spatiotemporal extensions;
 //! * [`index`] — order-k 1-D Voronoi diagrams, the aggregated tree index with
-//!   best-first pruned search, and the spatial worker grid;
+//!   best-first pruned search, and the spatial worker grid — dense and
+//!   sharded, both mutable in place ([`index::MutableSpatialIndex`]:
+//!   tile-local insert / remove / move with per-tile version counters);
 //! * [`assign`] — single-task (`Approx`, `Approx*`, `OPT`, `Rand`) and
 //!   multi-task (MSQM, MMQM, `SApprox`) assignment, the group-level and
 //!   task-level parallel frameworks, and the batched / streaming
 //!   `AssignmentEngine` with its shared incremental candidate cache;
 //! * [`workload`] — synthetic workload generators (task distributions,
 //!   worker trajectories, POIs) and reproducible scenarios, including
-//!   streaming task arrivals, their event-trace conversion and heavy-tailed
+//!   streaming task arrivals, their event-trace conversion, heavy-tailed
 //!   service streams (bounded-Pareto inter-arrivals under a cyclic
-//!   rush-hour phase schedule);
+//!   rush-hour phase schedule) and seeded worker-motion tapes
+//!   (waypoint drift plus offline/online churn, interleavable with an
+//!   arrival trace into one service event stream);
 //! * [`sim`] — the deterministic discrete-event simulation of the
 //!   distributed runtime: dispatcher / region-node components over a
 //!   virtual network, driving the (barrier or optimistic non-blocking)
@@ -61,9 +65,9 @@ pub mod prelude {
     pub use tcsc_assign::{
         approx, approx_star, independence_graph, min_budget_for_quality, optimal,
         random_assignment, random_summary, AssignmentEngine, CacheStats, CandidateCache,
-        ConcurrentAssignmentEngine, ConflictAccounting, DisjointDrainReport, MultiTaskConfig,
-        Objective, RefreshStrategy, ShardedLedger, SingleTaskConfig, SlotCandidates,
-        SpatioTemporalObjective, WorkerLedger,
+        ChurnCounters, ConcurrentAssignmentEngine, ConflictAccounting, DisjointDrainReport,
+        MultiTaskConfig, Objective, RefreshStrategy, ShardedLedger, SingleTaskConfig,
+        SlotCandidates, SpatioTemporalObjective, WorkerLedger,
     };
     #[allow(deprecated)]
     pub use tcsc_assign::{
@@ -76,8 +80,8 @@ pub mod prelude {
         Worker, WorkerId, WorkerPool, WorkerSlot,
     };
     pub use tcsc_index::{
-        OrderKVoronoi, ShardGridConfig, ShardedWorkerIndex, SpatialQuery, VTree, VTreeConfig,
-        WorkerIndex,
+        IndexMutation, MutableSpatialIndex, OrderKVoronoi, ShardGridConfig, ShardedWorkerIndex,
+        SpatialQuery, VTree, VTreeConfig, WorkerIndex, WorkerProfile,
     };
     pub use tcsc_obs::{
         obs_digest, profile_spans, replay_digest, Gauge, Histogram, MetricsRegistry, NoopRecorder,
@@ -87,8 +91,9 @@ pub mod prelude {
         plan_hash, run_cluster, LatencyModel, SimBatch, SimClusterConfig, SimOutcome,
     };
     pub use tcsc_workload::{
-        ArrivalPhase, ArrivalSampler, ArrivalTrace, BoundedPareto, HeavyTailedArrivals,
-        PhaseSchedule, PoiConfig, PoiDataset, Scenario, ScenarioConfig, SpatialDistribution,
-        StreamingConfig, StreamingScenario, TaskPlacement, TrajectoryConfig,
+        interleave, ArrivalPhase, ArrivalSampler, ArrivalTrace, BoundedPareto, HeavyTailedArrivals,
+        MotionEvent, MotionTape, PhaseSchedule, PoiConfig, PoiDataset, Scenario, ScenarioConfig,
+        ServiceEvent, SpatialDistribution, StreamingConfig, StreamingScenario, TaskPlacement,
+        TrajectoryConfig, WorkerChurnConfig, WorkerMotion,
     };
 }
